@@ -1,0 +1,78 @@
+// Command bench regenerates the reproduction experiments of EXPERIMENTS.md.
+// Each experiment prints one table row per (parameter, processor) pair:
+//
+//	bench -exp E4          # run one experiment
+//	bench -exp all         # run everything (minutes)
+//	bench -scale 4         # divide workload sizes by 4 for a quick pass
+//
+// Experiments: E1 (Figure 1 MIS/INS), E2 (Figure 2 network INS),
+// E3 (Figure 4 validation behavior), E4/E5 (recomputation & time vs k),
+// E6 (prefetch ratio ρ sweep), E7 (dataset size sweep), E8/E9 (road
+// networks incl. Theorem-2 ablation), E11 (data-update rate sweep), and
+// the ablations A1 (local re-rank), A2 (VoR-tree vs R-tree kNN), A3
+// (order-k cell construction candidates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	exp := flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E11,E12,A1,A2,A3) or 'all'")
+	scale := flag.Int("scale", 1, "divide workload sizes by this factor (>=1)")
+	flag.Parse()
+	if *scale < 1 {
+		*scale = 1
+	}
+	cfg := experiments.Config{Scale: *scale}
+
+	type runner struct {
+		id  string
+		fn  func() ([]experiments.Row, error)
+		doc string
+	}
+	runners := []runner{
+		{"E1", func() ([]experiments.Row, error) { return experiments.E1() }, "Figure 1: MIS/INS of the 12-object fixture"},
+		{"E2", func() ([]experiments.Row, error) { return experiments.E2() }, "Figure 2: network INS, Theorem 1"},
+		{"E3", func() ([]experiments.Row, error) { return experiments.E3(cfg) }, "Figure 4: validation/invalidations along a walk"},
+		{"E4", func() ([]experiments.Row, error) { return experiments.E4E5(cfg) }, "recomputations, shipped objects and us/step vs k (E4+E5)"},
+		{"E6", func() ([]experiments.Row, error) { return experiments.E6(cfg) }, "prefetch ratio rho sweep"},
+		{"E7", func() ([]experiments.Row, error) { return experiments.E7(cfg) }, "dataset size sweep"},
+		{"E8", func() ([]experiments.Row, error) { return experiments.E8E9(cfg) }, "road network comparison incl. Theorem-2 ablation (E8+E9)"},
+		{"E11", func() ([]experiments.Row, error) { return experiments.E11(cfg) }, "data-object update rate sweep"},
+		{"E12", func() ([]experiments.Row, error) { return experiments.E12(cfg) }, "order-k precomputation blow-up vs INS"},
+		{"A1", func() ([]experiments.Row, error) { return experiments.AblationRerank(cfg) }, "ablation: local re-rank path"},
+		{"A2", func() ([]experiments.Row, error) { return experiments.AblationVorTree(cfg) }, "ablation: VoR-tree vs R-tree kNN"},
+		{"A3", func() ([]experiments.Row, error) { return experiments.AblationOrderKConstruction(cfg) }, "ablation: order-k cell construction candidates"},
+	}
+
+	want := strings.ToUpper(*exp)
+	ran := 0
+	for _, r := range runners {
+		if want != "ALL" && want != r.id {
+			continue
+		}
+		fmt.Printf("== %s: %s\n", r.id, r.doc)
+		rows, err := r.fn()
+		if err != nil {
+			log.Fatalf("%s: %v", r.id, err)
+		}
+		for _, row := range rows {
+			fmt.Println(row)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; see -h\n", *exp)
+		os.Exit(2)
+	}
+}

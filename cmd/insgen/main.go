@@ -1,0 +1,77 @@
+// Command insgen generates the workloads the experiments and examples use
+// and writes them as CSV, so datasets can be inspected, plotted, or reused
+// outside the Go toolchain:
+//
+//	insgen -kind uniform   -n 10000 -seed 1 > objects.csv
+//	insgen -kind clustered -n 10000 -clusters 8 -sigma 300 > objects.csv
+//	insgen -kind grid      -n 4096 -jitter 0.2 > objects.csv
+//	insgen -kind network   -rows 64 -cols 64 > edges.csv
+//	insgen -kind trajectory -steps 5000 -steplen 8 > traj.csv
+//
+// Point CSV: x,y per line. Network CSV: ux,uy,vx,vy,weight per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	insq "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insgen: ")
+	var (
+		kind     = flag.String("kind", "uniform", "uniform | clustered | grid | network | trajectory")
+		n        = flag.Int("n", 10000, "number of points")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		clusters = flag.Int("clusters", 8, "clustered: number of clusters")
+		sigma    = flag.Float64("sigma", 300, "clustered: cluster stddev")
+		jitter   = flag.Float64("jitter", 0.2, "grid: lattice jitter fraction")
+		rows     = flag.Int("rows", 64, "network: grid rows")
+		cols     = flag.Int("cols", 64, "network: grid cols")
+		steps    = flag.Int("steps", 5000, "trajectory: number of steps")
+		stepLen  = flag.Float64("steplen", 8, "trajectory: distance per step")
+		size     = flag.Float64("size", 10000, "data space side length")
+	)
+	flag.Parse()
+
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(*size, *size))
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *kind {
+	case "uniform":
+		writePoints(w, insq.UniformPoints(*n, bounds, *seed))
+	case "clustered":
+		pts, err := insq.ClusteredPoints(*n, *clusters, *sigma, bounds, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writePoints(w, pts)
+	case "grid":
+		writePoints(w, insq.GridPoints(*n, bounds, *jitter, *seed))
+	case "network":
+		g, err := insq.GridNetwork(*rows, *cols, bounds, 0.25, 0.3, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g.Edges(func(u, v int, weight float64) {
+			pu, pv := g.Point(u), g.Point(v)
+			fmt.Fprintf(w, "%g,%g,%g,%g,%g\n", pu.X, pu.Y, pv.X, pv.Y, weight)
+		})
+	case "trajectory":
+		writePoints(w, insq.RandomWaypoint(bounds, *steps, *stepLen, *seed))
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+}
+
+func writePoints(w *bufio.Writer, pts []insq.Point) {
+	for _, p := range pts {
+		fmt.Fprintf(w, "%g,%g\n", p.X, p.Y)
+	}
+}

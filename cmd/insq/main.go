@@ -1,0 +1,194 @@
+// Command insq is the demonstration program (the CLI + SVG substitute for
+// the paper's Scala Swing application). It runs in two modes, mirroring
+// the original's Road Network mode and 2D Plane mode:
+//
+//	insq -mode plane   -n 400 -k 5 -rho 1.6 -steps 600 -frames 6 -out frames
+//	insq -mode network -rows 24 -cols 24 -sites 80 -k 5 -steps 400
+//
+// At each sampled timestamp the program prints the query state (kNN set,
+// influential neighbors, valid/invalid transitions) and optionally writes
+// an SVG frame showing the data objects (orange), query (red), kNN set
+// (green), INS (yellow), the order-k Voronoi cell (cyan/red) and the two
+// validation circles — the view of Figures 3 and 4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	insq "repro"
+	"repro/internal/settings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insq: ")
+	var (
+		mode     = flag.String("mode", "plane", "demo mode: plane | network")
+		n        = flag.Int("n", 400, "plane mode: number of data objects")
+		k        = flag.Int("k", 5, "number of nearest neighbors")
+		rho      = flag.Float64("rho", 1.6, "prefetch ratio (>= 1)")
+		steps    = flag.Int("steps", 600, "timestamps to simulate")
+		frames   = flag.Int("frames", 6, "SVG frames to write (0 = none)")
+		out      = flag.String("out", "frames", "output directory for frames")
+		rows     = flag.Int("rows", 24, "network mode: grid rows")
+		cols     = flag.Int("cols", 24, "network mode: grid cols")
+		sites    = flag.Int("sites", 80, "network mode: number of data objects")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		loadPath = flag.String("load", "", "read demonstration settings from a JSON file (the demo's Read button)")
+		savePath = flag.String("save", "", "record the demonstration settings to a JSON file (the demo's Save button)")
+	)
+	flag.Parse()
+
+	// Assemble the settings from the flags, or read them from a file.
+	s := settings.Default()
+	if *loadPath != "" {
+		var err error
+		s, err = settings.Load(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded settings from %s\n", *loadPath)
+	} else {
+		s.Mode = settings.Mode(*mode)
+		s.NumObjects = *n
+		s.K = *k
+		s.Rho = *rho
+		s.Steps = *steps
+		s.Frames = *frames
+		s.OutDir = *out
+		s.GridRows, s.GridCols, s.NumSites = *rows, *cols, *sites
+		s.Seed = *seed
+		if err := s.Validate(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *savePath != "" {
+		if err := s.Save(*savePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded settings to %s\n", *savePath)
+	}
+
+	switch s.Mode {
+	case settings.ModePlane:
+		if err := runPlane(s.NumObjects, s.K, s.Rho, s.Steps, s.Frames, s.OutDir, s.Seed); err != nil {
+			log.Fatal(err)
+		}
+	case settings.ModeNetwork:
+		if err := runNetwork(s.GridRows, s.GridCols, s.NumSites, s.K, s.Rho, s.Steps, s.Frames, s.OutDir, s.Seed); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown mode %q (want plane or network)", s.Mode)
+	}
+}
+
+func runPlane(n, k int, rho float64, steps, frames int, out string, seed int64) error {
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(1000, 1000))
+	ix, _, err := insq.BuildPlaneIndex(bounds, insq.UniformPoints(n, bounds, seed))
+	if err != nil {
+		return err
+	}
+	q, err := insq.NewPlaneQuery(ix, k, rho)
+	if err != nil {
+		return err
+	}
+	traj := insq.RandomWaypoint(bounds, steps, 2.5, seed+1)
+
+	frameEvery := 0
+	if frames > 0 {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		frameEvery = steps / frames
+		if frameEvery == 0 {
+			frameEvery = 1
+		}
+	}
+	lastRecomp := 0
+	rep, err := insq.RunPlane(q, traj, func(step int, pos insq.Point, knn []int) {
+		m := q.Metrics()
+		if m.Recomputations != lastRecomp {
+			lastRecomp = m.Recomputations
+			fmt.Printf("t=%-5d q=(%.1f, %.1f)  kNN set recomputed -> %v  (INS size %d)\n",
+				step, pos.X, pos.Y, knn, len(q.INS()))
+		}
+		if frameEvery > 0 && step%frameEvery == 0 {
+			doc, ferr := insq.RenderPlaneFrame(ix, q, pos, insq.PlaneFrameOptions{
+				ShowVoronoiCells: true, ShowOrderKCell: true, ShowCircles: true,
+			})
+			if ferr != nil {
+				log.Printf("frame at %d: %v", step, ferr)
+				return
+			}
+			name := filepath.Join(out, fmt.Sprintf("plane_%05d.svg", step))
+			if werr := os.WriteFile(name, []byte(doc), 0o644); werr != nil {
+				log.Printf("frame at %d: %v", step, werr)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n2D Plane mode: %s\n", rep)
+	return nil
+}
+
+func runNetwork(rows, cols, sites, k int, rho float64, steps, frames int, out string, seed int64) error {
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(8000, 8000))
+	g, err := insq.GridNetwork(rows, cols, bounds, 0.25, 0.3, seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	siteIDs := rng.Perm(g.NumVertices())[:sites]
+	d, err := insq.BuildNetworkVoronoi(g, siteIDs)
+	if err != nil {
+		return err
+	}
+	q, err := insq.NewNetworkQuery(d, k, rho)
+	if err != nil {
+		return err
+	}
+	route, err := insq.RandomWalkRoute(g, 0, float64(steps)*20, seed+2)
+	if err != nil {
+		return err
+	}
+
+	frameEvery := 0
+	if frames > 0 {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		frameEvery = steps / frames
+		if frameEvery == 0 {
+			frameEvery = 1
+		}
+	}
+	lastRecomp := 0
+	rep, err := insq.RunNetwork(q, route, 20, func(step int, pos insq.NetworkPosition, knn []int) {
+		m := q.Metrics()
+		if m.Recomputations != lastRecomp {
+			lastRecomp = m.Recomputations
+			fmt.Printf("t=%-5d edge=(%d,%d)  kNN set recomputed -> %v  (INS size %d, subnetwork %d vertices)\n",
+				step, pos.U, pos.V, knn, len(q.INS()), q.Subnetwork().G.NumVertices())
+		}
+		if frameEvery > 0 && step%frameEvery == 0 {
+			doc := insq.RenderNetworkFrame(d, q, pos, insq.NetworkFrameOptions{ShowSubnetwork: true})
+			name := filepath.Join(out, fmt.Sprintf("network_%05d.svg", step))
+			if werr := os.WriteFile(name, []byte(doc), 0o644); werr != nil {
+				log.Printf("frame at %d: %v", step, werr)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nRoad Network mode: %s\n", rep)
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package insq is a Go reproduction of "INSQ: An Influential Neighbor Set
+// Based Moving kNN Query Processing System" (Li, Gu, Qi, Yu, Zhang, Deng —
+// ICDE 2016), including the underlying Influential Neighbor Set (INS)
+// algorithm for moving k-nearest-neighbor (MkNN) queries in both 2D
+// Euclidean space and road networks, the safe-region baselines it is
+// evaluated against, and the demonstration and experiment tooling.
+//
+// The core idea: rather than recomputing the kNN set at every location
+// update, or maintaining an explicit safe region, the INS algorithm keeps a
+// small set of safe guarding objects — the order-1 Voronoi neighbors of the
+// current kNN members. The kNN set remains provably valid while every kNN
+// member is closer to the query than every guarding object, a check that is
+// linear in k; and because the guarding objects implicitly delimit the
+// order-k Voronoi cell (the largest possible safe region), recomputations
+// are as infrequent as theoretically possible.
+//
+// # Quick start (2D Euclidean)
+//
+//	objects := insq.UniformPoints(10000, insq.NewRect(insq.Pt(0, 0), insq.Pt(1000, 1000)), 42)
+//	ix, _, err := insq.BuildPlaneIndex(bounds, objects)
+//	q, err := insq.NewPlaneQuery(ix, 5, 1.6) // k=5, prefetch ratio ρ=1.6
+//	for _, pos := range insq.RandomWaypoint(bounds, 1000, 2.0, 7) {
+//	    knn, err := q.Update(pos) // ids of the 5 nearest objects
+//	    ...
+//	}
+//
+// # Road networks
+//
+//	g, err := insq.GridNetwork(64, 64, bounds, 0.2, 0.3, 1)
+//	d, err := insq.BuildNetworkVoronoi(g, siteVertexIDs)
+//	q, err := insq.NewNetworkQuery(d, 5, 1.6)
+//	route, err := insq.RandomWalkRoute(g, 0, 50000, 2)
+//	for dist := 0.0; dist <= route.Length(); dist += 5 {
+//	    knn, err := q.Update(route.PositionAt(dist))
+//	    ...
+//	}
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the reproduction results.
+package insq

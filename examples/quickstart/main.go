@@ -1,0 +1,62 @@
+// Command quickstart is the smallest complete INSQ program: build an index
+// over random data objects, create an INS moving kNN query, move the query
+// object along a straight line, and print the kNN set whenever it changes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	insq "repro"
+)
+
+func main() {
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(1000, 1000))
+
+	// 2000 data objects (think: points of interest).
+	objects := insq.UniformPoints(2000, bounds, 42)
+	ix, _, err := insq.BuildPlaneIndex(bounds, objects)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A moving 5NN query with prefetch ratio ρ=1.6 (the demo's default).
+	q, err := insq.NewPlaneQuery(ix, 5, 1.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive across the data space and report kNN set changes.
+	traj, err := insq.LineTrajectory(insq.Pt(50, 500), insq.Pt(950, 500), 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var last []int
+	for i, pos := range traj {
+		knn, err := q.Update(pos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !sameIDs(knn, last) {
+			fmt.Printf("step %3d  q=%v  kNN=%v\n", i, pos, knn)
+			last = append(last[:0], knn...)
+		}
+	}
+
+	m := q.Metrics()
+	fmt.Printf("\n%d location updates, %d kNN recomputations (%.1f%% of steps), %d objects shipped\n",
+		m.Timestamps, m.Recomputations,
+		100*float64(m.Recomputations)/float64(m.Timestamps), m.ObjectsShipped)
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

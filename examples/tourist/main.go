@@ -1,0 +1,70 @@
+// Command tourist reproduces the paper's second motivating scenario: "the 5
+// nearest points of interest continuously while a tourist is walking around
+// a city". POIs cluster around attractions (Gaussian mixture); the tourist
+// follows a random-waypoint walk. The program maintains the 5NN set with
+// the INS algorithm and writes demonstration frames — the same view as the
+// paper's Figure 4, with Voronoi cells, the order-k cell and the two
+// validation circles — as SVG files into ./frames.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	insq "repro"
+)
+
+func main() {
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(1000, 1000))
+
+	pois, err := insq.ClusteredPoints(400, 8, 60, bounds, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, _, err := insq.BuildPlaneIndex(bounds, pois)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := insq.NewPlaneQuery(ix, 5, 1.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	walk := insq.RandomWaypoint(bounds, 600, 2.5, 3)
+
+	outDir := "frames"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	frames := 0
+	rep, err := insq.RunPlane(q, walk, func(step int, pos insq.Point, knn []int) {
+		if step%100 != 0 {
+			return
+		}
+		doc, err := insq.RenderPlaneFrame(ix, q, pos, insq.PlaneFrameOptions{
+			ShowVoronoiCells: true,
+			ShowOrderKCell:   true,
+			ShowCircles:      true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := filepath.Join(outDir, fmt.Sprintf("walk_%04d.svg", step))
+		if err := os.WriteFile(name, []byte(doc), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		frames++
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tourist walk: %d steps, %d demonstration frames written to %s/\n",
+		rep.Steps, frames, outDir)
+	fmt.Printf("kNN recomputations: %d (%.1f%% of steps), validation cost: %d distance computations\n",
+		rep.Counters.Recomputations,
+		100*float64(rep.Counters.Recomputations)/float64(rep.Steps),
+		rep.Counters.DistanceCalcs)
+}

@@ -1,0 +1,129 @@
+package insq_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	insq "repro"
+)
+
+// TestPublicAPIPlane exercises the exported Euclidean surface end to end:
+// workload → index → query → simulation → rendering.
+func TestPublicAPIPlane(t *testing.T) {
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(1000, 1000))
+	pts := insq.UniformPoints(300, bounds, 1)
+	ix, ids, err := insq.BuildPlaneIndex(bounds, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 300 || ix.Len() != 300 {
+		t.Fatalf("index holds %d objects, want 300", ix.Len())
+	}
+	q, err := insq.NewPlaneQuery(ix, 5, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := insq.RandomWaypoint(bounds, 200, 3, 2)
+	rep, err := insq.RunPlane(q, traj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 200 || rep.Counters.Recomputations == 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	doc, err := insq.RenderPlaneFrame(ix, q, traj[len(traj)-1], insq.PlaneFrameOptions{ShowCircles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(doc, "<svg") {
+		t.Error("frame is not an SVG document")
+	}
+}
+
+// TestPublicAPINetwork exercises the exported road-network surface.
+func TestPublicAPINetwork(t *testing.T) {
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(1000, 1000))
+	g, err := insq.GridNetwork(10, 10, bounds, 0.2, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := make([]int, 0, 25)
+	for v := 0; v < g.NumVertices(); v += 4 {
+		sites = append(sites, v)
+	}
+	d, err := insq.BuildNetworkVoronoi(g, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := insq.NewNetworkQuery(d, 4, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := insq.RandomWalkRoute(g, 1, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := insq.RunNetwork(q, route, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps == 0 {
+		t.Fatal("no steps simulated")
+	}
+	doc := insq.RenderNetworkFrame(d, q, insq.VertexPosition(0), insq.NetworkFrameOptions{})
+	if !strings.HasPrefix(doc, "<svg") {
+		t.Error("frame is not an SVG document")
+	}
+}
+
+// TestBaselinesAgreeWithINS runs all plane processors over one trajectory
+// and checks they report the same kNN distance profile at the end.
+func TestBaselinesAgreeWithINS(t *testing.T) {
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(1000, 1000))
+	ix, _, err := insq.BuildPlaneIndex(bounds, insq.UniformPoints(400, bounds, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := insq.NewPlaneQuery(ix, 5, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := insq.NewNaivePlane(ix, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vstar, err := insq.NewVStarPlane(ix, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := insq.NewOrderKCellPlane(ix, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := insq.RandomWaypoint(bounds, 300, 3, 6)
+	procs := []insq.PlaneProcessor{ins, naive, vstar, cell}
+	for _, pos := range traj {
+		var ref []float64
+		for i, p := range procs {
+			knn, err := p.Update(pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := make([]float64, len(knn))
+			for j, id := range knn {
+				ds[j] = pos.Dist2(ix.Point(id))
+			}
+			sort.Float64s(ds)
+			if i == 0 {
+				ref = ds
+				continue
+			}
+			for j := range ds {
+				if diff := ds[j] - ref[j]; diff > 1e-9*(ref[j]+1) || diff < -1e-9*(ref[j]+1) {
+					t.Fatalf("%s disagrees with %s at %v", p.Name(), procs[0].Name(), pos)
+				}
+			}
+		}
+	}
+}

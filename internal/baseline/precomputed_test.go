@@ -1,0 +1,67 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPrecomputedOrderKCorrect(t *testing.T) {
+	ix := buildIndex(t, 120, 30)
+	q, err := NewPrecomputedOrderKPlane(ix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumCells == 0 || q.BuildTime <= 0 {
+		t.Fatalf("no precomputation recorded: cells=%d time=%v", q.NumCells, q.BuildTime)
+	}
+	for _, p := range walkTrajectory(400, 3, 31) {
+		got, err := q.Update(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstBrute(t, ix, p, got, 3)
+	}
+	m := q.Metrics()
+	if m.Recomputations >= m.Timestamps/2 {
+		t.Errorf("precomputed baseline changed cells %d of %d steps", m.Recomputations, m.Timestamps)
+	}
+}
+
+func TestPrecomputedOrderKCellCountGrows(t *testing.T) {
+	ix := buildIndex(t, 60, 32)
+	prev := 0
+	for _, k := range []int{1, 2, 3} {
+		q, err := NewPrecomputedOrderKPlane(ix, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.NumCells <= prev {
+			t.Fatalf("k=%d: %d cells, want more than %d", k, q.NumCells, prev)
+		}
+		prev = q.NumCells
+	}
+}
+
+func TestPrecomputedOrderKValidation(t *testing.T) {
+	ix := buildIndex(t, 20, 33)
+	if _, err := NewPrecomputedOrderKPlane(ix, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewPrecomputedOrderKPlane(ix, 21); err == nil {
+		t.Error("k>n accepted")
+	}
+	q, err := NewPrecomputedOrderKPlane(ix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Current(); got != nil {
+		t.Errorf("Current before any update = %v", got)
+	}
+	if _, err := q.Update(geom.Pt(500, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Current(); len(got) != 2 {
+		t.Errorf("Current = %v, want 2 ids", got)
+	}
+}

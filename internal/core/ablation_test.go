@@ -1,0 +1,54 @@
+package core
+
+import "testing"
+
+// TestDisableLocalRerankStaysCorrect verifies the A1 ablation knob: with
+// the local repair path off, every invalidation recomputes, but results
+// must remain exactly correct.
+func TestDisableLocalRerankStaysCorrect(t *testing.T) {
+	ix := buildIndex(t, 300, 50)
+	q, err := NewPlaneQuery(ix, 5, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.SetDisableLocalRerank(true)
+	for _, p := range walkTrajectory(300, 3, 51) {
+		got, err := q.Update(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkKNNAgainstBrute(t, ix, p, got, 5)
+	}
+	m := q.Metrics()
+	// With the repair path off, invalidations and recomputations coincide
+	// (minus the initial computation).
+	if m.Recomputations-1 != m.Invalidations {
+		t.Errorf("recomputations-1 = %d, invalidations = %d; every invalidation must recompute",
+			m.Recomputations-1, m.Invalidations)
+	}
+}
+
+// TestRerankSavesRecomputations pins the ablation's direction: enabling
+// the repair path must not increase recomputations.
+func TestRerankSavesRecomputations(t *testing.T) {
+	ix := buildIndex(t, 1000, 52)
+	traj := walkTrajectory(800, 2, 53)
+	counts := make(map[bool]int)
+	for _, disable := range []bool{false, true} {
+		q, err := NewPlaneQuery(ix, 5, 1.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.SetDisableLocalRerank(disable)
+		for _, p := range traj {
+			if _, err := q.Update(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		counts[disable] = q.Metrics().Recomputations
+	}
+	if counts[false] > counts[true] {
+		t.Errorf("rerank on: %d recomputations, off: %d — repair path should save work",
+			counts[false], counts[true])
+	}
+}

@@ -1,0 +1,31 @@
+// Package core implements the paper's primary contribution: the Influential
+// Neighbor Set (INS) algorithm for processing moving k-nearest-neighbor
+// (MkNN) queries, in both two-dimensional Euclidean space (PlaneQuery) and
+// road networks (NetworkQuery).
+//
+// Instead of materializing a safe region, the algorithm maintains a small
+// set of safe guarding objects. A query's kNN set O' remains valid exactly
+// while every member of O' is closer to the query than every member of an
+// influential set S (Definition 1: O' = NN_k(q) ⇔ O' ≺_q S). The
+// influential neighbor set I(O') — the order-1 Voronoi neighbors of the
+// kNN members, minus the members themselves (Definition 4) — is such a set,
+// is computable in time linear in k from a precomputed Voronoi diagram, and
+// implicitly defines the largest possible safe region (the order-k Voronoi
+// cell), so recomputation frequency is minimal.
+//
+// Query processing follows Section III of the paper: on (re)computation the
+// processor fetches the ⌊ρk⌋ nearest objects R (ρ ≥ 1 is the prefetch
+// ratio) plus I(R) and ships them to the client. Each timestamp is then
+// validated with one O(|R|+|I(R)|) scan: find the farthest current kNN
+// member (r.delete) and the nearest influential-set member (r.candidate);
+// the kNN set is stale only if r.candidate is closer than r.delete. A stale
+// kNN set is first repaired locally by re-ranking R (covering the paper's
+// update cases (i) and (ii)); only when R itself is invalidated does the
+// processor recompute — a communication event, which the experiments count.
+//
+// In road networks (Section IV), validation requires shortest-path
+// distances. Theorem 1 transfers the INS superset guarantee to network
+// Voronoi diagrams, and Theorem 2 confines the validation search to the
+// subnetwork covered by the Voronoi cells of the guard objects, which
+// NetworkQuery exploits through netvor.Subnetwork.
+package core

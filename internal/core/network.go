@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/netvor"
+	"repro/internal/roadnet"
+)
+
+// ErrDisconnected is returned when the query position cannot reach k
+// objects on the network.
+var ErrDisconnected = errors.New("core: query position cannot reach k objects")
+
+// NetworkQuery is the INS-based moving kNN query in road networks
+// (Section IV of the paper). The data objects are the sites of a
+// precomputed network Voronoi diagram; the query object moves along the
+// network and reports a position (edge + fraction) at every timestamp.
+//
+// Validation follows Theorem 2: instead of running shortest-path searches
+// on the full network, the processor keeps the subnetwork covered by the
+// Voronoi cells of the guard objects R ∪ I(R) and ranks the guard objects
+// on it. While the top-k on the subnetwork equals the current kNN set, the
+// kNN set is valid on the full network.
+type NetworkQuery struct {
+	d   *netvor.Diagram
+	k   int
+	rho float64
+	m   metrics.Counters
+
+	init  bool
+	last  roadnet.Position
+	r     []int // prefetched ⌊ρk⌋ nearest sites, ascending network distance at fetch
+	ins   []int // I(R) under the network Voronoi diagram
+	guard []int // r ∪ ins
+	sub   *netvor.Subnetwork
+	knn   []int // current kNN set
+}
+
+// NewNetworkQuery creates an INS MkNN query over a network Voronoi diagram.
+// Parameters mirror NewPlaneQuery.
+func NewNetworkQuery(d *netvor.Diagram, k int, rho float64) (*NetworkQuery, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k = %d, must be >= 1", k)
+	}
+	if rho < 1 {
+		return nil, fmt.Errorf("core: prefetch ratio rho = %g, must be >= 1", rho)
+	}
+	if len(d.Sites()) < k {
+		return nil, fmt.Errorf("core: k = %d exceeds site count %d", k, len(d.Sites()))
+	}
+	return &NetworkQuery{d: d, k: k, rho: rho}, nil
+}
+
+// Name identifies the processor in simulation reports.
+func (q *NetworkQuery) Name() string { return "ins-network" }
+
+// K returns the query parameter k.
+func (q *NetworkQuery) K() int { return q.k }
+
+// Metrics returns the accumulated cost counters.
+func (q *NetworkQuery) Metrics() *metrics.Counters { return &q.m }
+
+// Current returns the current kNN set (shared slice; do not modify).
+func (q *NetworkQuery) Current() []int { return q.knn }
+
+// INS returns I(R) (shared slice; do not modify).
+func (q *NetworkQuery) INS() []int { return q.ins }
+
+// Prefetched returns R (shared slice; do not modify).
+func (q *NetworkQuery) Prefetched() []int { return q.r }
+
+// Subnetwork returns the current Theorem-2 validation subnetwork.
+func (q *NetworkQuery) Subnetwork() *netvor.Subnetwork { return q.sub }
+
+func (q *NetworkQuery) prefetchSize() int {
+	m := int(q.rho * float64(q.k))
+	if m < q.k {
+		m = q.k
+	}
+	if n := len(q.d.Sites()); m > n {
+		m = n
+	}
+	return m
+}
+
+// Update processes a location update and returns the current kNN set
+// (shared slice; do not modify).
+func (q *NetworkQuery) Update(pos roadnet.Position) ([]int, error) {
+	q.m.Timestamps++
+	if err := pos.Validate(q.d.Graph()); err != nil {
+		return nil, err
+	}
+	q.last = pos
+	if !q.init {
+		if err := q.recompute(pos); err != nil {
+			return nil, err
+		}
+		q.init = true
+		return q.knn, nil
+	}
+
+	q.m.Validations++
+	// One bounded Dijkstra on the guard subnetwork, stopped as soon as k
+	// guard objects are settled; Theorem 2 certifies the kNN set when the
+	// subnetwork top-k matches it. This is the common, cheap path.
+	relaxBefore := q.sub.G.EdgeRelaxations
+	topK, _ := q.sub.KNNSites(pos, q.guard, q.k)
+	q.m.DijkstraRuns++
+	q.m.EdgeRelaxations += q.sub.G.EdgeRelaxations - relaxBefore
+	if len(topK) >= q.k && sameSet(topK, q.knn) {
+		return q.knn, nil
+	}
+	q.m.Invalidations++
+
+	// Stale: rank the whole prefetched set to see whether R survived.
+	relaxBefore = q.sub.G.EdgeRelaxations
+	ranked, _ := q.sub.KNNSites(pos, q.guard, len(q.r))
+	q.m.DijkstraRuns++
+	q.m.EdgeRelaxations += q.sub.G.EdgeRelaxations - relaxBefore
+
+	// Update cases (i)/(ii): if R as a whole is still the valid prefetch
+	// set, the subnetwork distances to its members are exact and the new
+	// kNN set is the subnetwork top-k — composed locally, no
+	// recomputation.
+	if len(ranked) >= len(q.r) && sameSet(ranked[:len(q.r)], q.r) {
+		q.knn = append([]int(nil), ranked[:q.k]...)
+		return q.knn, nil
+	}
+	if err := q.recompute(pos); err != nil {
+		return nil, err
+	}
+	return q.knn, nil
+}
+
+// recompute fetches R and I(R) with incremental network expansion on the
+// full network and rebuilds the Theorem-2 subnetwork.
+func (q *NetworkQuery) recompute(pos roadnet.Position) error {
+	q.m.Recomputations++
+	relaxBefore := q.d.Graph().EdgeRelaxations
+	m := q.prefetchSize()
+	ids, _ := q.d.KNNWithDistances(pos, m)
+	q.m.DijkstraRuns++
+	q.m.EdgeRelaxations += q.d.Graph().EdgeRelaxations - relaxBefore
+	if len(ids) < q.k {
+		return fmt.Errorf("%w: found %d of %d", ErrDisconnected, len(ids), q.k)
+	}
+	q.r = ids
+	ins, err := q.d.INS(q.r)
+	if err != nil {
+		return fmt.Errorf("core: network INS: %w", err)
+	}
+	q.ins = ins
+	q.guard = append(append([]int(nil), q.r...), q.ins...)
+	q.sub = q.d.Subnetwork(q.guard)
+	q.knn = append([]int(nil), q.r[:q.k]...)
+	q.m.ObjectsShipped += len(q.r) + len(q.ins)
+	return nil
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[int]int, len(a))
+	for _, x := range a {
+		m[x]++
+	}
+	for _, x := range b {
+		if m[x] == 0 {
+			return false
+		}
+		m[x]--
+	}
+	return true
+}

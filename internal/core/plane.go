@@ -1,0 +1,306 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/vortree"
+)
+
+// ErrEmptyIndex is returned when a query is issued against an index with no
+// objects.
+var ErrEmptyIndex = errors.New("core: no data objects")
+
+// PlaneQuery is an INS-based moving kNN query in 2D Euclidean space. It is
+// created once per query and fed the query object's location at every
+// timestamp via Update. It is not safe for concurrent use.
+type PlaneQuery struct {
+	ix  *vortree.Index
+	k   int
+	rho float64
+	m   metrics.Counters
+
+	init          bool
+	lastPos       geom.Point
+	disableRerank bool
+	r             []int // prefetched ⌊ρk⌋ nearest objects, ascending distance at fetch time
+	ins           []int // I(R): influential neighbor set of R
+	knn           []int // current kNN set, ascending distance as of the last re-rank
+}
+
+// NewPlaneQuery creates an INS MkNN query over the given VoR-tree index.
+// k must be at least 1 and the prefetch ratio rho at least 1 (rho == 1
+// disables prefetching; the paper's demo uses rho = 1.6).
+func NewPlaneQuery(ix *vortree.Index, k int, rho float64) (*PlaneQuery, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k = %d, must be >= 1", k)
+	}
+	if rho < 1 {
+		return nil, fmt.Errorf("core: prefetch ratio rho = %g, must be >= 1", rho)
+	}
+	return &PlaneQuery{ix: ix, k: k, rho: rho}, nil
+}
+
+// Name identifies the processor in simulation reports.
+func (q *PlaneQuery) Name() string { return "ins" }
+
+// K returns the query parameter k.
+func (q *PlaneQuery) K() int { return q.k }
+
+// Rho returns the prefetch ratio.
+func (q *PlaneQuery) Rho() float64 { return q.rho }
+
+// Metrics returns the accumulated cost counters.
+func (q *PlaneQuery) Metrics() *metrics.Counters { return &q.m }
+
+// SetDisableLocalRerank turns off the local repair of a stale kNN set from
+// the prefetched set (update cases (i)/(ii)); every invalidation then
+// triggers a full recomputation. This exists for the ablation benchmark
+// that measures what the incremental update path is worth.
+func (q *PlaneQuery) SetDisableLocalRerank(v bool) { q.disableRerank = v }
+
+// Current returns the current kNN set (ascending distance as of the last
+// re-rank). The slice is shared; callers must not modify it.
+func (q *PlaneQuery) Current() []int { return q.knn }
+
+// InfluenceSet returns the current client-side guard set
+// IS = (R ∪ I(R)) \ kNN, the objects whose approach invalidates the kNN
+// set. The result is freshly allocated.
+func (q *PlaneQuery) InfluenceSet() []int {
+	inKNN := make(map[int]bool, len(q.knn))
+	for _, id := range q.knn {
+		inKNN[id] = true
+	}
+	out := make([]int, 0, len(q.r)+len(q.ins))
+	for _, id := range q.r {
+		if !inKNN[id] {
+			out = append(out, id)
+		}
+	}
+	out = append(out, q.ins...)
+	return out
+}
+
+// Prefetched returns the prefetched set R (shared slice; do not modify).
+func (q *PlaneQuery) Prefetched() []int { return q.r }
+
+// INS returns I(R), the influential neighbor set of the prefetched set
+// (shared slice; do not modify).
+func (q *PlaneQuery) INS() []int { return q.ins }
+
+// prefetchSize returns ⌊ρk⌋ clamped to [k, number of objects].
+func (q *PlaneQuery) prefetchSize() int {
+	m := int(q.rho * float64(q.k))
+	if m < q.k {
+		m = q.k
+	}
+	if n := q.ix.Len(); m > n {
+		m = n
+	}
+	return m
+}
+
+// Update processes a location update of the query object and returns the
+// current kNN set (ascending distance at the time of the last re-rank).
+// The returned slice is shared; callers must not modify it.
+func (q *PlaneQuery) Update(p geom.Point) ([]int, error) {
+	q.m.Timestamps++
+	q.lastPos = p
+	if !q.init {
+		if err := q.recompute(p); err != nil {
+			return nil, err
+		}
+		q.init = true
+		return q.knn, nil
+	}
+
+	q.m.Validations++
+	if q.knnValid(p) {
+		return q.knn, nil
+	}
+	q.m.Invalidations++
+
+	// Update cases (i) and (ii) of Section III-B: the prefetched set R may
+	// still be valid even though the kNN set is stale, in which case the
+	// new kNN set is composed locally by re-ranking R — no communication.
+	if !q.disableRerank && q.rValid(p) {
+		q.rerank(p)
+		return q.knn, nil
+	}
+	if err := q.recompute(p); err != nil {
+		return nil, err
+	}
+	return q.knn, nil
+}
+
+// knnValid performs the Section III-A validation: scan the kNN set for the
+// farthest member (r.delete) and the influential set for the nearest
+// member (r.candidate); the kNN set is valid while r.delete is no farther
+// than r.candidate.
+func (q *PlaneQuery) knnValid(p geom.Point) bool {
+	inKNN := make(map[int]bool, len(q.knn))
+	var maxKNN float64
+	for _, id := range q.knn {
+		inKNN[id] = true
+		if d := p.Dist2(q.ix.Point(id)); d > maxKNN {
+			maxKNN = d
+		}
+	}
+	q.m.DistanceCalcs += len(q.knn)
+	minIS := -1.0
+	check := func(id int) {
+		if inKNN[id] {
+			return
+		}
+		q.m.DistanceCalcs++
+		if d := p.Dist2(q.ix.Point(id)); minIS < 0 || d < minIS {
+			minIS = d
+		}
+	}
+	for _, id := range q.r {
+		check(id)
+	}
+	for _, id := range q.ins {
+		check(id)
+	}
+	return minIS < 0 || maxKNN <= minIS
+}
+
+// rValid checks whether the prefetched set R is still the valid
+// ⌊ρk⌋-NN set, using I(R) as its influential set.
+func (q *PlaneQuery) rValid(p geom.Point) bool {
+	var maxR float64
+	for _, id := range q.r {
+		q.m.DistanceCalcs++
+		if d := p.Dist2(q.ix.Point(id)); d > maxR {
+			maxR = d
+		}
+	}
+	minINS := -1.0
+	for _, id := range q.ins {
+		q.m.DistanceCalcs++
+		if d := p.Dist2(q.ix.Point(id)); minINS < 0 || d < minINS {
+			minINS = d
+		}
+	}
+	return minINS < 0 || maxR <= minINS
+}
+
+// rerank recomposes the kNN set from R by current distance (update cases
+// (i) and (ii): the new kNN set is still inside R).
+func (q *PlaneQuery) rerank(p geom.Point) {
+	sorted := append([]int(nil), q.r...)
+	sort.Slice(sorted, func(i, j int) bool {
+		di, dj := p.Dist2(q.ix.Point(sorted[i])), p.Dist2(q.ix.Point(sorted[j]))
+		if di != dj {
+			return di < dj
+		}
+		return sorted[i] < sorted[j]
+	})
+	q.m.DistanceCalcs += len(sorted)
+	q.knn = sorted[:q.k]
+}
+
+// recompute performs the server-side computation: fetch the ⌊ρk⌋ nearest
+// objects and their influential neighbor set, and ship both to the client.
+func (q *PlaneQuery) recompute(p geom.Point) error {
+	if q.ix.Len() == 0 {
+		return ErrEmptyIndex
+	}
+	if q.ix.Len() < q.k {
+		return fmt.Errorf("core: k = %d exceeds object count %d", q.k, q.ix.Len())
+	}
+	q.m.Recomputations++
+	m := q.prefetchSize()
+	visitsBefore := q.ix.Tree().NodeVisits
+	q.r = q.ix.KNN(p, m)
+	q.m.NodeVisits += q.ix.Tree().NodeVisits - visitsBefore
+	ins, err := q.ix.Diagram().INS(q.r)
+	if err != nil {
+		return fmt.Errorf("core: recompute INS: %w", err)
+	}
+	q.ins = ins
+	q.knn = q.r[:q.k]
+	q.m.ObjectsShipped += len(q.r) + len(q.ins)
+	return nil
+}
+
+// InsertObject adds a data object during query maintenance. The prefetched
+// state is refreshed only when the new object can affect it: when it lands
+// closer than the farthest prefetched object or becomes a Voronoi neighbor
+// of a prefetched object (otherwise neither R nor I(R) changes).
+func (q *PlaneQuery) InsertObject(p geom.Point) (int, error) {
+	id, err := q.ix.Insert(p)
+	if err != nil {
+		return -1, err
+	}
+	if !q.init {
+		return id, nil
+	}
+	if q.affectsState(id, p) {
+		if err := q.recompute(q.lastPos); err != nil {
+			return id, err
+		}
+	}
+	return id, nil
+}
+
+func (q *PlaneQuery) affectsState(id int, p geom.Point) bool {
+	var maxR float64
+	for _, rid := range q.r {
+		if rid == id {
+			return true
+		}
+		if d := q.lastPos.Dist2(q.ix.Point(rid)); d > maxR {
+			maxR = d
+		}
+	}
+	if q.lastPos.Dist2(p) < maxR {
+		return true
+	}
+	nb, err := q.ix.Neighbors(id)
+	if err != nil {
+		return true // be conservative
+	}
+	inR := make(map[int]bool, len(q.r))
+	for _, rid := range q.r {
+		inR[rid] = true
+	}
+	for _, u := range nb {
+		if inR[u] {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveObject deletes a data object during query maintenance. State is
+// refreshed when the object participated in the prefetched set or its
+// influential neighbors; otherwise the removal cannot change R or I(R).
+func (q *PlaneQuery) RemoveObject(id int) error {
+	inState := false
+	for _, rid := range q.r {
+		if rid == id {
+			inState = true
+			break
+		}
+	}
+	if !inState {
+		for _, xid := range q.ins {
+			if xid == id {
+				inState = true
+				break
+			}
+		}
+	}
+	if err := q.ix.Remove(id); err != nil {
+		return err
+	}
+	if q.init && inState {
+		return q.recompute(q.lastPos)
+	}
+	return nil
+}

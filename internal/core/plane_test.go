@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/vortree"
+)
+
+var testBounds = geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 1000))
+
+func randomPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	return pts
+}
+
+func buildIndex(t testing.TB, n int, seed int64) *vortree.Index {
+	t.Helper()
+	ix, _, err := vortree.Build(testBounds, 16, randomPoints(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// checkKNNAgainstBrute compares a result set with ground truth by distance
+// multiset, which tolerates ties between equally distant objects.
+func checkKNNAgainstBrute(t *testing.T, ix *vortree.Index, p geom.Point, got []int, k int) {
+	t.Helper()
+	ids := ix.Diagram().IDs()
+	dists := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		dists = append(dists, p.Dist2(ix.Point(id)))
+	}
+	sort.Float64s(dists)
+	if len(got) != k {
+		t.Fatalf("result has %d ids, want %d", len(got), k)
+	}
+	gd := make([]float64, 0, k)
+	seen := make(map[int]bool)
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate id %d in result %v", id, got)
+		}
+		seen[id] = true
+		gd = append(gd, p.Dist2(ix.Point(id)))
+	}
+	sort.Float64s(gd)
+	for i := 0; i < k; i++ {
+		if math.Abs(gd[i]-dists[i]) > 1e-9*(dists[i]+1) {
+			t.Fatalf("kNN distance[%d] = %g, want %g (result %v)", i, gd[i], dists[i], got)
+		}
+	}
+}
+
+// walkTrajectory yields random-waypoint positions inside bounds.
+func walkTrajectory(steps int, stepLen float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pos := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	target := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	out := make([]geom.Point, 0, steps)
+	for len(out) < steps {
+		d := target.Sub(pos)
+		n := d.Norm()
+		if n < stepLen {
+			target = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			continue
+		}
+		pos = pos.Add(d.Scale(stepLen / n))
+		out = append(out, pos)
+	}
+	return out
+}
+
+func TestNewPlaneQueryValidation(t *testing.T) {
+	ix := buildIndex(t, 10, 1)
+	if _, err := NewPlaneQuery(ix, 0, 1.5); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := NewPlaneQuery(ix, 3, 0.5); err == nil {
+		t.Error("expected error for rho<1")
+	}
+	q, err := NewPlaneQuery(ix, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Update(geom.Pt(1, 1)); err == nil {
+		t.Error("expected error for k > n at first update")
+	}
+}
+
+func TestPlaneQueryEmptyIndex(t *testing.T) {
+	ix := vortree.New(testBounds, 16)
+	q, err := NewPlaneQuery(ix, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Update(geom.Pt(1, 1)); err == nil {
+		t.Error("expected error on empty index")
+	}
+}
+
+func TestPlaneQueryCorrectAlongTrajectory(t *testing.T) {
+	ix := buildIndex(t, 500, 2)
+	for _, k := range []int{1, 3, 8} {
+		for _, rho := range []float64{1.0, 1.6, 2.5} {
+			q, err := NewPlaneQuery(ix, k, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range walkTrajectory(400, 2.5, int64(k*100)+int64(rho*10)) {
+				got, err := q.Update(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkKNNAgainstBrute(t, ix, p, got, k)
+			}
+		}
+	}
+}
+
+func TestPlaneQueryRecomputesRarely(t *testing.T) {
+	ix := buildIndex(t, 2000, 3)
+	q, err := NewPlaneQuery(ix, 5, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range walkTrajectory(1000, 1.5, 4) {
+		if _, err := q.Update(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := q.Metrics()
+	if m.Timestamps != 1000 {
+		t.Fatalf("Timestamps = %d, want 1000", m.Timestamps)
+	}
+	if m.Recomputations >= m.Timestamps/5 {
+		t.Errorf("INS recomputed too often: %d times in %d steps", m.Recomputations, m.Timestamps)
+	}
+	if m.Recomputations < 1 {
+		t.Error("expected at least the initial recomputation")
+	}
+	if m.Invalidations < m.Recomputations-1 {
+		t.Errorf("invalidations (%d) below recomputations (%d)", m.Invalidations, m.Recomputations)
+	}
+}
+
+func TestPrefetchReducesRecomputations(t *testing.T) {
+	ix := buildIndex(t, 2000, 5)
+	traj := walkTrajectory(1500, 2, 6)
+	recomps := make(map[float64]int)
+	for _, rho := range []float64{1.0, 2.0} {
+		q, err := NewPlaneQuery(ix, 5, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range traj {
+			if _, err := q.Update(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recomps[rho] = q.Metrics().Recomputations
+	}
+	if recomps[2.0] > recomps[1.0] {
+		t.Errorf("rho=2 recomputed %d times, rho=1 %d times; prefetch should not hurt",
+			recomps[2.0], recomps[1.0])
+	}
+}
+
+func TestPlaneQueryStationaryNeverRecomputes(t *testing.T) {
+	ix := buildIndex(t, 300, 7)
+	q, err := NewPlaneQuery(ix, 4, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geom.Pt(400, 400)
+	for i := 0; i < 50; i++ {
+		if _, err := q.Update(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.Metrics().Recomputations; got != 1 {
+		t.Errorf("stationary query recomputed %d times, want 1", got)
+	}
+	if got := q.Metrics().Invalidations; got != 0 {
+		t.Errorf("stationary query invalidated %d times, want 0", got)
+	}
+}
+
+func TestInfluenceSetDisjointFromKNN(t *testing.T) {
+	ix := buildIndex(t, 400, 8)
+	q, err := NewPlaneQuery(ix, 6, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range walkTrajectory(100, 3, 9) {
+		if _, err := q.Update(p); err != nil {
+			t.Fatal(err)
+		}
+		inKNN := make(map[int]bool)
+		for _, id := range q.Current() {
+			inKNN[id] = true
+		}
+		for _, id := range q.InfluenceSet() {
+			if inKNN[id] {
+				t.Fatalf("influence set member %d is in the kNN set", id)
+			}
+		}
+	}
+}
+
+func TestInsertObjectKeepsResultCorrect(t *testing.T) {
+	ix := buildIndex(t, 300, 10)
+	q, err := NewPlaneQuery(ix, 5, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	traj := walkTrajectory(300, 2, 12)
+	for i, p := range traj {
+		got, err := q.Update(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkKNNAgainstBrute(t, ix, p, got, 5)
+		if i%10 == 5 {
+			// Insert sometimes right next to the query, sometimes far away.
+			var np geom.Point
+			if rng.Intn(2) == 0 {
+				np = geom.Pt(p.X+rng.Float64()*20-10, p.Y+rng.Float64()*20-10)
+				np.X = math.Min(math.Max(np.X, 0), 1000)
+				np.Y = math.Min(math.Max(np.Y, 0), 1000)
+			} else {
+				np = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			}
+			if _, err := q.InsertObject(np); err != nil {
+				t.Fatal(err)
+			}
+			// Result must already reflect the insert at the same position.
+			got, err := q.Update(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkKNNAgainstBrute(t, ix, p, got, 5)
+		}
+	}
+}
+
+func TestRemoveObjectKeepsResultCorrect(t *testing.T) {
+	ix := buildIndex(t, 400, 13)
+	q, err := NewPlaneQuery(ix, 5, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	traj := walkTrajectory(300, 2, 15)
+	for i, p := range traj {
+		got, err := q.Update(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkKNNAgainstBrute(t, ix, p, got, 5)
+		if i%10 == 5 && ix.Len() > 50 {
+			// Remove sometimes a current kNN member (worst case), sometimes
+			// a random object.
+			var victim int
+			if rng.Intn(2) == 0 {
+				victim = q.Current()[rng.Intn(len(q.Current()))]
+			} else {
+				ids := ix.Diagram().IDs()
+				victim = ids[rng.Intn(len(ids))]
+			}
+			if err := q.RemoveObject(victim); err != nil {
+				t.Fatal(err)
+			}
+			got, err := q.Update(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkKNNAgainstBrute(t, ix, p, got, 5)
+		}
+	}
+}
+
+func TestValidationIsSound(t *testing.T) {
+	// Whenever a step does not recompute and does not re-rank, the kNN set
+	// must still be the true kNN set — checked exhaustively against brute
+	// force on a small dataset where invalidations are frequent.
+	ix := buildIndex(t, 60, 16)
+	q, err := NewPlaneQuery(ix, 3, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range walkTrajectory(500, 5, 17) {
+		got, err := q.Update(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkKNNAgainstBrute(t, ix, p, got, 3)
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	ix := buildIndex(t, 200, 18)
+	q, _ := NewPlaneQuery(ix, 4, 1.5)
+	for _, p := range walkTrajectory(50, 4, 19) {
+		if _, err := q.Update(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := q.Metrics()
+	if m.Timestamps != 50 || m.Validations != 49 {
+		t.Errorf("Timestamps=%d Validations=%d, want 50/49", m.Timestamps, m.Validations)
+	}
+	if m.DistanceCalcs == 0 || m.ObjectsShipped == 0 {
+		t.Errorf("cost counters empty: %+v", *m)
+	}
+	per := m.PerTimestamp()
+	if per.Recomputations <= 0 {
+		t.Error("per-step recomputation rate should be positive")
+	}
+}

@@ -1,0 +1,379 @@
+// Package delaunay implements an incremental Delaunay triangulation of
+// points in the plane. The order-1 Voronoi diagram used by the INS
+// algorithm is the dual of this triangulation: two data objects are Voronoi
+// neighbors exactly when they share a Delaunay edge.
+//
+// The implementation is the classic flip-based incremental algorithm with
+// walk point location: each insertion locates the containing triangle by
+// walking across edges, splits it (or the two triangles sharing an edge for
+// on-edge insertions) and restores the empty-circumcircle property with
+// Lawson flips. All geometric decisions go through the exact predicates in
+// package geom, so degenerate inputs (collinear and cocircular points) are
+// handled correctly. Vertex deletion retriangulates the star polygon of the
+// removed vertex with Delaunay ear clipping.
+package delaunay
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// ErrOutOfBounds is returned by Insert for points outside the bounding box
+// the triangulation was created with.
+var ErrOutOfBounds = errors.New("delaunay: point outside triangulation bounds")
+
+// ErrDuplicate is returned by Insert for a point that exactly coincides
+// with an existing vertex. The existing vertex index is still returned.
+var ErrDuplicate = errors.New("delaunay: duplicate point")
+
+// noTri marks a missing triangle neighbor (boundary of the super-triangle).
+const noTri = -1
+
+// triangle is one face of the triangulation. Vertices are indices into
+// Triangulation.pts in counter-clockwise order; n[i] is the face across
+// edge (v[i], v[(i+1)%3]) or noTri.
+type triangle struct {
+	v     [3]int32
+	n     [3]int32
+	alive bool
+}
+
+// Triangulation is an incremental Delaunay triangulation. The zero value is
+// not usable; call New.
+type Triangulation struct {
+	pts    []geom.Point       // vertex 0..2 are the super-triangle corners
+	tris   []triangle         // faces, including dead (recycled) slots
+	free   []int32            // recycled face slots
+	index  map[geom.Point]int // exact-duplicate detection: point -> vertex id
+	bounds geom.Rect          // accepted insertion region
+	walk   int32              // recently touched face: walk start hint
+	nLive  int                // number of live (non-deleted) input vertices
+	dead   map[int]bool       // deleted vertex ids
+	vface  []int32            // some live face incident to each vertex
+}
+
+// New returns an empty triangulation accepting points inside bounds. The
+// super-triangle is placed far enough outside bounds that it never disturbs
+// Delaunay edges between real points.
+func New(bounds geom.Rect) *Triangulation {
+	span := bounds.Width() + bounds.Height()
+	if span <= 0 {
+		span = 1
+	}
+	m := 1e5*span + 1e7
+	c := bounds.Center()
+	t := &Triangulation{
+		pts: []geom.Point{
+			{X: c.X - 3*m, Y: c.Y - m},
+			{X: c.X + 3*m, Y: c.Y - m},
+			{X: c.X, Y: c.Y + 3*m},
+		},
+		index:  make(map[geom.Point]int),
+		bounds: bounds,
+		dead:   make(map[int]bool),
+	}
+	t.tris = []triangle{{v: [3]int32{0, 1, 2}, n: [3]int32{noTri, noTri, noTri}, alive: true}}
+	t.vface = []int32{0, 0, 0}
+	t.walk = 0
+	return t
+}
+
+// Len returns the number of live input vertices in the triangulation.
+func (t *Triangulation) Len() int { return t.nLive }
+
+// Bounds returns the insertion region the triangulation was created with.
+func (t *Triangulation) Bounds() geom.Rect { return t.bounds }
+
+// Point returns the coordinates of vertex id (an index returned by Insert).
+func (t *Triangulation) Point(id int) geom.Point { return t.pts[id+3] }
+
+// isSuper reports whether the internal vertex index is a super-triangle corner.
+func isSuper(v int32) bool { return v < 3 }
+
+// Insert adds p and returns its vertex id. Inserting an exact duplicate
+// returns the existing id together with ErrDuplicate; points outside the
+// triangulation bounds return ErrOutOfBounds.
+func (t *Triangulation) Insert(p geom.Point) (int, error) {
+	if !t.bounds.Contains(p) {
+		return -1, fmt.Errorf("%w: %v not in %v", ErrOutOfBounds, p, t.bounds)
+	}
+	if id, ok := t.index[p]; ok {
+		return id, ErrDuplicate
+	}
+	vi := int32(len(t.pts))
+	t.pts = append(t.pts, p)
+	t.vface = append(t.vface, noTri)
+	id := int(vi) - 3
+	t.index[p] = id
+	t.nLive++
+
+	ti, onEdge := t.locate(p)
+	if onEdge >= 0 {
+		t.insertOnEdge(ti, onEdge, vi)
+	} else {
+		t.insertInFace(ti, vi)
+	}
+	return id, nil
+}
+
+// locate walks from the hint triangle to the face containing p. It returns
+// the face index and, when p lies exactly on one of its edges, that edge's
+// index (otherwise -1).
+func (t *Triangulation) locate(p geom.Point) (face int32, onEdge int) {
+	f := t.walk
+	if f < 0 || int(f) >= len(t.tris) || !t.tris[f].alive {
+		f = t.anyAlive()
+	}
+	// The walk is guaranteed to terminate with exact predicates, but guard
+	// against cycles anyway and fall back to a linear scan.
+	for steps := 0; steps < 4*len(t.tris)+16; steps++ {
+		tr := &t.tris[f]
+		on := -1
+		moved := false
+		for i := 0; i < 3; i++ {
+			a, b := t.pts[tr.v[i]], t.pts[tr.v[(i+1)%3]]
+			switch geom.Orient(a, b, p) {
+			case geom.Clockwise:
+				if tr.n[i] == noTri {
+					// Outside the super-triangle: cannot happen for
+					// in-bounds points, but be defensive.
+					break
+				}
+				f = tr.n[i]
+				moved = true
+			case geom.Collinear:
+				on = i
+			}
+			if moved {
+				break
+			}
+		}
+		if moved {
+			continue
+		}
+		t.walk = f
+		return f, on
+	}
+	// Fallback: exhaustive scan (unreachable in practice).
+	for i := range t.tris {
+		if !t.tris[i].alive {
+			continue
+		}
+		tr := &t.tris[i]
+		inside, on := true, -1
+		for e := 0; e < 3; e++ {
+			a, b := t.pts[tr.v[e]], t.pts[tr.v[(e+1)%3]]
+			switch geom.Orient(a, b, p) {
+			case geom.Clockwise:
+				inside = false
+			case geom.Collinear:
+				on = e
+			}
+		}
+		if inside {
+			t.walk = int32(i)
+			return int32(i), on
+		}
+	}
+	panic("delaunay: locate failed; point outside super-triangle")
+}
+
+func (t *Triangulation) anyAlive() int32 {
+	for i := len(t.tris) - 1; i >= 0; i-- {
+		if t.tris[i].alive {
+			return int32(i)
+		}
+	}
+	panic("delaunay: no live triangles")
+}
+
+// newTri allocates (or recycles) a face slot and refreshes the incident
+// face hints of its three vertices.
+func (t *Triangulation) newTri(v0, v1, v2, n0, n1, n2 int32) int32 {
+	tr := triangle{v: [3]int32{v0, v1, v2}, n: [3]int32{n0, n1, n2}, alive: true}
+	var id int32
+	if k := len(t.free); k > 0 {
+		id = t.free[k-1]
+		t.free = t.free[:k-1]
+		t.tris[id] = tr
+	} else {
+		t.tris = append(t.tris, tr)
+		id = int32(len(t.tris) - 1)
+	}
+	t.vface[v0], t.vface[v1], t.vface[v2] = id, id, id
+	return id
+}
+
+func (t *Triangulation) killTri(id int32) {
+	t.tris[id].alive = false
+	t.free = append(t.free, id)
+}
+
+// replaceNeighbor updates face f (if any) so that its pointer to old points
+// to new instead.
+func (t *Triangulation) replaceNeighbor(f, old, new int32) {
+	if f == noTri {
+		return
+	}
+	tr := &t.tris[f]
+	for i := 0; i < 3; i++ {
+		if tr.n[i] == old {
+			tr.n[i] = new
+			return
+		}
+	}
+	panic("delaunay: inconsistent adjacency")
+}
+
+// insertInFace splits face ti = (a,b,c) into (a,b,p), (b,c,p), (c,a,p).
+func (t *Triangulation) insertInFace(ti, p int32) {
+	tr := t.tris[ti]
+	a, b, c := tr.v[0], tr.v[1], tr.v[2]
+	na, nb, nc := tr.n[0], tr.n[1], tr.n[2]
+	t.killTri(ti)
+
+	t0 := t.newTri(a, b, p, na, noTri, noTri)
+	t1 := t.newTri(b, c, p, nb, noTri, noTri)
+	t2 := t.newTri(c, a, p, nc, noTri, noTri)
+	t.tris[t0].n[1], t.tris[t0].n[2] = t1, t2
+	t.tris[t1].n[1], t.tris[t1].n[2] = t2, t0
+	t.tris[t2].n[1], t.tris[t2].n[2] = t0, t1
+	t.replaceNeighbor(na, ti, t0)
+	t.replaceNeighbor(nb, ti, t1)
+	t.replaceNeighbor(nc, ti, t2)
+	t.walk = t0
+
+	t.legalize(t0, 0, p)
+	t.legalize(t1, 0, p)
+	t.legalize(t2, 0, p)
+}
+
+// insertOnEdge splits the two faces sharing edge e of face ti into four.
+// If the edge is on the hull of the super-triangle (no twin), it splits
+// only ti into two faces.
+func (t *Triangulation) insertOnEdge(ti int32, e int, p int32) {
+	tr := t.tris[ti]
+	// Relabel so the split edge is (u, w) with apex c.
+	u, w, c := tr.v[e], tr.v[(e+1)%3], tr.v[(e+2)%3]
+	nuw, nwc, ncu := tr.n[e], tr.n[(e+1)%3], tr.n[(e+2)%3]
+
+	if nuw == noTri {
+		t.killTri(ti)
+		t0 := t.newTri(u, p, c, noTri, noTri, ncu)
+		t1 := t.newTri(p, w, c, noTri, nwc, noTri)
+		t.tris[t0].n[1] = t1
+		t.tris[t1].n[2] = t0
+		t.replaceNeighbor(nwc, ti, t1)
+		t.replaceNeighbor(ncu, ti, t0)
+		t.walk = t0
+		t.legalize(t0, 2, p)
+		t.legalize(t1, 1, p)
+		return
+	}
+
+	// Twin face o shares directed edge (w, u); find its apex d.
+	o := nuw
+	otr := t.tris[o]
+	var j int
+	for j = 0; j < 3; j++ {
+		if otr.v[j] == w && otr.v[(j+1)%3] == u {
+			break
+		}
+	}
+	if j == 3 {
+		panic("delaunay: twin edge not found")
+	}
+	d := otr.v[(j+2)%3]
+	nud, ndw := otr.n[(j+1)%3], otr.n[(j+2)%3]
+
+	t.killTri(ti)
+	t.killTri(o)
+	// Four new faces around p: (u,p,c), (p,w,c), (w,p,d), (p,u,d).
+	t0 := t.newTri(u, p, c, noTri, noTri, ncu)
+	t1 := t.newTri(p, w, c, noTri, nwc, noTri)
+	t2 := t.newTri(w, p, d, noTri, noTri, ndw)
+	t3 := t.newTri(p, u, d, noTri, nud, noTri)
+	t.tris[t0].n[0], t.tris[t0].n[1] = t3, t1
+	t.tris[t1].n[0], t.tris[t1].n[2] = t2, t0
+	t.tris[t2].n[0], t.tris[t2].n[1] = t1, t3
+	t.tris[t3].n[0], t.tris[t3].n[2] = t0, t2
+	t.replaceNeighbor(ncu, ti, t0)
+	t.replaceNeighbor(nwc, ti, t1)
+	t.replaceNeighbor(ndw, o, t2)
+	t.replaceNeighbor(nud, o, t3)
+	t.walk = t0
+
+	t.legalize(t0, 2, p)
+	t.legalize(t1, 1, p)
+	t.legalize(t2, 2, p)
+	t.legalize(t3, 1, p)
+}
+
+// legalize checks the edge e of face f against the Delaunay criterion with
+// respect to the newly inserted vertex p (which is a vertex of f not on
+// edge e) and flips recursively while violated.
+func (t *Triangulation) legalize(f int32, e int, p int32) {
+	tr := &t.tris[f]
+	o := tr.n[e]
+	if o == noTri {
+		return
+	}
+	a, b := tr.v[e], tr.v[(e+1)%3]
+	otr := &t.tris[o]
+	var j int
+	for j = 0; j < 3; j++ {
+		if otr.v[j] == b && otr.v[(j+1)%3] == a {
+			break
+		}
+	}
+	if j == 3 {
+		panic("delaunay: twin edge not found in legalize")
+	}
+	d := otr.v[(j+2)%3]
+
+	if !t.shouldFlip(tr.v[0], tr.v[1], tr.v[2], d) {
+		return
+	}
+
+	// Flip edge (a,b) shared by f=(a,b,c) and o=(b,a,d) into (c,d).
+	c := tr.v[(e+2)%3]
+	nbc, nca := tr.n[(e+1)%3], tr.n[(e+2)%3]
+	nad, ndb := otr.n[(j+1)%3], otr.n[(j+2)%3]
+
+	// Reuse slots: f becomes (a,d,c), o becomes (d,b,c).
+	t.tris[f] = triangle{v: [3]int32{a, d, c}, n: [3]int32{nad, o, nca}, alive: true}
+	t.tris[o] = triangle{v: [3]int32{d, b, c}, n: [3]int32{ndb, nbc, f}, alive: true}
+	t.vface[a], t.vface[d], t.vface[c] = f, f, f
+	t.vface[b] = o
+	t.replaceNeighbor(nbc, f, o)
+	t.replaceNeighbor(nad, o, f)
+
+	// The new edges opposite p must be re-checked. p is c in both faces.
+	t.legalize(f, 0, p)
+	t.legalize(o, 0, p)
+}
+
+// shouldFlip reports whether vertex d violates the (constrained) Delaunay
+// criterion for the CCW face (a,b,c). Super-triangle corners are treated as
+// points at infinity: an edge between two real vertices is never flipped
+// away in favor of a super vertex, and edges incident to super vertices are
+// flipped whenever the opposing real vertex "sees" the edge.
+func (t *Triangulation) shouldFlip(a, b, c, d int32) bool {
+	supers := 0
+	for _, v := range [4]int32{a, b, c, d} {
+		if isSuper(v) {
+			supers++
+		}
+	}
+	switch {
+	case supers == 0:
+		return geom.InCircle(t.pts[a], t.pts[b], t.pts[c], t.pts[d]) > 0
+	default:
+		// With any super vertex involved, fall back to the in-circle test
+		// as well: the super corners are far enough away that the float
+		// evaluation of the predicate gives the at-infinity answer.
+		return geom.InCircle(t.pts[a], t.pts[b], t.pts[c], t.pts[d]) > 0
+	}
+}

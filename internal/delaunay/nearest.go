@@ -1,0 +1,56 @@
+package delaunay
+
+import "repro/internal/geom"
+
+// Nearest returns the id of the live vertex closest to p, or -1 when the
+// triangulation is empty. It locates the face containing p with the walk
+// and then performs greedy descent on the Delaunay graph, which is
+// guaranteed to reach the global nearest neighbor because the Delaunay
+// triangulation contains the nearest-neighbor graph.
+func (t *Triangulation) Nearest(p geom.Point) int {
+	if t.nLive == 0 {
+		return -1
+	}
+	// Seed with any real corner reachable from the located face; fall back
+	// to scanning for one if the face touches only super vertices.
+	var seed int32 = -1
+	if t.bounds.Contains(p) {
+		f, _ := t.locate(p)
+		for _, v := range t.tris[f].v {
+			if !isSuper(v) {
+				seed = v
+				break
+			}
+		}
+	}
+	if seed == -1 {
+		for i := int32(3); int(i) < len(t.pts); i++ {
+			if !t.dead[int(i)-3] {
+				seed = i
+				break
+			}
+		}
+	}
+	if seed == -1 {
+		return -1
+	}
+
+	cur := seed
+	best := p.Dist2(t.pts[cur])
+	for {
+		improved := false
+		_, ring := t.ringAround(cur)
+		for _, v := range ring {
+			if isSuper(v) {
+				continue
+			}
+			if d := p.Dist2(t.pts[v]); d < best {
+				best, cur = d, v
+				improved = true
+			}
+		}
+		if !improved {
+			return int(cur) - 3
+		}
+	}
+}

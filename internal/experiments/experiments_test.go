@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment suite at a heavy scale divisor doubles as an integration
+// test: every experiment must run end to end and produce coherent rows.
+
+func TestE1(t *testing.T) {
+	rows, err := E1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// The fixture must reproduce the paper's sets exactly.
+	if !strings.Contains(rows[0].Extra, "MIS=[3 5 10 12]") {
+		t.Errorf("E1 row does not reproduce Figure 1's MIS: %s", rows[0].Extra)
+	}
+	if !strings.Contains(rows[0].Extra, "3NN=[7 6 4]") && !strings.Contains(rows[0].Extra, "3NN=[4 6 7]") {
+		t.Errorf("E1 row does not reproduce Figure 1's 3NN: %s", rows[0].Extra)
+	}
+}
+
+func TestE2(t *testing.T) {
+	rows, err := E2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !strings.Contains(rows[0].Extra, "INS=") {
+		t.Fatalf("unexpected E2 rows: %+v", rows)
+	}
+}
+
+func TestE3(t *testing.T) {
+	rows, err := E3(Config{Scale: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Steps == 0 {
+		t.Fatalf("unexpected E3 rows: %+v", rows)
+	}
+}
+
+func TestE4E5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	rows, err := E4E5(Config{Scale: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find ins and naive at k=8 and check the paper's headline shape.
+	recomp := map[string]int{}
+	for _, r := range rows {
+		if r.Param == "k=8" {
+			recomp[r.Processor] = r.Recomps
+		}
+	}
+	if recomp["ins"] >= recomp["naive"] {
+		t.Errorf("ins recomputed %d, naive %d; INS must recompute less", recomp["ins"], recomp["naive"])
+	}
+	if recomp["naive"] == 0 {
+		t.Error("naive recomputations missing")
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	rows, err := E6(Config{Scale: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	// Larger rho must not increase recomputations.
+	if rows[len(rows)-1].Recomps > rows[0].Recomps {
+		t.Errorf("rho=3.0 recomputed %d > rho=1.0 %d", rows[len(rows)-1].Recomps, rows[0].Recomps)
+	}
+}
+
+func TestE8E9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	rows, err := E8E9(Config{Scale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProc := map[string]Row{}
+	for _, r := range rows {
+		if r.Param == "k=4" {
+			byProc[r.Processor] = r
+		}
+	}
+	ins, ok1 := byProc["ins-network"]
+	naive, ok2 := byProc["naive-network"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing processors in rows: %+v", rows)
+	}
+	if ins.Recomps >= naive.Recomps {
+		t.Errorf("network INS recomputed %d, naive %d", ins.Recomps, naive.Recomps)
+	}
+}
+
+func TestE11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	rows, err := E11(Config{Scale: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	if _, err := AblationRerank(Config{Scale: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationVorTree(Config{Scale: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationOrderKConstruction(Config{Scale: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{Experiment: "E4", Processor: "ins", Param: "k=8", Steps: 100, Recomps: 7}
+	s := r.String()
+	for _, want := range []string{"E4", "ins", "k=8", "recomp=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("row %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestClipMonotoneArea checks that clipping never grows a polygon and that
+// clipping by a half-plane containing the polygon is the identity.
+func TestClipMonotoneArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	square := RectPolygon(NewRect(Pt(0, 0), Pt(100, 100)))
+	for i := 0; i < 200; i++ {
+		a := Pt(rng.Float64()*100, rng.Float64()*100)
+		b := Pt(rng.Float64()*100, rng.Float64()*100)
+		if a.Eq(b) {
+			continue
+		}
+		h := BisectorHalfPlane(a, b)
+		clipped := square.ClipHalfPlane(h)
+		if got, limit := clipped.Area(), square.Area(); got > limit+1e-9 {
+			t.Fatalf("clip grew area: %g > %g", got, limit)
+		}
+		// Clipping twice by the same half-plane is idempotent.
+		again := clipped.ClipHalfPlane(h)
+		if math.Abs(again.Area()-clipped.Area()) > 1e-9*(clipped.Area()+1) {
+			t.Fatalf("clip not idempotent: %g vs %g", again.Area(), clipped.Area())
+		}
+	}
+}
+
+// TestClipComplementary checks that a half-plane and its complement split
+// the polygon's area exactly.
+func TestClipComplementary(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	square := RectPolygon(NewRect(Pt(0, 0), Pt(100, 100)))
+	for i := 0; i < 200; i++ {
+		a := Pt(rng.Float64()*100, rng.Float64()*100)
+		b := Pt(rng.Float64()*100, rng.Float64()*100)
+		if a.Eq(b) {
+			continue
+		}
+		h := BisectorHalfPlane(a, b)
+		comp := HalfPlane{N: h.N.Scale(-1), C: -h.C}
+		a1 := square.ClipHalfPlane(h).Area()
+		a2 := square.ClipHalfPlane(comp).Area()
+		if math.Abs(a1+a2-square.Area()) > 1e-6*square.Area() {
+			t.Fatalf("complementary clips cover %g of %g", a1+a2, square.Area())
+		}
+	}
+}

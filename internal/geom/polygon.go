@@ -1,0 +1,170 @@
+package geom
+
+import "math"
+
+// HalfPlane is the set of points p satisfying N·p <= C, i.e. the closed
+// region on one side of the line N·p = C. The INS layer uses half-planes to
+// build (order-k) Voronoi cells as intersections of perpendicular-bisector
+// half-planes.
+type HalfPlane struct {
+	N Point   // outward line normal
+	C float64 // offset: the half-plane is {p : N·p <= C}
+}
+
+// Contains reports whether p satisfies the half-plane inequality, with a
+// small relative tolerance so that points numerically on the boundary are
+// considered inside.
+func (h HalfPlane) Contains(p Point) bool {
+	v := h.N.Dot(p) - h.C
+	tol := 1e-9 * (math.Abs(h.N.Dot(p)) + math.Abs(h.C) + 1)
+	return v <= tol
+}
+
+// BisectorHalfPlane returns the half-plane of points at least as close to
+// a as to b: {p : d(p,a) <= d(p,b)}. It is the building block of Voronoi
+// cells: V(a) = ∩_{b≠a} BisectorHalfPlane(a, b).
+func BisectorHalfPlane(a, b Point) HalfPlane {
+	// d(p,a)^2 <= d(p,b)^2  ⇔  2(b-a)·p <= |b|^2 - |a|^2.
+	n := b.Sub(a).Scale(2)
+	c := b.Dot(b) - a.Dot(a)
+	return HalfPlane{N: n, C: c}
+}
+
+// Polygon is a simple polygon stored as a vertex loop. The Voronoi layer
+// produces convex, counter-clockwise polygons; the operations below assume
+// convexity where documented.
+type Polygon []Point
+
+// RectPolygon returns r's boundary as a counter-clockwise polygon.
+func RectPolygon(r Rect) Polygon {
+	return Polygon{
+		{r.Min.X, r.Min.Y},
+		{r.Max.X, r.Min.Y},
+		{r.Max.X, r.Max.Y},
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// ClipHalfPlane returns the part of the convex polygon inside the
+// half-plane, using one Sutherland–Hodgman pass. The result is empty when
+// the polygon lies entirely outside.
+func (poly Polygon) ClipHalfPlane(h HalfPlane) Polygon {
+	if len(poly) == 0 {
+		return nil
+	}
+	out := make(Polygon, 0, len(poly)+2)
+	val := func(p Point) float64 { return h.N.Dot(p) - h.C }
+	prev := poly[len(poly)-1]
+	prevVal := val(prev)
+	for _, cur := range poly {
+		curVal := val(cur)
+		if prevVal <= 0 { // prev inside
+			out = append(out, prev)
+			if curVal > 0 { // leaving
+				out = append(out, intersectAt(prev, cur, prevVal, curVal))
+			}
+		} else if curVal <= 0 { // entering
+			out = append(out, intersectAt(prev, cur, prevVal, curVal))
+		}
+		prev, prevVal = cur, curVal
+	}
+	return out
+}
+
+// intersectAt returns the point on segment (a,b) where the half-plane value
+// interpolates to zero. va and vb are the values at a and b and must have
+// opposite signs.
+func intersectAt(a, b Point, va, vb float64) Point {
+	t := va / (va - vb)
+	return Lerp(a, b, t)
+}
+
+// Contains reports whether p lies inside or on the boundary of the convex
+// counter-clockwise polygon.
+func (poly Polygon) Contains(p Point) bool {
+	if len(poly) < 3 {
+		return false
+	}
+	for i, a := range poly {
+		b := poly[(i+1)%len(poly)]
+		if Orient(a, b, p) == Clockwise {
+			return false
+		}
+	}
+	return true
+}
+
+// Area returns the signed area of the polygon (positive when
+// counter-clockwise).
+func (poly Polygon) Area() float64 {
+	var s float64
+	for i, a := range poly {
+		b := poly[(i+1)%len(poly)]
+		s += a.Cross(b)
+	}
+	return s / 2
+}
+
+// Centroid returns the area centroid of the polygon. For degenerate
+// (zero-area) polygons it falls back to the vertex average.
+func (poly Polygon) Centroid() Point {
+	a := poly.Area()
+	if math.Abs(a) < 1e-300 {
+		var c Point
+		for _, p := range poly {
+			c = c.Add(p)
+		}
+		if len(poly) > 0 {
+			c = c.Scale(1 / float64(len(poly)))
+		}
+		return c
+	}
+	var cx, cy float64
+	for i, p := range poly {
+		q := poly[(i+1)%len(poly)]
+		cross := p.Cross(q)
+		cx += (p.X + q.X) * cross
+		cy += (p.Y + q.Y) * cross
+	}
+	return Point{cx / (6 * a), cy / (6 * a)}
+}
+
+// Bounds returns the bounding rectangle of the polygon. It panics on an
+// empty polygon.
+func (poly Polygon) Bounds() Rect { return RectOf(poly...) }
+
+// Dedup returns the polygon with consecutive (near-)duplicate vertices
+// removed. Clipping can produce coincident vertices when a clip line passes
+// exactly through an existing vertex.
+func (poly Polygon) Dedup() Polygon {
+	if len(poly) == 0 {
+		return poly
+	}
+	out := make(Polygon, 0, len(poly))
+	const eps = 1e-12
+	for _, p := range poly {
+		if len(out) > 0 && out[len(out)-1].Dist2(p) < eps {
+			continue
+		}
+		out = append(out, p)
+	}
+	for len(out) > 1 && out[0].Dist2(out[len(out)-1]) < eps {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// IntersectHalfPlanes intersects the bounding rectangle with every
+// half-plane in hs and returns the resulting convex polygon (possibly
+// empty). This is how Voronoi cells and order-k Voronoi cells are
+// materialized.
+func IntersectHalfPlanes(bounds Rect, hs []HalfPlane) Polygon {
+	poly := RectPolygon(bounds)
+	for _, h := range hs {
+		poly = poly.ClipHalfPlane(h)
+		if len(poly) == 0 {
+			return nil
+		}
+	}
+	return poly.Dedup()
+}

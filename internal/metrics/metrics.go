@@ -1,0 +1,72 @@
+// Package metrics defines the cost counters the experiments report. The
+// paper's efficiency argument is about three quantities: how often the
+// result must be recomputed (communication between query client and
+// processor), how much data each recomputation ships, and how much work
+// each per-timestamp validation costs. Counters make those comparable
+// across processors without depending on wall-clock noise.
+package metrics
+
+import "fmt"
+
+// Counters accumulates query-processing costs. The zero value is ready to
+// use.
+type Counters struct {
+	Timestamps      int // location updates processed
+	Validations     int // per-timestamp validity checks performed
+	Invalidations   int // validations that found the kNN set stale
+	Recomputations  int // full server-side recomputations (communication events)
+	ObjectsShipped  int // data objects sent client-ward by recomputations
+	DistanceCalcs   int // point-to-point distance evaluations
+	DijkstraRuns    int // shortest-path searches (road network mode)
+	EdgeRelaxations int // Dijkstra edge relaxations (road network mode)
+	NodeVisits      int // index nodes touched (stand-in for page I/O)
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Timestamps += other.Timestamps
+	c.Validations += other.Validations
+	c.Invalidations += other.Invalidations
+	c.Recomputations += other.Recomputations
+	c.ObjectsShipped += other.ObjectsShipped
+	c.DistanceCalcs += other.DistanceCalcs
+	c.DijkstraRuns += other.DijkstraRuns
+	c.EdgeRelaxations += other.EdgeRelaxations
+	c.NodeVisits += other.NodeVisits
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// PerTimestamp returns r scaled to a per-timestamp average; zero timestamps
+// yields zeros.
+func (c Counters) PerTimestamp() PerStep {
+	if c.Timestamps == 0 {
+		return PerStep{}
+	}
+	n := float64(c.Timestamps)
+	return PerStep{
+		Recomputations: float64(c.Recomputations) / n,
+		ObjectsShipped: float64(c.ObjectsShipped) / n,
+		DistanceCalcs:  float64(c.DistanceCalcs) / n,
+		EdgeRelax:      float64(c.EdgeRelaxations) / n,
+		NodeVisits:     float64(c.NodeVisits) / n,
+	}
+}
+
+// PerStep is Counters averaged over timestamps.
+type PerStep struct {
+	Recomputations float64
+	ObjectsShipped float64
+	DistanceCalcs  float64
+	EdgeRelax      float64
+	NodeVisits     float64
+}
+
+// String implements fmt.Stringer with the fields the experiment tables use.
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"steps=%d validations=%d invalidations=%d recomputations=%d shipped=%d distcalcs=%d dijkstra=%d relax=%d nodevisits=%d",
+		c.Timestamps, c.Validations, c.Invalidations, c.Recomputations,
+		c.ObjectsShipped, c.DistanceCalcs, c.DijkstraRuns, c.EdgeRelaxations, c.NodeVisits)
+}

@@ -1,0 +1,408 @@
+// Package netvor implements the network Voronoi diagram used by Section IV
+// of the paper: data objects sit on road-network vertices, every network
+// vertex is assigned to its nearest object (by network distance), and two
+// objects are network Voronoi neighbors when their cells touch. The package
+// also extracts the Theorem-2 subnetwork — the part of the network covered
+// by the Voronoi cells of a set of objects — on which kNN validation can
+// run instead of the full graph, and provides incremental network
+// expansion (INE-style) kNN from arbitrary on-edge positions.
+package netvor
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/roadnet"
+)
+
+// Diagram is the network Voronoi diagram of a set of sites (vertex ids
+// carrying data objects) over a road network.
+type Diagram struct {
+	g     *roadnet.Graph
+	sites []int
+
+	isSite []bool
+	owner  []int     // nearest site of each vertex (-1 if unreachable)
+	dist   []float64 // distance from each vertex to its owner
+
+	neighbors map[int][]int // site -> sorted neighboring sites
+}
+
+// Build computes the network Voronoi diagram of the given site vertices.
+// Ties in vertex ownership break toward the lower site id, which makes the
+// diagram deterministic; cells are nonempty because every site owns itself.
+func Build(g *roadnet.Graph, sites []int) (*Diagram, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("netvor: no sites")
+	}
+	n := g.NumVertices()
+	d := &Diagram{
+		g:      g,
+		sites:  append([]int(nil), sites...),
+		isSite: make([]bool, n),
+		owner:  make([]int, n),
+		dist:   make([]float64, n),
+	}
+	sort.Ints(d.sites)
+	for _, s := range d.sites {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("netvor: site %d out of range", s)
+		}
+		if d.isSite[s] {
+			return nil, fmt.Errorf("netvor: duplicate site %d", s)
+		}
+		d.isSite[s] = true
+	}
+	for i := range d.owner {
+		d.owner[i] = -1
+		d.dist[i] = math.Inf(1)
+	}
+
+	// Multi-source Dijkstra carrying the owning site with each label.
+	h := &ownerHeap{}
+	for _, s := range d.sites {
+		heap.Push(h, ownerItem{v: s, d: 0, site: s})
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(ownerItem)
+		if it.d > d.dist[it.v] || (it.d == d.dist[it.v] && d.owner[it.v] != -1 && d.owner[it.v] <= it.site) {
+			continue
+		}
+		d.dist[it.v] = it.d
+		d.owner[it.v] = it.site
+		for _, u := range d.g.AdjacentVertices(it.v) {
+			w, _ := d.g.EdgeWeight(it.v, u)
+			nd := it.d + w
+			if nd < d.dist[u] || (nd == d.dist[u] && it.site < d.owner[u]) {
+				heap.Push(h, ownerItem{v: u, d: nd, site: it.site})
+			}
+		}
+	}
+
+	// Voronoi adjacency: two cells touch when some edge has endpoints with
+	// different owners (the boundary point lies on that edge).
+	adj := make(map[int]map[int]bool, len(d.sites))
+	for _, s := range d.sites {
+		adj[s] = make(map[int]bool)
+	}
+	g.Edges(func(u, v int, w float64) {
+		a, b := d.owner[u], d.owner[v]
+		if a != b && a != -1 && b != -1 {
+			adj[a][b] = true
+			adj[b][a] = true
+		}
+	})
+	d.neighbors = make(map[int][]int, len(d.sites))
+	for s, m := range adj {
+		ns := make([]int, 0, len(m))
+		for u := range m {
+			ns = append(ns, u)
+		}
+		sort.Ints(ns)
+		d.neighbors[s] = ns
+	}
+	return d, nil
+}
+
+// ownerItem is a Dijkstra label carrying the site that would own the
+// vertex if this label wins.
+type ownerItem struct {
+	v    int
+	d    float64
+	site int
+}
+
+type ownerHeap []ownerItem
+
+func (h ownerHeap) Len() int { return len(h) }
+func (h ownerHeap) Less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	return h[i].site < h[j].site
+}
+func (h ownerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *ownerHeap) Push(x any)   { *h = append(*h, x.(ownerItem)) }
+func (h *ownerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Graph returns the underlying road network.
+func (d *Diagram) Graph() *roadnet.Graph { return d.g }
+
+// Sites returns the sorted site vertex ids.
+func (d *Diagram) Sites() []int { return d.sites }
+
+// IsSite reports whether vertex v carries a data object.
+func (d *Diagram) IsSite(v int) bool { return v >= 0 && v < len(d.isSite) && d.isSite[v] }
+
+// Owner returns the site owning vertex v and the network distance to it.
+func (d *Diagram) Owner(v int) (site int, dist float64) { return d.owner[v], d.dist[v] }
+
+// Neighbors returns the network Voronoi neighbor set of site s (Definition
+// 3 transplanted to road networks), sorted by id.
+func (d *Diagram) Neighbors(s int) ([]int, error) {
+	ns, ok := d.neighbors[s]
+	if !ok {
+		return nil, fmt.Errorf("netvor: %d is not a site", s)
+	}
+	return ns, nil
+}
+
+// INS returns the influential neighbor set I(knn) of Definition 4 in the
+// network setting: the union of the network Voronoi neighbor sets of the
+// sites in knn, minus knn. Sorted by id.
+func (d *Diagram) INS(knn []int) ([]int, error) {
+	inKNN := make(map[int]bool, len(knn))
+	for _, s := range knn {
+		inKNN[s] = true
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for _, s := range knn {
+		ns, err := d.Neighbors(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range ns {
+			if !inKNN[u] && !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// KNN returns the k nearest sites to the given network position in
+// ascending network-distance order, by incremental network expansion
+// (Dijkstra that stops after k sites are settled).
+func (d *Diagram) KNN(pos roadnet.Position, k int) []int {
+	ids, _ := d.KNNWithDistances(pos, k)
+	return ids
+}
+
+// KNNWithDistances is KNN returning the matching network distances too.
+func (d *Diagram) KNNWithDistances(pos roadnet.Position, k int) ([]int, []float64) {
+	if k <= 0 {
+		return nil, nil
+	}
+	dist := make(map[int]float64, 64)
+	h := &roadPQ{}
+	for _, s := range pos.Sources(d.g) {
+		if cur, ok := dist[s.V]; !ok || s.D < cur {
+			dist[s.V] = s.D
+			heap.Push(h, roadPQItem{s.V, s.D})
+		}
+	}
+	done := make(map[int]bool, 64)
+	var ids []int
+	var ds []float64
+	for h.Len() > 0 && len(ids) < k {
+		it := heap.Pop(h).(roadPQItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if d.isSite[it.v] {
+			ids = append(ids, it.v)
+			ds = append(ds, it.d)
+			if len(ids) == k {
+				break
+			}
+		}
+		for _, u := range d.g.AdjacentVertices(it.v) {
+			d.g.EdgeRelaxations++
+			w, _ := d.g.EdgeWeight(it.v, u)
+			nd := it.d + w
+			if cur, ok := dist[u]; !ok || nd < cur {
+				dist[u] = nd
+				heap.Push(h, roadPQItem{u, nd})
+			}
+		}
+	}
+	return ids, ds
+}
+
+type roadPQItem struct {
+	v int
+	d float64
+}
+
+type roadPQ []roadPQItem
+
+func (h roadPQ) Len() int { return len(h) }
+func (h roadPQ) Less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	return h[i].v < h[j].v
+}
+func (h roadPQ) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *roadPQ) Push(x any)   { *h = append(*h, x.(roadPQItem)) }
+func (h *roadPQ) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Subnetwork is the Theorem-2 search space: the part of the road network
+// covered by the Voronoi cells of a chosen site set, materialized as its
+// own Graph with vertex id translation maps.
+type Subnetwork struct {
+	G      *roadnet.Graph
+	ToSub  map[int]int // full-network vertex id -> subnetwork id
+	ToFull []int       // subnetwork id -> full-network id
+}
+
+// Subnetwork extracts the union of the Voronoi cells of the given sites:
+// all vertices owned by one of them plus every edge with at least one
+// endpoint inside (boundary edges are kept whole, which keeps the search
+// space a superset of the exact cell union and preserves Theorem 2's
+// distance guarantee).
+func (d *Diagram) Subnetwork(sites []int) *Subnetwork {
+	want := make(map[int]bool, len(sites))
+	for _, s := range sites {
+		want[s] = true
+	}
+	sub := &Subnetwork{G: roadnet.NewGraph(), ToSub: make(map[int]int)}
+	addVertex := func(v int) int {
+		if id, ok := sub.ToSub[v]; ok {
+			return id
+		}
+		id := sub.G.AddVertex(d.g.Point(v))
+		sub.ToSub[v] = id
+		sub.ToFull = append(sub.ToFull, v)
+		return id
+	}
+	d.g.Edges(func(u, v int, w float64) {
+		if want[d.owner[u]] || want[d.owner[v]] {
+			su, sv := addVertex(u), addVertex(v)
+			if err := sub.G.AddEdge(su, sv, w); err != nil {
+				panic(fmt.Sprintf("netvor: subnetwork edge: %v", err))
+			}
+		}
+	})
+	// Isolated sites (possible only in degenerate graphs) still get a
+	// vertex so distance queries can resolve them.
+	for s := range want {
+		addVertex(s)
+	}
+	return sub
+}
+
+// Translate converts a full-network position into the subnetwork, or
+// ok=false when the position's edge is not part of the subnetwork.
+func (s *Subnetwork) Translate(pos roadnet.Position) (roadnet.Position, bool) {
+	if v, ok := pos.AtVertex(); ok {
+		sv, ok := s.ToSub[v]
+		if !ok {
+			return roadnet.Position{}, false
+		}
+		return roadnet.VertexPosition(sv), true
+	}
+	su, ok := s.ToSub[pos.U]
+	if !ok {
+		return roadnet.Position{}, false
+	}
+	sv, ok := s.ToSub[pos.V]
+	if !ok {
+		return roadnet.Position{}, false
+	}
+	if _, ok := s.G.EdgeWeight(su, sv); !ok {
+		return roadnet.Position{}, false
+	}
+	return roadnet.Position{U: su, V: sv, T: pos.T}, true
+}
+
+// KNNSites returns the k nearest of the given sites to pos, computed
+// entirely on the subnetwork, together with their subnetwork distances.
+// Results are full-network vertex ids. This is the Theorem-2 validation
+// primitive: if the answer (as a set) equals the current kNN set, the kNN
+// set is valid on the full network; subnetwork distances to non-kNN guard
+// objects may exceed their full-network values, so only the set comparison
+// is meaningful.
+func (s *Subnetwork) KNNSites(pos roadnet.Position, sites []int, k int) ([]int, []float64) {
+	if k <= 0 {
+		return nil, nil
+	}
+	spos, ok := s.Translate(pos)
+	if !ok {
+		return nil, nil
+	}
+	want := make(map[int]bool, len(sites))
+	for _, site := range sites {
+		if sv, ok := s.ToSub[site]; ok {
+			want[sv] = true
+		}
+	}
+	dist := make(map[int]float64, 64)
+	h := &roadPQ{}
+	for _, src := range spos.Sources(s.G) {
+		if cur, ok := dist[src.V]; !ok || src.D < cur {
+			dist[src.V] = src.D
+			heap.Push(h, roadPQItem{src.V, src.D})
+		}
+	}
+	done := make(map[int]bool, 64)
+	var ids []int
+	var ds []float64
+	for h.Len() > 0 && len(ids) < k {
+		it := heap.Pop(h).(roadPQItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if want[it.v] {
+			ids = append(ids, s.ToFull[it.v])
+			ds = append(ds, it.d)
+			if len(ids) == k {
+				break
+			}
+		}
+		for _, u := range s.G.AdjacentVertices(it.v) {
+			s.G.EdgeRelaxations++
+			w, _ := s.G.EdgeWeight(it.v, u)
+			nd := it.d + w
+			if cur, ok := dist[u]; !ok || nd < cur {
+				dist[u] = nd
+				heap.Push(h, roadPQItem{u, nd})
+			}
+		}
+	}
+	return ids, ds
+}
+
+// DistancesToSites returns the network distance from pos to each given
+// site, computed on the subnetwork. Because the subnetwork omits edges
+// outside the guard cells, these are upper bounds on the full-network
+// distances (exact for the current kNN members while the kNN set is
+// valid). Sites missing from the subnetwork report +Inf.
+func (s *Subnetwork) DistancesToSites(pos roadnet.Position, sites []int) []float64 {
+	out := make([]float64, len(sites))
+	spos, ok := s.Translate(pos)
+	if !ok {
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+		return out
+	}
+	dist := s.G.ShortestDistances(spos.Sources(s.G), -1)
+	for i, site := range sites {
+		if sv, ok := s.ToSub[site]; ok {
+			out[i] = dist[sv]
+		} else {
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,391 @@
+// Package roadnet provides the road-network substrate of Section IV of the
+// paper: a planar undirected weighted graph with a geometric embedding,
+// shortest-path machinery (Dijkstra, bidirectional Dijkstra, A*,
+// Floyd–Warshall for testing), positions on edges for moving query objects,
+// and network generators (grid and random planar via Delaunay).
+package roadnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// ErrVertex is returned for out-of-range vertex ids.
+var ErrVertex = errors.New("roadnet: invalid vertex")
+
+// ErrEdge is returned for invalid edge definitions.
+var ErrEdge = errors.New("roadnet: invalid edge")
+
+// halfEdge is one direction of an undirected edge in an adjacency list.
+type halfEdge struct {
+	to int
+	w  float64
+}
+
+// Graph is an undirected weighted graph with 2D vertex coordinates. Data
+// objects live on vertices, matching the paper's model ("we assume that the
+// data objects are all at the vertices").
+type Graph struct {
+	pts   []geom.Point
+	adj   [][]halfEdge
+	edges int
+
+	// EdgeRelaxations counts Dijkstra edge relaxations since ResetStats;
+	// the experiments use it as a machine-independent cost measure.
+	EdgeRelaxations int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddVertex adds a vertex at p and returns its id.
+func (g *Graph) AddVertex(p geom.Point) int {
+	g.pts = append(g.pts, p)
+	g.adj = append(g.adj, nil)
+	return len(g.pts) - 1
+}
+
+// AddEdge connects u and v with weight w; w <= 0 means "use the Euclidean
+// distance between the embeddings". Parallel edges and self-loops are
+// rejected.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if u < 0 || v < 0 || u >= len(g.pts) || v >= len(g.pts) {
+		return fmt.Errorf("%w: (%d,%d)", ErrVertex, u, v)
+	}
+	if u == v {
+		return fmt.Errorf("%w: self-loop at %d", ErrEdge, u)
+	}
+	for _, he := range g.adj[u] {
+		if he.to == v {
+			return fmt.Errorf("%w: parallel edge (%d,%d)", ErrEdge, u, v)
+		}
+	}
+	if w <= 0 {
+		w = g.pts[u].Dist(g.pts[v])
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("%w: weight %g on (%d,%d)", ErrEdge, w, u, v)
+	}
+	g.adj[u] = append(g.adj[u], halfEdge{v, w})
+	g.adj[v] = append(g.adj[v], halfEdge{u, w})
+	g.edges++
+	return nil
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.pts) }
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Point returns the embedding of vertex v.
+func (g *Graph) Point(v int) geom.Point { return g.pts[v] }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// AdjacentVertices returns the vertices adjacent to v.
+func (g *Graph) AdjacentVertices(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, he := range g.adj[v] {
+		out[i] = he.to
+	}
+	return out
+}
+
+// EdgeWeight returns the weight of edge (u,v) and whether it exists.
+func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
+	if u < 0 || u >= len(g.pts) {
+		return 0, false
+	}
+	for _, he := range g.adj[u] {
+		if he.to == v {
+			return he.w, true
+		}
+	}
+	return 0, false
+}
+
+// Edges calls fn for every undirected edge once (with u < v).
+func (g *Graph) Edges(fn func(u, v int, w float64)) {
+	for u := range g.adj {
+		for _, he := range g.adj[u] {
+			if u < he.to {
+				fn(u, he.to, he.w)
+			}
+		}
+	}
+}
+
+// ResetStats zeroes the relaxation counter.
+func (g *Graph) ResetStats() { g.EdgeRelaxations = 0 }
+
+// pqItem is a priority-queue element for Dijkstra variants.
+type pqItem struct {
+	v int
+	d float64
+}
+
+type pq []pqItem
+
+func (h pq) Len() int { return len(h) }
+func (h pq) Less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	return h[i].v < h[j].v
+}
+func (h pq) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x any)   { *h = append(*h, x.(pqItem)) }
+func (h *pq) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Source is a Dijkstra seed: vertex V is reachable at initial cost D.
+// Multi-seed searches model query positions in the middle of an edge.
+type Source struct {
+	V int
+	D float64
+}
+
+// ShortestDistances runs Dijkstra from the given seeds and returns the
+// distance to every vertex (math.Inf(1) for unreachable vertices). A
+// negative stopAt means "settle everything"; otherwise the search stops
+// once the settled distance exceeds stopAt.
+func (g *Graph) ShortestDistances(sources []Source, stopAt float64) []float64 {
+	dist := make([]float64, len(g.pts))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	h := &pq{}
+	for _, s := range sources {
+		if s.V < 0 || s.V >= len(g.pts) {
+			continue
+		}
+		if s.D < dist[s.V] {
+			dist[s.V] = s.D
+			heap.Push(h, pqItem{s.V, s.D})
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		if stopAt >= 0 && it.d > stopAt {
+			break
+		}
+		for _, he := range g.adj[it.v] {
+			g.EdgeRelaxations++
+			if nd := it.d + he.w; nd < dist[he.to] {
+				dist[he.to] = nd
+				heap.Push(h, pqItem{he.to, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns the shortest path between two vertices and its
+// length using bidirectional Dijkstra. ok is false when disconnected.
+func (g *Graph) ShortestPath(s, t int) (path []int, d float64, ok bool) {
+	if s < 0 || t < 0 || s >= len(g.pts) || t >= len(g.pts) {
+		return nil, 0, false
+	}
+	if s == t {
+		return []int{s}, 0, true
+	}
+	distF := map[int]float64{s: 0}
+	distB := map[int]float64{t: 0}
+	prevF := map[int]int{}
+	prevB := map[int]int{}
+	doneF := map[int]bool{}
+	doneB := map[int]bool{}
+	hf, hb := &pq{{s, 0}}, &pq{{t, 0}}
+	heap.Init(hf)
+	heap.Init(hb)
+	best := math.Inf(1)
+	meet := -1
+
+	expand := func(h *pq, dist map[int]float64, prev map[int]int, done map[int]bool,
+		otherDist map[int]float64) {
+		it := heap.Pop(h).(pqItem)
+		if done[it.v] {
+			return
+		}
+		done[it.v] = true
+		if od, ok := otherDist[it.v]; ok {
+			if total := it.d + od; total < best {
+				best, meet = total, it.v
+			}
+		}
+		for _, he := range g.adj[it.v] {
+			g.EdgeRelaxations++
+			nd := it.d + he.w
+			if cur, ok := dist[he.to]; !ok || nd < cur {
+				dist[he.to] = nd
+				prev[he.to] = it.v
+				heap.Push(h, pqItem{he.to, nd})
+			}
+		}
+	}
+
+	for hf.Len() > 0 && hb.Len() > 0 {
+		if (*hf)[0].d+(*hb)[0].d >= best {
+			break
+		}
+		if (*hf)[0].d <= (*hb)[0].d {
+			expand(hf, distF, prevF, doneF, distB)
+		} else {
+			expand(hb, distB, prevB, doneB, distF)
+		}
+	}
+	if meet == -1 {
+		return nil, 0, false
+	}
+	// Stitch the two half-paths at the meeting vertex.
+	var fwd []int
+	for v := meet; ; {
+		fwd = append(fwd, v)
+		p, ok := prevF[v]
+		if !ok {
+			break
+		}
+		v = p
+	}
+	for i, j := 0, len(fwd)-1; i < j; i, j = i+1, j-1 {
+		fwd[i], fwd[j] = fwd[j], fwd[i]
+	}
+	for v := meet; ; {
+		p, ok := prevB[v]
+		if !ok {
+			break
+		}
+		v = p
+		fwd = append(fwd, v)
+	}
+	return fwd, best, true
+}
+
+// Distance returns the network distance between vertices s and t
+// (math.Inf(1) when disconnected).
+func (g *Graph) Distance(s, t int) float64 {
+	_, d, ok := g.ShortestPath(s, t)
+	if !ok {
+		return math.Inf(1)
+	}
+	return d
+}
+
+// AStar returns the shortest path using A* with the Euclidean embedding as
+// an admissible heuristic (edge weights must be >= Euclidean length for
+// admissibility, which holds for all generators in this package).
+func (g *Graph) AStar(s, t int) (path []int, d float64, ok bool) {
+	if s < 0 || t < 0 || s >= len(g.pts) || t >= len(g.pts) {
+		return nil, 0, false
+	}
+	target := g.pts[t]
+	dist := map[int]float64{s: 0}
+	prev := map[int]int{}
+	done := map[int]bool{}
+	h := &pq{{s, g.pts[s].Dist(target)}}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if it.v == t {
+			var out []int
+			for v := t; ; {
+				out = append(out, v)
+				p, ok := prev[v]
+				if !ok {
+					break
+				}
+				v = p
+			}
+			for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+				out[i], out[j] = out[j], out[i]
+			}
+			return out, dist[t], true
+		}
+		for _, he := range g.adj[it.v] {
+			g.EdgeRelaxations++
+			nd := dist[it.v] + he.w
+			if cur, ok := dist[he.to]; !ok || nd < cur {
+				dist[he.to] = nd
+				prev[he.to] = it.v
+				heap.Push(h, pqItem{he.to, nd + g.pts[he.to].Dist(target)})
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// FloydWarshall returns the full all-pairs distance matrix. It is O(V^3)
+// and exists as ground truth for tests on small graphs.
+func (g *Graph) FloydWarshall() [][]float64 {
+	n := len(g.pts)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	g.Edges(func(u, v int, w float64) {
+		if w < d[u][v] {
+			d[u][v], d[v][u] = w, w
+		}
+	})
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if nd := dik + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Connected reports whether the graph is connected (true for empty graphs).
+func (g *Graph) Connected() bool {
+	n := len(g.pts)
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, he := range g.adj[v] {
+			if !seen[he.to] {
+				seen[he.to] = true
+				count++
+				stack = append(stack, he.to)
+			}
+		}
+	}
+	return count == n
+}

@@ -1,0 +1,99 @@
+package roadnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// WriteCSV serializes the graph as two sections: "v,<id>,<x>,<y>" vertex
+// lines followed by "e,<u>,<v>,<weight>" edge lines. ReadCSV restores it;
+// together they let the demo load user-provided maps.
+func (g *Graph) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumVertices(); v++ {
+		p := g.Point(v)
+		if _, err := fmt.Fprintf(bw, "v,%d,%g,%g\n", v, p.X, p.Y); err != nil {
+			return fmt.Errorf("roadnet: write csv: %w", err)
+		}
+	}
+	var werr error
+	g.Edges(func(u, v int, weight float64) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "e,%d,%d,%g\n", u, v, weight)
+	})
+	if werr != nil {
+		return fmt.Errorf("roadnet: write csv: %w", werr)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the WriteCSV format. Vertex ids must be dense and in
+// order starting at 0; blank lines and '#' comments are skipped.
+func ReadCSV(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		switch fields[0] {
+		case "v":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("roadnet: line %d: want \"v,id,x,y\"", line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: %w", line, err)
+			}
+			x, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: %w", line, err)
+			}
+			y, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: %w", line, err)
+			}
+			got := g.AddVertex(geom.Pt(x, y))
+			if got != id {
+				return nil, fmt.Errorf("roadnet: line %d: vertex id %d out of order (expected %d)", line, id, got)
+			}
+		case "e":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("roadnet: line %d: want \"e,u,v,w\"", line)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: %w", line, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: %w", line, err)
+			}
+			w, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: %w", line, err)
+			}
+			if err := g.AddEdge(u, v, w); err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("roadnet: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("roadnet: read csv: %w", err)
+	}
+	return g, nil
+}

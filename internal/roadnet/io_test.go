@@ -1,0 +1,64 @@
+package roadnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	g, err := GridNetwork(5, 5, testBounds, 0.2, 0.3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d vertices, %d/%d edges",
+			got.NumVertices(), g.NumVertices(), got.NumEdges(), g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if !got.Point(v).Eq(g.Point(v)) {
+			t.Fatalf("vertex %d moved: %v vs %v", v, got.Point(v), g.Point(v))
+		}
+	}
+	g.Edges(func(u, v int, w float64) {
+		gw, ok := got.EdgeWeight(u, v)
+		if !ok || gw != w {
+			t.Fatalf("edge (%d,%d) weight %g, loaded %g (ok=%v)", u, v, w, gw, ok)
+		}
+	})
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"x,1,2,3\n",        // unknown record
+		"v,1,0,0\n",        // out-of-order vertex id
+		"v,0,zero,0\n",     // bad float
+		"e,0,1,1\n",        // edge before vertices
+		"v,0,0,0\ne,0,0,1", // self loop
+		"v,0\n",            // short vertex record
+		"v,0,0,0\ne,0,1\n", // short edge record
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestReadCSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a map\n\nv,0,0,0\nv,1,3,4\n\ne,0,1,5\n"
+	g, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+}

@@ -1,0 +1,135 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Position is a location on the road network: a point along edge (U,V) at
+// fraction T from U (T in [0,1]). A position exactly at a vertex is
+// represented with U == V and T == 0. Moving query objects are constrained
+// to the network in Road Network mode, so this is the query location type.
+type Position struct {
+	U, V int
+	T    float64
+}
+
+// VertexPosition returns the position exactly at vertex v.
+func VertexPosition(v int) Position { return Position{U: v, V: v} }
+
+// AtVertex reports whether the position coincides with a vertex and
+// returns it.
+func (p Position) AtVertex() (int, bool) {
+	switch {
+	case p.U == p.V || p.T <= 0:
+		return p.U, true
+	case p.T >= 1:
+		return p.V, true
+	}
+	return -1, false
+}
+
+// Validate checks that the position refers to an existing edge of g.
+func (p Position) Validate(g *Graph) error {
+	if p.U < 0 || p.U >= g.NumVertices() || p.V < 0 || p.V >= g.NumVertices() {
+		return fmt.Errorf("%w: position (%d,%d)", ErrVertex, p.U, p.V)
+	}
+	if p.U == p.V {
+		return nil
+	}
+	if _, ok := g.EdgeWeight(p.U, p.V); !ok {
+		return fmt.Errorf("%w: position on missing edge (%d,%d)", ErrEdge, p.U, p.V)
+	}
+	if p.T < 0 || p.T > 1 || math.IsNaN(p.T) {
+		return fmt.Errorf("%w: position fraction %g", ErrEdge, p.T)
+	}
+	return nil
+}
+
+// Point returns the Euclidean embedding of the position.
+func (p Position) Point(g *Graph) geom.Point {
+	if v, ok := p.AtVertex(); ok {
+		return g.Point(v)
+	}
+	return geom.Lerp(g.Point(p.U), g.Point(p.V), p.T)
+}
+
+// Sources returns the Dijkstra seeds representing the position: its two
+// edge endpoints with the along-edge offsets as initial costs.
+func (p Position) Sources(g *Graph) []Source {
+	if v, ok := p.AtVertex(); ok {
+		return []Source{{V: v, D: 0}}
+	}
+	w, ok := g.EdgeWeight(p.U, p.V)
+	if !ok {
+		return nil
+	}
+	return []Source{{V: p.U, D: p.T * w}, {V: p.V, D: (1 - p.T) * w}}
+}
+
+// DistanceTo returns the network distance from the position to vertex t.
+func (g *Graph) DistanceTo(p Position, t int) float64 {
+	dist := g.ShortestDistances(p.Sources(g), -1)
+	if t < 0 || t >= len(dist) {
+		return math.Inf(1)
+	}
+	return dist[t]
+}
+
+// Route is a vertex path along the network with precomputed cumulative
+// lengths, used to move a query object at constant speed.
+type Route struct {
+	g      *Graph
+	verts  []int
+	cum    []float64 // cum[i] = distance from start to verts[i]
+	length float64
+}
+
+// NewRoute builds a route along consecutive vertices; every consecutive
+// pair must be connected by an edge.
+func NewRoute(g *Graph, verts []int) (*Route, error) {
+	if len(verts) == 0 {
+		return nil, fmt.Errorf("%w: empty route", ErrEdge)
+	}
+	cum := make([]float64, len(verts))
+	for i := 1; i < len(verts); i++ {
+		w, ok := g.EdgeWeight(verts[i-1], verts[i])
+		if !ok {
+			return nil, fmt.Errorf("%w: route hop (%d,%d) is not an edge", ErrEdge, verts[i-1], verts[i])
+		}
+		cum[i] = cum[i-1] + w
+	}
+	return &Route{g: g, verts: verts, cum: cum, length: cum[len(cum)-1]}, nil
+}
+
+// Length returns the total route length.
+func (r *Route) Length() float64 { return r.length }
+
+// Vertices returns the route's vertex sequence.
+func (r *Route) Vertices() []int { return r.verts }
+
+// PositionAt returns the position at distance d from the route start,
+// clamped to the route ends.
+func (r *Route) PositionAt(d float64) Position {
+	if d <= 0 || len(r.verts) == 1 {
+		return VertexPosition(r.verts[0])
+	}
+	if d >= r.length {
+		return VertexPosition(r.verts[len(r.verts)-1])
+	}
+	// Binary search for the segment containing d.
+	lo, hi := 0, len(r.cum)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if r.cum[mid] <= d {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	segLen := r.cum[lo+1] - r.cum[lo]
+	t := (d - r.cum[lo]) / segLen
+	return Position{U: r.verts[lo], V: r.verts[lo+1], T: t}
+}

@@ -1,0 +1,563 @@
+// Package rtree implements an in-memory R-tree over 2D points with
+// Guttman's quadratic split, best-first (incremental) k-nearest-neighbor
+// search, range queries, and deletion with tree condensation. It is the
+// index substrate under the VoR-tree (package vortree), which the INSQ
+// system uses to seed kNN computation, mirroring reference [7] of the
+// paper.
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// DefaultMaxEntries is the default node fanout (M). Minimum occupancy is
+// M/2 as in Guttman's original design.
+const DefaultMaxEntries = 16
+
+// Item is a point payload stored in the tree. ID is caller-chosen and must
+// be unique; the tree never interprets it.
+type Item struct {
+	ID int
+	P  geom.Point
+}
+
+type node struct {
+	rect     geom.Rect
+	children []*node // nil at leaves
+	items    []Item  // nil at internal nodes
+	parent   *node
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+func (n *node) recomputeRect() {
+	if n.leaf() {
+		if len(n.items) == 0 {
+			n.rect = geom.Rect{}
+			return
+		}
+		r := geom.Rect{Min: n.items[0].P, Max: n.items[0].P}
+		for _, it := range n.items[1:] {
+			r = r.ExpandPoint(it.P)
+		}
+		n.rect = r
+		return
+	}
+	r := n.children[0].rect
+	for _, c := range n.children[1:] {
+		r = r.Expand(c.rect)
+	}
+	n.rect = r
+}
+
+// Tree is an R-tree over 2D points. The zero value is not usable; call New.
+type Tree struct {
+	root *node
+	size int
+	max  int // max entries per node (M)
+	min  int // min entries per node (m = M/2)
+
+	// NodeVisits counts nodes touched by search operations since the last
+	// ResetStats. It stands in for page I/O in the experiments.
+	NodeVisits int
+}
+
+// New returns an empty tree with the given maximum node fanout; fanout < 4
+// is raised to 4. Use DefaultMaxEntries when in doubt.
+func New(maxEntries int) *Tree {
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	return &Tree{
+		root: &node{items: []Item{}},
+		max:  maxEntries,
+		min:  maxEntries / 2,
+	}
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// ResetStats zeroes the NodeVisits counter.
+func (t *Tree) ResetStats() { t.NodeVisits = 0 }
+
+// Insert adds an item. Duplicate points are allowed; duplicate IDs are the
+// caller's responsibility.
+func (t *Tree) Insert(it Item) {
+	leaf := t.chooseLeaf(t.root, it.P)
+	leaf.items = append(leaf.items, it)
+	leaf.rect = leafAdjust(leaf, it.P)
+	t.size++
+	t.splitUpward(leaf)
+	t.adjustUpward(leaf.parent)
+}
+
+func leafAdjust(n *node, p geom.Point) geom.Rect {
+	if len(n.items) == 1 {
+		return geom.Rect{Min: p, Max: p}
+	}
+	return n.rect.ExpandPoint(p)
+}
+
+func (t *Tree) chooseLeaf(n *node, p geom.Point) *node {
+	for !n.leaf() {
+		best := n.children[0]
+		pr := geom.Rect{Min: p, Max: p}
+		bestEnl := best.rect.EnlargementArea(pr)
+		for _, c := range n.children[1:] {
+			enl := c.rect.EnlargementArea(pr)
+			if enl < bestEnl || (enl == bestEnl && c.rect.Area() < best.rect.Area()) {
+				best, bestEnl = c, enl
+			}
+		}
+		n = best
+	}
+	return n
+}
+
+// splitUpward splits n if overfull and propagates splits to the root.
+func (t *Tree) splitUpward(n *node) {
+	for n != nil && n.overfull(t.max) {
+		sibling := t.split(n)
+		parent := n.parent
+		if parent == nil {
+			newRoot := &node{children: []*node{n, sibling}}
+			n.parent, sibling.parent = newRoot, newRoot
+			newRoot.recomputeRect()
+			t.root = newRoot
+			return
+		}
+		sibling.parent = parent
+		parent.children = append(parent.children, sibling)
+		parent.recomputeRect()
+		n = parent
+	}
+}
+
+func (n *node) overfull(max int) bool {
+	if n.leaf() {
+		return len(n.items) > max
+	}
+	return len(n.children) > max
+}
+
+// adjustUpward refreshes bounding rectangles from n to the root.
+func (t *Tree) adjustUpward(n *node) {
+	for n != nil {
+		n.recomputeRect()
+		n = n.parent
+	}
+}
+
+// split performs Guttman's quadratic split on an overfull node, leaving
+// half the entries in n and returning a new sibling with the rest.
+func (t *Tree) split(n *node) *node {
+	if n.leaf() {
+		return t.splitLeaf(n)
+	}
+	return t.splitInternal(n)
+}
+
+func (t *Tree) splitLeaf(n *node) *node {
+	items := n.items
+	seedA, seedB := pickSeedsItems(items)
+	groupA := []Item{items[seedA]}
+	groupB := []Item{items[seedB]}
+	rectA := geom.Rect{Min: items[seedA].P, Max: items[seedA].P}
+	rectB := geom.Rect{Min: items[seedB].P, Max: items[seedB].P}
+	rest := make([]Item, 0, len(items)-2)
+	for i, it := range items {
+		if i != seedA && i != seedB {
+			rest = append(rest, it)
+		}
+	}
+	for len(rest) > 0 {
+		// Force assignment when one group must take all remaining entries
+		// to reach minimum occupancy.
+		if len(groupA)+len(rest) == t.min {
+			for _, it := range rest {
+				groupA = append(groupA, it)
+				rectA = rectA.ExpandPoint(it.P)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.min {
+			for _, it := range rest {
+				groupB = append(groupB, it)
+				rectB = rectB.ExpandPoint(it.P)
+			}
+			break
+		}
+		// pickNext: entry with maximum preference difference.
+		bestIdx, bestDiff, toA := 0, -1.0, true
+		for i, it := range rest {
+			dA := rectA.EnlargementArea(geom.Rect{Min: it.P, Max: it.P})
+			dB := rectB.EnlargementArea(geom.Rect{Min: it.P, Max: it.P})
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx = diff, i
+				toA = dA < dB || (dA == dB && rectA.Area() < rectB.Area())
+			}
+		}
+		it := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		if toA {
+			groupA = append(groupA, it)
+			rectA = rectA.ExpandPoint(it.P)
+		} else {
+			groupB = append(groupB, it)
+			rectB = rectB.ExpandPoint(it.P)
+		}
+	}
+	n.items = groupA
+	n.recomputeRect()
+	sib := &node{items: groupB}
+	sib.recomputeRect()
+	return sib
+}
+
+func (t *Tree) splitInternal(n *node) *node {
+	children := n.children
+	seedA, seedB := pickSeedsNodes(children)
+	groupA := []*node{children[seedA]}
+	groupB := []*node{children[seedB]}
+	rectA, rectB := children[seedA].rect, children[seedB].rect
+	rest := make([]*node, 0, len(children)-2)
+	for i, c := range children {
+		if i != seedA && i != seedB {
+			rest = append(rest, c)
+		}
+	}
+	for len(rest) > 0 {
+		if len(groupA)+len(rest) == t.min {
+			for _, c := range rest {
+				groupA = append(groupA, c)
+				rectA = rectA.Expand(c.rect)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.min {
+			for _, c := range rest {
+				groupB = append(groupB, c)
+				rectB = rectB.Expand(c.rect)
+			}
+			break
+		}
+		bestIdx, bestDiff, toA := 0, -1.0, true
+		for i, c := range rest {
+			dA := rectA.EnlargementArea(c.rect)
+			dB := rectB.EnlargementArea(c.rect)
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx = diff, i
+				toA = dA < dB || (dA == dB && rectA.Area() < rectB.Area())
+			}
+		}
+		c := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		if toA {
+			groupA = append(groupA, c)
+			rectA = rectA.Expand(c.rect)
+		} else {
+			groupB = append(groupB, c)
+			rectB = rectB.Expand(c.rect)
+		}
+	}
+	n.children = groupA
+	sib := &node{children: groupB}
+	for _, c := range groupA {
+		c.parent = n
+	}
+	for _, c := range groupB {
+		c.parent = sib
+	}
+	n.recomputeRect()
+	sib.recomputeRect()
+	return sib
+}
+
+func pickSeedsItems(items []Item) (int, int) {
+	worst, si, sj := -1.0, 0, 1
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			r := geom.RectOf(items[i].P, items[j].P)
+			if d := r.Area(); d > worst {
+				worst, si, sj = d, i, j
+			}
+		}
+	}
+	return si, sj
+}
+
+func pickSeedsNodes(nodes []*node) (int, int) {
+	worst, si, sj := -1.0, 0, 1
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			d := nodes[i].rect.Expand(nodes[j].rect).Area() -
+				nodes[i].rect.Area() - nodes[j].rect.Area()
+			if d > worst {
+				worst, si, sj = d, i, j
+			}
+		}
+	}
+	return si, sj
+}
+
+// Delete removes the item with the given id at point p (the point is used
+// to find the leaf efficiently). It returns false when no such item exists.
+// Underfull nodes are condensed: their remaining entries are reinserted.
+func (t *Tree) Delete(id int, p geom.Point) bool {
+	leaf := t.findLeaf(t.root, id, p)
+	if leaf == nil {
+		return false
+	}
+	for i, it := range leaf.items {
+		if it.ID == id {
+			leaf.items = append(leaf.items[:i], leaf.items[i+1:]...)
+			break
+		}
+	}
+	t.size--
+	t.condense(leaf)
+	return true
+}
+
+func (t *Tree) findLeaf(n *node, id int, p geom.Point) *node {
+	if !n.rect.Contains(p) && t.size > 0 && n != t.root {
+		return nil
+	}
+	if n.leaf() {
+		for _, it := range n.items {
+			if it.ID == id {
+				return n
+			}
+		}
+		return nil
+	}
+	for _, c := range n.children {
+		if c.rect.Contains(p) {
+			if l := t.findLeaf(c, id, p); l != nil {
+				return l
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Tree) condense(n *node) {
+	var orphanItems []Item
+	var orphanNodes []*node
+	for n.parent != nil {
+		parent := n.parent
+		under := false
+		if n.leaf() {
+			under = len(n.items) < t.min
+		} else {
+			under = len(n.children) < t.min
+		}
+		if under {
+			for i, c := range parent.children {
+				if c == n {
+					parent.children = append(parent.children[:i], parent.children[i+1:]...)
+					break
+				}
+			}
+			if n.leaf() {
+				orphanItems = append(orphanItems, n.items...)
+			} else {
+				orphanNodes = append(orphanNodes, n.children...)
+			}
+		} else {
+			n.recomputeRect()
+		}
+		n = parent
+	}
+	n.recomputeRect()
+	// Shrink the root if it has a single internal child.
+	for !t.root.leaf() && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.root.parent = nil
+	}
+	if !t.root.leaf() && len(t.root.children) == 0 {
+		t.root = &node{items: []Item{}}
+	}
+	// Reinsert orphans. They are still counted in t.size, so compensate
+	// for the increment Insert performs.
+	for _, it := range orphanItems {
+		t.Insert(it)
+		t.size--
+	}
+	for _, on := range orphanNodes {
+		t.reinsertSubtree(on)
+	}
+}
+
+func (t *Tree) reinsertSubtree(n *node) {
+	if n.leaf() {
+		for _, it := range n.items {
+			t.Insert(it)
+			t.size--
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.reinsertSubtree(c)
+	}
+}
+
+// Search returns the ids of all items inside r (boundary inclusive).
+func (t *Tree) Search(r geom.Rect) []int {
+	var out []int
+	t.search(t.root, r, &out)
+	return out
+}
+
+func (t *Tree) search(n *node, r geom.Rect, out *[]int) {
+	t.NodeVisits++
+	if n.leaf() {
+		for _, it := range n.items {
+			if r.Contains(it.P) {
+				*out = append(*out, it.ID)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c.rect.Intersects(r) {
+			t.search(c, r, out)
+		}
+	}
+}
+
+// KNN returns the k nearest items to q in ascending distance order using
+// best-first traversal (Hjaltason & Samet). Ties break by id.
+func (t *Tree) KNN(q geom.Point, k int) []Item {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	out := make([]Item, 0, k)
+	it := t.NewKNNIterator(q)
+	for len(out) < k {
+		item, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, item)
+	}
+	return out
+}
+
+// KNNIterator yields items in ascending distance from a query point, one
+// at a time. The VoR-tree and the prefetch logic of the INS algorithm use
+// it to extend a kNN set incrementally without restarting the search.
+type KNNIterator struct {
+	t  *Tree
+	q  geom.Point
+	pq knnHeap
+}
+
+// NewKNNIterator starts an incremental nearest-neighbor scan from q.
+func (t *Tree) NewKNNIterator(q geom.Point) *KNNIterator {
+	it := &KNNIterator{t: t, q: q}
+	heap.Push(&it.pq, knnEntry{node: t.root, d2: t.root.rect.Dist2Point(q)})
+	return it
+}
+
+// Next returns the next-nearest item, or ok=false when exhausted.
+func (it *KNNIterator) Next() (Item, bool) {
+	for it.pq.Len() > 0 {
+		e := heap.Pop(&it.pq).(knnEntry)
+		if e.node == nil {
+			return e.item, true
+		}
+		it.t.NodeVisits++
+		n := e.node
+		if n.leaf() {
+			for _, item := range n.items {
+				heap.Push(&it.pq, knnEntry{item: item, d2: it.q.Dist2(item.P)})
+			}
+			continue
+		}
+		for _, c := range n.children {
+			heap.Push(&it.pq, knnEntry{node: c, d2: c.rect.Dist2Point(it.q)})
+		}
+	}
+	return Item{}, false
+}
+
+type knnEntry struct {
+	node *node // nil for item entries
+	item Item
+	d2   float64
+}
+
+type knnHeap []knnEntry
+
+func (h knnHeap) Len() int { return len(h) }
+func (h knnHeap) Less(i, j int) bool {
+	if h[i].d2 != h[j].d2 {
+		return h[i].d2 < h[j].d2
+	}
+	// Prefer resolving items before nodes at equal distance so results are
+	// deterministic; then break ties by id.
+	if (h[i].node == nil) != (h[j].node == nil) {
+		return h[i].node == nil
+	}
+	return h[i].item.ID < h[j].item.ID
+}
+func (h knnHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap) Push(x any)   { *h = append(*h, x.(knnEntry)) }
+func (h *knnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// checkInvariants validates structural invariants; tests call it via the
+// exported CheckInvariants.
+func (t *Tree) checkInvariants(n *node, depth int, leafDepth *int) error {
+	if n.leaf() {
+		if *leafDepth == -1 {
+			*leafDepth = depth
+		} else if *leafDepth != depth {
+			return fmt.Errorf("rtree: leaves at different depths (%d vs %d)", *leafDepth, depth)
+		}
+		for _, it := range n.items {
+			if !n.rect.Contains(it.P) {
+				return fmt.Errorf("rtree: item %d outside leaf rect", it.ID)
+			}
+		}
+		return nil
+	}
+	for _, c := range n.children {
+		if c.parent != n {
+			return fmt.Errorf("rtree: broken parent pointer")
+		}
+		if !n.rect.ContainsRect(c.rect) {
+			return fmt.Errorf("rtree: child rect escapes parent")
+		}
+		if err := t.checkInvariants(c, depth+1, leafDepth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies the structural invariants of the tree: uniform
+// leaf depth, containment of child rectangles, and parent pointers. It is
+// exported for tests and costs a full traversal.
+func (t *Tree) CheckInvariants() error {
+	ld := -1
+	return t.checkInvariants(t.root, 0, &ld)
+}

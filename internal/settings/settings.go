@@ -1,0 +1,141 @@
+// Package settings records and loads demonstration settings, reproducing
+// the "Save" and "Read" buttons of the INSQ control panel: the global
+// setting (mode, data space, k), the 2D-plane setting (object count,
+// prefetch ratio, display toggles) and the road-network setting (grid
+// shape, object count, query speed). Settings marshal to JSON so a
+// demonstration run is fully reproducible from a file.
+package settings
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/geom"
+)
+
+// Mode selects the demonstration mode.
+type Mode string
+
+// The two demonstration modes of the paper's system.
+const (
+	ModePlane   Mode = "plane"
+	ModeNetwork Mode = "network"
+)
+
+// Settings is the full demonstration configuration.
+type Settings struct {
+	// Global setting.
+	Mode   Mode      `json:"mode"`
+	Bounds geom.Rect `json:"bounds"`
+	K      int       `json:"k"`
+	Seed   int64     `json:"seed"`
+
+	// 2D Plane setting.
+	NumObjects       int     `json:"num_objects"`
+	Rho              float64 `json:"rho"`
+	ShowVoronoiCells bool    `json:"show_voronoi_cells"`
+	ShowOrderKCell   bool    `json:"show_order_k_cell"`
+	ShowCircles      bool    `json:"show_circles"`
+
+	// Road Network setting.
+	GridRows   int     `json:"grid_rows"`
+	GridCols   int     `json:"grid_cols"`
+	NumSites   int     `json:"num_sites"`
+	QuerySpeed float64 `json:"query_speed"`
+
+	// Simulation setting.
+	Steps  int    `json:"steps"`
+	Frames int    `json:"frames"`
+	OutDir string `json:"out_dir"`
+}
+
+// Default returns the configuration the demonstration starts with,
+// matching the paper's screenshots (k = 5, ρ = 1.6).
+func Default() Settings {
+	return Settings{
+		Mode:             ModePlane,
+		Bounds:           geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 1000)),
+		K:                5,
+		Seed:             1,
+		NumObjects:       400,
+		Rho:              1.6,
+		ShowVoronoiCells: true,
+		ShowOrderKCell:   true,
+		ShowCircles:      true,
+		GridRows:         24,
+		GridCols:         24,
+		NumSites:         80,
+		QuerySpeed:       2.5,
+		Steps:            600,
+		Frames:           6,
+		OutDir:           "frames",
+	}
+}
+
+// Validate checks the settings for consistency.
+func (s *Settings) Validate() error {
+	if s.Mode != ModePlane && s.Mode != ModeNetwork {
+		return fmt.Errorf("settings: unknown mode %q", s.Mode)
+	}
+	if s.K < 1 {
+		return fmt.Errorf("settings: k = %d, must be >= 1", s.K)
+	}
+	if s.Rho < 1 {
+		return fmt.Errorf("settings: rho = %g, must be >= 1", s.Rho)
+	}
+	if s.Bounds.Width() <= 0 || s.Bounds.Height() <= 0 {
+		return fmt.Errorf("settings: empty data space %v", s.Bounds)
+	}
+	if s.Mode == ModePlane && s.NumObjects < s.K {
+		return fmt.Errorf("settings: %d objects < k=%d", s.NumObjects, s.K)
+	}
+	if s.Mode == ModeNetwork {
+		if s.GridRows < 2 || s.GridCols < 2 {
+			return fmt.Errorf("settings: grid %dx%d too small", s.GridRows, s.GridCols)
+		}
+		if s.NumSites < s.K {
+			return fmt.Errorf("settings: %d sites < k=%d", s.NumSites, s.K)
+		}
+		if s.NumSites > s.GridRows*s.GridCols {
+			return fmt.Errorf("settings: %d sites exceed %d vertices",
+				s.NumSites, s.GridRows*s.GridCols)
+		}
+	}
+	if s.Steps < 1 {
+		return fmt.Errorf("settings: steps = %d, must be >= 1", s.Steps)
+	}
+	if s.QuerySpeed <= 0 {
+		return fmt.Errorf("settings: query speed = %g, must be > 0", s.QuerySpeed)
+	}
+	return nil
+}
+
+// Save writes the settings as indented JSON (the demo's "Save" button).
+func (s *Settings) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("settings: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("settings: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates settings from a JSON file (the demo's "Read"
+// button). Fields absent from the file keep their Default values.
+func Load(path string) (Settings, error) {
+	s := Default()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, fmt.Errorf("settings: load: %w", err)
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("settings: parse %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}

@@ -1,0 +1,97 @@
+package settings
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	s := Default()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default settings invalid: %v", err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demo.json")
+	s := Default()
+	s.Mode = ModeNetwork
+	s.K = 7
+	s.GridRows, s.GridCols, s.NumSites = 10, 12, 30
+	s.Rho = 2.0
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip changed settings:\nsaved  %+v\nloaded %+v", s, got)
+	}
+}
+
+func TestLoadPartialFileKeepsDefaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "partial.json")
+	if err := os.WriteFile(path, []byte(`{"k": 9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != 9 {
+		t.Errorf("K = %d, want 9", got.K)
+	}
+	if got.Rho != Default().Rho || got.NumObjects != Default().NumObjects {
+		t.Errorf("defaults not preserved: %+v", got)
+	}
+}
+
+func TestValidateRejectsBadSettings(t *testing.T) {
+	cases := []func(*Settings){
+		func(s *Settings) { s.Mode = "3d" },
+		func(s *Settings) { s.K = 0 },
+		func(s *Settings) { s.Rho = 0.5 },
+		func(s *Settings) { s.Bounds = geom.Rect{} },
+		func(s *Settings) { s.NumObjects = 2; s.K = 5 },
+		func(s *Settings) { s.Mode = ModeNetwork; s.GridRows = 1 },
+		func(s *Settings) { s.Mode = ModeNetwork; s.NumSites = 1; s.K = 5 },
+		func(s *Settings) { s.Mode = ModeNetwork; s.NumSites = 10000 },
+		func(s *Settings) { s.Steps = 0 },
+		func(s *Settings) { s.QuerySpeed = 0 },
+	}
+	for i, mutate := range cases {
+		s := Default()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid settings accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/file.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`{"k": -1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(invalid); err == nil {
+		t.Error("invalid settings accepted")
+	}
+}

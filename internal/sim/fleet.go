@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// FleetQuery is one moving query in a fleet simulation: a processor, its
+// trajectory, and the shard it belongs to. The index structures behind a
+// processor are not safe for concurrent use (even reads refresh internal
+// location hints), so queries sharing an index must share a shard; the
+// fleet runner guarantees queries in one shard never run concurrently.
+type FleetQuery struct {
+	Proc  PlaneProcessor
+	Traj  []geom.Point
+	Shard int
+}
+
+// RunPlaneFleet simulates many moving queries concurrently — the
+// load-shape of an LBS server maintaining one MkNN query per client. Each
+// shard's queries run sequentially on one goroutine; up to workers shards
+// run in parallel. It returns one report per query, in input order, or
+// the first error encountered.
+func RunPlaneFleet(queries []FleetQuery, workers int) ([]Report, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	shards := make(map[int][]int) // shard -> query indices
+	for i, q := range queries {
+		if q.Proc == nil {
+			return nil, fmt.Errorf("sim: fleet query %d has no processor", i)
+		}
+		shards[q.Shard] = append(shards[q.Shard], i)
+	}
+
+	reports := make([]Report, len(queries))
+	errs := make([]error, len(queries))
+	shardCh := make(chan []int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idxs := range shardCh {
+				for _, i := range idxs {
+					rep, err := RunPlane(queries[i].Proc, queries[i].Traj, nil)
+					reports[i] = rep
+					errs[i] = err
+				}
+			}
+		}()
+	}
+	for _, idxs := range shards {
+		shardCh <- idxs
+	}
+	close(shardCh)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return reports, err
+		}
+	}
+	return reports, nil
+}

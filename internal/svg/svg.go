@@ -1,0 +1,132 @@
+// Package svg renders the INSQ demonstration frames. The paper's system is
+// an interactive Scala Swing GUI; this package substitutes it with an SVG
+// renderer that draws exactly the same artifacts per timestamp: data
+// objects (orange), the query object (red), the current kNN set (green),
+// the influential neighbor set (yellow), order-1 Voronoi cells, the
+// order-k Voronoi cell (cyan while valid, red when invalidated), and the
+// two validation circles — the green circle through the farthest kNN
+// member and the red circle through the nearest influential-set member.
+package svg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Canvas accumulates SVG shapes in data-space coordinates and writes a
+// standalone SVG document. The y axis is flipped so larger y is up, as in
+// the paper's figures.
+type Canvas struct {
+	bounds geom.Rect
+	w, h   float64
+	scale  float64
+	b      strings.Builder
+	margin float64
+}
+
+// NewCanvas returns a canvas mapping bounds to a raster widthPx pixels
+// wide (height follows the aspect ratio).
+func NewCanvas(bounds geom.Rect, widthPx int) *Canvas {
+	if widthPx < 64 {
+		widthPx = 64
+	}
+	scale := float64(widthPx) / bounds.Width()
+	return &Canvas{
+		bounds: bounds,
+		w:      float64(widthPx),
+		h:      bounds.Height() * scale,
+		scale:  scale,
+		margin: 8,
+	}
+}
+
+func (c *Canvas) tx(p geom.Point) (float64, float64) {
+	return c.margin + (p.X-c.bounds.Min.X)*c.scale,
+		c.margin + (c.bounds.Max.Y-p.Y)*c.scale
+}
+
+// Line draws a segment with the given stroke color and width (pixels).
+func (c *Canvas) Line(a, b geom.Point, color string, width float64) {
+	x1, y1 := c.tx(a)
+	x2, y2 := c.tx(b)
+	fmt.Fprintf(&c.b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x1, y1, x2, y2, color, width)
+}
+
+// Dot draws a filled circle of radius r pixels.
+func (c *Canvas) Dot(p geom.Point, r float64, color string) {
+	x, y := c.tx(p)
+	fmt.Fprintf(&c.b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n", x, y, r, color)
+}
+
+// Circle draws an unfilled circle whose radius is in data-space units.
+func (c *Canvas) Circle(center geom.Point, radius float64, color string, width float64) {
+	x, y := c.tx(center)
+	fmt.Fprintf(&c.b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x, y, radius*c.scale, color, width)
+}
+
+// Polygon draws a closed polygon; fill may be "none".
+func (c *Canvas) Polygon(poly geom.Polygon, fill, stroke string, width float64, opacity float64) {
+	if len(poly) < 2 {
+		return
+	}
+	var pts strings.Builder
+	for i, p := range poly {
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		x, y := c.tx(p)
+		fmt.Fprintf(&pts, "%.2f,%.2f", x, y)
+	}
+	fmt.Fprintf(&c.b, `<polygon points="%s" fill="%s" fill-opacity="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		pts.String(), fill, opacity, stroke, width)
+}
+
+// Text draws a label at p.
+func (c *Canvas) Text(p geom.Point, s string, size float64, color string) {
+	x, y := c.tx(p)
+	fmt.Fprintf(&c.b, `<text x="%.2f" y="%.2f" font-size="%.1f" fill="%s">%s</text>`+"\n",
+		x, y, size, color, escape(s))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteTo writes the complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	n, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n"+
+			`<rect width="100%%" height="100%%" fill="white"/>`+"\n%s</svg>\n",
+		c.w+2*c.margin, c.h+2*c.margin, c.w+2*c.margin, c.h+2*c.margin, c.b.String())
+	return int64(n), err
+}
+
+// String returns the complete SVG document.
+func (c *Canvas) String() string {
+	var sb strings.Builder
+	if _, err := c.WriteTo(&sb); err != nil {
+		// strings.Builder never errors; keep the signature honest anyway.
+		panic(err)
+	}
+	return sb.String()
+}
+
+// Palette used by the frame renderers, matching the demonstration's color
+// coding.
+const (
+	ColorObject  = "#e69500" // orange: data objects
+	ColorQuery   = "#d62728" // red: query object
+	ColorKNN     = "#2ca02c" // green: current kNN set
+	ColorINS     = "#e6c700" // yellow: influential neighbor set
+	ColorCellOK  = "#17becf" // cyan: valid order-k cell
+	ColorCellBad = "#d62728" // red: invalidated order-k cell
+	ColorVoronoi = "#cccccc" // light gray: order-1 Voronoi edges
+	ColorRoad    = "#bbbbbb" // gray: road edges
+	ColorSubRoad = "#7fbf7f" // green-ish: guard subnetwork edges
+)

@@ -1,0 +1,115 @@
+package svg
+
+import (
+	"encoding/xml"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netvor"
+	"repro/internal/roadnet"
+	"repro/internal/vortree"
+	"repro/internal/workload"
+)
+
+var testBounds = geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 1000))
+
+// wellFormed checks the output parses as XML.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, doc[:min(len(doc), 500)])
+		}
+	}
+}
+
+func TestCanvasPrimitives(t *testing.T) {
+	c := NewCanvas(testBounds, 400)
+	c.Line(geom.Pt(0, 0), geom.Pt(1000, 1000), "black", 1)
+	c.Dot(geom.Pt(500, 500), 3, ColorObject)
+	c.Circle(geom.Pt(500, 500), 100, ColorKNN, 2)
+	c.Polygon(geom.Polygon{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 0, Y: 100}}, ColorCellOK, "black", 1, 0.2)
+	c.Text(geom.Pt(10, 10), `k<5 & "q"`, 12, "black")
+	doc := c.String()
+	wellFormed(t, doc)
+	for _, want := range []string{"<line", "<circle", "<polygon", "<text", "&lt;5 &amp;"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestYAxisFlipped(t *testing.T) {
+	c := NewCanvas(testBounds, 400)
+	c.Dot(geom.Pt(0, 1000), 1, "black") // top-left in data space
+	doc := c.String()
+	// Top-left data point must land near raster origin (plus margin).
+	if !strings.Contains(doc, `cx="8.00" cy="8.00"`) {
+		t.Errorf("y axis not flipped:\n%s", doc)
+	}
+}
+
+func TestPlaneFrame(t *testing.T) {
+	ix, _, err := vortree.Build(testBounds, 16, workload.Uniform(150, testBounds, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.NewPlaneQuery(ix, 5, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := geom.Pt(500, 500)
+	if _, err := q.Update(pos); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := PlaneFrame(ix, q, pos, PlaneFrameOptions{
+		ShowVoronoiCells: true,
+		ShowOrderKCell:   true,
+		ShowCircles:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, doc)
+	for _, want := range []string{ColorKNN, ColorINS, ColorQuery, ColorObject} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("frame missing color %s", want)
+		}
+	}
+}
+
+func TestNetworkFrame(t *testing.T) {
+	g, err := roadnet.GridNetwork(8, 8, testBounds, 0.2, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	sites := rng.Perm(g.NumVertices())[:15]
+	d, err := netvor.Build(g, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.NewNetworkQuery(d, 3, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := roadnet.VertexPosition(0)
+	if _, err := q.Update(pos); err != nil {
+		t.Fatal(err)
+	}
+	doc := NetworkFrame(d, q, pos, NetworkFrameOptions{ShowSubnetwork: true})
+	wellFormed(t, doc)
+	for _, want := range []string{ColorRoad, ColorSubRoad, ColorKNN, ColorQuery} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("frame missing color %s", want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package trajectory generates movement paths for the query object in 2D
+// Euclidean space: random-waypoint walks, straight lines, and explicit
+// waypoint tours sampled at constant speed. Road-network trajectories live
+// in package roadnet (Route), since they must follow the graph.
+package trajectory
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// RandomWaypoint returns steps positions produced by the random-waypoint
+// mobility model: pick a uniform target in bounds, move toward it at
+// stepLen per timestamp, repeat. Deterministic in seed.
+func RandomWaypoint(bounds geom.Rect, steps int, stepLen float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	randPt := func() geom.Point {
+		return geom.Pt(
+			bounds.Min.X+rng.Float64()*bounds.Width(),
+			bounds.Min.Y+rng.Float64()*bounds.Height(),
+		)
+	}
+	pos := randPt()
+	target := randPt()
+	out := make([]geom.Point, 0, steps)
+	for len(out) < steps {
+		d := target.Sub(pos)
+		n := d.Norm()
+		if n < stepLen {
+			target = randPt()
+			continue
+		}
+		pos = pos.Add(d.Scale(stepLen / n))
+		out = append(out, pos)
+	}
+	return out
+}
+
+// Line returns steps positions moving from a to b at constant speed,
+// reaching b exactly at the final step. It needs at least two steps.
+func Line(a, b geom.Point, steps int) ([]geom.Point, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("trajectory: Line needs >= 2 steps, got %d", steps)
+	}
+	out := make([]geom.Point, steps)
+	for i := range out {
+		out[i] = geom.Lerp(a, b, float64(i)/float64(steps-1))
+	}
+	return out, nil
+}
+
+// Waypoints samples a tour through the given waypoints at stepLen per
+// timestamp. The final waypoint may be overshot by less than one step.
+func Waypoints(pts []geom.Point, stepLen float64) ([]geom.Point, error) {
+	if len(pts) < 2 {
+		return nil, fmt.Errorf("trajectory: Waypoints needs >= 2 points, got %d", len(pts))
+	}
+	if stepLen <= 0 {
+		return nil, fmt.Errorf("trajectory: stepLen = %g, must be > 0", stepLen)
+	}
+	var out []geom.Point
+	pos := pts[0]
+	out = append(out, pos)
+	for _, target := range pts[1:] {
+		for {
+			d := target.Sub(pos)
+			n := d.Norm()
+			if n <= stepLen {
+				pos = target
+				out = append(out, pos)
+				break
+			}
+			pos = pos.Add(d.Scale(stepLen / n))
+			out = append(out, pos)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+var testBounds = geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 1000))
+
+func TestRandomWaypoint(t *testing.T) {
+	traj := RandomWaypoint(testBounds, 500, 3, 1)
+	if len(traj) != 500 {
+		t.Fatalf("got %d steps, want 500", len(traj))
+	}
+	for i, p := range traj {
+		if !testBounds.Contains(p) {
+			t.Fatalf("step %d at %v out of bounds", i, p)
+		}
+		if i > 0 {
+			d := traj[i-1].Dist(p)
+			if math.Abs(d-3) > 1e-9 {
+				t.Fatalf("step %d moved %g, want 3", i, d)
+			}
+		}
+	}
+	again := RandomWaypoint(testBounds, 500, 3, 1)
+	for i := range traj {
+		if !traj[i].Eq(again[i]) {
+			t.Fatal("RandomWaypoint not deterministic")
+		}
+	}
+}
+
+func TestLine(t *testing.T) {
+	traj, err := Line(geom.Pt(0, 0), geom.Pt(10, 0), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 11 {
+		t.Fatalf("got %d steps, want 11", len(traj))
+	}
+	if !traj[0].Eq(geom.Pt(0, 0)) || !traj[10].Eq(geom.Pt(10, 0)) {
+		t.Fatalf("endpoints %v..%v", traj[0], traj[10])
+	}
+	if !traj[5].Eq(geom.Pt(5, 0)) {
+		t.Fatalf("midpoint %v", traj[5])
+	}
+	if _, err := Line(geom.Pt(0, 0), geom.Pt(1, 1), 1); err == nil {
+		t.Error("expected error for steps < 2")
+	}
+}
+
+func TestWaypoints(t *testing.T) {
+	traj, err := Waypoints([]geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 5}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := traj[len(traj)-1]
+	if !last.Eq(geom.Pt(10, 5)) {
+		t.Fatalf("tour ends at %v, want (10,5)", last)
+	}
+	for i := 1; i < len(traj); i++ {
+		if d := traj[i-1].Dist(traj[i]); d > 1+1e-9 {
+			t.Fatalf("step %d jumped %g > stepLen", i, d)
+		}
+	}
+	if _, err := Waypoints([]geom.Point{{X: 0, Y: 0}}, 1); err == nil {
+		t.Error("expected error for single waypoint")
+	}
+	if _, err := Waypoints([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}, 0); err == nil {
+		t.Error("expected error for stepLen=0")
+	}
+}

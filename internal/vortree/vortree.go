@@ -1,0 +1,162 @@
+// Package vortree implements the VoR-tree of Sharifzadeh and Shahabi
+// (PVLDB 2010, reference [7] of the paper): an R-tree over the data objects
+// whose entries additionally carry the objects' Voronoi neighbor lists.
+// Nearest-neighbor search uses best-first R-tree traversal; the kNN set is
+// then grown incrementally by expanding Voronoi neighbors, which is exactly
+// the access pattern the INSQ query processor needs to compute the
+// prefetched set R and its influential neighbor set I(R).
+package vortree
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/voronoi"
+)
+
+// Index is a VoR-tree: a spatial index plus the order-1 Voronoi diagram of
+// the indexed objects, kept in sync under insertions and deletions. Object
+// ids are assigned by the Voronoi diagram and shared with the R-tree.
+type Index struct {
+	tree *rtree.Tree
+	diag *voronoi.Diagram
+}
+
+// New returns an empty VoR-tree accepting points inside bounds.
+func New(bounds geom.Rect, fanout int) *Index {
+	return &Index{tree: rtree.New(fanout), diag: voronoi.NewDiagram(bounds)}
+}
+
+// Build constructs a VoR-tree over pts and returns the assigned ids
+// parallel to pts. Duplicate points collapse to a single object.
+func Build(bounds geom.Rect, fanout int, pts []geom.Point) (*Index, []int, error) {
+	ix := New(bounds, fanout)
+	ids := make([]int, len(pts))
+	for i, p := range pts {
+		id, err := ix.Insert(p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("vortree: build: %w", err)
+		}
+		ids[i] = id
+	}
+	return ix, ids, nil
+}
+
+// Diagram exposes the underlying Voronoi diagram (shared, do not mutate
+// except through Index methods).
+func (ix *Index) Diagram() *voronoi.Diagram { return ix.diag }
+
+// Tree exposes the underlying R-tree (shared, do not mutate except through
+// Index methods).
+func (ix *Index) Tree() *rtree.Tree { return ix.tree }
+
+// Len returns the number of live objects.
+func (ix *Index) Len() int { return ix.diag.Len() }
+
+// Point returns the coordinates of object id.
+func (ix *Index) Point(id int) geom.Point { return ix.diag.Site(id) }
+
+// Contains reports whether object id is live.
+func (ix *Index) Contains(id int) bool { return ix.diag.Contains(id) }
+
+// Insert adds an object to both structures and returns its id. Inserting a
+// duplicate point returns the existing id without error.
+func (ix *Index) Insert(p geom.Point) (int, error) {
+	before := ix.diag.Len()
+	id, err := ix.diag.Insert(p)
+	if err != nil {
+		if ix.diag.Len() == before && id >= 0 {
+			return id, nil // exact duplicate: already indexed
+		}
+		return -1, err
+	}
+	ix.tree.Insert(rtree.Item{ID: id, P: p})
+	return id, nil
+}
+
+// Remove deletes object id from both structures.
+func (ix *Index) Remove(id int) error {
+	if !ix.diag.Contains(id) {
+		return fmt.Errorf("vortree: remove: unknown id %d", id)
+	}
+	p := ix.diag.Site(id)
+	if err := ix.diag.Remove(id); err != nil {
+		return err
+	}
+	if !ix.tree.Delete(id, p) {
+		return fmt.Errorf("vortree: remove: id %d missing from R-tree", id)
+	}
+	return nil
+}
+
+// Neighbors returns the Voronoi neighbor list stored with object id.
+func (ix *Index) Neighbors(id int) ([]int, error) { return ix.diag.Neighbors(id) }
+
+// NN returns the object nearest to q using best-first R-tree search, or -1
+// when the index is empty.
+func (ix *Index) NN(q geom.Point) int {
+	items := ix.tree.KNN(q, 1)
+	if len(items) == 0 {
+		return -1
+	}
+	return items[0].ID
+}
+
+// KNN returns the k nearest objects to q in ascending distance order using
+// the VR-kNN strategy: one best-first R-tree descent for the nearest
+// object, then incremental expansion over stored Voronoi neighbor lists.
+// This touches O(k) Voronoi records instead of O(k) R-tree paths.
+func (ix *Index) KNN(q geom.Point, k int) []int {
+	if k <= 0 || ix.Len() == 0 {
+		return nil
+	}
+	start := ix.NN(q)
+	if start < 0 {
+		return nil
+	}
+	pq := &nnHeap{}
+	seen := map[int]bool{start: true}
+	heap.Push(pq, nnEntry{id: start, d2: q.Dist2(ix.diag.Site(start))})
+	out := make([]int, 0, k)
+	for pq.Len() > 0 && len(out) < k {
+		e := heap.Pop(pq).(nnEntry)
+		out = append(out, e.id)
+		nb, err := ix.diag.Neighbors(e.id)
+		if err != nil {
+			continue
+		}
+		for _, u := range nb {
+			if !seen[u] {
+				seen[u] = true
+				heap.Push(pq, nnEntry{id: u, d2: q.Dist2(ix.diag.Site(u))})
+			}
+		}
+	}
+	return out
+}
+
+type nnEntry struct {
+	id int
+	d2 float64
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int { return len(h) }
+func (h nnHeap) Less(i, j int) bool {
+	if h[i].d2 != h[j].d2 {
+		return h[i].d2 < h[j].d2
+	}
+	return h[i].id < h[j].id
+}
+func (h nnHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x any)   { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// WritePoints writes points as "x,y" CSV lines, the format cmd/insgen
+// emits and LoadPoints reads back — the demo's "underlying map" can thus
+// be any user-provided point file.
+func WritePoints(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(bw, "%g,%g\n", p.X, p.Y); err != nil {
+			return fmt.Errorf("workload: write points: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPoints parses "x,y" CSV lines. Blank lines and lines starting with
+// '#' are skipped; malformed lines report their line number.
+func ReadPoints(r io.Reader) ([]geom.Point, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pts []geom.Point
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: line %d: want \"x,y\", got %q", line, text)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		pts = append(pts, geom.Pt(x, y))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read points: %w", err)
+	}
+	return pts, nil
+}

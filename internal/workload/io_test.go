@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPointsRoundTrip(t *testing.T) {
+	pts := Uniform(200, testBounds, 9)
+	var sb strings.Builder
+	if err := WritePoints(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPoints(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("round trip lost points: %d vs %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if !got[i].Eq(pts[i]) {
+			t.Fatalf("point %d changed: %v vs %v", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestReadPointsCommentsAndErrors(t *testing.T) {
+	got, err := ReadPoints(strings.NewReader("# header\n\n1,2\n 3 , 4 \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[1].Eq(geom.Pt(3, 4)) {
+		t.Fatalf("parsed %v", got)
+	}
+	for _, bad := range []string{"1\n", "1,2,3\n", "a,2\n", "1,b\n"} {
+		if _, err := ReadPoints(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

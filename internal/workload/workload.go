@@ -1,0 +1,76 @@
+// Package workload generates the synthetic datasets the experiments run
+// on: uniform, Gaussian-cluster and grid point sets in a rectangular data
+// space, mirroring the point-set knobs the INSQ demonstration exposes
+// ("number of data objects to generate"). All generators are deterministic
+// in their seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Uniform returns n points drawn independently and uniformly from bounds.
+func Uniform(n int, bounds geom.Rect, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(
+			bounds.Min.X+rng.Float64()*bounds.Width(),
+			bounds.Min.Y+rng.Float64()*bounds.Height(),
+		)
+	}
+	return pts
+}
+
+// Clustered returns n points from a mixture of nClusters isotropic
+// Gaussians with the given standard deviation, truncated to bounds. It
+// models city-like object densities (POIs concentrate around centers).
+func Clustered(n, nClusters int, sigma float64, bounds geom.Rect, seed int64) ([]geom.Point, error) {
+	if nClusters < 1 {
+		return nil, fmt.Errorf("workload: nClusters = %d, must be >= 1", nClusters)
+	}
+	if sigma <= 0 {
+		return nil, fmt.Errorf("workload: sigma = %g, must be > 0", sigma)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := Uniform(nClusters, bounds.Inset(bounds.Width()*0.05), seed+1)
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		c := centers[rng.Intn(len(centers))]
+		p := geom.Pt(c.X+rng.NormFloat64()*sigma, c.Y+rng.NormFloat64()*sigma)
+		if bounds.Contains(p) {
+			pts = append(pts, p)
+		}
+	}
+	return pts, nil
+}
+
+// Grid returns approximately n points on a regular √n×√n lattice inside
+// bounds with optional jitter (fraction of the cell size). Grids stress
+// the degenerate-geometry paths: massive collinearity and cocircularity.
+func Grid(n int, bounds geom.Rect, jitter float64, seed int64) []geom.Point {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	if side < 2 {
+		side = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dx := bounds.Width() / float64(side-1)
+	dy := bounds.Height() / float64(side-1)
+	pts := make([]geom.Point, 0, n)
+	for r := 0; r < side && len(pts) < n; r++ {
+		for c := 0; c < side && len(pts) < n; c++ {
+			p := geom.Pt(
+				bounds.Min.X+float64(c)*dx+(rng.Float64()*2-1)*jitter*dx,
+				bounds.Min.Y+float64(r)*dy+(rng.Float64()*2-1)*jitter*dy,
+			)
+			p.X = math.Min(math.Max(p.X, bounds.Min.X), bounds.Max.X)
+			p.Y = math.Min(math.Max(p.Y, bounds.Min.Y), bounds.Max.Y)
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}

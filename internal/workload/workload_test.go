@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+var testBounds = geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 1000))
+
+func TestUniform(t *testing.T) {
+	pts := Uniform(500, testBounds, 1)
+	if len(pts) != 500 {
+		t.Fatalf("got %d points, want 500", len(pts))
+	}
+	for _, p := range pts {
+		if !testBounds.Contains(p) {
+			t.Fatalf("point %v out of bounds", p)
+		}
+	}
+	// Determinism.
+	again := Uniform(500, testBounds, 1)
+	for i := range pts {
+		if !pts[i].Eq(again[i]) {
+			t.Fatal("Uniform not deterministic")
+		}
+	}
+	other := Uniform(500, testBounds, 2)
+	same := 0
+	for i := range pts {
+		if pts[i].Eq(other[i]) {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestClustered(t *testing.T) {
+	pts, err := Clustered(400, 5, 30, testBounds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 400 {
+		t.Fatalf("got %d points, want 400", len(pts))
+	}
+	for _, p := range pts {
+		if !testBounds.Contains(p) {
+			t.Fatalf("point %v out of bounds", p)
+		}
+	}
+	if _, err := Clustered(10, 0, 30, testBounds, 1); err == nil {
+		t.Error("expected error for nClusters=0")
+	}
+	if _, err := Clustered(10, 3, 0, testBounds, 1); err == nil {
+		t.Error("expected error for sigma=0")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	pts := Grid(100, testBounds, 0, 1)
+	if len(pts) != 100 {
+		t.Fatalf("got %d points, want 100", len(pts))
+	}
+	for _, p := range pts {
+		if !testBounds.Contains(p) {
+			t.Fatalf("point %v out of bounds", p)
+		}
+	}
+	jittered := Grid(100, testBounds, 0.3, 2)
+	if len(jittered) != 100 {
+		t.Fatalf("jittered grid: got %d points", len(jittered))
+	}
+}
