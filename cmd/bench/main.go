@@ -55,7 +55,19 @@ func main() {
 	}
 
 	want := strings.ToUpper(*exp)
-	ran := 0
+	if want != "ALL" {
+		known := false
+		ids := make([]string, len(runners))
+		for i, r := range runners {
+			ids[i] = r.id
+			known = known || want == r.id
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q; valid ids: %s, or 'all'\n",
+				*exp, strings.Join(ids, ", "))
+			os.Exit(2)
+		}
+	}
 	for _, r := range runners {
 		if want != "ALL" && want != r.id {
 			continue
@@ -69,10 +81,5 @@ func main() {
 			fmt.Println(row)
 		}
 		fmt.Println()
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; see -h\n", *exp)
-		os.Exit(2)
 	}
 }

@@ -1,0 +1,95 @@
+// Command insqd serves MkNN queries over HTTP: an online INS serving
+// engine (internal/engine) behind a JSON API. It boots a uniform synthetic
+// dataset, then maintains live query sessions against it — create a
+// session, stream batched location updates, mutate the object set, read
+// aggregated serving stats:
+//
+//	insqd -addr :8080 -objects 100000 -shards 8
+//
+//	curl -X POST localhost:8080/v1/sessions -d '{"k":5,"rho":1.6}'
+//	curl -X POST localhost:8080/v1/update -d '{"updates":[{"session":1,"x":512,"y":316}]}'
+//	curl -X POST localhost:8080/v1/objects -d '{"x":100,"y":200}'
+//	curl -X DELETE localhost:8080/v1/objects/42
+//	curl localhost:8080/v1/stats
+//
+// See internal/api for the wire types and cmd/loadgen for a closed-loop
+// driver. SIGINT/SIGTERM shut the server down gracefully: in-flight
+// requests drain, then the engine stops and prints its final stats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	insq "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insqd: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		objects = flag.Int("objects", 100000, "synthetic data objects")
+		space   = flag.Float64("space", 10000, "side length of the square data space")
+		shards  = flag.Int("shards", 8, "engine shards (parallel session workers)")
+		fanout  = flag.Int("fanout", insq.DefaultFanout, "VoR-tree fanout")
+		seed    = flag.Int64("seed", 42, "dataset seed")
+	)
+	flag.Parse()
+	if *objects < 1 || *shards < 1 || *space <= 0 {
+		log.Fatal("objects and shards must be >= 1 and space > 0")
+	}
+
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(*space, *space))
+	log.Printf("building %d shard replicas of %d objects...", *shards, *objects)
+	start := time.Now()
+	e, err := insq.NewEngine(insq.EngineConfig{
+		Shards:  *shards,
+		Fanout:  *fanout,
+		Bounds:  bounds,
+		Objects: insq.UniformPoints(*objects, bounds, *seed),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("engine up in %v", time.Since(start).Round(time.Millisecond))
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: (&server{e: e}).handler(),
+		// Bound slow clients so stuck connections can't pin goroutines (or
+		// eat the whole shutdown budget); bodies are size-capped per
+		// handler.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	go func() {
+		log.Printf("listening on %s", *addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	<-ctx.Done()
+	log.Print("shutting down...")
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutdownCancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if st, err := e.Stats(); err == nil {
+		log.Printf("final: %v", st)
+	}
+	e.Close()
+	log.Print("bye")
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	insq "repro"
+	"repro/internal/api"
+	"repro/internal/engine"
+)
+
+// server routes the insqd HTTP API onto one serving engine. The engine is
+// safe for concurrent use, so handlers need no additional locking.
+type server struct {
+	e *insq.Engine
+}
+
+// handler builds the route table; factored out of main so tests can mount
+// it on httptest servers.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.createSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.closeSession)
+	mux.HandleFunc("POST /v1/update", s.updateBatch)
+	mux.HandleFunc("POST /v1/objects", s.insertObject)
+	mux.HandleFunc("DELETE /v1/objects/{id}", s.removeObject)
+	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps engine errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, engine.ErrUnknownSession), errors.Is(err, engine.ErrUnknownObject):
+		status = http.StatusNotFound
+	case errors.Is(err, engine.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, api.ErrorResponse{Error: err.Error()})
+}
+
+func writeBadRequest(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: msg})
+}
+
+// maxRequestBody bounds request bodies (comfortably above a 100k-entry
+// update batch) so one oversized POST cannot exhaust server memory.
+const maxRequestBody = 8 << 20
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, api.ErrorResponse{Error: err.Error()})
+			return false
+		}
+		writeBadRequest(w, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func pathID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeBadRequest(w, "bad id: "+err.Error())
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
+	var req api.CreateSessionRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Rho == 0 {
+		req.Rho = 1.6
+	}
+	sid, err := s.e.CreateSession(req.K, req.Rho)
+	if errors.Is(err, engine.ErrClosed) {
+		writeError(w, err)
+		return
+	}
+	if err != nil { // parameter validation
+		writeBadRequest(w, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, api.CreateSessionResponse{Session: uint64(sid)})
+}
+
+func (s *server) closeSession(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.e.CloseSession(insq.SessionID(id)); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) updateBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.UpdateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	results, err := s.e.UpdateBatch(api.NewLocationUpdates(req.Updates))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.NewUpdateResponse(results))
+}
+
+func (s *server) insertObject(w http.ResponseWriter, r *http.Request) {
+	var req api.ObjectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	id, err := s.e.InsertObject(insq.Pt(req.X, req.Y))
+	switch {
+	case errors.Is(err, engine.ErrOutOfBounds):
+		writeBadRequest(w, err.Error())
+		return
+	case err != nil: // ErrClosed -> 503, internal failures -> 500
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ObjectResponse{ID: id})
+}
+
+func (s *server) removeObject(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.e.RemoveObject(int(id)); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.e.Stats()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.NewStatsResponse(st))
+}

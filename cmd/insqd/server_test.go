@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	insq "repro"
+	"repro/internal/api"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *insq.Engine) {
+	t.Helper()
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(1000, 1000))
+	e, err := insq.NewEngine(insq.EngineConfig{
+		Shards:  4,
+		Bounds:  bounds,
+		Objects: insq.UniformPoints(500, bounds, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer((&server{e: e}).handler())
+	t.Cleanup(func() {
+		ts.Close()
+		e.Close()
+	})
+	return ts, e
+}
+
+func postJSON(t *testing.T, url string, req, resp any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if resp != nil && r.StatusCode < 300 {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r.StatusCode
+}
+
+func doDelete(t *testing.T, url string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	return r.StatusCode
+}
+
+// TestServerEndToEnd exercises the full HTTP serving flow: session create,
+// batched updates, data updates with result invalidation, stats, close.
+func TestServerEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var created api.CreateSessionResponse
+	if code := postJSON(t, ts.URL+"/v1/sessions", api.CreateSessionRequest{K: 3}, &created); code != http.StatusOK {
+		t.Fatalf("create: status %d", code)
+	}
+	if created.Session == 0 {
+		t.Fatal("zero session id")
+	}
+
+	var upd api.UpdateResponse
+	req := api.UpdateRequest{Updates: []api.UpdateEntry{{Session: created.Session, X: 500, Y: 500}}}
+	if code := postJSON(t, ts.URL+"/v1/update", req, &upd); code != http.StatusOK {
+		t.Fatalf("update: status %d", code)
+	}
+	if len(upd.Results) != 1 || upd.Results[0].Error != "" || len(upd.Results[0].KNN) != 3 {
+		t.Fatalf("update results: %+v", upd.Results)
+	}
+
+	// Insert an object at the query position; it must appear in the next
+	// result (the engine invalidates the session lazily).
+	var obj api.ObjectResponse
+	if code := postJSON(t, ts.URL+"/v1/objects", api.ObjectRequest{X: 500, Y: 500}, &obj); code != http.StatusOK {
+		t.Fatalf("insert: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/update", req, &upd); code != http.StatusOK {
+		t.Fatalf("update 2: status %d", code)
+	}
+	if len(upd.Results[0].KNN) == 0 || upd.Results[0].KNN[0] != obj.ID {
+		t.Fatalf("inserted object %d not the NN: %v", obj.ID, upd.Results[0].KNN)
+	}
+	if code := doDelete(t, fmt.Sprintf("%s/v1/objects/%d", ts.URL, obj.ID)); code != http.StatusNoContent {
+		t.Fatalf("delete object: status %d", code)
+	}
+
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st api.StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.Sessions != 1 || st.Updates != 2 || st.Epoch != 2 || st.Shards != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Latency.Count != st.Updates {
+		t.Fatalf("latency count %d != updates %d", st.Latency.Count, st.Updates)
+	}
+
+	if code := doDelete(t, fmt.Sprintf("%s/v1/sessions/%d", ts.URL, created.Session)); code != http.StatusNoContent {
+		t.Fatalf("close session: status %d", code)
+	}
+	if code := doDelete(t, fmt.Sprintf("%s/v1/sessions/%d", ts.URL, created.Session)); code != http.StatusNotFound {
+		t.Fatalf("double close: status %d", code)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Malformed bodies and ids are 400s.
+	r, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: status %d", r.StatusCode)
+	}
+	if code := postJSON(t, ts.URL+"/v1/sessions", api.CreateSessionRequest{K: 0}, nil); code != http.StatusBadRequest {
+		t.Errorf("k=0: status %d", code)
+	}
+	if code := doDelete(t, ts.URL+"/v1/sessions/notanumber"); code != http.StatusBadRequest {
+		t.Errorf("bad id: status %d", code)
+	}
+
+	// Unknown sessions inside a batch are per-entry errors, not HTTP errors.
+	var upd api.UpdateResponse
+	req := api.UpdateRequest{Updates: []api.UpdateEntry{{Session: 999, X: 1, Y: 1}}}
+	if code := postJSON(t, ts.URL+"/v1/update", req, &upd); code != http.StatusOK {
+		t.Fatalf("update: status %d", code)
+	}
+	if upd.Results[0].Error == "" {
+		t.Error("unknown session produced no error")
+	}
+
+	// Removing an unknown object is a 404 and does not advance the data
+	// epoch; inserting outside the data space is the client's fault.
+	if code := doDelete(t, ts.URL+"/v1/objects/99999"); code != http.StatusNotFound {
+		t.Errorf("unknown object delete: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/objects", api.ObjectRequest{X: -5000, Y: -5000}, nil); code != http.StatusBadRequest {
+		t.Errorf("out-of-bounds insert: status %d", code)
+	}
+	r, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st api.StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.Epoch != 0 {
+		t.Errorf("failed remove advanced epoch to %d", st.Epoch)
+	}
+
+	if r, err = http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d", r.StatusCode)
+	}
+	r.Body.Close()
+}

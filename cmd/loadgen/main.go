@@ -1,0 +1,440 @@
+// Command loadgen drives a closed-loop MkNN serving workload: thousands
+// of RandomWaypoint clients, each a live query session, pushed through
+// batched location updates as fast as the target sustains, with optional
+// data-update churn racing the queries. It reports a throughput/latency
+// table from both sides: client-observed batch round-trips and the
+// server's per-update serving histogram.
+//
+// Two targets:
+//
+//	loadgen -addr http://localhost:8080       # a running insqd
+//	loadgen -sessions 5000 -duration 10s      # in-process engine (no HTTP)
+//
+// The in-process mode measures the engine floor; the HTTP mode adds the
+// JSON/TCP serving stack on top.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	insq "repro"
+	"repro/internal/api"
+	"repro/internal/metrics"
+)
+
+// target abstracts insqd-over-HTTP vs an in-process engine behind the
+// operations the load loop needs.
+type target interface {
+	createSession(k int, rho float64) (uint64, error)
+	closeSession(sid uint64) error
+	update(entries []api.UpdateEntry) (*api.UpdateResponse, error)
+	insertObject(x, y float64) (int, error)
+	removeObject(id int) error
+	stats() (*api.StatsResponse, error)
+	close()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		addr     = flag.String("addr", "", "insqd base URL (e.g. http://localhost:8080); empty runs an in-process engine")
+		sessions = flag.Int("sessions", 2000, "concurrent query sessions")
+		k        = flag.Int("k", 5, "nearest neighbors per session")
+		rho      = flag.Float64("rho", 1.6, "prefetch ratio")
+		duration = flag.Duration("duration", 5*time.Second, "load duration")
+		batch    = flag.Int("batch", 64, "location updates per request")
+		workers  = flag.Int("workers", 8, "concurrent client workers")
+		stepLen  = flag.Float64("step", 5, "client movement per update")
+		churn    = flag.Float64("churn", 0, "data updates per second (alternating insert/delete), 0 = off")
+		space    = flag.Float64("space", 10000, "side length of the data space (must match the server)")
+		seed     = flag.Int64("seed", 42, "trajectory seed")
+		objects  = flag.Int("objects", 50000, "in-process mode: synthetic data objects")
+		shards   = flag.Int("shards", 8, "in-process mode: engine shards")
+	)
+	flag.Parse()
+	if *sessions < 1 || *batch < 1 || *workers < 1 {
+		log.Fatal("sessions, batch and workers must be >= 1")
+	}
+
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(*space, *space))
+	var tgt target
+	if *addr != "" {
+		tgt = newHTTPTarget(*addr, *workers)
+		log.Printf("target: %s", *addr)
+	} else {
+		log.Printf("target: in-process engine (%d objects, %d shards)", *objects, *shards)
+		e, err := insq.NewEngine(insq.EngineConfig{
+			Shards:  *shards,
+			Bounds:  bounds,
+			Objects: insq.UniformPoints(*objects, bounds, *seed),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tgt = inprocTarget{e}
+	}
+	defer tgt.close()
+
+	// One session per synthetic client, partitioned over the workers.
+	log.Printf("creating %d sessions (k=%d, rho=%g)...", *sessions, *k, *rho)
+	sids := make([]uint64, *sessions)
+	if err := parallelFor(*workers, *sessions, func(i int) error {
+		sid, err := tgt.createSession(*k, *rho)
+		sids[i] = sid
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Precomputed cyclic trajectories keep the hot loop allocation-light.
+	const trajSteps = 256
+	trajs := make([][]insq.Point, *sessions)
+	for i := range trajs {
+		trajs[i] = insq.RandomWaypoint(bounds, trajSteps, *stepLen, *seed+int64(i))
+	}
+
+	stopChurn := make(chan struct{})
+	churnCount := 0
+	var churnWG sync.WaitGroup
+	if *churn > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			churnCount = runChurn(tgt, *churn, bounds, *seed, stopChurn)
+		}()
+	}
+
+	log.Printf("driving for %v (%d workers, batch %d)...", *duration, *workers, *batch)
+	type workerResult struct {
+		updates, batches, errors int
+		hist                     metrics.Histogram
+	}
+	results := make([]workerResult, *workers)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			var mine []int // session indices owned by this worker
+			for i := w; i < *sessions; i += *workers {
+				mine = append(mine, i)
+			}
+			if len(mine) == 0 { // more workers than sessions
+				return
+			}
+			entries := make([]api.UpdateEntry, 0, *batch)
+			for step := 0; time.Now().Before(deadline); step++ {
+				for lo := 0; lo < len(mine); lo += *batch {
+					hi := min(lo+*batch, len(mine))
+					entries = entries[:0]
+					for _, i := range mine[lo:hi] {
+						p := trajs[i][step%trajSteps]
+						entries = append(entries, api.UpdateEntry{Session: sids[i], X: p.X, Y: p.Y})
+					}
+					t0 := time.Now()
+					resp, err := tgt.update(entries)
+					res.batches++
+					if err != nil {
+						res.errors++
+						continue
+					}
+					// Successful round-trips only: failed requests (up to
+					// the client timeout) would skew the RTT quantiles.
+					res.hist.Record(time.Since(t0))
+					for _, r := range resp.Results {
+						if r.Error != "" {
+							res.errors++
+						} else {
+							res.updates++
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopChurn)
+	churnWG.Wait()
+
+	var total workerResult
+	for i := range results {
+		total.updates += results[i].updates
+		total.batches += results[i].batches
+		total.errors += results[i].errors
+		total.hist.Merge(&results[i].hist)
+	}
+
+	fmt.Printf("\n%-22s %v\n", "elapsed", elapsed.Round(time.Millisecond))
+	fmt.Printf("%-22s %d\n", "sessions", *sessions)
+	fmt.Printf("%-22s %d\n", "updates ok", total.updates)
+	fmt.Printf("%-22s %d\n", "update errors", total.errors)
+	fmt.Printf("%-22s %d\n", "batch requests", total.batches)
+	fmt.Printf("%-22s %d\n", "data updates", churnCount)
+	fmt.Printf("%-22s %.0f\n", "updates/sec", float64(total.updates)/elapsed.Seconds())
+	cl := total.hist.Summary()
+	fmt.Printf("client batch RTT       %v\n", cl)
+	if st, err := tgt.stats(); err != nil {
+		log.Printf("stats: %v", err)
+	} else {
+		fmt.Printf("server updates/sec     %.0f\n", st.UpdatesPerSec)
+		fmt.Printf("server update latency  n=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus\n",
+			st.Latency.Count, st.Latency.MeanUS, st.Latency.P50US, st.Latency.P95US, st.Latency.P99US, st.Latency.MaxUS)
+		fmt.Printf("server counters        %v\n", st.Counters)
+		fmt.Printf("server recompute rate  %.2f%% of updates\n",
+			100*float64(st.Counters.Recomputations)/float64(max(st.Counters.Timestamps, 1)))
+	}
+	// Release the sessions (after the stats read — server counters cover
+	// live sessions) so repeated runs against one long-running insqd don't
+	// accumulate dead sessions there. Keep going past individual failures:
+	// one transient error must not leak a worker's remaining sessions.
+	var closeFailed atomic.Int64
+	parallelFor(*workers, *sessions, func(i int) error {
+		if err := tgt.closeSession(sids[i]); err != nil {
+			closeFailed.Add(1)
+		}
+		return nil
+	})
+	if n := closeFailed.Load(); n > 0 {
+		log.Printf("failed to close %d sessions", n)
+	}
+
+	if total.errors > 0 {
+		log.Fatalf("%d update errors", total.errors)
+	}
+}
+
+// parallelFor runs fn(0..n-1) on workers goroutines and returns the first
+// error.
+func parallelFor(workers, n int, fn func(i int) error) error {
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if err := fn(i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runChurn applies paced data updates until stop closes: inserts random
+// objects and removes them again once enough have accumulated, so the
+// object count stays near its initial value.
+func runChurn(tgt target, perSec float64, bounds insq.Rect, seed int64, stop <-chan struct{}) int {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	interval := time.Duration(float64(time.Second) / perSec)
+	if interval <= 0 { // perSec > 1e9 truncates to zero, which NewTicker rejects
+		interval = time.Nanosecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var inserted []int
+	n := 0 // applied updates only; failures surface as log lines
+	for {
+		select {
+		case <-stop:
+			// Drain pending inserts so repeated runs against one server
+			// keep the object count at its initial value.
+			for _, id := range inserted {
+				if err := tgt.removeObject(id); err != nil {
+					log.Printf("churn drain %d: %v", id, err)
+				} else {
+					n++
+				}
+			}
+			return n
+		case <-tick.C:
+		}
+		if len(inserted) > 32 {
+			id := inserted[0]
+			inserted = inserted[1:]
+			if err := tgt.removeObject(id); err != nil {
+				log.Printf("churn remove %d: %v", id, err)
+			} else {
+				n++
+			}
+		} else {
+			x := bounds.Min.X + rng.Float64()*(bounds.Max.X-bounds.Min.X)
+			y := bounds.Min.Y + rng.Float64()*(bounds.Max.Y-bounds.Min.Y)
+			id, err := tgt.insertObject(x, y)
+			if err != nil {
+				log.Printf("churn insert: %v", err)
+			} else {
+				inserted = append(inserted, id)
+				n++
+			}
+		}
+	}
+}
+
+// inprocTarget serves the load loop straight from an engine, bypassing
+// HTTP; it measures the engine floor.
+type inprocTarget struct {
+	e *insq.Engine
+}
+
+func (t inprocTarget) createSession(k int, rho float64) (uint64, error) {
+	sid, err := t.e.CreateSession(k, rho)
+	return uint64(sid), err
+}
+
+func (t inprocTarget) closeSession(sid uint64) error {
+	return t.e.CloseSession(insq.SessionID(sid))
+}
+
+func (t inprocTarget) update(entries []api.UpdateEntry) (*api.UpdateResponse, error) {
+	results, err := t.e.UpdateBatch(api.NewLocationUpdates(entries))
+	if err != nil {
+		return nil, err
+	}
+	resp := api.NewUpdateResponse(results)
+	return &resp, nil
+}
+
+func (t inprocTarget) insertObject(x, y float64) (int, error) {
+	return t.e.InsertObject(insq.Pt(x, y))
+}
+
+func (t inprocTarget) removeObject(id int) error { return t.e.RemoveObject(id) }
+
+func (t inprocTarget) stats() (*api.StatsResponse, error) {
+	st, err := t.e.Stats()
+	if err != nil {
+		return nil, err
+	}
+	resp := api.NewStatsResponse(st)
+	return &resp, nil
+}
+
+func (t inprocTarget) close() { t.e.Close() }
+
+// httpTarget talks to a running insqd.
+type httpTarget struct {
+	base string
+	c    *http.Client
+}
+
+func newHTTPTarget(base string, workers int) *httpTarget {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = workers + 2
+	return &httpTarget{base: base, c: &http.Client{Transport: tr, Timeout: 30 * time.Second}}
+}
+
+func (t *httpTarget) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := t.c.Post(t.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		var e api.ErrorResponse
+		json.NewDecoder(r.Body).Decode(&e)
+		return fmt.Errorf("%s: status %d: %s", path, r.StatusCode, e.Error)
+	}
+	if resp != nil {
+		return json.NewDecoder(r.Body).Decode(resp)
+	}
+	return nil
+}
+
+func (t *httpTarget) createSession(k int, rho float64) (uint64, error) {
+	var resp api.CreateSessionResponse
+	err := t.post("/v1/sessions", api.CreateSessionRequest{K: k, Rho: rho}, &resp)
+	return resp.Session, err
+}
+
+func (t *httpTarget) closeSession(sid uint64) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%d", t.base, sid), nil)
+	if err != nil {
+		return err
+	}
+	r, err := t.c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		return fmt.Errorf("close session %d: status %d", sid, r.StatusCode)
+	}
+	return nil
+}
+
+func (t *httpTarget) update(entries []api.UpdateEntry) (*api.UpdateResponse, error) {
+	var resp api.UpdateResponse
+	if err := t.post("/v1/update", api.UpdateRequest{Updates: entries}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *httpTarget) insertObject(x, y float64) (int, error) {
+	var resp api.ObjectResponse
+	err := t.post("/v1/objects", api.ObjectRequest{X: x, Y: y}, &resp)
+	return resp.ID, err
+}
+
+func (t *httpTarget) removeObject(id int) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/objects/%d", t.base, id), nil)
+	if err != nil {
+		return err
+	}
+	r, err := t.c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		return fmt.Errorf("delete object %d: status %d", id, r.StatusCode)
+	}
+	return nil
+}
+
+func (t *httpTarget) stats() (*api.StatsResponse, error) {
+	r, err := t.c.Get(t.base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		var e api.ErrorResponse
+		json.NewDecoder(r.Body).Decode(&e)
+		return nil, fmt.Errorf("/v1/stats: status %d: %s", r.StatusCode, e.Error)
+	}
+	var resp api.StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *httpTarget) close() {}

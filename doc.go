@@ -35,6 +35,20 @@
 //	    ...
 //	}
 //
+// # Serving
+//
+// Beyond the single-query processors, the package exposes a concurrent
+// serving engine (session-sharded, safe for concurrent use) that maintains
+// thousands of live MkNN sessions with batched location updates and online
+// data updates:
+//
+//	e, err := insq.NewEngine(insq.EngineConfig{Shards: 8, Bounds: bounds, Objects: objects})
+//	sid, err := e.CreateSession(5, 1.6)
+//	results, err := e.UpdateBatch([]insq.LocationUpdate{{Session: sid, Pos: pos}})
+//
+// cmd/insqd fronts the engine with an HTTP/JSON API and cmd/loadgen drives
+// it with thousands of synthetic moving clients.
+//
 // See the examples directory for complete programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the reproduction results.
 package insq

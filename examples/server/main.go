@@ -1,0 +1,99 @@
+// Command server walks through the concurrent MkNN serving engine — the
+// online counterpart of examples/fleet. It starts an in-process engine
+// (the same subsystem cmd/insqd fronts with HTTP), registers a block of
+// moving-client sessions, drives them with batched location updates while
+// the object set churns underneath, and prints the aggregated serving
+// stats: INS cost counters, per-update latency quantiles, and throughput.
+//
+// For the networked version of this flow, run `insqd` and point
+// `loadgen -addr http://localhost:8080` at it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	insq "repro"
+)
+
+func main() {
+	const (
+		objects  = 20000
+		sessions = 500
+		shards   = 8
+		steps    = 50
+		k        = 5
+		rho      = 1.6
+	)
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(10000, 10000))
+
+	// The engine keeps one index replica per shard and pins each session
+	// to a shard, so sessions on different shards are served in parallel.
+	e, err := insq.NewEngine(insq.EngineConfig{
+		Shards:  shards,
+		Bounds:  bounds,
+		Objects: insq.UniformPoints(objects, bounds, 42),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer e.Close()
+
+	sids := make([]insq.SessionID, sessions)
+	trajs := make([][]insq.Point, sessions)
+	for i := range sids {
+		if sids[i], err = e.CreateSession(k, rho); err != nil {
+			log.Fatal(err)
+		}
+		trajs[i] = insq.RandomWaypoint(bounds, steps, 8, int64(i))
+	}
+
+	// One batched request per timestamp, carrying every client's location
+	// update; the engine fans it out to the shards and gathers results.
+	// Every tenth step also mutates the object set: affected sessions are
+	// invalidated and recompute lazily, the rest never notice.
+	var churned []int
+	for s := 0; s < steps; s++ {
+		batch := make([]insq.LocationUpdate, sessions)
+		for i := range sids {
+			batch[i] = insq.LocationUpdate{Session: sids[i], Pos: trajs[i][s]}
+		}
+		results, err := e.UpdateBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				log.Fatalf("session %d: %v", r.Session, r.Err)
+			}
+		}
+		if s%10 == 5 {
+			id, err := e.InsertObject(insq.Pt(float64(s)*37, float64(s)*91))
+			if err != nil {
+				log.Fatal(err)
+			}
+			churned = append(churned, id)
+		}
+		if len(churned) > 2 {
+			if err := e.RemoveObject(churned[0]); err != nil {
+				log.Fatal(err)
+			}
+			churned = churned[1:]
+		}
+	}
+
+	st, err := e.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served %d sessions x %d steps on %d shards\n", sessions, steps, shards)
+	fmt.Printf("location updates:  %d (%.0f/sec)\n", st.Updates, st.UpdatesPerSec)
+	fmt.Printf("data updates:      %d epochs\n", st.Epoch)
+	fmt.Printf("update latency:    %v\n", st.Latency)
+	fmt.Printf("recomputations:    %d (%.2f%% of updates; naive recomputes all)\n",
+		st.Counters.Recomputations,
+		100*float64(st.Counters.Recomputations)/float64(st.Counters.Timestamps))
+	fmt.Printf("objects shipped:   %d (%.2f per update)\n",
+		st.Counters.ObjectsShipped,
+		float64(st.Counters.ObjectsShipped)/float64(st.Counters.Timestamps))
+}

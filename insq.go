@@ -3,6 +3,7 @@ package insq
 import (
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/netvor"
@@ -217,6 +218,41 @@ type FleetQuery = sim.FleetQuery
 func RunPlaneFleet(queries []FleetQuery, workers int) ([]Report, error) {
 	return sim.RunPlaneFleet(queries, workers)
 }
+
+// Serving engine (the online counterpart of the fleet simulation).
+type (
+	// Engine is the concurrent MkNN serving engine: session-sharded
+	// workers over per-shard index replicas; safe for concurrent use.
+	Engine = engine.Engine
+	// EngineConfig parameterizes NewEngine.
+	EngineConfig = engine.Config
+	// SessionID identifies a live query session.
+	SessionID = engine.SessionID
+	// LocationUpdate is one session's new position within a batch.
+	LocationUpdate = engine.LocationUpdate
+	// NetworkLocationUpdate is one network session's new position.
+	NetworkLocationUpdate = engine.NetworkLocationUpdate
+	// UpdateResult is the per-session outcome of a batched update.
+	UpdateResult = engine.UpdateResult
+	// EngineStats is an aggregated engine serving snapshot.
+	EngineStats = engine.Stats
+	// LatencySummary condenses a latency histogram to reporting quantiles.
+	LatencySummary = metrics.LatencySummary
+)
+
+// Engine errors, re-exported for errors.Is checks through the facade.
+var (
+	ErrEngineClosed   = engine.ErrClosed
+	ErrUnknownSession = engine.ErrUnknownSession
+	ErrUnknownObject  = engine.ErrUnknownObject
+	ErrOutOfBounds    = engine.ErrOutOfBounds
+	ErrNoPlaneIndex   = engine.ErrNoPlaneIndex
+	ErrNoNetwork      = engine.ErrNoNetwork
+)
+
+// NewEngine starts a concurrent MkNN serving engine; see engine.Config for
+// the sharding and dataset knobs. Callers must Close it.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 
 // Rendering (the demonstration frames).
 type (

@@ -1,0 +1,155 @@
+// Package api defines the JSON wire types of the insqd HTTP interface,
+// shared by the server (cmd/insqd) and its clients (cmd/loadgen).
+//
+// Endpoints:
+//
+//	POST   /v1/sessions        CreateSessionRequest  -> CreateSessionResponse
+//	DELETE /v1/sessions/{id}                         -> 204
+//	POST   /v1/update          UpdateRequest         -> UpdateResponse
+//	POST   /v1/objects         ObjectRequest         -> ObjectResponse
+//	DELETE /v1/objects/{id}                          -> 204
+//	GET    /v1/stats                                 -> StatsResponse
+//	GET    /healthz                                  -> 200 "ok"
+//
+// Errors are ErrorResponse bodies with the matching HTTP status.
+package api
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+)
+
+// CreateSessionRequest registers one moving kNN query session.
+type CreateSessionRequest struct {
+	// K is the number of nearest neighbors to maintain.
+	K int `json:"k"`
+	// Rho is the prefetch ratio (>= 1); 0 defaults to 1.6.
+	Rho float64 `json:"rho,omitempty"`
+}
+
+// CreateSessionResponse returns the id to use in update batches.
+type CreateSessionResponse struct {
+	Session uint64 `json:"session"`
+}
+
+// UpdateEntry is one session's location update within a batch.
+type UpdateEntry struct {
+	Session uint64  `json:"session"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+}
+
+// UpdateRequest carries location updates for many sessions in one request.
+type UpdateRequest struct {
+	Updates []UpdateEntry `json:"updates"`
+}
+
+// UpdateResultEntry is the outcome for one update: the current kNN object
+// ids, or the per-session error.
+type UpdateResultEntry struct {
+	Session uint64 `json:"session"`
+	KNN     []int  `json:"knn,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// UpdateResponse parallels UpdateRequest.Updates.
+type UpdateResponse struct {
+	Results []UpdateResultEntry `json:"results"`
+}
+
+// NewLocationUpdates converts wire entries to engine batch input — the
+// request-direction counterpart of NewUpdateResponse, shared by the server
+// and in-process clients so the two mappings cannot drift.
+func NewLocationUpdates(entries []UpdateEntry) []engine.LocationUpdate {
+	batch := make([]engine.LocationUpdate, len(entries))
+	for i, u := range entries {
+		batch[i] = engine.LocationUpdate{Session: engine.SessionID(u.Session), Pos: geom.Pt(u.X, u.Y)}
+	}
+	return batch
+}
+
+// NewUpdateResponse converts engine batch results to wire form, the one
+// canonical mapping shared by the server and in-process clients: on a
+// per-session error the entry carries the error string and no kNN set.
+func NewUpdateResponse(results []engine.UpdateResult) UpdateResponse {
+	resp := UpdateResponse{Results: make([]UpdateResultEntry, len(results))}
+	for i, r := range results {
+		entry := UpdateResultEntry{Session: uint64(r.Session), KNN: r.KNN}
+		if r.Err != nil {
+			entry.Error = r.Err.Error()
+			entry.KNN = nil
+		}
+		resp.Results[i] = entry
+	}
+	return resp
+}
+
+// ObjectRequest inserts a data object.
+type ObjectRequest struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// ObjectResponse returns the inserted object's id.
+type ObjectResponse struct {
+	ID int `json:"id"`
+}
+
+// LatencyStats is a latency summary in microseconds.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// NewLatencyStats converts an engine latency summary to wire form.
+func NewLatencyStats(s metrics.LatencySummary) LatencyStats {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return LatencyStats{
+		Count:  s.Count,
+		MeanUS: us(s.Mean),
+		P50US:  us(s.P50),
+		P95US:  us(s.P95),
+		P99US:  us(s.P99),
+		MaxUS:  us(s.Max),
+	}
+}
+
+// StatsResponse is the engine snapshot served by GET /v1/stats.
+type StatsResponse struct {
+	Shards        int              `json:"shards"`
+	Sessions      int              `json:"sessions"`
+	Objects       int              `json:"objects"`
+	Epoch         uint64           `json:"epoch"`
+	Updates       uint64           `json:"updates"`
+	UptimeSec     float64          `json:"uptime_sec"`
+	UpdatesPerSec float64          `json:"updates_per_sec"`
+	Latency       LatencyStats     `json:"latency"`
+	Counters      metrics.Counters `json:"counters"`
+}
+
+// NewStatsResponse converts an engine snapshot to wire form.
+func NewStatsResponse(st engine.Stats) StatsResponse {
+	return StatsResponse{
+		Shards:        st.Shards,
+		Sessions:      st.Sessions,
+		Objects:       st.Objects,
+		Epoch:         st.Epoch,
+		Updates:       st.Updates,
+		UptimeSec:     st.Uptime.Seconds(),
+		UpdatesPerSec: st.UpdatesPerSec,
+		Latency:       NewLatencyStats(st.Latency),
+		Counters:      st.Counters,
+	}
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -228,6 +228,44 @@ func (q *PlaneQuery) recompute(p geom.Point) error {
 	return nil
 }
 
+// Invalidate discards the client-side state (R, I(R) and the kNN set) so
+// the next Update performs a full recomputation. The serving engine calls
+// it when an index mutation applied outside this query (the index is shared
+// by many sessions) may have changed the query's guard sets; the
+// recomputation itself happens lazily at the session's next location
+// update.
+func (q *PlaneQuery) Invalidate() {
+	q.init = false
+	q.r, q.ins, q.knn = nil, nil, nil
+}
+
+// AffectedByInsert reports whether an object just inserted into the index
+// (id at point p, with Voronoi neighbor list neighbors) can change this
+// query's prefetched state: it lands closer than the farthest prefetched
+// object or neighbors a prefetched object. The caller supplies the
+// neighbor list so that it is looked up once per index mutation rather
+// than once per query sharing the index.
+func (q *PlaneQuery) AffectedByInsert(id int, p geom.Point, neighbors []int) bool {
+	return q.init && q.affectsState(id, p, func() ([]int, error) { return neighbors, nil })
+}
+
+// UsesObject reports whether id participates in the query's client-side
+// state (the prefetched set R or its influential set I(R)); removing such
+// an object from the index invalidates the state.
+func (q *PlaneQuery) UsesObject(id int) bool {
+	for _, rid := range q.r {
+		if rid == id {
+			return true
+		}
+	}
+	for _, xid := range q.ins {
+		if xid == id {
+			return true
+		}
+	}
+	return false
+}
+
 // InsertObject adds a data object during query maintenance. The prefetched
 // state is refreshed only when the new object can affect it: when it lands
 // closer than the farthest prefetched object or becomes a Voronoi neighbor
@@ -240,7 +278,7 @@ func (q *PlaneQuery) InsertObject(p geom.Point) (int, error) {
 	if !q.init {
 		return id, nil
 	}
-	if q.affectsState(id, p) {
+	if q.affectsState(id, p, func() ([]int, error) { return q.ix.Neighbors(id) }) {
 		if err := q.recompute(q.lastPos); err != nil {
 			return id, err
 		}
@@ -248,7 +286,12 @@ func (q *PlaneQuery) InsertObject(p geom.Point) (int, error) {
 	return id, nil
 }
 
-func (q *PlaneQuery) affectsState(id int, p geom.Point) bool {
+// affectsState decides whether a just-inserted object can change the
+// prefetched state. The neighbor list is requested lazily — only after the
+// cheaper distance tests fail to prove affectedness — so single-query
+// callers skip the lookup in the common case while the serving engine can
+// supply a list it already fetched once per shard.
+func (q *PlaneQuery) affectsState(id int, p geom.Point, neighbors func() ([]int, error)) bool {
 	var maxR float64
 	for _, rid := range q.r {
 		if rid == id {
@@ -261,17 +304,15 @@ func (q *PlaneQuery) affectsState(id int, p geom.Point) bool {
 	if q.lastPos.Dist2(p) < maxR {
 		return true
 	}
-	nb, err := q.ix.Neighbors(id)
+	nb, err := neighbors()
 	if err != nil {
 		return true // be conservative
 	}
-	inR := make(map[int]bool, len(q.r))
-	for _, rid := range q.r {
-		inR[rid] = true
-	}
 	for _, u := range nb {
-		if inR[u] {
-			return true
+		for _, rid := range q.r { // both lists are O(k); no map needed
+			if rid == u {
+				return true
+			}
 		}
 	}
 	return false
@@ -281,21 +322,7 @@ func (q *PlaneQuery) affectsState(id int, p geom.Point) bool {
 // refreshed when the object participated in the prefetched set or its
 // influential neighbors; otherwise the removal cannot change R or I(R).
 func (q *PlaneQuery) RemoveObject(id int) error {
-	inState := false
-	for _, rid := range q.r {
-		if rid == id {
-			inState = true
-			break
-		}
-	}
-	if !inState {
-		for _, xid := range q.ins {
-			if xid == id {
-				inState = true
-				break
-			}
-		}
-	}
+	inState := q.UsesObject(id)
 	if err := q.ix.Remove(id); err != nil {
 		return err
 	}

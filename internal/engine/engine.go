@@ -1,0 +1,466 @@
+// Package engine is the concurrent MkNN serving subsystem: it turns the
+// single-query INS processors of internal/core into an online engine that
+// maintains thousands of live query sessions against one logical dataset,
+// the load shape of an LBS server tracking moving clients.
+//
+// The design is session-sharded with shared-nothing replicas. The INS
+// processors and the index structures beneath them are not safe for
+// concurrent use — even reads advance cost counters — so the engine runs N
+// shard workers, each a single goroutine owning (a) a private replica of
+// the VoR-tree and/or network Voronoi diagram and (b) every session pinned
+// to the shard. A session is pinned at creation (round-robin: the shard is
+// recoverable from the session id) and all of its INS state stays
+// goroutine-confined for its lifetime, while distinct shards serve their
+// sessions fully in parallel with zero locking on the query path.
+//
+// Requests travel as messages on per-shard mailbox channels. A batched
+// location-update request is fanned out to the owning shards and gathered;
+// a data update (object insert/delete) is sequenced by a global epoch and
+// broadcast to every shard, which applies it to its replica and lazily
+// invalidates exactly the sessions whose INS guard sets the mutation can
+// affect — those sessions recompute at their next location update, the
+// rest keep validating against their existing guard sets. Because every
+// replica starts from the same build and applies the same updates in the
+// same epoch order, object ids stay identical across shards (insertion
+// into the Voronoi diagram is deterministic); the engine verifies this on
+// every data update.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/netvor"
+	"repro/internal/roadnet"
+	"repro/internal/vortree"
+)
+
+// Errors returned by engine operations.
+var (
+	// ErrClosed is returned by every operation after Close.
+	ErrClosed = errors.New("engine: closed")
+	// ErrUnknownSession is returned for session ids that were never created
+	// or are already closed.
+	ErrUnknownSession = errors.New("engine: unknown session")
+	// ErrUnknownObject is returned when removing an object id that is not
+	// live in the index.
+	ErrUnknownObject = errors.New("engine: unknown object")
+	// ErrNoPlaneIndex is returned when a plane operation hits an engine
+	// configured without plane objects.
+	ErrNoPlaneIndex = errors.New("engine: no plane index configured")
+	// ErrNoNetwork is returned when a network session is created on an
+	// engine configured without a road network.
+	ErrNoNetwork = errors.New("engine: no road network configured")
+	// ErrOutOfBounds is returned when inserting an object outside the
+	// configured data space — a caller-input error, rejected before the
+	// update reaches any shard.
+	ErrOutOfBounds = errors.New("engine: point outside the data space")
+)
+
+// Config parameterizes New. Objects/Bounds configure the 2D Euclidean
+// (plane) side; Network/NetworkSites the road-network side. At least one
+// side must be configured; both may be.
+type Config struct {
+	// Shards is the number of shard workers (default 4). More shards mean
+	// more parallelism and more index-replica memory.
+	Shards int
+	// Fanout is the VoR-tree node fanout (default 16).
+	Fanout int
+	// MailboxDepth is the per-shard request queue length (default 128);
+	// senders block when a mailbox is full, providing backpressure.
+	MailboxDepth int
+
+	// Bounds is the data space of the plane objects.
+	Bounds geom.Rect
+	// Objects are the initial plane data objects.
+	Objects []geom.Point
+
+	// Network is the road network; the engine clones it per shard.
+	Network *roadnet.Graph
+	// NetworkSites are the vertices holding the network data objects.
+	NetworkSites []int
+}
+
+// SessionID identifies a live query session. The owning shard is encoded
+// as id mod Shards, so routing needs no shared lookup table.
+type SessionID uint64
+
+// LocationUpdate is one session's new position within a batch.
+type LocationUpdate struct {
+	Session SessionID
+	Pos     geom.Point
+}
+
+// NetworkLocationUpdate is one network session's new position.
+type NetworkLocationUpdate struct {
+	Session SessionID
+	Pos     roadnet.Position
+}
+
+// UpdateResult is the per-session outcome of a batched update: the current
+// kNN object ids (freshly allocated) or the error for that session.
+// Per-session errors do not fail the rest of the batch.
+type UpdateResult struct {
+	Session SessionID
+	KNN     []int
+	Err     error
+}
+
+// Stats is an aggregated snapshot of the engine's serving state.
+type Stats struct {
+	Shards   int
+	Sessions int
+	// Objects is the number of live plane data objects (0 without a plane
+	// index).
+	Objects int
+	// Epoch counts applied data updates.
+	Epoch uint64
+	// Updates counts processed location updates.
+	Updates uint64
+	// Uptime is the time since New.
+	Uptime time.Duration
+	// UpdatesPerSec is Updates averaged over Uptime.
+	UpdatesPerSec float64
+	// Counters aggregates the INS cost counters over all live sessions.
+	Counters metrics.Counters
+	// Latency summarizes per-location-update serving latency.
+	Latency metrics.LatencySummary
+}
+
+// String renders the snapshot as a short report.
+func (s Stats) String() string {
+	return fmt.Sprintf("shards=%d sessions=%d objects=%d epoch=%d updates=%d up=%v rate=%.0f/s latency[%v]",
+		s.Shards, s.Sessions, s.Objects, s.Epoch, s.Updates,
+		s.Uptime.Round(time.Millisecond), s.UpdatesPerSec, s.Latency)
+}
+
+// Engine is the concurrent MkNN serving engine. All methods are safe for
+// concurrent use.
+type Engine struct {
+	shards   []*shard
+	start    time.Time
+	hasPlane bool
+	bounds   geom.Rect // plane data space (meaningful when hasPlane)
+
+	mu     sync.RWMutex // held (shared) across every mailbox round-trip; Close takes it exclusively
+	closed bool
+
+	seqMu   sync.Mutex
+	nextSeq uint64
+
+	dataMu sync.Mutex // serializes data updates so replicas apply one global order
+	epoch  uint64
+}
+
+// New builds the engine: one index replica set per shard, then starts the
+// shard workers. Building replicas runs in parallel across shards.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 16
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = 128
+	}
+	hasPlane := len(cfg.Objects) > 0
+	hasNetwork := cfg.Network != nil
+	if !hasPlane && !hasNetwork {
+		return nil, errors.New("engine: config has neither plane objects nor a road network")
+	}
+
+	e := &Engine{
+		shards:   make([]*shard, cfg.Shards),
+		start:    time.Now(),
+		hasPlane: hasPlane,
+		bounds:   cfg.Bounds,
+	}
+	errs := make([]error, cfg.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := &shard{
+				id:       i,
+				mailbox:  make(chan message, cfg.MailboxDepth),
+				done:     make(chan struct{}),
+				sessions: make(map[SessionID]*session),
+			}
+			if hasPlane {
+				ix, _, err := vortree.Build(cfg.Bounds, cfg.Fanout, cfg.Objects)
+				if err != nil {
+					errs[i] = fmt.Errorf("engine: shard %d plane replica: %w", i, err)
+					return
+				}
+				sh.ix = ix
+			}
+			if hasNetwork {
+				nv, err := netvor.Build(cfg.Network.Clone(), cfg.NetworkSites)
+				if err != nil {
+					errs[i] = fmt.Errorf("engine: shard %d network replica: %w", i, err)
+					return
+				}
+				sh.nv = nv
+			}
+			e.shards[i] = sh
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	for _, sh := range e.shards {
+		go sh.run()
+	}
+	return e, nil
+}
+
+// shardOf returns the shard owning sid, or nil for ids the engine never
+// issued (0 is reserved).
+func (e *Engine) shardOf(sid SessionID) *shard {
+	if sid == 0 {
+		return nil
+	}
+	return e.shards[uint64(sid)%uint64(len(e.shards))]
+}
+
+// allocSession reserves the next session id; shard assignment is
+// round-robin because ids are sequential.
+func (e *Engine) allocSession() SessionID {
+	e.seqMu.Lock()
+	defer e.seqMu.Unlock()
+	e.nextSeq++
+	return SessionID(e.nextSeq)
+}
+
+// CreateSession registers a plane MkNN session with parameter k and
+// prefetch ratio rho and returns its id. The session holds no position
+// until its first location update.
+func (e *Engine) CreateSession(k int, rho float64) (SessionID, error) {
+	return e.createSession(false, k, rho)
+}
+
+// CreateNetworkSession registers a road-network MkNN session.
+func (e *Engine) CreateNetworkSession(k int, rho float64) (SessionID, error) {
+	return e.createSession(true, k, rho)
+}
+
+func (e *Engine) createSession(network bool, k int, rho float64) (SessionID, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	sid := e.allocSession()
+	reply := make(chan error, 1)
+	sh := e.shardOf(sid)
+	sh.mailbox <- createMsg{sid: sid, network: network, k: k, rho: rho, reply: reply}
+	if err := <-reply; err != nil {
+		return 0, err
+	}
+	return sid, nil
+}
+
+// CloseSession removes a live session.
+func (e *Engine) CloseSession(sid SessionID) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	sh := e.shardOf(sid)
+	if sh == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownSession, sid)
+	}
+	reply := make(chan error, 1)
+	sh.mailbox <- closeMsg{sid: sid, reply: reply}
+	return <-reply
+}
+
+// UpdateBatch processes one batched location-update request — typically
+// one network round-trip carrying updates for many sessions. Updates are
+// fanned out to the owning shards, run in parallel across shards (in input
+// order within each session's shard), and gathered into one result per
+// update, in input order. The returned error reflects engine-level
+// failure only; per-session errors ride in the results.
+func (e *Engine) UpdateBatch(updates []LocationUpdate) ([]UpdateResult, error) {
+	entries := make([]batchEntry, len(updates))
+	for i, u := range updates {
+		entries[i] = batchEntry{idx: i, sid: u.Session, pos: u.Pos}
+	}
+	return e.runBatch(false, entries)
+}
+
+// UpdateNetworkBatch is UpdateBatch for road-network sessions.
+func (e *Engine) UpdateNetworkBatch(updates []NetworkLocationUpdate) ([]UpdateResult, error) {
+	entries := make([]batchEntry, len(updates))
+	for i, u := range updates {
+		entries[i] = batchEntry{idx: i, sid: u.Session, net: u.Pos}
+	}
+	return e.runBatch(true, entries)
+}
+
+func (e *Engine) runBatch(network bool, entries []batchEntry) ([]UpdateResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	results := make([]UpdateResult, len(entries))
+	perShard := make([][]batchEntry, len(e.shards))
+	for _, en := range entries {
+		sh := e.shardOf(en.sid)
+		if sh == nil {
+			results[en.idx] = UpdateResult{Session: en.sid, Err: fmt.Errorf("%w: %d", ErrUnknownSession, en.sid)}
+			continue
+		}
+		perShard[sh.id] = append(perShard[sh.id], en)
+	}
+	reply := make(chan struct{}, len(e.shards))
+	sent := 0
+	for s, part := range perShard {
+		if len(part) == 0 {
+			continue
+		}
+		e.shards[s].mailbox <- batchMsg{network: network, entries: part, results: results, reply: reply}
+		sent++
+	}
+	for i := 0; i < sent; i++ {
+		<-reply
+	}
+	return results, nil
+}
+
+// InsertObject adds a plane data object and returns its id. The update is
+// broadcast to every shard replica under the next epoch; sessions whose
+// guard sets the new object can affect are invalidated and recompute at
+// their next location update.
+func (e *Engine) InsertObject(p geom.Point) (int, error) {
+	return e.dataUpdate(dataMsg{insert: true, p: p})
+}
+
+// RemoveObject deletes a plane data object everywhere; sessions using it
+// in their guard sets are invalidated.
+func (e *Engine) RemoveObject(id int) error {
+	_, err := e.dataUpdate(dataMsg{id: id})
+	return err
+}
+
+func (e *Engine) dataUpdate(m dataMsg) (int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return -1, ErrClosed
+	}
+	// Reject bad input before it reaches any shard (and after the closed
+	// check, so a closed engine always reports ErrClosed).
+	if m.insert && e.hasPlane && !e.bounds.Contains(m.p) {
+		return -1, fmt.Errorf("%w: %v not in [%v, %v]", ErrOutOfBounds, m.p, e.bounds.Min, e.bounds.Max)
+	}
+	e.dataMu.Lock()
+	defer e.dataMu.Unlock()
+	e.epoch++
+	m.epoch = e.epoch
+	m.reply = make(chan dataReply, len(e.shards))
+	for _, sh := range e.shards {
+		sh.mailbox <- m
+	}
+	id := -1
+	var firstErr error
+	failures := 0
+	diverged := false
+	for range e.shards {
+		r := <-m.reply
+		switch {
+		case r.err != nil:
+			failures++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case id == -1:
+			id = r.id
+		case r.id != id:
+			diverged = true
+		}
+	}
+	switch {
+	case diverged, failures > 0 && failures < len(e.shards):
+		// Invariant breach: identical replicas must agree — all succeed
+		// with one id or all fail alike. Differing ids or a mixed outcome
+		// means some replicas hold the mutation and some don't; the epoch
+		// stands (it was applied somewhere) and the breach is surfaced
+		// loudly rather than masked as a clean failure.
+		if firstErr != nil {
+			return -1, fmt.Errorf("engine: replica divergence at epoch %d: %d/%d shards failed, first error: %w",
+				e.epoch, failures, len(e.shards), firstErr)
+		}
+		return -1, fmt.Errorf("engine: replica divergence at epoch %d: object ids differ across shards", e.epoch)
+	case failures == len(e.shards):
+		// The update was applied nowhere (replicas fail identically); roll
+		// the epoch back so it keeps counting applied updates only. Safe
+		// under dataMu: no other update observed the increment.
+		e.epoch--
+		return -1, firstErr
+	}
+	return id, nil
+}
+
+// Stats gathers an aggregated snapshot from all shards. Counters and
+// latency cover live sessions and processed updates respectively; the
+// reported epoch is the highest applied by any shard.
+func (e *Engine) Stats() (Stats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return Stats{}, ErrClosed
+	}
+	reply := make(chan shardStats, len(e.shards))
+	for _, sh := range e.shards {
+		sh.mailbox <- statsMsg{reply: reply}
+	}
+	st := Stats{Shards: len(e.shards), Uptime: time.Since(e.start)}
+	var hist metrics.Histogram
+	for range e.shards {
+		s := <-reply
+		st.Sessions += s.sessions
+		st.Updates += s.updates
+		if s.objects > st.Objects {
+			st.Objects = s.objects
+		}
+		if s.epoch > st.Epoch {
+			st.Epoch = s.epoch
+		}
+		st.Counters.Add(s.counters)
+		hist.Merge(&s.hist)
+	}
+	st.Latency = hist.Summary()
+	if secs := st.Uptime.Seconds(); secs > 0 {
+		st.UpdatesPerSec = float64(st.Updates) / secs
+	}
+	return st, nil
+}
+
+// Close shuts the engine down: it waits for in-flight requests, stops the
+// shard workers and releases their sessions. Close is idempotent; all
+// other methods fail with ErrClosed afterwards.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	for _, sh := range e.shards {
+		close(sh.mailbox)
+	}
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/netvor"
+	"repro/internal/roadnet"
+	"repro/internal/vortree"
+)
+
+// shard is one serving partition: a worker goroutine that owns a private
+// replica of the index structures plus every session pinned to it. All INS
+// state behind a shard is touched by exactly one goroutine, so none of it
+// needs locks; shards communicate with the engine only through the mailbox
+// and reply channels.
+type shard struct {
+	id      int
+	mailbox chan message
+	done    chan struct{}
+
+	// Worker-owned state; never accessed outside the worker goroutine.
+	ix       *vortree.Index  // plane index replica (nil without plane data)
+	nv       *netvor.Diagram // network Voronoi replica (nil without network)
+	sessions map[SessionID]*session
+	hist     metrics.Histogram
+	updates  uint64
+	epoch    uint64
+}
+
+// session is one live MkNN query pinned to a shard. Exactly one of plane
+// and network is non-nil.
+type session struct {
+	plane   *core.PlaneQuery
+	network *core.NetworkQuery
+}
+
+func (s *session) counters() metrics.Counters {
+	if s.plane != nil {
+		return *s.plane.Metrics()
+	}
+	return *s.network.Metrics()
+}
+
+// message is a mailbox envelope; the worker type-switches on it.
+type message interface{ isMessage() }
+
+// createMsg registers a new session under sid.
+type createMsg struct {
+	sid     SessionID
+	network bool
+	k       int
+	rho     float64
+	reply   chan error
+}
+
+// closeMsg removes session sid.
+type closeMsg struct {
+	sid   SessionID
+	reply chan error
+}
+
+// batchEntry is one location update of a batch, fanned out to the owning
+// shard; idx is the position of the result in the caller's results slice.
+type batchEntry struct {
+	idx int
+	sid SessionID
+	pos geom.Point
+	net roadnet.Position
+}
+
+// batchMsg processes a run of location updates. The worker writes into
+// results at the entries' disjoint indices and then signals reply once.
+type batchMsg struct {
+	network bool
+	entries []batchEntry
+	results []UpdateResult
+	reply   chan struct{}
+}
+
+// dataMsg applies one data-object update (insert when insert is set,
+// otherwise removal of id) to the shard's index replica at the given epoch.
+type dataMsg struct {
+	epoch  uint64
+	insert bool
+	p      geom.Point
+	id     int
+	reply  chan dataReply
+}
+
+type dataReply struct {
+	id  int
+	err error
+}
+
+// statsMsg snapshots the shard's serving state.
+type statsMsg struct {
+	reply chan shardStats
+}
+
+type shardStats struct {
+	sessions int
+	objects  int
+	epoch    uint64
+	updates  uint64
+	counters metrics.Counters
+	hist     metrics.Histogram
+}
+
+func (createMsg) isMessage() {}
+func (closeMsg) isMessage()  {}
+func (batchMsg) isMessage()  {}
+func (dataMsg) isMessage()   {}
+func (statsMsg) isMessage()  {}
+
+// run is the worker loop; it exits when the mailbox is closed.
+func (sh *shard) run() {
+	defer close(sh.done)
+	for msg := range sh.mailbox {
+		switch m := msg.(type) {
+		case createMsg:
+			m.reply <- sh.create(m)
+		case closeMsg:
+			if _, ok := sh.sessions[m.sid]; !ok {
+				m.reply <- fmt.Errorf("%w: %d", ErrUnknownSession, m.sid)
+				continue
+			}
+			delete(sh.sessions, m.sid)
+			m.reply <- nil
+		case batchMsg:
+			sh.runBatch(m)
+			m.reply <- struct{}{}
+		case dataMsg:
+			m.reply <- sh.applyData(m)
+		case statsMsg:
+			m.reply <- sh.stats()
+		}
+	}
+}
+
+func (sh *shard) create(m createMsg) error {
+	if m.network {
+		if sh.nv == nil {
+			return ErrNoNetwork
+		}
+		q, err := core.NewNetworkQuery(sh.nv, m.k, m.rho)
+		if err != nil {
+			return err
+		}
+		sh.sessions[m.sid] = &session{network: q}
+		return nil
+	}
+	if sh.ix == nil {
+		return ErrNoPlaneIndex
+	}
+	q, err := core.NewPlaneQuery(sh.ix, m.k, m.rho)
+	if err != nil {
+		return err
+	}
+	sh.sessions[m.sid] = &session{plane: q}
+	return nil
+}
+
+func (sh *shard) runBatch(m batchMsg) {
+	for _, e := range m.entries {
+		s, ok := sh.sessions[e.sid]
+		if !ok {
+			m.results[e.idx] = UpdateResult{Session: e.sid, Err: fmt.Errorf("%w: %d", ErrUnknownSession, e.sid)}
+			continue
+		}
+		var knn []int
+		var err error
+		switch {
+		case m.network && s.network != nil:
+			start := time.Now()
+			knn, err = s.network.Update(e.net)
+			sh.observe(time.Since(start))
+		case !m.network && s.plane != nil:
+			start := time.Now()
+			knn, err = s.plane.Update(e.pos)
+			sh.observe(time.Since(start))
+		default:
+			// A no-op: not counted as a processed update so Stats
+			// throughput and latency reflect real query work only.
+			err = fmt.Errorf("engine: session %d is not a %s session", e.sid, batchKind(m.network))
+		}
+		// The processor's kNN slice is shared and rewritten on the session's
+		// next update; copy before it leaves the worker goroutine.
+		m.results[e.idx] = UpdateResult{Session: e.sid, KNN: append([]int(nil), knn...), Err: err}
+	}
+}
+
+// observe accounts one processed location update.
+func (sh *shard) observe(d time.Duration) {
+	sh.hist.Record(d)
+	sh.updates++
+}
+
+func batchKind(network bool) string {
+	if network {
+		return "network"
+	}
+	return "plane"
+}
+
+// applyData applies one object insert/removal to the shard's replica and
+// lazily invalidates the sessions whose guard sets the mutation can touch:
+// their next location update recomputes R and I(R); unaffected sessions
+// keep serving validations from their existing state.
+func (sh *shard) applyData(m dataMsg) dataReply {
+	if sh.ix == nil {
+		return dataReply{id: -1, err: ErrNoPlaneIndex}
+	}
+	if m.insert {
+		id, err := sh.ix.Insert(m.p)
+		if err != nil {
+			return dataReply{id: -1, err: err}
+		}
+		// One neighbor lookup shared by every session's affectedness check;
+		// on lookup failure invalidate conservatively.
+		nb, nbErr := sh.ix.Neighbors(id)
+		for _, s := range sh.sessions {
+			if s.plane != nil && (nbErr != nil || s.plane.AffectedByInsert(id, m.p, nb)) {
+				s.plane.Invalidate()
+			}
+		}
+		sh.epoch = m.epoch
+		return dataReply{id: id}
+	}
+	if !sh.ix.Contains(m.id) {
+		return dataReply{id: m.id, err: fmt.Errorf("%w: %d", ErrUnknownObject, m.id)}
+	}
+	if err := sh.ix.Remove(m.id); err != nil {
+		return dataReply{id: m.id, err: err}
+	}
+	for _, s := range sh.sessions {
+		if s.plane != nil && s.plane.UsesObject(m.id) {
+			s.plane.Invalidate()
+		}
+	}
+	sh.epoch = m.epoch
+	return dataReply{id: m.id}
+}
+
+func (sh *shard) stats() shardStats {
+	st := shardStats{
+		sessions: len(sh.sessions),
+		epoch:    sh.epoch,
+		updates:  sh.updates,
+		hist:     sh.hist,
+	}
+	if sh.ix != nil {
+		st.objects = sh.ix.Len()
+	}
+	for _, s := range sh.sessions {
+		st.counters.Add(s.counters())
+	}
+	return st
+}

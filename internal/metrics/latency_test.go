@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// bucketIndex must be monotone and bucketValue must land inside the
+	// bucket's range with bounded relative error.
+	prev := -1
+	for _, ns := range []uint64{0, 1, 2, 7, 8, 9, 15, 16, 17, 100, 1000, 1e6, 1e9, 1 << 40} {
+		idx := bucketIndex(ns)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", ns, idx, prev)
+		}
+		prev = idx
+		v := bucketValue(idx)
+		if ns > 0 {
+			rel := float64(v)/float64(ns) - 1
+			if rel < -0.2 || rel > 0.2 {
+				t.Errorf("bucketValue(%d)=%d for ns=%d: relative error %.2f", idx, v, ns, rel)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty histogram not zero")
+	}
+	// 1..1000 microseconds uniformly: p50 ~ 500us, p99 ~ 990us.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Microsecond}, {0.95, 950 * time.Microsecond}, {0.99, 990 * time.Microsecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo, hi := c.want*8/10, c.want*12/10
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", c.q, got, lo, hi)
+		}
+	}
+	if h.Max() != time.Millisecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	if m := h.Mean(); m < 400*time.Microsecond || m > 600*time.Microsecond {
+		t.Errorf("mean = %v", m)
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Errorf("q100 %v exceeds max %v", h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		d := time.Duration(rng.Intn(1e6))
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Mean() != whole.Mean() || a.Max() != whole.Max() {
+		t.Errorf("merge mismatch: %v vs %v", a.Summary(), whole.Summary())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q%.2f: merged %v, whole %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramRecordNegative(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Errorf("negative record: count=%d max=%v", h.Count(), h.Max())
+	}
+}
+
+func TestLatencySummaryString(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	if s := h.Summary().String(); s == "" {
+		t.Error("empty summary string")
+	}
+}

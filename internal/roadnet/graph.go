@@ -121,6 +121,22 @@ func (g *Graph) Edges(fn func(u, v int, w float64)) {
 	}
 }
 
+// Clone returns a deep copy of the graph with a zeroed relaxation counter.
+// The serving engine gives each shard its own copy because shortest-path
+// searches mutate the counter, making even reads unsafe to share across
+// goroutines.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		pts:   append([]geom.Point(nil), g.pts...),
+		adj:   make([][]halfEdge, len(g.adj)),
+		edges: g.edges,
+	}
+	for v, hs := range g.adj {
+		c.adj[v] = append([]halfEdge(nil), hs...)
+	}
+	return c
+}
+
 // ResetStats zeroes the relaxation counter.
 func (g *Graph) ResetStats() { g.EdgeRelaxations = 0 }
 

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trajectory"
+	"repro/internal/vortree"
+	"repro/internal/workload"
+)
+
+// TestRunPlaneFleetManyShardsRace stresses the fleet runner's concurrency
+// contract under the race detector: many shards run in parallel while
+// queries sharing an index stay confined to one shard, and multiple fleet
+// runs execute concurrently against disjoint fleets.
+func TestRunPlaneFleetManyShardsRace(t *testing.T) {
+	const (
+		fleets   = 3
+		shards   = 12
+		perShard = 8
+		steps    = 40
+	)
+	buildFleet := func(seed int64) []FleetQuery {
+		var queries []FleetQuery
+		for s := 0; s < shards; s++ {
+			ix, _, err := vortree.Build(testBounds, 16, workload.Uniform(200, testBounds, seed+int64(s)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < perShard; j++ {
+				q, err := core.NewPlaneQuery(ix, 3, 1.6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				queries = append(queries, FleetQuery{
+					Proc:  q,
+					Traj:  trajectory.RandomWaypoint(testBounds, steps, 4, seed+int64(s*100+j)),
+					Shard: s,
+				})
+			}
+		}
+		return queries
+	}
+
+	var wg sync.WaitGroup
+	for f := 0; f < fleets; f++ {
+		fleet := buildFleet(int64(1000 * (f + 1)))
+		wg.Add(1)
+		go func(f int, fleet []FleetQuery) {
+			defer wg.Done()
+			reports, err := RunPlaneFleet(fleet, 8)
+			if err != nil {
+				t.Errorf("fleet %d: %v", f, err)
+				return
+			}
+			for i, rep := range reports {
+				if rep.Steps != steps {
+					t.Errorf("fleet %d query %d: %d steps", f, i, rep.Steps)
+				}
+			}
+		}(f, fleet)
+	}
+	wg.Wait()
+}
