@@ -8,12 +8,15 @@
 // Experiments: E1 (Figure 1 MIS/INS), E2 (Figure 2 network INS),
 // E3 (Figure 4 validation behavior), E4/E5 (recomputation & time vs k),
 // E6 (prefetch ratio ρ sweep), E7 (dataset size sweep), E8/E9 (road
-// networks incl. Theorem-2 ablation), E11 (data-update rate sweep), and
-// the ablations A1 (local re-rank), A2 (VoR-tree vs R-tree kNN), A3
-// (order-k cell construction candidates).
+// networks incl. Theorem-2 ablation), E11 (data-update rate sweep), the
+// ablations A1 (local re-rank), A2 (VoR-tree vs R-tree kNN), A3 (order-k
+// cell construction candidates), and ENGINE (the online serving benchmark;
+// with -benchout it writes the JSON record CI archives as
+// BENCH_engine.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,8 +29,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
-	exp := flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E11,E12,A1,A2,A3) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E11,E12,A1,A2,A3,ENGINE) or 'all'")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (>=1)")
+	benchout := flag.String("benchout", "", "with -exp ENGINE: write the result as JSON to this file (e.g. BENCH_engine.json)")
 	flag.Parse()
 	if *scale < 1 {
 		*scale = 1
@@ -56,15 +60,15 @@ func main() {
 
 	want := strings.ToUpper(*exp)
 	if want != "ALL" {
-		known := false
-		ids := make([]string, len(runners))
+		known := want == "ENGINE"
+		ids := make([]string, len(runners), len(runners)+1)
 		for i, r := range runners {
 			ids[i] = r.id
 			known = known || want == r.id
 		}
 		if !known {
 			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q; valid ids: %s, or 'all'\n",
-				*exp, strings.Join(ids, ", "))
+				*exp, strings.Join(append(ids, "ENGINE"), ", "))
 			os.Exit(2)
 		}
 	}
@@ -81,5 +85,23 @@ func main() {
 			fmt.Println(row)
 		}
 		fmt.Println()
+	}
+	if want == "ALL" || want == "ENGINE" {
+		fmt.Println("== ENGINE: online serving benchmark (shared snapshot store)")
+		res, err := experiments.EngineBench(cfg)
+		if err != nil {
+			log.Fatalf("ENGINE: %v", err)
+		}
+		fmt.Println(res)
+		if *benchout != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				log.Fatalf("ENGINE: encode: %v", err)
+			}
+			if err := os.WriteFile(*benchout, append(data, '\n'), 0o644); err != nil {
+				log.Fatalf("ENGINE: %v", err)
+			}
+			log.Printf("wrote %s", *benchout)
+		}
 	}
 }

@@ -47,7 +47,7 @@ func main() {
 	}
 
 	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(*space, *space))
-	log.Printf("building %d shard replicas of %d objects...", *shards, *objects)
+	log.Printf("building shared index of %d objects (%d shards)...", *objects, *shards)
 	start := time.Now()
 	e, err := insq.NewEngine(insq.EngineConfig{
 		Shards:  *shards,

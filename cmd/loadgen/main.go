@@ -191,6 +191,7 @@ func main() {
 		log.Printf("stats: %v", err)
 	} else {
 		fmt.Printf("server updates/sec     %.0f\n", st.UpdatesPerSec)
+		fmt.Printf("server epoch           %d (%d live index snapshots)\n", st.Epoch, st.Snapshots)
 		fmt.Printf("server update latency  n=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus\n",
 			st.Latency.Count, st.Latency.MeanUS, st.Latency.P50US, st.Latency.P95US, st.Latency.P99US, st.Latency.MaxUS)
 		fmt.Printf("server counters        %v\n", st.Counters)

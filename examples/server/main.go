@@ -27,8 +27,9 @@ func main() {
 	)
 	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(10000, 10000))
 
-	// The engine keeps one index replica per shard and pins each session
-	// to a shard, so sessions on different shards are served in parallel.
+	// The engine pins each session to a shard for parallel serving; all
+	// shards read one shared, epoch-versioned index snapshot, so memory
+	// stays O(objects) no matter how many shards run.
 	e, err := insq.NewEngine(insq.EngineConfig{
 		Shards:  shards,
 		Bounds:  bounds,
@@ -88,7 +89,7 @@ func main() {
 	}
 	fmt.Printf("served %d sessions x %d steps on %d shards\n", sessions, steps, shards)
 	fmt.Printf("location updates:  %d (%.0f/sec)\n", st.Updates, st.UpdatesPerSec)
-	fmt.Printf("data updates:      %d epochs\n", st.Epoch)
+	fmt.Printf("data updates:      %d epochs (%d live index snapshots)\n", st.Epoch, st.Snapshots)
 	fmt.Printf("update latency:    %v\n", st.Latency)
 	fmt.Printf("recomputations:    %d (%.2f%% of updates; naive recomputes all)\n",
 		st.Counters.Recomputations,

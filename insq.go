@@ -222,7 +222,9 @@ func RunPlaneFleet(queries []FleetQuery, workers int) ([]Report, error) {
 // Serving engine (the online counterpart of the fleet simulation).
 type (
 	// Engine is the concurrent MkNN serving engine: session-sharded
-	// workers over per-shard index replicas; safe for concurrent use.
+	// workers reading shared, immutable, epoch-versioned index snapshots
+	// (memory is O(objects) regardless of shard count); safe for
+	// concurrent use.
 	Engine = engine.Engine
 	// EngineConfig parameterizes NewEngine.
 	EngineConfig = engine.Config

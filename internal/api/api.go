@@ -121,12 +121,15 @@ func NewLatencyStats(s metrics.LatencySummary) LatencyStats {
 	}
 }
 
-// StatsResponse is the engine snapshot served by GET /v1/stats.
+// StatsResponse is the engine snapshot served by GET /v1/stats. Snapshots
+// is the number of live index versions: 1 when every session has re-pinned
+// to the current one, more while lagging sessions keep old versions alive.
 type StatsResponse struct {
 	Shards        int              `json:"shards"`
 	Sessions      int              `json:"sessions"`
 	Objects       int              `json:"objects"`
 	Epoch         uint64           `json:"epoch"`
+	Snapshots     int              `json:"snapshots"`
 	Updates       uint64           `json:"updates"`
 	UptimeSec     float64          `json:"uptime_sec"`
 	UpdatesPerSec float64          `json:"updates_per_sec"`
@@ -141,6 +144,7 @@ func NewStatsResponse(st engine.Stats) StatsResponse {
 		Sessions:      st.Sessions,
 		Objects:       st.Objects,
 		Epoch:         st.Epoch,
+		Snapshots:     st.Snapshots,
 		Updates:       st.Updates,
 		UptimeSec:     st.Uptime.Seconds(),
 		UpdatesPerSec: st.UpdatesPerSec,

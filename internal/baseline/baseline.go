@@ -66,9 +66,9 @@ func (q *NaivePlane) Update(p geom.Point) ([]int, error) {
 		return nil, fmt.Errorf("%w: %d < %d", ErrTooFewObjects, q.ix.Len(), q.k)
 	}
 	q.m.Recomputations++
-	visitsBefore := q.ix.Tree().NodeVisits
+	visitsBefore := q.ix.Tree().NodeVisits()
 	q.knn = q.ix.KNN(p, q.k)
-	q.m.NodeVisits += q.ix.Tree().NodeVisits - visitsBefore
+	q.m.NodeVisits += q.ix.Tree().NodeVisits() - visitsBefore
 	q.m.ObjectsShipped += len(q.knn)
 	return q.knn, nil
 }
@@ -133,9 +133,9 @@ func (q *OrderKCellPlane) Update(p geom.Point) ([]int, error) {
 		q.m.Invalidations++
 	}
 	q.m.Recomputations++
-	visitsBefore := q.ix.Tree().NodeVisits
+	visitsBefore := q.ix.Tree().NodeVisits()
 	q.knn = q.ix.KNN(p, q.k)
-	q.m.NodeVisits += q.ix.Tree().NodeVisits - visitsBefore
+	q.m.NodeVisits += q.ix.Tree().NodeVisits() - visitsBefore
 	var cell geom.Polygon
 	var err error
 	d := q.ix.Diagram()
@@ -218,9 +218,9 @@ func (q *VStarPlane) Update(p geom.Point) ([]int, error) {
 	if n := q.ix.Len(); m > n {
 		m = n
 	}
-	visitsBefore := q.ix.Tree().NodeVisits
+	visitsBefore := q.ix.Tree().NodeVisits()
 	q.w = q.ix.KNN(p, m)
-	q.m.NodeVisits += q.ix.Tree().NodeVisits - visitsBefore
+	q.m.NodeVisits += q.ix.Tree().NodeVisits() - visitsBefore
 	q.q0 = p
 	if len(q.w) == q.ix.Len() {
 		q.d = -1 // the whole dataset is known: the region never expires

@@ -45,10 +45,10 @@ func (q *NaiveNetwork) Update(pos roadnet.Position) ([]int, error) {
 		return nil, err
 	}
 	q.m.Recomputations++
-	relaxBefore := q.d.Graph().EdgeRelaxations
+	relaxBefore := q.d.Graph().EdgeRelaxations()
 	q.knn = q.d.KNN(pos, q.k)
 	q.m.DijkstraRuns++
-	q.m.EdgeRelaxations += q.d.Graph().EdgeRelaxations - relaxBefore
+	q.m.EdgeRelaxations += q.d.Graph().EdgeRelaxations() - relaxBefore
 	q.m.ObjectsShipped += len(q.knn)
 	if len(q.knn) < q.k {
 		return nil, fmt.Errorf("%w: reached %d of %d", ErrTooFewObjects, len(q.knn), q.k)
@@ -124,10 +124,10 @@ func (q *FullNetworkINS) Update(pos roadnet.Position) ([]int, error) {
 	q.m.Validations++
 	// Rank all guard objects by true network distance: expand until every
 	// guard member is settled.
-	relaxBefore := q.d.Graph().EdgeRelaxations
+	relaxBefore := q.d.Graph().EdgeRelaxations()
 	ranked := q.rankGuard(pos)
 	q.m.DijkstraRuns++
-	q.m.EdgeRelaxations += q.d.Graph().EdgeRelaxations - relaxBefore
+	q.m.EdgeRelaxations += q.d.Graph().EdgeRelaxations() - relaxBefore
 	if len(ranked) >= q.k && sameSet(ranked[:q.k], q.knn) {
 		return q.knn, nil
 	}
@@ -163,10 +163,10 @@ func (q *FullNetworkINS) rankGuard(pos roadnet.Position) []int {
 
 func (q *FullNetworkINS) recompute(pos roadnet.Position) error {
 	q.m.Recomputations++
-	relaxBefore := q.d.Graph().EdgeRelaxations
+	relaxBefore := q.d.Graph().EdgeRelaxations()
 	ids, _ := q.d.KNNWithDistances(pos, q.prefetchSize())
 	q.m.DijkstraRuns++
-	q.m.EdgeRelaxations += q.d.Graph().EdgeRelaxations - relaxBefore
+	q.m.EdgeRelaxations += q.d.Graph().EdgeRelaxations() - relaxBefore
 	if len(ids) < q.k {
 		return fmt.Errorf("%w: reached %d of %d", ErrTooFewObjects, len(ids), q.k)
 	}

@@ -28,4 +28,21 @@
 // Voronoi diagrams, and Theorem 2 confines the validation search to the
 // subnetwork covered by the Voronoi cells of the guard objects, which
 // NetworkQuery exploits through netvor.Subnetwork.
+//
+// # Slice ownership
+//
+// This is the one place the result-slice contract is defined; the facade,
+// engine and HTTP layers inherit it rather than restating it.
+//
+//   - Update (both processors) returns a slice that aliases internal state
+//     and is rewritten by the query's next Update/Sync. It is the hot-path
+//     result — one call per location update — so the processor does not
+//     copy it; a caller that retains it beyond the next call, or hands it
+//     to another goroutine, must copy it first. The serving engine copies
+//     it once at its boundary (engine.UpdateResult.KNN is freshly
+//     allocated), which is where results cross goroutines.
+//   - The introspection accessors — Current, Prefetched, INS,
+//     InfluenceSet — return freshly allocated copies the caller owns.
+//     They are cold paths (rendering, debugging, examples), so the copy
+//     is the right default and lets callers sort or mutate freely.
 package core

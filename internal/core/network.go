@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/netvor"
 	"repro/internal/roadnet"
@@ -24,7 +25,7 @@ var ErrDisconnected = errors.New("core: query position cannot reach k objects")
 // on it. While the top-k on the subnetwork equals the current kNN set, the
 // kNN set is valid on the full network.
 type NetworkQuery struct {
-	d   *netvor.Diagram
+	d   index.NetworkBackend
 	k   int
 	rho float64
 	m   metrics.Counters
@@ -41,14 +42,28 @@ type NetworkQuery struct {
 // NewNetworkQuery creates an INS MkNN query over a network Voronoi diagram.
 // Parameters mirror NewPlaneQuery.
 func NewNetworkQuery(d *netvor.Diagram, k int, rho float64) (*NetworkQuery, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("core: k = %d, must be >= 1", k)
+	return newNetworkQuery(d, k, rho)
+}
+
+// NewNetworkQueryPinned creates an INS MkNN query served from a shared
+// index store's network backend. The network Voronoi diagram has no online
+// mutations, so unlike the plane side there is no per-update re-pinning —
+// the backend is the same immutable diagram in every snapshot (its reads
+// are race-free across sessions).
+func NewNetworkQueryPinned(st *index.Store, k int, rho float64) (*NetworkQuery, error) {
+	nb := st.Network()
+	if nb == nil {
+		return nil, errors.New("core: no road network configured")
 	}
-	if rho < 1 {
-		return nil, fmt.Errorf("core: prefetch ratio rho = %g, must be >= 1", rho)
+	return newNetworkQuery(nb, k, rho)
+}
+
+func newNetworkQuery(d index.NetworkBackend, k int, rho float64) (*NetworkQuery, error) {
+	if err := validateParams(k, rho); err != nil {
+		return nil, err
 	}
-	if len(d.Sites()) < k {
-		return nil, fmt.Errorf("core: k = %d exceeds site count %d", k, len(d.Sites()))
+	if d.Len() < k {
+		return nil, fmt.Errorf("core: k = %d exceeds site count %d", k, d.Len())
 	}
 	return &NetworkQuery{d: d, k: k, rho: rho}, nil
 }
@@ -62,14 +77,15 @@ func (q *NetworkQuery) K() int { return q.k }
 // Metrics returns the accumulated cost counters.
 func (q *NetworkQuery) Metrics() *metrics.Counters { return &q.m }
 
-// Current returns the current kNN set (shared slice; do not modify).
-func (q *NetworkQuery) Current() []int { return q.knn }
+// Current returns the current kNN set as a fresh copy; see the package
+// slice-ownership contract.
+func (q *NetworkQuery) Current() []int { return append([]int(nil), q.knn...) }
 
-// INS returns I(R) (shared slice; do not modify).
-func (q *NetworkQuery) INS() []int { return q.ins }
+// INS returns I(R) as a fresh copy.
+func (q *NetworkQuery) INS() []int { return append([]int(nil), q.ins...) }
 
-// Prefetched returns R (shared slice; do not modify).
-func (q *NetworkQuery) Prefetched() []int { return q.r }
+// Prefetched returns R as a fresh copy.
+func (q *NetworkQuery) Prefetched() []int { return append([]int(nil), q.r...) }
 
 // Subnetwork returns the current Theorem-2 validation subnetwork.
 func (q *NetworkQuery) Subnetwork() *netvor.Subnetwork { return q.sub }
@@ -105,20 +121,20 @@ func (q *NetworkQuery) Update(pos roadnet.Position) ([]int, error) {
 	// One bounded Dijkstra on the guard subnetwork, stopped as soon as k
 	// guard objects are settled; Theorem 2 certifies the kNN set when the
 	// subnetwork top-k matches it. This is the common, cheap path.
-	relaxBefore := q.sub.G.EdgeRelaxations
+	relaxBefore := q.sub.G.EdgeRelaxations()
 	topK, _ := q.sub.KNNSites(pos, q.guard, q.k)
 	q.m.DijkstraRuns++
-	q.m.EdgeRelaxations += q.sub.G.EdgeRelaxations - relaxBefore
+	q.m.EdgeRelaxations += q.sub.G.EdgeRelaxations() - relaxBefore
 	if len(topK) >= q.k && sameSet(topK, q.knn) {
 		return q.knn, nil
 	}
 	q.m.Invalidations++
 
 	// Stale: rank the whole prefetched set to see whether R survived.
-	relaxBefore = q.sub.G.EdgeRelaxations
+	relaxBefore = q.sub.G.EdgeRelaxations()
 	ranked, _ := q.sub.KNNSites(pos, q.guard, len(q.r))
 	q.m.DijkstraRuns++
-	q.m.EdgeRelaxations += q.sub.G.EdgeRelaxations - relaxBefore
+	q.m.EdgeRelaxations += q.sub.G.EdgeRelaxations() - relaxBefore
 
 	// Update cases (i)/(ii): if R as a whole is still the valid prefetch
 	// set, the subnetwork distances to its members are exact and the new
@@ -138,11 +154,10 @@ func (q *NetworkQuery) Update(pos roadnet.Position) ([]int, error) {
 // full network and rebuilds the Theorem-2 subnetwork.
 func (q *NetworkQuery) recompute(pos roadnet.Position) error {
 	q.m.Recomputations++
-	relaxBefore := q.d.Graph().EdgeRelaxations
 	m := q.prefetchSize()
-	ids, _ := q.d.KNNWithDistances(pos, m)
+	ids, _, relaxed := q.d.KNNWithDistancesCounted(pos, m)
 	q.m.DijkstraRuns++
-	q.m.EdgeRelaxations += q.d.Graph().EdgeRelaxations - relaxBefore
+	q.m.EdgeRelaxations += relaxed
 	if len(ids) < q.k {
 		return fmt.Errorf("%w: found %d of %d", ErrDisconnected, len(ids), q.k)
 	}

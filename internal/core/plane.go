@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/vortree"
 )
@@ -14,14 +15,32 @@ import (
 // objects.
 var ErrEmptyIndex = errors.New("core: no data objects")
 
+// ErrReadOnly is returned by the index-mutation convenience methods
+// (InsertObject/RemoveObject) on a snapshot-pinned query; mutations of a
+// shared index go through its index.Store instead.
+var ErrReadOnly = errors.New("core: snapshot-pinned query cannot mutate the index")
+
 // PlaneQuery is an INS-based moving kNN query in 2D Euclidean space. It is
 // created once per query and fed the query object's location at every
 // timestamp via Update. It is not safe for concurrent use.
+//
+// A query resolves its index through one of two handles: NewPlaneQuery
+// binds it to a raw VoR-tree it may also mutate (the single-threaded
+// experiment mode), while NewPlaneQueryPinned pins it to the immutable
+// snapshots of an index.Store shared with other sessions — every Update
+// then lazily re-pins to the newest snapshot, invalidating the client
+// state only when a skipped mutation could affect it.
 type PlaneQuery struct {
-	ix  *vortree.Index
+	ix  index.PlaneBackend
 	k   int
 	rho float64
 	m   metrics.Counters
+
+	// Exactly one of raw / store is set. snap is the pinned snapshot
+	// (store mode), released on Close or when re-pinning.
+	raw   *vortree.Index
+	store *index.Store
+	snap  *index.Snapshot
 
 	init          bool
 	lastPos       geom.Point
@@ -35,13 +54,38 @@ type PlaneQuery struct {
 // k must be at least 1 and the prefetch ratio rho at least 1 (rho == 1
 // disables prefetching; the paper's demo uses rho = 1.6).
 func NewPlaneQuery(ix *vortree.Index, k int, rho float64) (*PlaneQuery, error) {
+	if err := validateParams(k, rho); err != nil {
+		return nil, err
+	}
+	return &PlaneQuery{ix: ix, raw: ix, k: k, rho: rho}, nil
+}
+
+// NewPlaneQueryPinned creates an INS MkNN query served from the immutable
+// snapshots of a shared index store. The query pins the current snapshot
+// and re-pins lazily at each Update; call Close when the session ends so
+// old snapshots can be collected.
+func NewPlaneQueryPinned(st *index.Store, k int, rho float64) (*PlaneQuery, error) {
+	if err := validateParams(k, rho); err != nil {
+		return nil, err
+	}
+	if !st.HasPlane() {
+		return nil, fmt.Errorf("core: %w", index.ErrNoPlane)
+	}
+	snap := st.Acquire()
+	if snap == nil {
+		return nil, fmt.Errorf("core: %w", index.ErrClosed)
+	}
+	return &PlaneQuery{ix: snap.Plane(), store: st, snap: snap, k: k, rho: rho}, nil
+}
+
+func validateParams(k int, rho float64) error {
 	if k < 1 {
-		return nil, fmt.Errorf("core: k = %d, must be >= 1", k)
+		return fmt.Errorf("core: k = %d, must be >= 1", k)
 	}
 	if rho < 1 {
-		return nil, fmt.Errorf("core: prefetch ratio rho = %g, must be >= 1", rho)
+		return fmt.Errorf("core: prefetch ratio rho = %g, must be >= 1", rho)
 	}
-	return &PlaneQuery{ix: ix, k: k, rho: rho}, nil
+	return nil
 }
 
 // Name identifies the processor in simulation reports.
@@ -63,8 +107,80 @@ func (q *PlaneQuery) Metrics() *metrics.Counters { return &q.m }
 func (q *PlaneQuery) SetDisableLocalRerank(v bool) { q.disableRerank = v }
 
 // Current returns the current kNN set (ascending distance as of the last
-// re-rank). The slice is shared; callers must not modify it.
-func (q *PlaneQuery) Current() []int { return q.knn }
+// re-rank) as a fresh copy; see the package slice-ownership contract.
+func (q *PlaneQuery) Current() []int { return append([]int(nil), q.knn...) }
+
+// Sync re-pins a snapshot-backed query to the newest published snapshot
+// (a no-op for raw-index queries and when already current). If any data
+// update between the pinned and the newest epoch can affect the query's
+// guard sets — the inserted object lands inside or adjacent to the
+// prefetched set, or a removed object participates in it — the client
+// state is invalidated and the next Update recomputes; otherwise the
+// existing state carries over unchanged, which is the paper's lazy
+// invalidation applied at re-pin time. Update calls Sync automatically;
+// the serving engine also calls it on epoch notifications so dormant
+// sessions release old snapshots promptly.
+func (q *PlaneQuery) Sync() {
+	if q.store == nil || q.snap == nil {
+		return
+	}
+	cur := q.store.Current()
+	if cur.Epoch() == q.snap.Epoch() {
+		return
+	}
+	// Pin first, then read the op window up to the pinned epoch, so no
+	// mutation can slip between the window and the snapshot.
+	next := q.store.Acquire()
+	if next == nil {
+		return // store closed: keep serving the already-pinned snapshot
+	}
+	invalidate := false
+	if q.init {
+		ops, ok := q.store.OpsSince(q.snap.Epoch(), next.Epoch())
+		if !ok {
+			invalidate = true // lagged past the log: be conservative
+		} else {
+			for _, op := range ops {
+				// Affectedness is evaluated against the still-pinned old
+				// snapshot (q.ix), where every guard object is live.
+				switch {
+				case op.Conservative:
+					invalidate = true
+				case op.Insert:
+					invalidate = q.AffectedByInsert(op.ID, op.P, op.Neighbors)
+				default:
+					invalidate = q.UsesObject(op.ID)
+				}
+				if invalidate {
+					break
+				}
+			}
+		}
+	}
+	q.snap.Release()
+	q.snap = next
+	q.ix = next.Plane()
+	if invalidate {
+		q.Invalidate()
+	}
+}
+
+// Epoch returns the pinned snapshot's epoch (0 for raw-index queries).
+func (q *PlaneQuery) Epoch() uint64 {
+	if q.snap == nil {
+		return 0
+	}
+	return q.snap.Epoch()
+}
+
+// Close releases the query's snapshot pin. It is idempotent and a no-op
+// for raw-index queries; the query must not be used afterwards.
+func (q *PlaneQuery) Close() {
+	if q.snap != nil {
+		q.snap.Release()
+		q.snap = nil
+	}
+}
 
 // InfluenceSet returns the current client-side guard set
 // IS = (R ∪ I(R)) \ kNN, the objects whose approach invalidates the kNN
@@ -84,12 +200,12 @@ func (q *PlaneQuery) InfluenceSet() []int {
 	return out
 }
 
-// Prefetched returns the prefetched set R (shared slice; do not modify).
-func (q *PlaneQuery) Prefetched() []int { return q.r }
+// Prefetched returns the prefetched set R as a fresh copy.
+func (q *PlaneQuery) Prefetched() []int { return append([]int(nil), q.r...) }
 
-// INS returns I(R), the influential neighbor set of the prefetched set
-// (shared slice; do not modify).
-func (q *PlaneQuery) INS() []int { return q.ins }
+// INS returns I(R), the influential neighbor set of the prefetched set, as
+// a fresh copy.
+func (q *PlaneQuery) INS() []int { return append([]int(nil), q.ins...) }
 
 // prefetchSize returns ⌊ρk⌋ clamped to [k, number of objects].
 func (q *PlaneQuery) prefetchSize() int {
@@ -107,6 +223,7 @@ func (q *PlaneQuery) prefetchSize() int {
 // current kNN set (ascending distance at the time of the last re-rank).
 // The returned slice is shared; callers must not modify it.
 func (q *PlaneQuery) Update(p geom.Point) ([]int, error) {
+	q.Sync()
 	q.m.Timestamps++
 	q.lastPos = p
 	if !q.init {
@@ -215,10 +332,10 @@ func (q *PlaneQuery) recompute(p geom.Point) error {
 	}
 	q.m.Recomputations++
 	m := q.prefetchSize()
-	visitsBefore := q.ix.Tree().NodeVisits
-	q.r = q.ix.KNN(p, m)
-	q.m.NodeVisits += q.ix.Tree().NodeVisits - visitsBefore
-	ins, err := q.ix.Diagram().INS(q.r)
+	r, visits := q.ix.KNNCounted(p, m)
+	q.r = r
+	q.m.NodeVisits += visits
+	ins, err := q.ix.INS(q.r)
 	if err != nil {
 		return fmt.Errorf("core: recompute INS: %w", err)
 	}
@@ -269,9 +386,14 @@ func (q *PlaneQuery) UsesObject(id int) bool {
 // InsertObject adds a data object during query maintenance. The prefetched
 // state is refreshed only when the new object can affect it: when it lands
 // closer than the farthest prefetched object or becomes a Voronoi neighbor
-// of a prefetched object (otherwise neither R nor I(R) changes).
+// of a prefetched object (otherwise neither R nor I(R) changes). It is
+// only available on raw-index queries; snapshot-pinned queries return
+// ErrReadOnly.
 func (q *PlaneQuery) InsertObject(p geom.Point) (int, error) {
-	id, err := q.ix.Insert(p)
+	if q.raw == nil {
+		return -1, ErrReadOnly
+	}
+	id, err := q.raw.Insert(p)
 	if err != nil {
 		return -1, err
 	}
@@ -321,9 +443,14 @@ func (q *PlaneQuery) affectsState(id int, p geom.Point, neighbors func() ([]int,
 // RemoveObject deletes a data object during query maintenance. State is
 // refreshed when the object participated in the prefetched set or its
 // influential neighbors; otherwise the removal cannot change R or I(R).
+// It is only available on raw-index queries; snapshot-pinned queries
+// return ErrReadOnly.
 func (q *PlaneQuery) RemoveObject(id int) error {
+	if q.raw == nil {
+		return ErrReadOnly
+	}
 	inState := q.UsesObject(id)
-	if err := q.ix.Remove(id); err != nil {
+	if err := q.raw.Remove(id); err != nil {
 		return err
 	}
 	if q.init && inState {

@@ -1,0 +1,41 @@
+package delaunay
+
+import "repro/internal/geom"
+
+// Clone returns a deep copy of the triangulation that shares no mutable
+// state with the original. The copy's incident-face hints (vface) are
+// rebuilt eagerly from the live faces so that read-only operations on a
+// frozen clone (Neighbors, Contains, Point) never write a repaired hint —
+// the property the copy-on-write index snapshots rely on to stay race-free
+// under concurrent readers.
+func (t *Triangulation) Clone() *Triangulation {
+	c := &Triangulation{
+		pts:    append([]geom.Point(nil), t.pts...),
+		tris:   append([]triangle(nil), t.tris...),
+		free:   append([]int32(nil), t.free...),
+		index:  make(map[geom.Point]int, len(t.index)),
+		bounds: t.bounds,
+		walk:   t.walk,
+		nLive:  t.nLive,
+		dead:   make(map[int]bool, len(t.dead)),
+		vface:  make([]int32, len(t.vface)),
+	}
+	for p, id := range t.index {
+		c.index[p] = id
+	}
+	for id := range t.dead {
+		c.dead[id] = true
+	}
+	for i := range c.vface {
+		c.vface[i] = noTri
+	}
+	for i := range c.tris {
+		if !c.tris[i].alive {
+			continue
+		}
+		for _, v := range c.tris[i].v {
+			c.vface[v] = int32(i)
+		}
+	}
+	return c
+}

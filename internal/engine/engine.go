@@ -3,27 +3,28 @@
 // maintains thousands of live query sessions against one logical dataset,
 // the load shape of an LBS server tracking moving clients.
 //
-// The design is session-sharded with shared-nothing replicas. The INS
-// processors and the index structures beneath them are not safe for
-// concurrent use — even reads advance cost counters — so the engine runs N
-// shard workers, each a single goroutine owning (a) a private replica of
-// the VoR-tree and/or network Voronoi diagram and (b) every session pinned
-// to the shard. A session is pinned at creation (round-robin: the shard is
-// recoverable from the session id) and all of its INS state stays
-// goroutine-confined for its lifetime, while distinct shards serve their
-// sessions fully in parallel with zero locking on the query path.
+// The design is session-sharded over shared immutable index snapshots.
+// One index.Store owns the canonical VoR-tree and/or network Voronoi
+// diagram and publishes an immutable, epoch-versioned snapshot after every
+// data update (copy-on-write). Shards own nothing but sessions: N shard
+// workers, each a single goroutine running every session pinned to it
+// (round-robin by session id, so routing needs no shared lookup table).
+// All sessions — across all shards — read the same snapshot memory
+// lock-free, so resident index memory is O(objects) regardless of shard
+// count, where the earlier replica design paid O(shards × objects) and
+// applied every mutation once per shard.
 //
 // Requests travel as messages on per-shard mailbox channels. A batched
-// location-update request is fanned out to the owning shards and gathered;
-// a data update (object insert/delete) is sequenced by a global epoch and
-// broadcast to every shard, which applies it to its replica and lazily
-// invalidates exactly the sessions whose INS guard sets the mutation can
-// affect — those sessions recompute at their next location update, the
-// rest keep validating against their existing guard sets. Because every
-// replica starts from the same build and applies the same updates in the
-// same epoch order, object ids stay identical across shards (insertion
-// into the Voronoi diagram is deterministic); the engine verifies this on
-// every data update.
+// location-update request is fanned out to the owning shards and gathered.
+// A data update (object insert/delete) goes only to the Store, which
+// applies it copy-on-write, publishes the next snapshot, and notifies the
+// shards. Sessions re-pin lazily: at their next location update (or when
+// their shard drains an epoch notification) they compare their pinned
+// epoch against the newest, replay the store's mutation log over their INS
+// guard sets, and invalidate exactly when a skipped mutation could affect
+// them — the paper's lazy invalidation, now driven by snapshot epochs.
+// Old snapshots are garbage-collected as soon as the last lagging session
+// re-pins.
 package engine
 
 import (
@@ -33,10 +34,9 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/index"
 	"repro/internal/metrics"
-	"repro/internal/netvor"
 	"repro/internal/roadnet"
-	"repro/internal/vortree"
 )
 
 // Errors returned by engine operations.
@@ -57,7 +57,7 @@ var (
 	ErrNoNetwork = errors.New("engine: no road network configured")
 	// ErrOutOfBounds is returned when inserting an object outside the
 	// configured data space — a caller-input error, rejected before the
-	// update reaches any shard.
+	// update reaches the store.
 	ErrOutOfBounds = errors.New("engine: point outside the data space")
 )
 
@@ -66,20 +66,25 @@ var (
 // side must be configured; both may be.
 type Config struct {
 	// Shards is the number of shard workers (default 4). More shards mean
-	// more parallelism and more index-replica memory.
+	// more parallelism; the index is shared, so shard count no longer
+	// multiplies memory.
 	Shards int
 	// Fanout is the VoR-tree node fanout (default 16).
 	Fanout int
 	// MailboxDepth is the per-shard request queue length (default 128);
 	// senders block when a mailbox is full, providing backpressure.
 	MailboxDepth int
+	// LogDepth bounds the store's mutation log (default
+	// index.DefaultLogDepth): how many data updates a dormant session may
+	// lag and still re-pin without a conservative recomputation.
+	LogDepth int
 
 	// Bounds is the data space of the plane objects.
 	Bounds geom.Rect
 	// Objects are the initial plane data objects.
 	Objects []geom.Point
 
-	// Network is the road network; the engine clones it per shard.
+	// Network is the road network, shared (not copied) with the engine.
 	Network *roadnet.Graph
 	// NetworkSites are the vertices holding the network data objects.
 	NetworkSites []int
@@ -119,6 +124,10 @@ type Stats struct {
 	Objects int
 	// Epoch counts applied data updates.
 	Epoch uint64
+	// Snapshots is the number of index snapshots still pinned: 1 when
+	// every session has re-pinned to the current version, more while
+	// lagging sessions keep old versions alive.
+	Snapshots int
 	// Updates counts processed location updates.
 	Updates uint64
 	// Uptime is the time since New.
@@ -133,14 +142,15 @@ type Stats struct {
 
 // String renders the snapshot as a short report.
 func (s Stats) String() string {
-	return fmt.Sprintf("shards=%d sessions=%d objects=%d epoch=%d updates=%d up=%v rate=%.0f/s latency[%v]",
-		s.Shards, s.Sessions, s.Objects, s.Epoch, s.Updates,
+	return fmt.Sprintf("shards=%d sessions=%d objects=%d epoch=%d snaps=%d updates=%d up=%v rate=%.0f/s latency[%v]",
+		s.Shards, s.Sessions, s.Objects, s.Epoch, s.Snapshots, s.Updates,
 		s.Uptime.Round(time.Millisecond), s.UpdatesPerSec, s.Latency)
 }
 
 // Engine is the concurrent MkNN serving engine. All methods are safe for
 // concurrent use.
 type Engine struct {
+	store    *index.Store
 	shards   []*shard
 	start    time.Time
 	hasPlane bool
@@ -151,69 +161,44 @@ type Engine struct {
 
 	seqMu   sync.Mutex
 	nextSeq uint64
-
-	dataMu sync.Mutex // serializes data updates so replicas apply one global order
-	epoch  uint64
 }
 
-// New builds the engine: one index replica set per shard, then starts the
-// shard workers. Building replicas runs in parallel across shards.
+// New builds the engine: one shared index store, then the shard workers,
+// each subscribed to the store's epoch notifications.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 4
 	}
-	if cfg.Fanout <= 0 {
-		cfg.Fanout = 16
-	}
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = 128
 	}
-	hasPlane := len(cfg.Objects) > 0
-	hasNetwork := cfg.Network != nil
-	if !hasPlane && !hasNetwork {
-		return nil, errors.New("engine: config has neither plane objects nor a road network")
+	st, err := index.NewStore(index.Config{
+		Fanout:       cfg.Fanout,
+		LogDepth:     cfg.LogDepth,
+		Bounds:       cfg.Bounds,
+		Objects:      cfg.Objects,
+		Network:      cfg.Network,
+		NetworkSites: cfg.NetworkSites,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
 	}
-
 	e := &Engine{
+		store:    st,
 		shards:   make([]*shard, cfg.Shards),
 		start:    time.Now(),
-		hasPlane: hasPlane,
+		hasPlane: st.HasPlane(),
 		bounds:   cfg.Bounds,
 	}
-	errs := make([]error, cfg.Shards)
-	var wg sync.WaitGroup
-	for i := 0; i < cfg.Shards; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sh := &shard{
-				id:       i,
-				mailbox:  make(chan message, cfg.MailboxDepth),
-				done:     make(chan struct{}),
-				sessions: make(map[SessionID]*session),
-			}
-			if hasPlane {
-				ix, _, err := vortree.Build(cfg.Bounds, cfg.Fanout, cfg.Objects)
-				if err != nil {
-					errs[i] = fmt.Errorf("engine: shard %d plane replica: %w", i, err)
-					return
-				}
-				sh.ix = ix
-			}
-			if hasNetwork {
-				nv, err := netvor.Build(cfg.Network.Clone(), cfg.NetworkSites)
-				if err != nil {
-					errs[i] = fmt.Errorf("engine: shard %d network replica: %w", i, err)
-					return
-				}
-				sh.nv = nv
-			}
-			e.shards[i] = sh
-		}(i)
-	}
-	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			id:       i,
+			store:    st,
+			mailbox:  make(chan message, cfg.MailboxDepth),
+			notify:   st.Subscribe(),
+			done:     make(chan struct{}),
+			sessions: make(map[SessionID]*session),
+		}
 	}
 	for _, sh := range e.shards {
 		go sh.run()
@@ -257,6 +242,12 @@ func (e *Engine) createSession(network bool, k int, rho float64) (SessionID, err
 	if e.closed {
 		return 0, ErrClosed
 	}
+	if network && e.store.Network() == nil {
+		return 0, ErrNoNetwork
+	}
+	if !network && !e.hasPlane {
+		return 0, ErrNoPlaneIndex
+	}
 	sid := e.allocSession()
 	reply := make(chan error, 1)
 	sh := e.shardOf(sid)
@@ -267,7 +258,7 @@ func (e *Engine) createSession(network bool, k int, rho float64) (SessionID, err
 	return sid, nil
 }
 
-// CloseSession removes a live session.
+// CloseSession removes a live session, releasing its snapshot pin.
 func (e *Engine) CloseSession(sid SessionID) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -337,83 +328,59 @@ func (e *Engine) runBatch(network bool, entries []batchEntry) ([]UpdateResult, e
 	return results, nil
 }
 
-// InsertObject adds a plane data object and returns its id. The update is
-// broadcast to every shard replica under the next epoch; sessions whose
-// guard sets the new object can affect are invalidated and recompute at
-// their next location update.
+// InsertObject adds a plane data object and returns its id. The store
+// applies the mutation copy-on-write and publishes the next snapshot under
+// the next epoch; sessions whose guard sets the new object can affect are
+// invalidated when they re-pin and recompute at their next location
+// update. The cost is independent of the shard count.
 func (e *Engine) InsertObject(p geom.Point) (int, error) {
-	return e.dataUpdate(dataMsg{insert: true, p: p})
-}
-
-// RemoveObject deletes a plane data object everywhere; sessions using it
-// in their guard sets are invalidated.
-func (e *Engine) RemoveObject(id int) error {
-	_, err := e.dataUpdate(dataMsg{id: id})
-	return err
-}
-
-func (e *Engine) dataUpdate(m dataMsg) (int, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return -1, ErrClosed
 	}
-	// Reject bad input before it reaches any shard (and after the closed
+	// Reject bad input before it reaches the store (and after the closed
 	// check, so a closed engine always reports ErrClosed).
-	if m.insert && e.hasPlane && !e.bounds.Contains(m.p) {
-		return -1, fmt.Errorf("%w: %v not in [%v, %v]", ErrOutOfBounds, m.p, e.bounds.Min, e.bounds.Max)
+	if e.hasPlane && !e.bounds.Contains(p) {
+		return -1, fmt.Errorf("%w: %v not in [%v, %v]", ErrOutOfBounds, p, e.bounds.Min, e.bounds.Max)
 	}
-	e.dataMu.Lock()
-	defer e.dataMu.Unlock()
-	e.epoch++
-	m.epoch = e.epoch
-	m.reply = make(chan dataReply, len(e.shards))
-	for _, sh := range e.shards {
-		sh.mailbox <- m
-	}
-	id := -1
-	var firstErr error
-	failures := 0
-	diverged := false
-	for range e.shards {
-		r := <-m.reply
-		switch {
-		case r.err != nil:
-			failures++
-			if firstErr == nil {
-				firstErr = r.err
-			}
-		case id == -1:
-			id = r.id
-		case r.id != id:
-			diverged = true
-		}
-	}
-	switch {
-	case diverged, failures > 0 && failures < len(e.shards):
-		// Invariant breach: identical replicas must agree — all succeed
-		// with one id or all fail alike. Differing ids or a mixed outcome
-		// means some replicas hold the mutation and some don't; the epoch
-		// stands (it was applied somewhere) and the breach is surfaced
-		// loudly rather than masked as a clean failure.
-		if firstErr != nil {
-			return -1, fmt.Errorf("engine: replica divergence at epoch %d: %d/%d shards failed, first error: %w",
-				e.epoch, failures, len(e.shards), firstErr)
-		}
-		return -1, fmt.Errorf("engine: replica divergence at epoch %d: object ids differ across shards", e.epoch)
-	case failures == len(e.shards):
-		// The update was applied nowhere (replicas fail identically); roll
-		// the epoch back so it keeps counting applied updates only. Safe
-		// under dataMu: no other update observed the increment.
-		e.epoch--
-		return -1, firstErr
+	id, err := e.store.Insert(p)
+	if err != nil {
+		return -1, e.mapStoreErr(err)
 	}
 	return id, nil
 }
 
-// Stats gathers an aggregated snapshot from all shards. Counters and
-// latency cover live sessions and processed updates respectively; the
-// reported epoch is the highest applied by any shard.
+// RemoveObject deletes a plane data object; sessions using it in their
+// guard sets are invalidated when they re-pin.
+func (e *Engine) RemoveObject(id int) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if err := e.store.Remove(id); err != nil {
+		return e.mapStoreErr(err)
+	}
+	return nil
+}
+
+// mapStoreErr translates index.Store errors into the engine's error
+// vocabulary (kept stable for HTTP status mapping and errors.Is callers).
+func (e *Engine) mapStoreErr(err error) error {
+	switch {
+	case errors.Is(err, index.ErrNoPlane):
+		return ErrNoPlaneIndex
+	case errors.Is(err, index.ErrUnknownObject):
+		return fmt.Errorf("%w: %v", ErrUnknownObject, err)
+	case errors.Is(err, index.ErrClosed):
+		return ErrClosed
+	}
+	return err
+}
+
+// Stats gathers an aggregated snapshot from all shards plus the index
+// store's version state.
 func (e *Engine) Stats() (Stats, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -424,18 +391,20 @@ func (e *Engine) Stats() (Stats, error) {
 	for _, sh := range e.shards {
 		sh.mailbox <- statsMsg{reply: reply}
 	}
-	st := Stats{Shards: len(e.shards), Uptime: time.Since(e.start)}
+	st := Stats{
+		Shards:    len(e.shards),
+		Uptime:    time.Since(e.start),
+		Epoch:     e.store.Epoch(),
+		Snapshots: e.store.LiveSnapshots(),
+	}
+	if plane := e.store.Current().Plane(); plane != nil {
+		st.Objects = plane.Len()
+	}
 	var hist metrics.Histogram
 	for range e.shards {
 		s := <-reply
 		st.Sessions += s.sessions
 		st.Updates += s.updates
-		if s.objects > st.Objects {
-			st.Objects = s.objects
-		}
-		if s.epoch > st.Epoch {
-			st.Epoch = s.epoch
-		}
 		st.Counters.Add(s.counters)
 		hist.Merge(&s.hist)
 	}
@@ -447,8 +416,9 @@ func (e *Engine) Stats() (Stats, error) {
 }
 
 // Close shuts the engine down: it waits for in-flight requests, stops the
-// shard workers and releases their sessions. Close is idempotent; all
-// other methods fail with ErrClosed afterwards.
+// shard workers (releasing their sessions' snapshot pins) and closes the
+// store. Close is idempotent; all other methods fail with ErrClosed
+// afterwards.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -462,5 +432,6 @@ func (e *Engine) Close() error {
 	for _, sh := range e.shards {
 		<-sh.done
 	}
+	e.store.Close()
 	return nil
 }

@@ -432,7 +432,9 @@ func TestEngineClose(t *testing.T) {
 }
 
 func buildReferenceNetVor(g *roadnet.Graph, sites []int) (*netvor.Diagram, error) {
-	return netvor.Build(g.Clone(), sites)
+	// The graph is shared with the engine's diagram: reads (and their
+	// relaxation accounting) are safe across goroutines.
+	return netvor.Build(g, sites)
 }
 
 func equalInts(a, b []int) bool {

@@ -6,29 +6,28 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/index"
 	"repro/internal/metrics"
-	"repro/internal/netvor"
 	"repro/internal/roadnet"
-	"repro/internal/vortree"
 )
 
-// shard is one serving partition: a worker goroutine that owns a private
-// replica of the index structures plus every session pinned to it. All INS
-// state behind a shard is touched by exactly one goroutine, so none of it
-// needs locks; shards communicate with the engine only through the mailbox
-// and reply channels.
+// shard is one serving partition: a worker goroutine that owns every
+// session pinned to it — and nothing else. The index lives in the shared
+// snapshot store; sessions read whichever snapshot they are pinned to
+// lock-free. All per-session INS state is touched by exactly one
+// goroutine; shards communicate with the engine only through the mailbox,
+// reply channels, and the store's epoch notifications.
 type shard struct {
 	id      int
+	store   *index.Store
 	mailbox chan message
+	notify  <-chan uint64 // coalesced epoch notifications from the store
 	done    chan struct{}
 
 	// Worker-owned state; never accessed outside the worker goroutine.
-	ix       *vortree.Index  // plane index replica (nil without plane data)
-	nv       *netvor.Diagram // network Voronoi replica (nil without network)
 	sessions map[SessionID]*session
 	hist     metrics.Histogram
 	updates  uint64
-	epoch    uint64
 }
 
 // session is one live MkNN query pinned to a shard. Exactly one of plane
@@ -43,6 +42,14 @@ func (s *session) counters() metrics.Counters {
 		return *s.plane.Metrics()
 	}
 	return *s.network.Metrics()
+}
+
+// close releases the session's snapshot pin (network sessions hold none:
+// the network diagram is shared and immutable).
+func (s *session) close() {
+	if s.plane != nil {
+		s.plane.Close()
+	}
 }
 
 // message is a mailbox envelope; the worker type-switches on it.
@@ -81,21 +88,6 @@ type batchMsg struct {
 	reply   chan struct{}
 }
 
-// dataMsg applies one data-object update (insert when insert is set,
-// otherwise removal of id) to the shard's index replica at the given epoch.
-type dataMsg struct {
-	epoch  uint64
-	insert bool
-	p      geom.Point
-	id     int
-	reply  chan dataReply
-}
-
-type dataReply struct {
-	id  int
-	err error
-}
-
 // statsMsg snapshots the shard's serving state.
 type statsMsg struct {
 	reply chan shardStats
@@ -103,8 +95,6 @@ type statsMsg struct {
 
 type shardStats struct {
 	sessions int
-	objects  int
-	epoch    uint64
 	updates  uint64
 	counters metrics.Counters
 	hist     metrics.Histogram
@@ -113,50 +103,79 @@ type shardStats struct {
 func (createMsg) isMessage() {}
 func (closeMsg) isMessage()  {}
 func (batchMsg) isMessage()  {}
-func (dataMsg) isMessage()   {}
 func (statsMsg) isMessage()  {}
 
-// run is the worker loop; it exits when the mailbox is closed.
+// run is the worker loop; it exits when the mailbox is closed. Between
+// requests it drains epoch notifications and re-pins its sessions, so even
+// dormant sessions release superseded snapshots promptly (correctness does
+// not depend on it: every session also re-pins inside Update).
 func (sh *shard) run() {
 	defer close(sh.done)
-	for msg := range sh.mailbox {
-		switch m := msg.(type) {
-		case createMsg:
-			m.reply <- sh.create(m)
-		case closeMsg:
-			if _, ok := sh.sessions[m.sid]; !ok {
-				m.reply <- fmt.Errorf("%w: %d", ErrUnknownSession, m.sid)
-				continue
+	for {
+		select {
+		case msg, ok := <-sh.mailbox:
+			if !ok {
+				sh.shutdown()
+				return
 			}
-			delete(sh.sessions, m.sid)
-			m.reply <- nil
-		case batchMsg:
-			sh.runBatch(m)
-			m.reply <- struct{}{}
-		case dataMsg:
-			m.reply <- sh.applyData(m)
-		case statsMsg:
-			m.reply <- sh.stats()
+			sh.handle(msg)
+		case <-sh.notify:
+			sh.sweep()
+		}
+	}
+}
+
+func (sh *shard) handle(msg message) {
+	switch m := msg.(type) {
+	case createMsg:
+		m.reply <- sh.create(m)
+	case closeMsg:
+		s, ok := sh.sessions[m.sid]
+		if !ok {
+			m.reply <- fmt.Errorf("%w: %d", ErrUnknownSession, m.sid)
+			return
+		}
+		s.close()
+		delete(sh.sessions, m.sid)
+		m.reply <- nil
+	case batchMsg:
+		sh.runBatch(m)
+		m.reply <- struct{}{}
+	case statsMsg:
+		m.reply <- sh.stats()
+	}
+}
+
+// shutdown releases every session's snapshot pin on engine close.
+func (sh *shard) shutdown() {
+	for _, s := range sh.sessions {
+		s.close()
+	}
+	sh.sessions = nil
+}
+
+// sweep re-pins every plane session to the newest snapshot, applying the
+// lazy-invalidation check inside PlaneQuery.Sync. Affected sessions
+// recompute at their next location update; unaffected ones carry their
+// guard sets over to the new snapshot unchanged.
+func (sh *shard) sweep() {
+	for _, s := range sh.sessions {
+		if s.plane != nil {
+			s.plane.Sync()
 		}
 	}
 }
 
 func (sh *shard) create(m createMsg) error {
 	if m.network {
-		if sh.nv == nil {
-			return ErrNoNetwork
-		}
-		q, err := core.NewNetworkQuery(sh.nv, m.k, m.rho)
+		q, err := core.NewNetworkQueryPinned(sh.store, m.k, m.rho)
 		if err != nil {
 			return err
 		}
 		sh.sessions[m.sid] = &session{network: q}
 		return nil
 	}
-	if sh.ix == nil {
-		return ErrNoPlaneIndex
-	}
-	q, err := core.NewPlaneQuery(sh.ix, m.k, m.rho)
+	q, err := core.NewPlaneQueryPinned(sh.store, m.k, m.rho)
 	if err != nil {
 		return err
 	}
@@ -188,7 +207,8 @@ func (sh *shard) runBatch(m batchMsg) {
 			err = fmt.Errorf("engine: session %d is not a %s session", e.sid, batchKind(m.network))
 		}
 		// The processor's kNN slice is shared and rewritten on the session's
-		// next update; copy before it leaves the worker goroutine.
+		// next update; copy before it leaves the worker goroutine (the
+		// boundary fixed by the core package's slice-ownership contract).
 		m.results[e.idx] = UpdateResult{Session: e.sid, KNN: append([]int(nil), knn...), Err: err}
 	}
 }
@@ -206,54 +226,11 @@ func batchKind(network bool) string {
 	return "plane"
 }
 
-// applyData applies one object insert/removal to the shard's replica and
-// lazily invalidates the sessions whose guard sets the mutation can touch:
-// their next location update recomputes R and I(R); unaffected sessions
-// keep serving validations from their existing state.
-func (sh *shard) applyData(m dataMsg) dataReply {
-	if sh.ix == nil {
-		return dataReply{id: -1, err: ErrNoPlaneIndex}
-	}
-	if m.insert {
-		id, err := sh.ix.Insert(m.p)
-		if err != nil {
-			return dataReply{id: -1, err: err}
-		}
-		// One neighbor lookup shared by every session's affectedness check;
-		// on lookup failure invalidate conservatively.
-		nb, nbErr := sh.ix.Neighbors(id)
-		for _, s := range sh.sessions {
-			if s.plane != nil && (nbErr != nil || s.plane.AffectedByInsert(id, m.p, nb)) {
-				s.plane.Invalidate()
-			}
-		}
-		sh.epoch = m.epoch
-		return dataReply{id: id}
-	}
-	if !sh.ix.Contains(m.id) {
-		return dataReply{id: m.id, err: fmt.Errorf("%w: %d", ErrUnknownObject, m.id)}
-	}
-	if err := sh.ix.Remove(m.id); err != nil {
-		return dataReply{id: m.id, err: err}
-	}
-	for _, s := range sh.sessions {
-		if s.plane != nil && s.plane.UsesObject(m.id) {
-			s.plane.Invalidate()
-		}
-	}
-	sh.epoch = m.epoch
-	return dataReply{id: m.id}
-}
-
 func (sh *shard) stats() shardStats {
 	st := shardStats{
 		sessions: len(sh.sessions),
-		epoch:    sh.epoch,
 		updates:  sh.updates,
 		hist:     sh.hist,
-	}
-	if sh.ix != nil {
-		st.objects = sh.ix.Len()
 	}
 	for _, s := range sh.sessions {
 		st.counters.Add(s.counters())

@@ -162,7 +162,7 @@ func AblationVorTree(cfg Config) ([]Row, error) {
 	var rows []Row
 	run := func(name string, knn func(geom.Point, int) []int) Row {
 		start := nowMicros()
-		visitsBefore := tree.NodeVisits
+		visitsBefore := tree.NodeVisits()
 		for _, p := range traj {
 			knn(p, 13) // ⌊1.6·8⌋
 		}
@@ -171,7 +171,7 @@ func AblationVorTree(cfg Config) ([]Row, error) {
 			Experiment: "A2", Processor: name, Param: "k'=13",
 			Steps:     len(traj),
 			USPerStep: float64(elapsed) / float64(len(traj)),
-			Extra:     fmt.Sprintf("nodevisits=%d", tree.NodeVisits-visitsBefore),
+			Extra:     fmt.Sprintf("nodevisits=%d", tree.NodeVisits()-visitsBefore),
 		}
 	}
 	rows = append(rows, run("vortree-knn", func(p geom.Point, k int) []int { return ix.KNN(p, k) }))

@@ -1,0 +1,88 @@
+// Package index owns the canonical data-object indexes of the serving
+// system and publishes them to readers as immutable, epoch-versioned
+// snapshots.
+//
+// The INS workload is read-dominated: thousands of live query sessions
+// resolve kNN and influential-neighbor lookups against the index for every
+// location update, while object inserts/deletes are comparatively rare.
+// The Store therefore keeps ONE canonical copy of the plane VoR-tree (and
+// the network Voronoi diagram, which has no online mutations) and applies
+// each mutation batch copy-on-write: clone the current plane index, apply
+// the batch, publish the result as a new Snapshot behind an atomic pointer.
+// Readers pin a snapshot and serve from it lock-free; publishing is O(1)
+// for them. Old snapshots are garbage-collected by the Go runtime as soon
+// as no session pins them (the Store tracks pin counts so the lifecycle is
+// observable).
+//
+// A bounded mutation log (per-epoch ops with the inserted object's Voronoi
+// neighbors captured at apply time) lets a session that re-pins from epoch
+// E to epoch E' decide whether any of the intervening mutations can affect
+// its guard sets — the same lazy-invalidation rule the paper uses for data
+// updates — without touching the new index. When the log has been trimmed
+// past E the session invalidates conservatively.
+package index
+
+import (
+	"repro/internal/geom"
+	"repro/internal/netvor"
+	"repro/internal/roadnet"
+	"repro/internal/vortree"
+)
+
+// Backend is the read surface shared by the two index implementations:
+// the plane VoR-tree (vortree.Index) and the network Voronoi diagram
+// (netvor.Diagram). Query processors depend on this (or one of the
+// space-specific extensions below) rather than on the concrete types, so
+// they can be served equally from a raw index or a pinned snapshot.
+type Backend interface {
+	// Len returns the number of live data objects.
+	Len() int
+	// Contains reports whether object id is live.
+	Contains(id int) bool
+	// INS returns the influential neighbor set I(ids) of Definition 4,
+	// sorted by id.
+	INS(ids []int) ([]int, error)
+}
+
+// PlaneBackend is the plane-side read surface: Backend plus Euclidean kNN
+// and per-object geometry. Implemented by *vortree.Index.
+type PlaneBackend interface {
+	Backend
+	// KNN returns the k nearest objects to q in ascending distance order.
+	KNN(q geom.Point, k int) []int
+	// KNNCounted is KNN returning the node visits of this search — the
+	// per-query cost attribution that stays exact under concurrent
+	// readers of a shared snapshot.
+	KNNCounted(q geom.Point, k int) ([]int, int)
+	// Point returns the coordinates of object id.
+	Point(id int) geom.Point
+	// Neighbors returns the order-1 Voronoi neighbor list of object id.
+	Neighbors(id int) ([]int, error)
+	// Visits returns the cumulative node-visit counter (page-I/O stand-in).
+	Visits() int
+}
+
+// NetworkBackend is the network-side read surface: Backend plus
+// network-distance kNN and the Theorem-2 subnetwork extraction.
+// Implemented by *netvor.Diagram.
+type NetworkBackend interface {
+	Backend
+	// KNNWithDistances returns the k nearest sites to pos with their
+	// network distances, by incremental network expansion.
+	KNNWithDistances(pos roadnet.Position, k int) ([]int, []float64)
+	// KNNWithDistancesCounted additionally returns the edge relaxations
+	// of this search, exact under concurrent readers.
+	KNNWithDistancesCounted(pos roadnet.Position, k int) ([]int, []float64, int)
+	// Subnetwork extracts the Theorem-2 search space of the given sites.
+	Subnetwork(sites []int) *netvor.Subnetwork
+	// Graph returns the underlying road network.
+	Graph() *roadnet.Graph
+	// Sites returns the sorted site vertex ids.
+	Sites() []int
+}
+
+// Compile-time conformance of the two index implementations.
+var (
+	_ PlaneBackend   = (*vortree.Index)(nil)
+	_ NetworkBackend = (*netvor.Diagram)(nil)
+)

@@ -1,0 +1,411 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/netvor"
+	"repro/internal/roadnet"
+	"repro/internal/vortree"
+)
+
+// Errors returned by Store mutations.
+var (
+	// ErrNoPlane is returned for object mutations on a store configured
+	// without plane objects (the network site set has no online mutations).
+	ErrNoPlane = errors.New("index: no plane index configured")
+	// ErrUnknownObject is returned when removing an object id that is not
+	// live.
+	ErrUnknownObject = errors.New("index: unknown object")
+	// ErrClosed is returned by mutations after Close.
+	ErrClosed = errors.New("index: store closed")
+)
+
+// DefaultLogDepth is the default mutation-log capacity: how far back a
+// session may lag (in data updates) and still re-pin with exact
+// affectedness checks instead of a conservative invalidation.
+const DefaultLogDepth = 4096
+
+// Config parameterizes NewStore. Objects/Bounds configure the plane side,
+// Network/NetworkSites the road-network side; at least one side must be
+// configured.
+type Config struct {
+	// Fanout is the VoR-tree node fanout (default 16).
+	Fanout int
+	// LogDepth bounds the mutation log (default DefaultLogDepth).
+	LogDepth int
+
+	// Bounds is the data space of the plane objects.
+	Bounds geom.Rect
+	// Objects are the initial plane data objects.
+	Objects []geom.Point
+
+	// Network is the road network (shared, not copied; the store's
+	// published read surface never mutates it).
+	Network *roadnet.Graph
+	// NetworkSites are the vertices holding the network data objects.
+	NetworkSites []int
+}
+
+// Mutation is one object update in a batch: an insert of point P, or a
+// removal of object ID.
+type Mutation struct {
+	Insert bool
+	P      geom.Point
+	ID     int
+}
+
+// Op is one applied mutation in the store's log, replayed by re-pinning
+// sessions to decide whether their guard sets survived the epoch range
+// they skipped.
+type Op struct {
+	// Epoch is the op's position in the global mutation order; the first
+	// applied op has epoch 1.
+	Epoch  uint64
+	Insert bool
+	// ID is the object inserted or removed.
+	ID int
+	// P is the inserted object's position (inserts only).
+	P geom.Point
+	// Neighbors is the inserted object's Voronoi neighbor list captured at
+	// apply time, shared by every session's affectedness check. Nil with
+	// Conservative set when the lookup failed.
+	Neighbors []int
+	// Conservative marks an op whose affectedness cannot be decided
+	// exactly; sessions seeing it must invalidate.
+	Conservative bool
+}
+
+// Store owns the canonical indexes and publishes immutable epoch-versioned
+// snapshots. All methods are safe for concurrent use.
+type Store struct {
+	fanout int
+	bounds geom.Rect
+	net    *netvor.Diagram // shared by every snapshot; never mutated online
+
+	cur       atomic.Pointer[Snapshot]
+	closedFlg atomic.Bool
+
+	mu       sync.Mutex // serializes mutation, publish, and notification order
+	closed   bool
+	logDepth int
+	log      []Op // contiguous ops, oldest first
+
+	live atomic.Int64 // snapshots whose pin count is > 0
+
+	subMu sync.Mutex
+	subs  []chan uint64
+}
+
+// Snapshot is one immutable published version of the indexes. Readers pin
+// it (Acquire on the store, Release when done or re-pinned) and may then
+// use the read surface from any goroutine without locking.
+type Snapshot struct {
+	store *Store
+	epoch uint64
+	plane *vortree.Index // frozen after publish; nil without plane data
+	pins  atomic.Int64
+}
+
+// NewStore builds the canonical indexes and publishes the initial snapshot
+// at epoch 0.
+func NewStore(cfg Config) (*Store, error) {
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 16
+	}
+	if cfg.LogDepth <= 0 {
+		cfg.LogDepth = DefaultLogDepth
+	}
+	hasPlane := len(cfg.Objects) > 0
+	if !hasPlane && cfg.Network == nil {
+		return nil, errors.New("index: config has neither plane objects nor a road network")
+	}
+	st := &Store{fanout: cfg.Fanout, bounds: cfg.Bounds, logDepth: cfg.LogDepth}
+	var plane *vortree.Index
+	if hasPlane {
+		ix, _, err := vortree.Build(cfg.Bounds, cfg.Fanout, cfg.Objects)
+		if err != nil {
+			return nil, fmt.Errorf("index: build plane index: %w", err)
+		}
+		plane = ix
+	}
+	if cfg.Network != nil {
+		nv, err := netvor.Build(cfg.Network, cfg.NetworkSites)
+		if err != nil {
+			return nil, fmt.Errorf("index: build network diagram: %w", err)
+		}
+		st.net = nv
+	}
+	st.publish(&Snapshot{store: st, epoch: 0, plane: plane})
+	return st, nil
+}
+
+// publish installs s as the current snapshot, transferring the store's own
+// pin from the previous one. Callers must hold st.mu (or be NewStore).
+func (st *Store) publish(s *Snapshot) {
+	s.pins.Store(1) // the store's "current" reference
+	st.live.Add(1)
+	if old := st.cur.Swap(s); old != nil {
+		old.Release()
+	}
+}
+
+// HasPlane reports whether the store carries a plane index.
+func (st *Store) HasPlane() bool { return st.cur.Load().plane != nil }
+
+// Bounds returns the plane data space.
+func (st *Store) Bounds() geom.Rect { return st.bounds }
+
+// Network returns the shared network read surface, or nil when the store
+// has no road network. The diagram is immutable once built, so unlike the
+// plane side it needs no versioning: every snapshot serves the same one.
+func (st *Store) Network() NetworkBackend {
+	if st.net == nil {
+		return nil
+	}
+	return st.net
+}
+
+// Current returns the current snapshot without pinning it. The returned
+// snapshot is safe to read only while the caller also holds a pin that is
+// at least as old; use it for cheap epoch peeks (Epoch comparison) and
+// Acquire for actual reads.
+func (st *Store) Current() *Snapshot { return st.cur.Load() }
+
+// Epoch returns the number of applied data updates.
+func (st *Store) Epoch() uint64 { return st.cur.Load().epoch }
+
+// LiveSnapshots returns the number of snapshots still pinned (including
+// the current one, which the store itself pins). It demonstrates the
+// garbage-collection contract: publishing does not leak old versions once
+// sessions re-pin.
+func (st *Store) LiveSnapshots() int { return int(st.live.Load()) }
+
+// Acquire pins and returns the current snapshot, or nil after Close
+// (whose final snapshot may have drained its pins; retrying it forever
+// would livelock). Callers must Release the result (or hand it to a
+// session that will).
+func (st *Store) Acquire() *Snapshot {
+	for {
+		if st.closedFlg.Load() {
+			return nil
+		}
+		s := st.cur.Load()
+		if !s.tryPin() {
+			// The snapshot drained to zero pins after being superseded;
+			// cur already points somewhere newer.
+			continue
+		}
+		if st.cur.Load() == s {
+			return s
+		}
+		// Lost a race with publish; the pin briefly kept a superseded
+		// snapshot alive. Drop it and retry on the new one.
+		s.Release()
+	}
+}
+
+// tryPin increments the pin count unless it already drained to zero — a
+// drained snapshot is dead and must not be resurrected, or the liveness
+// accounting would double-count its release.
+func (s *Snapshot) tryPin() bool {
+	for {
+		n := s.pins.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.pins.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Insert adds one plane data object copy-on-write and publishes the next
+// snapshot. It returns the assigned object id (inserting a duplicate point
+// returns the existing id, still consuming an epoch).
+func (st *Store) Insert(p geom.Point) (int, error) {
+	ids, err := st.Apply([]Mutation{{Insert: true, P: p}})
+	if err != nil {
+		return -1, err
+	}
+	return ids[0], nil
+}
+
+// Remove deletes one plane data object copy-on-write and publishes the
+// next snapshot.
+func (st *Store) Remove(id int) error {
+	_, err := st.Apply([]Mutation{{ID: id}})
+	return err
+}
+
+// Apply applies a batch of mutations under ONE index clone and ONE
+// publish, and returns the object id of each mutation in order. Batching
+// amortizes the copy-on-write cost over the batch; a failed mutation
+// aborts the whole batch without publishing anything.
+func (st *Store) Apply(muts []Mutation) ([]int, error) {
+	if len(muts) == 0 {
+		return nil, nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, ErrClosed
+	}
+	cur := st.cur.Load()
+	if cur.plane == nil {
+		return nil, ErrNoPlane
+	}
+
+	// Validate removals against the current state before paying for the
+	// clone: the id must be live and not already removed earlier in the
+	// batch. (Insert validation — bounds, duplicates — is the clone's own
+	// Insert contract; inserted ids are unknown until applied, so a batch
+	// cannot reference them.)
+	removed := make(map[int]bool)
+	for _, m := range muts {
+		if m.Insert {
+			continue
+		}
+		if !cur.plane.Contains(m.ID) || removed[m.ID] {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownObject, m.ID)
+		}
+		removed[m.ID] = true
+	}
+
+	clone := cur.plane.Clone()
+	ids := make([]int, len(muts))
+	ops := make([]Op, len(muts))
+	epoch := cur.epoch
+	for i, m := range muts {
+		epoch++
+		if m.Insert {
+			id, err := clone.Insert(m.P)
+			if err != nil {
+				return nil, fmt.Errorf("index: insert %v: %w", m.P, err)
+			}
+			ids[i] = id
+			op := Op{Epoch: epoch, Insert: true, ID: id, P: m.P}
+			if nb, err := clone.Neighbors(id); err == nil {
+				op.Neighbors = nb
+			} else {
+				op.Conservative = true
+			}
+			ops[i] = op
+			continue
+		}
+		if err := clone.Remove(m.ID); err != nil {
+			return nil, fmt.Errorf("index: remove %d: %w", m.ID, err)
+		}
+		ids[i] = m.ID
+		ops[i] = Op{Epoch: epoch, ID: m.ID}
+	}
+
+	st.log = append(st.log, ops...)
+	if over := len(st.log) - st.logDepth; over > 0 {
+		st.log = append([]Op(nil), st.log[over:]...)
+	}
+	st.publish(&Snapshot{store: st, epoch: epoch, plane: clone})
+	st.notify(epoch)
+	return ids, nil
+}
+
+// OpsSince returns the ops with epochs in (from, to] and reports whether
+// the log still covers that range; ok=false means the caller lagged past
+// the log capacity and must invalidate conservatively. The returned slice
+// aliases the log; callers must not modify it.
+func (st *Store) OpsSince(from, to uint64) ([]Op, bool) {
+	if to <= from {
+		return nil, true
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.log) == 0 || st.log[0].Epoch > from+1 {
+		return nil, false
+	}
+	lo := int(from - st.log[0].Epoch + 1) // index of epoch from+1
+	hi := int(to - st.log[0].Epoch + 1)   // one past epoch to
+	if hi > len(st.log) {
+		// to is ahead of the applied log — cannot happen for epochs read
+		// from published snapshots, but never over-promise.
+		return nil, false
+	}
+	return st.log[lo:hi], true
+}
+
+// Subscribe returns a channel that receives the epoch of every publish.
+// Notifications are coalesced: a slow subscriber sees only the newest
+// epoch, which is all a re-pinning reader needs.
+func (st *Store) Subscribe() <-chan uint64 {
+	ch := make(chan uint64, 1)
+	st.subMu.Lock()
+	st.subs = append(st.subs, ch)
+	st.subMu.Unlock()
+	return ch
+}
+
+// notify pushes epoch to every subscriber without blocking.
+func (st *Store) notify(epoch uint64) {
+	st.subMu.Lock()
+	defer st.subMu.Unlock()
+	for _, ch := range st.subs {
+		for {
+			select {
+			case ch <- epoch:
+			default:
+				// Full: drop the stale epoch and retry with the newest.
+				select {
+				case <-ch:
+					continue
+				default:
+				}
+			}
+			break
+		}
+	}
+}
+
+// Close rejects further mutations and releases the store's pin on the
+// current snapshot, letting LiveSnapshots drain to zero once every session
+// releases its own pin. Reads through already-pinned snapshots remain
+// valid.
+func (st *Store) Close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.closed = true
+	st.closedFlg.Store(true)
+	st.cur.Load().Release()
+}
+
+// Epoch returns the snapshot's version: the number of data updates applied
+// when it was published.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Plane returns the snapshot's plane read surface, or nil when the store
+// has no plane index.
+func (s *Snapshot) Plane() PlaneBackend {
+	if s.plane == nil {
+		return nil
+	}
+	return s.plane
+}
+
+// Network returns the shared network read surface (identical across
+// snapshots), or nil without a road network.
+func (s *Snapshot) Network() NetworkBackend { return s.store.Network() }
+
+// Release drops one pin. When the last pin of a superseded snapshot goes,
+// the snapshot becomes unreachable and the Go runtime reclaims its index
+// memory.
+func (s *Snapshot) Release() {
+	if n := s.pins.Add(-1); n == 0 {
+		s.store.live.Add(-1)
+	} else if n < 0 {
+		panic("index: snapshot over-released")
+	}
+}

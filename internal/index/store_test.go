@@ -1,0 +1,305 @@
+package index
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/roadnet"
+	"repro/internal/vortree"
+	"repro/internal/workload"
+)
+
+var testBounds = geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 1000))
+
+func newPlaneStore(t *testing.T, n int, logDepth int) *Store {
+	t.Helper()
+	st, err := NewStore(Config{
+		Bounds:   testBounds,
+		Objects:  workload.Uniform(n, testBounds, 42),
+		LogDepth: logDepth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStoreConfigValidation(t *testing.T) {
+	if _, err := NewStore(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestStoreIDsMatchSingleThreadedBuild(t *testing.T) {
+	pts := workload.Uniform(200, testBounds, 7)
+	st, err := NewStore(Config{Bounds: testBounds, Objects: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, refIDs, err := vortree.Build(testBounds, 16, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutations assign the same ids as direct index mutations.
+	p := geom.Pt(123.4, 567.8)
+	id, err := st.Insert(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refID, err := ref.Insert(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != refID {
+		t.Fatalf("store id %d, reference id %d", id, refID)
+	}
+	if err := st.Remove(refIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	plane := st.Current().Plane()
+	if plane.Contains(refIDs[0]) {
+		t.Error("removed object still live")
+	}
+	if got, want := plane.Len(), len(pts); got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+	if st.Epoch() != 2 {
+		t.Errorf("epoch = %d, want 2", st.Epoch())
+	}
+}
+
+func TestStoreSnapshotImmutability(t *testing.T) {
+	st := newPlaneStore(t, 100, 0)
+	old := st.Acquire()
+	defer old.Release()
+	oldLen := old.Plane().Len()
+	q := geom.Pt(500, 500)
+	before := old.Plane().KNN(q, 5)
+
+	for i := 0; i < 50; i++ {
+		if _, err := st.Insert(geom.Pt(499+float64(i)/100, 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := old.Plane().Len(); got != oldLen {
+		t.Fatalf("pinned snapshot Len changed: %d -> %d", oldLen, got)
+	}
+	after := old.Plane().KNN(q, 5)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("pinned snapshot kNN changed: %v -> %v", before, after)
+		}
+	}
+	cur := st.Acquire()
+	defer cur.Release()
+	if got := cur.Plane().Len(); got != oldLen+50 {
+		t.Fatalf("current snapshot Len = %d, want %d", got, oldLen+50)
+	}
+	if cur.Epoch() != old.Epoch()+50 {
+		t.Fatalf("epochs: old %d, cur %d", old.Epoch(), cur.Epoch())
+	}
+}
+
+func TestStorePinAccounting(t *testing.T) {
+	st := newPlaneStore(t, 20, 0)
+	if got := st.LiveSnapshots(); got != 1 {
+		t.Fatalf("initial live snapshots = %d, want 1", got)
+	}
+	s0 := st.Acquire()
+	if _, err := st.Insert(geom.Pt(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// s0 is superseded but pinned; the store pins the current one.
+	if got := st.LiveSnapshots(); got != 2 {
+		t.Fatalf("live snapshots with one lagging pin = %d, want 2", got)
+	}
+	s0.Release()
+	if got := st.LiveSnapshots(); got != 1 {
+		t.Fatalf("live snapshots after release = %d, want 1", got)
+	}
+	// Mutations with no lagging readers do not accumulate versions.
+	for i := 0; i < 10; i++ {
+		if _, err := st.Insert(geom.Pt(float64(i)+2, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.LiveSnapshots(); got != 1 {
+		t.Fatalf("live snapshots after 10 unpinned publishes = %d, want 1", got)
+	}
+}
+
+func TestStoreApplyBatchPublishesOnce(t *testing.T) {
+	st := newPlaneStore(t, 10, 0)
+	epochs := st.Subscribe()
+	muts := []Mutation{
+		{Insert: true, P: geom.Pt(10, 10)},
+		{Insert: true, P: geom.Pt(20, 20)},
+		{Insert: true, P: geom.Pt(30, 30)},
+	}
+	ids, err := st.Apply(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if st.Epoch() != 3 {
+		t.Errorf("epoch = %d, want 3 (one per mutation)", st.Epoch())
+	}
+	// One coalesced notification carrying the final epoch.
+	if got := <-epochs; got != 3 {
+		t.Errorf("notified epoch = %d, want 3", got)
+	}
+	select {
+	case e := <-epochs:
+		t.Errorf("unexpected second notification %d", e)
+	default:
+	}
+	// A failed batch publishes nothing and consumes no epochs.
+	if _, err := st.Apply([]Mutation{{Insert: true, P: geom.Pt(40, 40)}, {ID: 99999}}); err == nil {
+		t.Fatal("batch with unknown removal succeeded")
+	}
+	if st.Epoch() != 3 {
+		t.Errorf("epoch after failed batch = %d, want 3", st.Epoch())
+	}
+	if st.Current().Plane().Len() != 13 {
+		t.Errorf("object count after failed batch = %d, want 13", st.Current().Plane().Len())
+	}
+}
+
+func TestStoreOpsSince(t *testing.T) {
+	st := newPlaneStore(t, 10, 4)
+	var ids []int
+	for i := 0; i < 3; i++ {
+		id, err := st.Insert(geom.Pt(float64(i)*7+1, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	ops, ok := st.OpsSince(0, 3)
+	if !ok || len(ops) != 3 {
+		t.Fatalf("OpsSince(0,3) = %v ops, ok=%v", len(ops), ok)
+	}
+	for i, op := range ops {
+		if op.Epoch != uint64(i+1) || !op.Insert || op.ID != ids[i] {
+			t.Errorf("op %d = %+v", i, op)
+		}
+		if op.Conservative || op.Neighbors == nil {
+			t.Errorf("op %d missing neighbor capture: %+v", i, op)
+		}
+	}
+	if ops, ok := st.OpsSince(1, 2); !ok || len(ops) != 1 || ops[0].Epoch != 2 {
+		t.Errorf("OpsSince(1,2) = %+v, ok=%v", ops, ok)
+	}
+	if ops, ok := st.OpsSince(3, 3); !ok || len(ops) != 0 {
+		t.Errorf("OpsSince(3,3) = %+v, ok=%v", ops, ok)
+	}
+	// Overflow the 4-deep log: epoch 1 must fall out.
+	if err := st.Remove(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.OpsSince(0, 5); ok {
+		t.Error("OpsSince(0,5) succeeded after log trim")
+	}
+	if ops, ok := st.OpsSince(1, 5); !ok || len(ops) != 4 {
+		t.Errorf("OpsSince(1,5) = %d ops, ok=%v", len(ops), ok)
+	}
+	if ops, ok := st.OpsSince(4, 5); !ok || len(ops) != 1 || ops[0].Insert {
+		t.Errorf("OpsSince(4,5) = %+v, ok=%v", ops, ok)
+	}
+}
+
+func TestStoreRemoveErrors(t *testing.T) {
+	st := newPlaneStore(t, 5, 0)
+	if err := st.Remove(99999); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("remove unknown: %v", err)
+	}
+	g, err := roadnet.GridNetwork(4, 4, testBounds, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netOnly, err := NewStore(Config{Network: g, NetworkSites: []int{0, 5, 10, 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netOnly.Insert(geom.Pt(1, 1)); !errors.Is(err, ErrNoPlane) {
+		t.Errorf("insert on network-only store: %v", err)
+	}
+	if netOnly.Network() == nil || netOnly.Current().Network() == nil {
+		t.Error("network backend missing")
+	}
+	if netOnly.Current().Plane() != nil {
+		t.Error("plane backend present on network-only store")
+	}
+	st.Close()
+	if _, err := st.Insert(geom.Pt(2, 2)); !errors.Is(err, ErrClosed) {
+		t.Errorf("insert after close: %v", err)
+	}
+	if got := st.LiveSnapshots(); got != 0 {
+		t.Errorf("live snapshots after close with no readers = %d, want 0", got)
+	}
+	if s := st.Acquire(); s != nil {
+		t.Error("Acquire after Close returned a snapshot, want nil")
+	}
+}
+
+// TestStoreConcurrentReadersWriters exercises the copy-on-write contract
+// under -race: readers run kNN/INS on pinned snapshots while a writer
+// churns objects.
+func TestStoreConcurrentReadersWriters(t *testing.T) {
+	st := newPlaneStore(t, 500, 0)
+	const readers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			q := geom.Pt(float64(r)*100+50, 500)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := st.Acquire()
+				plane := s.Plane()
+				knn := plane.KNN(q, 8)
+				if len(knn) != 8 {
+					t.Errorf("reader %d: got %d neighbors", r, len(knn))
+				}
+				if _, err := plane.INS(knn); err != nil {
+					t.Errorf("reader %d: INS: %v", r, err)
+				}
+				s.Release()
+			}
+		}(r)
+	}
+	var inserted []int
+	for i := 0; i < 60; i++ {
+		if len(inserted) > 10 {
+			if err := st.Remove(inserted[0]); err != nil {
+				t.Error(err)
+			}
+			inserted = inserted[1:]
+		} else {
+			id, err := st.Insert(geom.Pt(float64(i%37)*23+11, float64(i%17)*41+13))
+			if err != nil {
+				t.Error(err)
+			} else {
+				inserted = append(inserted, id)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := st.LiveSnapshots(); got != 1 {
+		t.Errorf("live snapshots after readers drained = %d, want 1", got)
+	}
+}

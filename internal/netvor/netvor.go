@@ -139,6 +139,14 @@ func (d *Diagram) Graph() *roadnet.Graph { return d.g }
 // Sites returns the sorted site vertex ids.
 func (d *Diagram) Sites() []int { return d.sites }
 
+// Len returns the number of data objects (sites); it makes the diagram an
+// index.Backend alongside the plane VoR-tree.
+func (d *Diagram) Len() int { return len(d.sites) }
+
+// Contains reports whether object id is a site, mirroring the plane-index
+// method of the same name.
+func (d *Diagram) Contains(id int) bool { return d.IsSite(id) }
+
 // IsSite reports whether vertex v carries a data object.
 func (d *Diagram) IsSite(v int) bool { return v >= 0 && v < len(d.isSite) && d.isSite[v] }
 
@@ -191,8 +199,17 @@ func (d *Diagram) KNN(pos roadnet.Position, k int) []int {
 
 // KNNWithDistances is KNN returning the matching network distances too.
 func (d *Diagram) KNNWithDistances(pos roadnet.Position, k int) ([]int, []float64) {
+	ids, ds, _ := d.KNNWithDistancesCounted(pos, k)
+	return ids, ds
+}
+
+// KNNWithDistancesCounted is KNNWithDistances additionally returning the
+// number of edge relaxations this search performed — exact per call even
+// under concurrent searches on the shared network, unlike a before/after
+// diff of the graph's global counter (which is still charged too).
+func (d *Diagram) KNNWithDistancesCounted(pos roadnet.Position, k int) ([]int, []float64, int) {
 	if k <= 0 {
-		return nil, nil
+		return nil, nil, 0
 	}
 	dist := make(map[int]float64, 64)
 	h := &roadPQ{}
@@ -205,6 +222,7 @@ func (d *Diagram) KNNWithDistances(pos roadnet.Position, k int) ([]int, []float6
 	done := make(map[int]bool, 64)
 	var ids []int
 	var ds []float64
+	relaxed := 0
 	for h.Len() > 0 && len(ids) < k {
 		it := heap.Pop(h).(roadPQItem)
 		if done[it.v] {
@@ -219,7 +237,7 @@ func (d *Diagram) KNNWithDistances(pos roadnet.Position, k int) ([]int, []float6
 			}
 		}
 		for _, u := range d.g.AdjacentVertices(it.v) {
-			d.g.EdgeRelaxations++
+			relaxed++
 			w, _ := d.g.EdgeWeight(it.v, u)
 			nd := it.d + w
 			if cur, ok := dist[u]; !ok || nd < cur {
@@ -228,7 +246,8 @@ func (d *Diagram) KNNWithDistances(pos roadnet.Position, k int) ([]int, []float6
 			}
 		}
 	}
-	return ids, ds
+	d.g.AddRelaxations(relaxed)
+	return ids, ds, relaxed
 }
 
 type roadPQItem struct {
@@ -356,6 +375,7 @@ func (s *Subnetwork) KNNSites(pos roadnet.Position, sites []int, k int) ([]int, 
 	done := make(map[int]bool, 64)
 	var ids []int
 	var ds []float64
+	relaxed := 0
 	for h.Len() > 0 && len(ids) < k {
 		it := heap.Pop(h).(roadPQItem)
 		if done[it.v] {
@@ -370,7 +390,7 @@ func (s *Subnetwork) KNNSites(pos roadnet.Position, sites []int, k int) ([]int, 
 			}
 		}
 		for _, u := range s.G.AdjacentVertices(it.v) {
-			s.G.EdgeRelaxations++
+			relaxed++
 			w, _ := s.G.EdgeWeight(it.v, u)
 			nd := it.d + w
 			if cur, ok := dist[u]; !ok || nd < cur {
@@ -379,6 +399,7 @@ func (s *Subnetwork) KNNSites(pos roadnet.Position, sites []int, k int) ([]int, 
 			}
 		}
 	}
+	s.G.AddRelaxations(relaxed)
 	return ids, ds
 }
 

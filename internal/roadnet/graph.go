@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -34,9 +35,25 @@ type Graph struct {
 	adj   [][]halfEdge
 	edges int
 
-	// EdgeRelaxations counts Dijkstra edge relaxations since ResetStats;
-	// the experiments use it as a machine-independent cost measure.
-	EdgeRelaxations int
+	// relax counts Dijkstra edge relaxations since ResetStats; the
+	// experiments use it as a machine-independent cost measure. Atomic so
+	// that shortest-path searches on a graph shared across goroutines (the
+	// network side of an index snapshot) stay race-free.
+	relax atomic.Int64
+}
+
+// EdgeRelaxations returns the number of Dijkstra edge relaxations counted
+// since the last ResetStats. Under concurrent readers the total is exact
+// but before/after deltas taken by one reader may include relaxations
+// charged by others.
+func (g *Graph) EdgeRelaxations() int { return int(g.relax.Load()) }
+
+// AddRelaxations charges n edge relaxations to the graph's counter; search
+// code batches local counts into one atomic add per query.
+func (g *Graph) AddRelaxations(n int) {
+	if n != 0 {
+		g.relax.Add(int64(n))
+	}
 }
 
 // NewGraph returns an empty graph.
@@ -121,24 +138,8 @@ func (g *Graph) Edges(fn func(u, v int, w float64)) {
 	}
 }
 
-// Clone returns a deep copy of the graph with a zeroed relaxation counter.
-// The serving engine gives each shard its own copy because shortest-path
-// searches mutate the counter, making even reads unsafe to share across
-// goroutines.
-func (g *Graph) Clone() *Graph {
-	c := &Graph{
-		pts:   append([]geom.Point(nil), g.pts...),
-		adj:   make([][]halfEdge, len(g.adj)),
-		edges: g.edges,
-	}
-	for v, hs := range g.adj {
-		c.adj[v] = append([]halfEdge(nil), hs...)
-	}
-	return c
-}
-
 // ResetStats zeroes the relaxation counter.
-func (g *Graph) ResetStats() { g.EdgeRelaxations = 0 }
+func (g *Graph) ResetStats() { g.relax.Store(0) }
 
 // pqItem is a priority-queue element for Dijkstra variants.
 type pqItem struct {
@@ -191,6 +192,8 @@ func (g *Graph) ShortestDistances(sources []Source, stopAt float64) []float64 {
 			heap.Push(h, pqItem{s.V, s.D})
 		}
 	}
+	relaxed := 0
+	defer func() { g.AddRelaxations(relaxed) }()
 	for h.Len() > 0 {
 		it := heap.Pop(h).(pqItem)
 		if it.d > dist[it.v] {
@@ -200,7 +203,7 @@ func (g *Graph) ShortestDistances(sources []Source, stopAt float64) []float64 {
 			break
 		}
 		for _, he := range g.adj[it.v] {
-			g.EdgeRelaxations++
+			relaxed++
 			if nd := it.d + he.w; nd < dist[he.to] {
 				dist[he.to] = nd
 				heap.Push(h, pqItem{he.to, nd})
@@ -230,6 +233,8 @@ func (g *Graph) ShortestPath(s, t int) (path []int, d float64, ok bool) {
 	heap.Init(hb)
 	best := math.Inf(1)
 	meet := -1
+	relaxed := 0
+	defer func() { g.AddRelaxations(relaxed) }()
 
 	expand := func(h *pq, dist map[int]float64, prev map[int]int, done map[int]bool,
 		otherDist map[int]float64) {
@@ -244,7 +249,7 @@ func (g *Graph) ShortestPath(s, t int) (path []int, d float64, ok bool) {
 			}
 		}
 		for _, he := range g.adj[it.v] {
-			g.EdgeRelaxations++
+			relaxed++
 			nd := it.d + he.w
 			if cur, ok := dist[he.to]; !ok || nd < cur {
 				dist[he.to] = nd
@@ -314,6 +319,8 @@ func (g *Graph) AStar(s, t int) (path []int, d float64, ok bool) {
 	done := map[int]bool{}
 	h := &pq{{s, g.pts[s].Dist(target)}}
 	heap.Init(h)
+	relaxed := 0
+	defer func() { g.AddRelaxations(relaxed) }()
 	for h.Len() > 0 {
 		it := heap.Pop(h).(pqItem)
 		if done[it.v] {
@@ -336,7 +343,7 @@ func (g *Graph) AStar(s, t int) (path []int, d float64, ok bool) {
 			return out, dist[t], true
 		}
 		for _, he := range g.adj[it.v] {
-			g.EdgeRelaxations++
+			relaxed++
 			nd := dist[it.v] + he.w
 			if cur, ok := dist[he.to]; !ok || nd < cur {
 				dist[he.to] = nd

@@ -287,11 +287,11 @@ func TestEdgeRelaxationsCounter(t *testing.T) {
 	g := lineGraph(10)
 	g.ResetStats()
 	g.ShortestDistances([]Source{{V: 0, D: 0}}, -1)
-	if g.EdgeRelaxations == 0 {
+	if g.EdgeRelaxations() == 0 {
 		t.Error("relaxations not counted")
 	}
 	g.ResetStats()
-	if g.EdgeRelaxations != 0 {
+	if g.EdgeRelaxations() != 0 {
 		t.Error("ResetStats did not zero counter")
 	}
 }

@@ -9,6 +9,7 @@ package rtree
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -60,10 +61,18 @@ type Tree struct {
 	max  int // max entries per node (M)
 	min  int // min entries per node (m = M/2)
 
-	// NodeVisits counts nodes touched by search operations since the last
-	// ResetStats. It stands in for page I/O in the experiments.
-	NodeVisits int
+	// visits counts nodes touched by search operations since the last
+	// ResetStats. It stands in for page I/O in the experiments. Atomic so
+	// that read-only searches on a tree shared across goroutines (an
+	// immutable index snapshot) stay race-free.
+	visits atomic.Int64
 }
+
+// NodeVisits returns the number of nodes touched by search operations
+// since the last ResetStats. Under concurrent readers the total is exact
+// but before/after deltas taken by one reader may include visits charged
+// by others.
+func (t *Tree) NodeVisits() int { return int(t.visits.Load()) }
 
 // New returns an empty tree with the given maximum node fanout; fanout < 4
 // is raised to 4. Use DefaultMaxEntries when in doubt.
@@ -82,7 +91,29 @@ func New(maxEntries int) *Tree {
 func (t *Tree) Len() int { return t.size }
 
 // ResetStats zeroes the NodeVisits counter.
-func (t *Tree) ResetStats() { t.NodeVisits = 0 }
+func (t *Tree) ResetStats() { t.visits.Store(0) }
+
+// Clone returns a deep copy of the tree with a zeroed visit counter. The
+// index snapshot store uses it to build the next copy-on-write snapshot
+// without touching the published one.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{size: t.size, max: t.max, min: t.min}
+	c.root = cloneNode(t.root, nil)
+	return c
+}
+
+func cloneNode(n *node, parent *node) *node {
+	cp := &node{rect: n.rect, parent: parent}
+	if n.leaf() {
+		cp.items = append([]Item{}, n.items...)
+		return cp
+	}
+	cp.children = make([]*node, len(n.children))
+	for i, ch := range n.children {
+		cp.children[i] = cloneNode(ch, cp)
+	}
+	return cp
+}
 
 // Insert adds an item. Duplicate points are allowed; duplicate IDs are the
 // caller's responsibility.
@@ -422,7 +453,7 @@ func (t *Tree) Search(r geom.Rect) []int {
 }
 
 func (t *Tree) search(n *node, r geom.Rect, out *[]int) {
-	t.NodeVisits++
+	t.visits.Add(1)
 	if n.leaf() {
 		for _, it := range n.items {
 			if r.Contains(it.P) {
@@ -441,8 +472,17 @@ func (t *Tree) search(n *node, r geom.Rect, out *[]int) {
 // KNN returns the k nearest items to q in ascending distance order using
 // best-first traversal (Hjaltason & Samet). Ties break by id.
 func (t *Tree) KNN(q geom.Point, k int) []Item {
+	items, _ := t.KNNWithVisits(q, k)
+	return items
+}
+
+// KNNWithVisits is KNN returning the number of nodes this search visited.
+// Unlike a before/after diff of NodeVisits, the count is exact even when
+// other goroutines search the tree concurrently (shared index snapshots);
+// the visits are still charged to the global counter too.
+func (t *Tree) KNNWithVisits(q geom.Point, k int) ([]Item, int) {
 	if k <= 0 || t.size == 0 {
-		return nil
+		return nil, 0
 	}
 	out := make([]Item, 0, k)
 	it := t.NewKNNIterator(q)
@@ -453,17 +493,21 @@ func (t *Tree) KNN(q geom.Point, k int) []Item {
 		}
 		out = append(out, item)
 	}
-	return out
+	return out, it.Visited()
 }
 
 // KNNIterator yields items in ascending distance from a query point, one
 // at a time. The VoR-tree and the prefetch logic of the INS algorithm use
 // it to extend a kNN set incrementally without restarting the search.
 type KNNIterator struct {
-	t  *Tree
-	q  geom.Point
-	pq knnHeap
+	t      *Tree
+	q      geom.Point
+	pq     knnHeap
+	visits int
 }
+
+// Visited returns the number of nodes this iterator has touched.
+func (it *KNNIterator) Visited() int { return it.visits }
 
 // NewKNNIterator starts an incremental nearest-neighbor scan from q.
 func (t *Tree) NewKNNIterator(q geom.Point) *KNNIterator {
@@ -479,7 +523,8 @@ func (it *KNNIterator) Next() (Item, bool) {
 		if e.node == nil {
 			return e.item, true
 		}
-		it.t.NodeVisits++
+		it.visits++
+		it.t.visits.Add(1)
 		n := e.node
 		if n.leaf() {
 			for _, item := range n.items {

@@ -268,11 +268,11 @@ func TestNodeVisitsCounted(t *testing.T) {
 	tr := buildTree(t, items, 8)
 	tr.ResetStats()
 	tr.KNN(geom.Pt(500, 500), 10)
-	if tr.NodeVisits == 0 {
+	if tr.NodeVisits() == 0 {
 		t.Error("KNN did not count node visits")
 	}
 	tr.ResetStats()
-	if tr.NodeVisits != 0 {
+	if tr.NodeVisits() != 0 {
 		t.Error("ResetStats did not zero the counter")
 	}
 }

@@ -44,6 +44,13 @@ func Build(bounds geom.Rect, pts []geom.Point) (*Diagram, []int, error) {
 // Bounds returns the clipping rectangle of the diagram.
 func (d *Diagram) Bounds() geom.Rect { return d.bounds }
 
+// Clone returns a deep copy of the diagram sharing no mutable state with
+// the original; site ids are preserved. The index snapshot store mutates
+// the copy while readers keep using the original.
+func (d *Diagram) Clone() *Diagram {
+	return &Diagram{tri: d.tri.Clone(), bounds: d.bounds}
+}
+
 // Len returns the number of live sites.
 func (d *Diagram) Len() int { return d.tri.Len() }
 

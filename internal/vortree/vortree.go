@@ -52,6 +52,22 @@ func (ix *Index) Diagram() *voronoi.Diagram { return ix.diag }
 // Index methods).
 func (ix *Index) Tree() *rtree.Tree { return ix.tree }
 
+// Clone returns a deep copy of the VoR-tree with the same object ids and a
+// zeroed node-visit counter. The index snapshot store applies mutations to
+// the clone while published snapshots keep serving reads from the original.
+func (ix *Index) Clone() *Index {
+	return &Index{tree: ix.tree.Clone(), diag: ix.diag.Clone()}
+}
+
+// INS returns the influential neighbor set I(knn) of Definition 4 under
+// the order-1 Voronoi diagram of the indexed objects, sorted by id.
+func (ix *Index) INS(knn []int) ([]int, error) { return ix.diag.INS(knn) }
+
+// Visits returns the cumulative R-tree node-visit counter (the page-I/O
+// stand-in); see rtree.Tree.NodeVisits for its semantics under concurrent
+// readers.
+func (ix *Index) Visits() int { return ix.tree.NodeVisits() }
+
 // Len returns the number of live objects.
 func (ix *Index) Len() int { return ix.diag.Len() }
 
@@ -109,13 +125,22 @@ func (ix *Index) NN(q geom.Point) int {
 // object, then incremental expansion over stored Voronoi neighbor lists.
 // This touches O(k) Voronoi records instead of O(k) R-tree paths.
 func (ix *Index) KNN(q geom.Point, k int) []int {
+	ids, _ := ix.KNNCounted(q, k)
+	return ids
+}
+
+// KNNCounted is KNN returning the number of index nodes this search
+// visited — exact per call even under concurrent searches on a shared
+// snapshot, unlike a before/after diff of the global Visits counter.
+func (ix *Index) KNNCounted(q geom.Point, k int) ([]int, int) {
 	if k <= 0 || ix.Len() == 0 {
-		return nil
+		return nil, 0
 	}
-	start := ix.NN(q)
-	if start < 0 {
-		return nil
+	seeds, visits := ix.tree.KNNWithVisits(q, 1)
+	if len(seeds) == 0 {
+		return nil, visits
 	}
+	start := seeds[0].ID
 	pq := &nnHeap{}
 	seen := map[int]bool{start: true}
 	heap.Push(pq, nnEntry{id: start, d2: q.Dist2(ix.diag.Site(start))})
@@ -134,7 +159,7 @@ func (ix *Index) KNN(q geom.Point, k int) []int {
 			}
 		}
 	}
-	return out
+	return out, visits
 }
 
 type nnEntry struct {
