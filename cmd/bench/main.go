@@ -10,9 +10,11 @@
 // E6 (prefetch ratio ρ sweep), E7 (dataset size sweep), E8/E9 (road
 // networks incl. Theorem-2 ablation), E11 (data-update rate sweep), the
 // ablations A1 (local re-rank), A2 (VoR-tree vs R-tree kNN), A3 (order-k
-// cell construction candidates), and ENGINE (the online serving benchmark;
-// with -benchout it writes the JSON record CI archives as
-// BENCH_engine.json).
+// cell construction candidates), and the serving records ENGINE (online
+// serving benchmark) and STREAM (continuous-query push benchmark:
+// insert-to-push latency, coalesce/drop counters). With -benchout and a
+// single record experiment the result is written as the JSON record CI
+// archives (BENCH_engine.json / BENCH_stream.json).
 package main
 
 import (
@@ -29,9 +31,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
-	exp := flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E11,E12,A1,A2,A3,ENGINE) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E11,E12,A1,A2,A3,ENGINE,STREAM) or 'all'")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (>=1)")
-	benchout := flag.String("benchout", "", "with -exp ENGINE: write the result as JSON to this file (e.g. BENCH_engine.json)")
+	benchout := flag.String("benchout", "", "with -exp ENGINE or -exp STREAM: write the result as JSON to this file (e.g. BENCH_engine.json)")
 	flag.Parse()
 	if *scale < 1 {
 		*scale = 1
@@ -60,15 +62,15 @@ func main() {
 
 	want := strings.ToUpper(*exp)
 	if want != "ALL" {
-		known := want == "ENGINE"
-		ids := make([]string, len(runners), len(runners)+1)
+		known := want == "ENGINE" || want == "STREAM"
+		ids := make([]string, len(runners), len(runners)+2)
 		for i, r := range runners {
 			ids[i] = r.id
 			known = known || want == r.id
 		}
 		if !known {
 			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q; valid ids: %s, or 'all'\n",
-				*exp, strings.Join(append(ids, "ENGINE"), ", "))
+				*exp, strings.Join(append(ids, "ENGINE", "STREAM"), ", "))
 			os.Exit(2)
 		}
 	}
@@ -86,6 +88,26 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// The record experiments: any-typed results so both serving benchmarks
+	// share the -benchout path. Under 'all' the flag keeps its historical
+	// meaning (the ENGINE record) rather than being silently dropped.
+	writeRecord := func(id string, res any) {
+		if *benchout == "" {
+			return
+		}
+		if want == "ALL" && id != "ENGINE" {
+			log.Printf("note: -benchout with -exp all writes the ENGINE record only; run -exp %s -benchout <file> for the %s record", id, id)
+			return
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatalf("%s: encode: %v", id, err)
+		}
+		if err := os.WriteFile(*benchout, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		log.Printf("wrote %s", *benchout)
+	}
 	if want == "ALL" || want == "ENGINE" {
 		fmt.Println("== ENGINE: online serving benchmark (shared snapshot store)")
 		res, err := experiments.EngineBench(cfg)
@@ -93,15 +115,15 @@ func main() {
 			log.Fatalf("ENGINE: %v", err)
 		}
 		fmt.Println(res)
-		if *benchout != "" {
-			data, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				log.Fatalf("ENGINE: encode: %v", err)
-			}
-			if err := os.WriteFile(*benchout, append(data, '\n'), 0o644); err != nil {
-				log.Fatalf("ENGINE: %v", err)
-			}
-			log.Printf("wrote %s", *benchout)
+		writeRecord("ENGINE", res)
+	}
+	if want == "ALL" || want == "STREAM" {
+		fmt.Println("== STREAM: continuous-query push benchmark (insert-to-push latency)")
+		res, err := experiments.StreamBench(cfg)
+		if err != nil {
+			log.Fatalf("STREAM: %v", err)
 		}
+		fmt.Println(res)
+		writeRecord("STREAM", res)
 	}
 }

@@ -11,10 +11,18 @@
 //	curl -X POST localhost:8080/v1/objects -d '{"x":100,"y":200}'
 //	curl -X DELETE localhost:8080/v1/objects/42
 //	curl localhost:8080/v1/stats
+//	curl -N localhost:8080/v1/sessions/1/events     # SSE push stream
+//	curl -N 'localhost:8080/v1/events?sessions=1,2' # multi-session variant
+//
+// The /events endpoints stream continuous-query results: after an object
+// insert/delete invalidates a subscribed session, the engine recomputes
+// it eagerly and pushes the kNN delta — the client never polls.
 //
 // See internal/api for the wire types and cmd/loadgen for a closed-loop
-// driver. SIGINT/SIGTERM shut the server down gracefully: in-flight
-// requests drain, then the engine stops and prints its final stats.
+// driver (-subscribe measures insert-to-push latency). SIGINT/SIGTERM
+// shut the server down gracefully: the stream broker closes first so
+// every SSE subscriber receives a final "bye" event, in-flight requests
+// drain, then the engine stops and prints its final stats.
 package main
 
 import (
@@ -82,6 +90,11 @@ func main() {
 
 	<-ctx.Done()
 	log.Print("shutting down...")
+	// Close the push broker first: every SSE subscriber gets a final "bye"
+	// event and its handler returns, so Shutdown's drain below isn't held
+	// hostage by long-lived /events connections (they would otherwise
+	// outlive any drain timeout by design).
+	e.Stream().Close()
 	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer shutdownCancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

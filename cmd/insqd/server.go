@@ -3,12 +3,16 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
 	insq "repro"
 	"repro/internal/api"
 	"repro/internal/engine"
+	"repro/internal/stream"
 )
 
 // server routes the insqd HTTP API onto one serving engine. The engine is
@@ -23,6 +27,8 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.createSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.closeSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.sessionEvents)
+	mux.HandleFunc("GET /v1/events", s.events)
 	mux.HandleFunc("POST /v1/update", s.updateBatch)
 	mux.HandleFunc("POST /v1/objects", s.insertObject)
 	mux.HandleFunc("DELETE /v1/objects/{id}", s.removeObject)
@@ -163,4 +169,136 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, api.NewStatsResponse(st))
+}
+
+// ssePingInterval keeps idle /events connections alive through proxies
+// and lets the handler notice dead peers.
+const ssePingInterval = 15 * time.Second
+
+// sessionEvents streams one session's result deltas: GET
+// /v1/sessions/{id}/events. The stream opens with a snapshot event (the
+// current kNN), then pushes deltas until the client disconnects, the
+// session closes (a final close event) or the server shuts down (a final
+// bye event).
+func (s *server) sessionEvents(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	s.serveEvents(w, r, []uint64{id}, true)
+}
+
+// events is the multi-session stream: GET /v1/events?sessions=1,2,3, or
+// every session when the parameter is omitted. Snapshots open the stream
+// for explicitly named sessions; a firehose subscription starts empty and
+// carries deltas only.
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	var ids []uint64
+	if raw := r.URL.Query().Get("sessions"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			id, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				writeBadRequest(w, "bad sessions parameter: "+err.Error())
+				return
+			}
+			ids = append(ids, id)
+		}
+	}
+	s.serveEvents(w, r, ids, false)
+}
+
+// serveEvents is the shared SSE loop. Subscribing before reading the
+// baseline snapshots means no delta can fall between them; the client
+// dedups the overlap by Seq. The subscriber's queue is bounded with
+// coalescing/drop-oldest (see internal/stream), so a stalled connection
+// never backpressures the engine.
+func (s *server) serveEvents(w http.ResponseWriter, r *http.Request, ids []uint64, single bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, api.ErrorResponse{Error: "streaming unsupported by this connection"})
+		return
+	}
+	sub := s.e.Stream().Subscribe(0, ids...)
+	if sub == nil { // broker already closed: shutdown in progress
+		writeError(w, engine.ErrClosed)
+		return
+	}
+	defer sub.Close()
+
+	// Baseline snapshots, gathered before any status is written so an
+	// unknown single session can still fail with a clean 404.
+	snapshots := make([]api.SessionEvent, 0, len(ids))
+	for _, id := range ids {
+		st, err := s.e.State(insq.SessionID(id))
+		if err != nil {
+			if single {
+				writeError(w, err)
+				return
+			}
+			continue // multi-stream: skip unknown ids, serve the rest
+		}
+		snapshots = append(snapshots, api.SessionEvent{
+			Session: id,
+			Seq:     st.Seq,
+			Epoch:   st.Epoch,
+			Cause:   string(stream.CauseSnapshot),
+			KNN:     st.KNN,
+		})
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	// The server's WriteTimeout is sized for request/response traffic;
+	// this connection is long-lived, so push the deadline out before every
+	// write instead.
+	rc := http.NewResponseController(w)
+	emit := func(ev api.SessionEvent) bool {
+		rc.SetWriteDeadline(time.Now().Add(2 * ssePingInterval))
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Cause, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for _, snap := range snapshots {
+		if !emit(snap) {
+			return
+		}
+	}
+
+	ping := time.NewTicker(ssePingInterval)
+	defer ping.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Done():
+			// Graceful shutdown: a final farewell instead of a reset.
+			emit(api.SessionEvent{Cause: string(stream.CauseBye)})
+			return
+		case <-ping.C:
+			rc.SetWriteDeadline(time.Now().Add(2 * ssePingInterval))
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-sub.Wake():
+			for ev, ok := sub.Next(); ok; ev, ok = sub.Next() {
+				if !emit(api.NewSessionEvent(ev)) {
+					return
+				}
+				if single && ev.Cause == stream.CauseClose {
+					return // the one watched session is gone
+				}
+			}
+		}
+	}
 }

@@ -2,8 +2,9 @@
 // of RandomWaypoint clients, each a live query session, pushed through
 // batched location updates as fast as the target sustains, with optional
 // data-update churn racing the queries. It reports a throughput/latency
-// table from both sides: client-observed batch round-trips and the
-// server's per-update serving histogram.
+// table from both sides — client-observed round-trips split per endpoint
+// (update batches vs. object mutations) and the server's per-update
+// serving histogram.
 //
 // Two targets:
 //
@@ -12,16 +13,29 @@
 //
 // The in-process mode measures the engine floor; the HTTP mode adds the
 // JSON/TCP serving stack on top.
+//
+// With -subscribe N the first N sessions are watched over the push
+// stream (SSE against insqd, the broker directly in-process) and the run
+// additionally reports insert-to-push latency: the time from issuing an
+// object insert to the moment a subscriber receives the kNN delta it
+// caused, the end-to-end number the continuous-query subsystem is
+// accountable for. Enable churn (-churn) or there is nothing to push.
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,8 +53,75 @@ type target interface {
 	update(entries []api.UpdateEntry) (*api.UpdateResponse, error)
 	insertObject(x, y float64) (int, error)
 	removeObject(id int) error
+	// subscribe watches the sessions on the push stream, invoking onEvent
+	// for every delta until the returned stop function runs.
+	subscribe(sids []uint64, onEvent func(api.SessionEvent)) (stop func(), err error)
 	stats() (*api.StatsResponse, error)
 	close()
+}
+
+// pushTracker correlates object inserts with the pushed deltas they
+// cause and records the insert-to-push latency of the first delivery.
+// Events can outrun the insert response (the push races the HTTP reply),
+// so arrivals for not-yet-registered ids park in early until the insert
+// returns with the id.
+type pushTracker struct {
+	mu       sync.Mutex
+	pending  map[int]time.Time // object id -> insert issue time
+	early    map[int]time.Time // event arrival time for unknown ids
+	hist     metrics.Histogram
+	events   uint64 // data-cause events observed
+	unpushed uint64 // inserts gone (removed or run over) without any push
+}
+
+func newPushTracker() *pushTracker {
+	return &pushTracker{pending: make(map[int]time.Time), early: make(map[int]time.Time)}
+}
+
+// onEvent is the subscriber callback (any goroutine).
+func (p *pushTracker) onEvent(ev api.SessionEvent) {
+	if ev.Cause != "data" {
+		return
+	}
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events++
+	for _, id := range ev.Added {
+		if t0, ok := p.pending[id]; ok {
+			p.hist.Record(now.Sub(t0))
+			delete(p.pending, id) // first push wins
+		} else if _, ok := p.early[id]; !ok {
+			p.early[id] = now
+			if len(p.early) > 4096 { // deletes and foreign inserts accrue here; stay bounded
+				clear(p.early)
+			}
+		}
+	}
+}
+
+// registerInsert records an insert issued at t0 that produced object id.
+func (p *pushTracker) registerInsert(id int, t0 time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t1, ok := p.early[id]; ok {
+		p.hist.Record(t1.Sub(t0))
+		delete(p.early, id)
+		return
+	}
+	p.pending[id] = t0
+}
+
+// forget drops an object the churn loop removed again, so pending stays
+// bounded by the live churn window; one still pending was never pushed
+// (it entered no watched session's kNN before dying).
+func (p *pushTracker) forget(id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.pending[id]; ok {
+		p.unpushed++
+		delete(p.pending, id)
+	}
 }
 
 func main() {
@@ -56,6 +137,7 @@ func main() {
 		workers  = flag.Int("workers", 8, "concurrent client workers")
 		stepLen  = flag.Float64("step", 5, "client movement per update")
 		churn    = flag.Float64("churn", 0, "data updates per second (alternating insert/delete), 0 = off")
+		subCount = flag.Int("subscribe", 0, "watch the first N sessions on the push stream and measure insert-to-push latency (0 = off)")
 		space    = flag.Float64("space", 10000, "side length of the data space (must match the server)")
 		seed     = flag.Int64("seed", 42, "trajectory seed")
 		objects  = flag.Int("objects", 50000, "in-process mode: synthetic data objects")
@@ -103,14 +185,33 @@ func main() {
 		trajs[i] = insq.RandomWaypoint(bounds, trajSteps, *stepLen, *seed+int64(i))
 	}
 
+	// Push subscription: watch the first -subscribe sessions and track
+	// insert-to-push latency through the churn loop below.
+	var tracker *pushTracker
+	stopSub := func() {}
+	if *subCount > 0 {
+		n := min(*subCount, *sessions)
+		tracker = newPushTracker()
+		stop, err := tgt.subscribe(sids[:n], tracker.onEvent)
+		if err != nil {
+			log.Fatalf("subscribe: %v", err)
+		}
+		stopSub = stop
+		log.Printf("subscribed to %d sessions on the push stream", n)
+		if *churn == 0 {
+			log.Print("warning: -subscribe without -churn measures nothing (no data updates to push)")
+		}
+	}
+
 	stopChurn := make(chan struct{})
 	churnCount := 0
+	var churnHist metrics.Histogram
 	var churnWG sync.WaitGroup
 	if *churn > 0 {
 		churnWG.Add(1)
 		go func() {
 			defer churnWG.Done()
-			churnCount = runChurn(tgt, *churn, bounds, *seed, stopChurn)
+			churnCount = runChurn(tgt, *churn, bounds, *seed, stopChurn, &churnHist, tracker)
 		}()
 	}
 
@@ -169,6 +270,11 @@ func main() {
 	elapsed := time.Since(start)
 	close(stopChurn)
 	churnWG.Wait()
+	if tracker != nil {
+		// Let in-flight pushes land before reading the histograms.
+		time.Sleep(250 * time.Millisecond)
+	}
+	stopSub()
 
 	var total workerResult
 	for i := range results {
@@ -185,8 +291,21 @@ func main() {
 	fmt.Printf("%-22s %d\n", "batch requests", total.batches)
 	fmt.Printf("%-22s %d\n", "data updates", churnCount)
 	fmt.Printf("%-22s %.0f\n", "updates/sec", float64(total.updates)/elapsed.Seconds())
-	cl := total.hist.Summary()
-	fmt.Printf("client batch RTT       %v\n", cl)
+	// Per-endpoint client latency: update batches and object mutations hit
+	// different server paths (shard fan-out vs. copy-on-write publish), so
+	// one merged histogram would hide whichever is slower.
+	fmt.Printf("client update RTT      %v\n", total.hist.Summary())
+	if churnHist.Count() > 0 {
+		fmt.Printf("client mutation RTT    %v\n", churnHist.Summary())
+	}
+	if tracker != nil {
+		tracker.mu.Lock()
+		push := tracker.hist.Summary()
+		events, unmatched := tracker.events, tracker.unpushed+uint64(len(tracker.pending))
+		tracker.mu.Unlock()
+		fmt.Printf("push events            %d\n", events)
+		fmt.Printf("insert-to-push         %v (%d inserts never pushed: outside every watched kNN)\n", push, unmatched)
+	}
 	if st, err := tgt.stats(); err != nil {
 		log.Printf("stats: %v", err)
 	} else {
@@ -197,6 +316,10 @@ func main() {
 		fmt.Printf("server counters        %v\n", st.Counters)
 		fmt.Printf("server recompute rate  %.2f%% of updates\n",
 			100*float64(st.Counters.Recomputations)/float64(max(st.Counters.Timestamps, 1)))
+		if s := st.Stream; s.Published > 0 || s.Subscribers > 0 {
+			fmt.Printf("server stream          published=%d delivered=%d coalesced=%d dropped=%d\n",
+				s.Published, s.Delivered, s.Coalesced, s.Dropped)
+		}
 	}
 	// Release the sessions (after the stats read — server counters cover
 	// live sessions) so repeated runs against one long-running insqd don't
@@ -246,8 +369,11 @@ func parallelFor(workers, n int, fn func(i int) error) error {
 
 // runChurn applies paced data updates until stop closes: inserts random
 // objects and removes them again once enough have accumulated, so the
-// object count stays near its initial value.
-func runChurn(tgt target, perSec float64, bounds insq.Rect, seed int64, stop <-chan struct{}) int {
+// object count stays near its initial value. Every mutation's round-trip
+// is recorded in hist (the object-mutation side of the per-endpoint
+// latency split); inserts are registered with the push tracker when one
+// is attached.
+func runChurn(tgt target, perSec float64, bounds insq.Rect, seed int64, stop <-chan struct{}, hist *metrics.Histogram, tracker *pushTracker) int {
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
 	interval := time.Duration(float64(time.Second) / perSec)
 	if interval <= 0 { // perSec > 1e9 truncates to zero, which NewTicker rejects
@@ -257,17 +383,25 @@ func runChurn(tgt target, perSec float64, bounds insq.Rect, seed int64, stop <-c
 	defer tick.Stop()
 	var inserted []int
 	n := 0 // applied updates only; failures surface as log lines
+	remove := func(id int) {
+		t0 := time.Now()
+		if err := tgt.removeObject(id); err != nil {
+			log.Printf("churn remove %d: %v", id, err)
+			return
+		}
+		hist.Record(time.Since(t0))
+		if tracker != nil {
+			tracker.forget(id)
+		}
+		n++
+	}
 	for {
 		select {
 		case <-stop:
 			// Drain pending inserts so repeated runs against one server
 			// keep the object count at its initial value.
 			for _, id := range inserted {
-				if err := tgt.removeObject(id); err != nil {
-					log.Printf("churn drain %d: %v", id, err)
-				} else {
-					n++
-				}
+				remove(id)
 			}
 			return n
 		case <-tick.C:
@@ -275,18 +409,19 @@ func runChurn(tgt target, perSec float64, bounds insq.Rect, seed int64, stop <-c
 		if len(inserted) > 32 {
 			id := inserted[0]
 			inserted = inserted[1:]
-			if err := tgt.removeObject(id); err != nil {
-				log.Printf("churn remove %d: %v", id, err)
-			} else {
-				n++
-			}
+			remove(id)
 		} else {
 			x := bounds.Min.X + rng.Float64()*(bounds.Max.X-bounds.Min.X)
 			y := bounds.Min.Y + rng.Float64()*(bounds.Max.Y-bounds.Min.Y)
+			t0 := time.Now()
 			id, err := tgt.insertObject(x, y)
 			if err != nil {
 				log.Printf("churn insert: %v", err)
 			} else {
+				hist.Record(time.Since(t0))
+				if tracker != nil {
+					tracker.registerInsert(id, t0)
+				}
 				inserted = append(inserted, id)
 				n++
 			}
@@ -323,6 +458,37 @@ func (t inprocTarget) insertObject(x, y float64) (int, error) {
 }
 
 func (t inprocTarget) removeObject(id int) error { return t.e.RemoveObject(id) }
+
+// subscribe consumes the engine's broker directly — the push-latency
+// floor without the SSE/TCP stack.
+func (t inprocTarget) subscribe(sids []uint64, onEvent func(api.SessionEvent)) (func(), error) {
+	sub := t.e.Stream().Subscribe(0, sids...)
+	if sub == nil {
+		return nil, errors.New("stream broker closed")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-sub.Done():
+				return
+			case <-sub.Wake():
+				for ev, ok := sub.Next(); ok; ev, ok = sub.Next() {
+					onEvent(api.NewSessionEvent(ev))
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		sub.Close()
+		<-done
+	}, nil
+}
 
 func (t inprocTarget) stats() (*api.StatsResponse, error) {
 	st, err := t.e.Stats()
@@ -418,6 +584,67 @@ func (t *httpTarget) removeObject(id int) error {
 		return fmt.Errorf("delete object %d: status %d", id, r.StatusCode)
 	}
 	return nil
+}
+
+// subscribe opens one multi-session SSE stream against insqd and parses
+// it on a dedicated goroutine. The streaming request uses its own client:
+// the target's request/response client enforces an overall timeout that
+// would sever a long-lived stream.
+func (t *httpTarget) subscribe(sids []uint64, onEvent func(api.SessionEvent)) (func(), error) {
+	parts := make([]string, len(sids))
+	for i, sid := range sids {
+		parts[i] = strconv.FormatUint(sid, 10)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		t.base+"/v1/events?sessions="+strings.Join(parts, ","), nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("/v1/events: status %d", resp.StatusCode)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer resp.Body.Close()
+		readSSE(resp.Body, onEvent)
+	}()
+	return func() {
+		cancel()
+		<-done
+	}, nil
+}
+
+// readSSE parses a text/event-stream body, invoking onEvent per data
+// frame, until the stream ends.
+func readSSE(body io.Reader, onEvent func(api.SessionEvent)) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if len(data) > 0 {
+				var ev api.SessionEvent
+				if err := json.Unmarshal(data, &ev); err == nil {
+					onEvent(ev)
+				}
+				data = data[:0]
+			}
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, strings.TrimPrefix(line, "data: ")...)
+		}
+	}
 }
 
 func (t *httpTarget) stats() (*api.StatsResponse, error) {

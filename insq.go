@@ -9,6 +9,7 @@ import (
 	"repro/internal/netvor"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/svg"
 	"repro/internal/trajectory"
 	"repro/internal/voronoi"
@@ -238,8 +239,25 @@ type (
 	UpdateResult = engine.UpdateResult
 	// EngineStats is an aggregated engine serving snapshot.
 	EngineStats = engine.Stats
+	// SessionState is a point-in-time kNN snapshot of one live session.
+	SessionState = engine.SessionState
 	// LatencySummary condenses a latency histogram to reporting quantiles.
 	LatencySummary = metrics.LatencySummary
+)
+
+// Continuous-query push streaming (Engine.Stream): incremental kNN result
+// deltas delivered to subscribers instead of polled via UpdateBatch.
+type (
+	// StreamBroker fans per-session result events out to subscribers with
+	// bounded, coalescing queues; reach it via Engine.Stream().
+	StreamBroker = stream.Broker
+	// StreamSubscriber is one consumer's bounded event queue.
+	StreamSubscriber = stream.Subscriber
+	// StreamEvent is one push notification: the session's current kNN set
+	// plus the membership delta against the previously published result.
+	StreamEvent = stream.Event
+	// StreamStats makes the broker's coalesce/drop policy observable.
+	StreamStats = stream.Stats
 )
 
 // Engine errors, re-exported for errors.Is checks through the facade.

@@ -3,13 +3,22 @@
 //
 // Endpoints:
 //
-//	POST   /v1/sessions        CreateSessionRequest  -> CreateSessionResponse
-//	DELETE /v1/sessions/{id}                         -> 204
-//	POST   /v1/update          UpdateRequest         -> UpdateResponse
-//	POST   /v1/objects         ObjectRequest         -> ObjectResponse
-//	DELETE /v1/objects/{id}                          -> 204
-//	GET    /v1/stats                                 -> StatsResponse
-//	GET    /healthz                                  -> 200 "ok"
+//	POST   /v1/sessions                 CreateSessionRequest  -> CreateSessionResponse
+//	DELETE /v1/sessions/{id}                                  -> 204
+//	GET    /v1/sessions/{id}/events                           -> SSE stream of SessionEvent
+//	GET    /v1/events?sessions=1,2,...                        -> SSE stream (all sessions when the parameter is omitted)
+//	POST   /v1/update                   UpdateRequest         -> UpdateResponse
+//	POST   /v1/objects                  ObjectRequest         -> ObjectResponse
+//	DELETE /v1/objects/{id}                                   -> 204
+//	GET    /v1/stats                                          -> StatsResponse
+//	GET    /healthz                                           -> 200 "ok"
+//
+// The /events endpoints are Server-Sent Events streams: each frame's SSE
+// event name is the SessionEvent cause ("snapshot", "move", "data",
+// "close", "bye") and its data line is the SessionEvent JSON. A stream
+// opens with one snapshot per explicitly named session, then carries
+// result deltas pushed by the engine; "bye" is the final frame of a
+// graceful server shutdown.
 //
 // Errors are ErrorResponse bodies with the matching HTTP status.
 package api
@@ -20,6 +29,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/metrics"
+	"repro/internal/stream"
 )
 
 // CreateSessionRequest registers one moving kNN query session.
@@ -87,6 +97,39 @@ func NewUpdateResponse(results []engine.UpdateResult) UpdateResponse {
 	return resp
 }
 
+// SessionEvent is one push notification on the /events SSE streams: a
+// session's current kNN set plus the membership delta against the
+// previously pushed result. Seq is strictly increasing per session; a gap
+// means intermediate events were coalesced or dropped, and the full KNN
+// field re-baselines the consumer either way.
+type SessionEvent struct {
+	Session uint64 `json:"session"`
+	Seq     uint64 `json:"seq"`
+	Epoch   uint64 `json:"epoch"`
+	// Cause is "snapshot" (baseline at subscribe time), "move" (the
+	// session's own location update changed the result), "data" (an object
+	// insert/delete invalidated it and the server recomputed eagerly),
+	// "close" (session ended) or "bye" (server shutting down).
+	Cause   string `json:"cause"`
+	KNN     []int  `json:"knn,omitempty"`
+	Added   []int  `json:"added,omitempty"`
+	Removed []int  `json:"removed,omitempty"`
+}
+
+// NewSessionEvent converts a broker event to wire form — the one mapping
+// shared by the SSE server and in-process consumers.
+func NewSessionEvent(ev stream.Event) SessionEvent {
+	return SessionEvent{
+		Session: ev.Session,
+		Seq:     ev.Seq,
+		Epoch:   ev.Epoch,
+		Cause:   string(ev.Cause),
+		KNN:     ev.KNN,
+		Added:   ev.Added,
+		Removed: ev.Removed,
+	}
+}
+
 // ObjectRequest inserts a data object.
 type ObjectRequest struct {
 	X float64 `json:"x"`
@@ -121,6 +164,31 @@ func NewLatencyStats(s metrics.LatencySummary) LatencyStats {
 	}
 }
 
+// StreamStats is the push broker's fan-out state: live subscribers and
+// the counters that make the backpressure policy observable (coalesced =
+// newer events merged into a pending one, dropped = pending events
+// evicted by a full queue).
+type StreamStats struct {
+	Subscribers     int    `json:"subscribers"`
+	WatchedSessions int    `json:"watched_sessions"`
+	Published       uint64 `json:"published"`
+	Delivered       uint64 `json:"delivered"`
+	Coalesced       uint64 `json:"coalesced"`
+	Dropped         uint64 `json:"dropped"`
+}
+
+// NewStreamStats converts broker stats to wire form.
+func NewStreamStats(s stream.Stats) StreamStats {
+	return StreamStats{
+		Subscribers:     s.Subscribers,
+		WatchedSessions: s.WatchedSessions,
+		Published:       s.Published,
+		Delivered:       s.Delivered,
+		Coalesced:       s.Coalesced,
+		Dropped:         s.Dropped,
+	}
+}
+
 // StatsResponse is the engine snapshot served by GET /v1/stats. Snapshots
 // is the number of live index versions: 1 when every session has re-pinned
 // to the current one, more while lagging sessions keep old versions alive.
@@ -135,6 +203,7 @@ type StatsResponse struct {
 	UpdatesPerSec float64          `json:"updates_per_sec"`
 	Latency       LatencyStats     `json:"latency"`
 	Counters      metrics.Counters `json:"counters"`
+	Stream        StreamStats      `json:"stream"`
 }
 
 // NewStatsResponse converts an engine snapshot to wire form.
@@ -150,6 +219,7 @@ func NewStatsResponse(st engine.Stats) StatsResponse {
 		UpdatesPerSec: st.UpdatesPerSec,
 		Latency:       NewLatencyStats(st.Latency),
 		Counters:      st.Counters,
+		Stream:        NewStreamStats(st.Stream),
 	}
 }
 

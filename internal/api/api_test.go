@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/metrics"
+	"repro/internal/stream"
 )
 
 // roundTrip encodes v, decodes it into a fresh value of the same type, and
@@ -47,6 +48,14 @@ func TestRoundTripAllWireTypes(t *testing.T) {
 	roundTrip(t, ObjectResponse{ID: 7})
 	roundTrip(t, ErrorResponse{Error: "bad request"})
 	roundTrip(t, LatencyStats{Count: 10, MeanUS: 1.5, P50US: 1, P95US: 4, P99US: 9, MaxUS: 20})
+	roundTrip(t, SessionEvent{
+		Session: 9, Seq: 3, Epoch: 17, Cause: "data",
+		KNN: []int{4, 8, 2}, Added: []int{2}, Removed: []int{6},
+	})
+	roundTrip(t, StreamStats{
+		Subscribers: 3, WatchedSessions: 2,
+		Published: 100, Delivered: 90, Coalesced: 7, Dropped: 3,
+	})
 	roundTrip(t, StatsResponse{
 		Shards: 4, Sessions: 100, Objects: 5000, Epoch: 12, Snapshots: 2,
 		Updates: 100000, UptimeSec: 12.5, UpdatesPerSec: 8000,
@@ -56,6 +65,7 @@ func TestRoundTripAllWireTypes(t *testing.T) {
 			Recomputations: 1000, ObjectsShipped: 9000, DistanceCalcs: 123456,
 			DijkstraRuns: 0, EdgeRelaxations: 0, NodeVisits: 777,
 		},
+		Stream: StreamStats{Subscribers: 1, Published: 42, Delivered: 40, Coalesced: 2},
 	})
 }
 
@@ -134,6 +144,32 @@ func TestNewLatencyStatsUnits(t *testing.T) {
 	}
 }
 
+// TestSessionEventShapes pins the push wire shape: a no-result event is
+// just session/seq/epoch/cause (empty sets omitted, so their presence is
+// meaningful), and NewSessionEvent maps every broker field.
+func TestSessionEventShapes(t *testing.T) {
+	data, err := json.Marshal(SessionEvent{Session: 5, Seq: 2, Cause: "close"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"session":5,"seq":2,"epoch":0,"cause":"close"}` {
+		t.Errorf("close event = %s", data)
+	}
+
+	ev := stream.Event{
+		Session: 12, Seq: 4, Epoch: 9, Cause: stream.CauseData,
+		KNN: []int{1, 2, 3}, Added: []int{3}, Removed: []int{7},
+	}
+	got := NewSessionEvent(ev)
+	want := SessionEvent{
+		Session: 12, Seq: 4, Epoch: 9, Cause: "data",
+		KNN: []int{1, 2, 3}, Added: []int{3}, Removed: []int{7},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NewSessionEvent = %+v, want %+v", got, want)
+	}
+}
+
 // TestNewStatsResponse maps every engine stats field, including the
 // snapshot-store fields of the shared-index architecture.
 func TestNewStatsResponse(t *testing.T) {
@@ -148,6 +184,7 @@ func TestNewStatsResponse(t *testing.T) {
 		UpdatesPerSec: 250000,
 		Counters:      metrics.Counters{Timestamps: 500000, Recomputations: 100},
 		Latency:       metrics.LatencySummary{Count: 500000, Mean: time.Microsecond},
+		Stream:        stream.Stats{Subscribers: 2, WatchedSessions: 5, Published: 10, Delivered: 8, Coalesced: 1, Dropped: 1},
 	}
 	got := NewStatsResponse(st)
 	if got.Shards != 8 || got.Sessions != 1000 || got.Objects != 20000 ||
@@ -155,5 +192,8 @@ func TestNewStatsResponse(t *testing.T) {
 		got.UptimeSec != 2 || got.UpdatesPerSec != 250000 ||
 		got.Counters.Recomputations != 100 || got.Latency.Count != 500000 {
 		t.Errorf("got %+v", got)
+	}
+	if got.Stream != (StreamStats{Subscribers: 2, WatchedSessions: 5, Published: 10, Delivered: 8, Coalesced: 1, Dropped: 1}) {
+		t.Errorf("stream stats = %+v", got.Stream)
 	}
 }

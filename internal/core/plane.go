@@ -43,6 +43,7 @@ type PlaneQuery struct {
 	snap  *index.Snapshot
 
 	init          bool
+	located       bool // Update has been called at least once; lastPos is meaningful
 	lastPos       geom.Point
 	disableRerank bool
 	r             []int // prefetched ⌊ρk⌋ nearest objects, ascending distance at fetch time
@@ -165,6 +166,30 @@ func (q *PlaneQuery) Sync() {
 	}
 }
 
+// Refresh turns lazy invalidation into eager repair: it re-pins via Sync
+// and, when that invalidated the client state (a skipped data update
+// touched the guard sets), immediately recomputes at the last reported
+// position instead of waiting for the next location update. recomputed
+// reports whether a recomputation ran; the kNN slice aliases internal
+// state under the same contract as Update (rewritten by the next
+// Update/Sync/Refresh — copy before retaining or crossing goroutines).
+//
+// The serving engine calls it on epoch notifications for sessions with
+// push subscribers, so a subscriber observes the post-update kNN without
+// the client ever polling. Sessions that never reported a position have
+// nothing to recompute and return recomputed=false.
+func (q *PlaneQuery) Refresh() (knn []int, recomputed bool, err error) {
+	q.Sync()
+	if q.init || !q.located {
+		return q.knn, false, nil
+	}
+	if err := q.recompute(q.lastPos); err != nil {
+		return nil, false, err
+	}
+	q.init = true
+	return q.knn, true, nil
+}
+
 // Epoch returns the pinned snapshot's epoch (0 for raw-index queries).
 func (q *PlaneQuery) Epoch() uint64 {
 	if q.snap == nil {
@@ -226,6 +251,7 @@ func (q *PlaneQuery) Update(p geom.Point) ([]int, error) {
 	q.Sync()
 	q.m.Timestamps++
 	q.lastPos = p
+	q.located = true
 	if !q.init {
 		if err := q.recompute(p); err != nil {
 			return nil, err

@@ -37,6 +37,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/roadnet"
+	"repro/internal/stream"
 )
 
 // Errors returned by engine operations.
@@ -78,6 +79,10 @@ type Config struct {
 	// index.DefaultLogDepth): how many data updates a dormant session may
 	// lag and still re-pin without a conservative recomputation.
 	LogDepth int
+	// StreamQueueDepth bounds each push subscriber's pending-event queue
+	// (default stream.DefaultQueueDepth); see the stream package for the
+	// coalescing/overflow policy behind the bound.
+	StreamQueueDepth int
 
 	// Bounds is the data space of the plane objects.
 	Bounds geom.Rect
@@ -138,19 +143,25 @@ type Stats struct {
 	Counters metrics.Counters
 	// Latency summarizes per-location-update serving latency.
 	Latency metrics.LatencySummary
+	// Stream is the push broker's fan-out state: subscribers, published/
+	// delivered events, and the coalesce/drop counters that make the
+	// overflow policy observable.
+	Stream stream.Stats
 }
 
 // String renders the snapshot as a short report.
 func (s Stats) String() string {
-	return fmt.Sprintf("shards=%d sessions=%d objects=%d epoch=%d snaps=%d updates=%d up=%v rate=%.0f/s latency[%v]",
+	return fmt.Sprintf("shards=%d sessions=%d objects=%d epoch=%d snaps=%d updates=%d up=%v rate=%.0f/s latency[%v] stream[subs=%d pub=%d coal=%d drop=%d]",
 		s.Shards, s.Sessions, s.Objects, s.Epoch, s.Snapshots, s.Updates,
-		s.Uptime.Round(time.Millisecond), s.UpdatesPerSec, s.Latency)
+		s.Uptime.Round(time.Millisecond), s.UpdatesPerSec, s.Latency,
+		s.Stream.Subscribers, s.Stream.Published, s.Stream.Coalesced, s.Stream.Dropped)
 }
 
 // Engine is the concurrent MkNN serving engine. All methods are safe for
 // concurrent use.
 type Engine struct {
 	store    *index.Store
+	events   *stream.Broker
 	shards   []*shard
 	start    time.Time
 	hasPlane bool
@@ -185,6 +196,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		store:    st,
+		events:   stream.NewBroker(cfg.StreamQueueDepth),
 		shards:   make([]*shard, cfg.Shards),
 		start:    time.Now(),
 		hasPlane: st.HasPlane(),
@@ -194,6 +206,7 @@ func New(cfg Config) (*Engine, error) {
 		e.shards[i] = &shard{
 			id:       i,
 			store:    st,
+			events:   e.events,
 			mailbox:  make(chan message, cfg.MailboxDepth),
 			notify:   st.Subscribe(),
 			done:     make(chan struct{}),
@@ -256,6 +269,48 @@ func (e *Engine) createSession(network bool, k int, rho float64) (SessionID, err
 		return 0, err
 	}
 	return sid, nil
+}
+
+// Stream returns the engine's push broker. Subscribe to it to receive
+// per-session kNN result deltas: move events when a location update
+// changes a watched session's result, data events when an object
+// insert/delete invalidates it (the owning shard then recomputes eagerly
+// instead of waiting for the session's next poll), and a close event when
+// the session ends. The broker outlives nothing: Engine.Close closes it,
+// and callers shutting down a server should close it first so subscribers
+// get a farewell instead of a reset.
+func (e *Engine) Stream() *stream.Broker { return e.events }
+
+// SessionState is a point-in-time result snapshot of one live session,
+// served through the owning shard so it is sequenced against the
+// session's updates and stream events.
+type SessionState struct {
+	// KNN is the current kNN membership (freshly allocated; empty before
+	// the session's first location update).
+	KNN []int
+	// Seq is the session's last published stream sequence number; events
+	// with Seq <= this are older than the snapshot.
+	Seq uint64
+	// Epoch is the index snapshot epoch the session is pinned to.
+	Epoch uint64
+}
+
+// State returns a session's current kNN snapshot. SSE handlers use it to
+// send a baseline event before the delta stream.
+func (e *Engine) State(sid SessionID) (SessionState, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return SessionState{}, ErrClosed
+	}
+	sh := e.shardOf(sid)
+	if sh == nil {
+		return SessionState{}, fmt.Errorf("%w: %d", ErrUnknownSession, sid)
+	}
+	reply := make(chan stateReply, 1)
+	sh.mailbox <- stateMsg{sid: sid, reply: reply}
+	r := <-reply
+	return r.state, r.err
 }
 
 // CloseSession removes a live session, releasing its snapshot pin.
@@ -396,6 +451,7 @@ func (e *Engine) Stats() (Stats, error) {
 		Uptime:    time.Since(e.start),
 		Epoch:     e.store.Epoch(),
 		Snapshots: e.store.LiveSnapshots(),
+		Stream:    e.events.Stats(),
 	}
 	if plane := e.store.Current().Plane(); plane != nil {
 		st.Objects = plane.Len()
@@ -416,9 +472,9 @@ func (e *Engine) Stats() (Stats, error) {
 }
 
 // Close shuts the engine down: it waits for in-flight requests, stops the
-// shard workers (releasing their sessions' snapshot pins) and closes the
-// store. Close is idempotent; all other methods fail with ErrClosed
-// afterwards.
+// shard workers (releasing their sessions' snapshot pins), closes the
+// store and then the stream broker (waking every subscriber with Done).
+// Close is idempotent; all other methods fail with ErrClosed afterwards.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -433,5 +489,6 @@ func (e *Engine) Close() error {
 		<-sh.done
 	}
 	e.store.Close()
+	e.events.Close()
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/roadnet"
+	"repro/internal/stream"
 )
 
 // shard is one serving partition: a worker goroutine that owns every
@@ -20,6 +21,7 @@ import (
 type shard struct {
 	id      int
 	store   *index.Store
+	events  *stream.Broker
 	mailbox chan message
 	notify  <-chan uint64 // coalesced epoch notifications from the store
 	done    chan struct{}
@@ -31,10 +33,23 @@ type shard struct {
 }
 
 // session is one live MkNN query pinned to a shard. Exactly one of plane
-// and network is non-nil.
+// and network is non-nil. seq is the session's push-stream sequence
+// counter, touched only by the shard worker, so per-session event order
+// needs no synchronization.
 type session struct {
 	plane   *core.PlaneQuery
 	network *core.NetworkQuery
+	seq     uint64
+}
+
+// current returns a fresh copy of the session's kNN membership — the
+// baseline a snapshot-first subscriber holds, captured before a change so
+// the published delta applies exactly onto the client view.
+func (s *session) current() []int {
+	if s.plane != nil {
+		return s.plane.Current()
+	}
+	return s.network.Current()
 }
 
 func (s *session) counters() metrics.Counters {
@@ -88,6 +103,18 @@ type batchMsg struct {
 	reply   chan struct{}
 }
 
+// stateMsg reads one session's current result snapshot, sequenced against
+// the session's updates and stream events by riding the same mailbox.
+type stateMsg struct {
+	sid   SessionID
+	reply chan stateReply
+}
+
+type stateReply struct {
+	state SessionState
+	err   error
+}
+
 // statsMsg snapshots the shard's serving state.
 type statsMsg struct {
 	reply chan shardStats
@@ -103,6 +130,7 @@ type shardStats struct {
 func (createMsg) isMessage() {}
 func (closeMsg) isMessage()  {}
 func (batchMsg) isMessage()  {}
+func (stateMsg) isMessage()  {}
 func (statsMsg) isMessage()  {}
 
 // run is the worker loop; it exits when the mailbox is closed. Between
@@ -135,12 +163,17 @@ func (sh *shard) handle(msg message) {
 			m.reply <- fmt.Errorf("%w: %d", ErrUnknownSession, m.sid)
 			return
 		}
+		if sh.events.Watched(uint64(m.sid)) {
+			sh.publish(m.sid, s, stream.CauseClose, s.current(), nil, sh.store.Epoch())
+		}
 		s.close()
 		delete(sh.sessions, m.sid)
 		m.reply <- nil
 	case batchMsg:
 		sh.runBatch(m)
 		m.reply <- struct{}{}
+	case stateMsg:
+		m.reply <- sh.state(m.sid)
 	case statsMsg:
 		m.reply <- sh.stats()
 	}
@@ -155,13 +188,36 @@ func (sh *shard) shutdown() {
 }
 
 // sweep re-pins every plane session to the newest snapshot, applying the
-// lazy-invalidation check inside PlaneQuery.Sync. Affected sessions
-// recompute at their next location update; unaffected ones carry their
-// guard sets over to the new snapshot unchanged.
+// lazy-invalidation check inside PlaneQuery.Sync. Unwatched affected
+// sessions recompute at their next location update (the paper's lazy
+// path); sessions with push subscribers instead recompute eagerly via
+// Refresh, and the resulting delta — the data update's effect on their
+// kNN — is published immediately, which is what turns the engine's
+// invalidation machinery into user-visible push notifications.
 func (sh *shard) sweep() {
-	for _, s := range sh.sessions {
-		if s.plane != nil {
+	active := sh.events.Active()
+	for sid, s := range sh.sessions {
+		if s.plane == nil {
+			continue
+		}
+		if !active || !sh.events.Watched(uint64(sid)) {
 			s.plane.Sync()
+			continue
+		}
+		prev := s.plane.Current()
+		knn, recomputed, err := s.plane.Refresh()
+		if err != nil {
+			// The result is gone (e.g. k now exceeds the object count) and
+			// the error will surface at the session's next Update. Still
+			// publish the transition to the empty view: a subscriber that
+			// kept the old members would otherwise hold a silently-wrong
+			// view, and the eventual recompute publishes its delta against
+			// the empty baseline — the chain stays exact.
+			sh.publish(sid, s, stream.CauseData, prev, nil, s.plane.Epoch())
+			continue
+		}
+		if recomputed {
+			sh.publish(sid, s, stream.CauseData, prev, knn, s.plane.Epoch())
 		}
 	}
 }
@@ -190,6 +246,14 @@ func (sh *shard) runBatch(m batchMsg) {
 			m.results[e.idx] = UpdateResult{Session: e.sid, Err: fmt.Errorf("%w: %d", ErrUnknownSession, e.sid)}
 			continue
 		}
+		// Capture the pre-update membership while the session is watched:
+		// it is the baseline subscribers hold, and the published delta must
+		// apply exactly onto it.
+		watched := sh.events.Watched(uint64(e.sid))
+		var prev []int
+		if watched {
+			prev = s.current()
+		}
 		var knn []int
 		var err error
 		switch {
@@ -210,7 +274,82 @@ func (sh *shard) runBatch(m batchMsg) {
 		// next update; copy before it leaves the worker goroutine (the
 		// boundary fixed by the core package's slice-ownership contract).
 		m.results[e.idx] = UpdateResult{Session: e.sid, KNN: append([]int(nil), knn...), Err: err}
+		if watched {
+			epoch := sh.store.Epoch()
+			if s.plane != nil {
+				epoch = s.plane.Epoch()
+			}
+			if err != nil {
+				// A failed update can still change the session's state
+				// (recompute errors invalidate it); publish whatever
+				// transition happened so subscriber views track the
+				// session exactly — publish skips no-ops.
+				knn = s.current()
+			}
+			sh.publish(e.sid, s, stream.CauseMove, prev, knn, epoch)
+		}
 	}
+}
+
+// publish emits one stream event for the session unless its kNN
+// membership is unchanged from prev, the pre-change result captured by
+// the caller (close events always go out). Deltas are against prev —
+// exactly the view a subscriber that snapshotted the session holds — so a
+// consumer can apply them without ever re-reading the full set. The event
+// owns fresh slices and can cross goroutines freely.
+func (sh *shard) publish(sid SessionID, s *session, cause stream.Cause, prev, knn []int, epoch uint64) {
+	added, removed := diffIDs(prev, knn)
+	if cause != stream.CauseClose && len(added) == 0 && len(removed) == 0 {
+		return
+	}
+	s.seq++
+	sh.events.Publish(stream.Event{
+		Session: uint64(sid),
+		Seq:     s.seq,
+		Epoch:   epoch,
+		Cause:   cause,
+		KNN:     append([]int(nil), knn...),
+		Added:   added,
+		Removed: removed,
+	})
+}
+
+// state snapshots one session's current result for Engine.State.
+func (sh *shard) state(sid SessionID) stateReply {
+	s, ok := sh.sessions[sid]
+	if !ok {
+		return stateReply{err: fmt.Errorf("%w: %d", ErrUnknownSession, sid)}
+	}
+	st := SessionState{Seq: s.seq, Epoch: sh.store.Epoch()}
+	if s.plane != nil {
+		st.KNN = s.plane.Current()
+		st.Epoch = s.plane.Epoch()
+	} else {
+		st.KNN = s.network.Current()
+	}
+	return stateReply{state: st}
+}
+
+// diffIDs returns the membership delta from old to new (order-insensitive;
+// both lists are O(k)). nil results mean "no change on that side".
+func diffIDs(old, new []int) (added, removed []int) {
+	inOld := make(map[int]struct{}, len(old))
+	for _, id := range old {
+		inOld[id] = struct{}{}
+	}
+	inNew := make(map[int]struct{}, len(new))
+	for _, id := range new {
+		inNew[id] = struct{}{}
+		if _, ok := inOld[id]; !ok {
+			added = append(added, id)
+		}
+	}
+	for _, id := range old {
+		if _, ok := inNew[id]; !ok {
+			removed = append(removed, id)
+		}
+	}
+	return added, removed
 }
 
 // observe accounts one processed location update.
