@@ -1,0 +1,91 @@
+// Command benchguard is the CI bench regression gate: it compares a
+// freshly measured BENCH_engine.json against the committed baseline and
+// exits non-zero when the serving path regressed beyond the thresholds —
+// an updates_per_sec drop of more than -max-rate-drop (default 25%) or an
+// allocs_per_update growth beyond -max-alloc-growth (default 2x).
+//
+//	go run ./cmd/bench -exp ENGINE -scale 4 -benchout BENCH_engine.fresh.json
+//	go run ./cmd/benchguard -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
+//
+// Throughput is machine-sensitive, which is why the rate threshold is
+// deliberately loose; the allocation rate is deterministic for a given
+// build and guards the allocation-free hot path exactly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+// record is the slice of EngineBenchResult the guard cares about.
+type record struct {
+	UpdatesPerSec   float64 `json:"updates_per_sec"`
+	AllocsPerUpdate float64 `json:"allocs_per_update"`
+}
+
+func load(path string) (record, error) {
+	var r record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// check returns the regression verdicts; factored out of main for tests.
+func check(base, fresh record, maxRateDrop, maxAllocGrowth float64) []string {
+	var fails []string
+	if base.UpdatesPerSec > 0 {
+		drop := 1 - fresh.UpdatesPerSec/base.UpdatesPerSec
+		if drop > maxRateDrop {
+			fails = append(fails, fmt.Sprintf(
+				"updates_per_sec dropped %.1f%% (%.0f -> %.0f; limit %.0f%%)",
+				100*drop, base.UpdatesPerSec, fresh.UpdatesPerSec, 100*maxRateDrop))
+		}
+	}
+	if base.AllocsPerUpdate > 0 {
+		growth := fresh.AllocsPerUpdate / base.AllocsPerUpdate
+		if growth > maxAllocGrowth {
+			fails = append(fails, fmt.Sprintf(
+				"allocs_per_update grew %.2fx (%.1f -> %.1f; limit %.1fx)",
+				growth, base.AllocsPerUpdate, fresh.AllocsPerUpdate, maxAllocGrowth))
+		}
+	}
+	return fails
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	var (
+		baseline       = flag.String("baseline", "BENCH_engine.json", "committed baseline record")
+		fresh          = flag.String("fresh", "BENCH_engine.fresh.json", "freshly measured record")
+		maxRateDrop    = flag.Float64("max-rate-drop", 0.25, "fail when updates_per_sec drops by more than this fraction")
+		maxAllocGrowth = flag.Float64("max-alloc-growth", 2.0, "fail when allocs_per_update grows by more than this factor")
+	)
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := load(*fresh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fails := check(base, cur, *maxRateDrop, *maxAllocGrowth)
+	for _, f := range fails {
+		log.Printf("FAIL: %s", f)
+	}
+	if len(fails) > 0 {
+		os.Exit(1)
+	}
+	log.Printf("ok: rate %.0f/s (baseline %.0f/s), allocs/update %.1f (baseline %.1f)",
+		cur.UpdatesPerSec, base.UpdatesPerSec, cur.AllocsPerUpdate, base.AllocsPerUpdate)
+}

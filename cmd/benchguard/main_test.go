@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestCheckThresholds(t *testing.T) {
+	base := record{UpdatesPerSec: 100000, AllocsPerUpdate: 10}
+	cases := []struct {
+		name  string
+		fresh record
+		fails int
+	}{
+		{"unchanged", record{100000, 10}, 0},
+		{"faster and leaner", record{150000, 3}, 0},
+		{"within rate slack", record{80000, 10}, 0},
+		{"rate regression", record{70000, 10}, 1},
+		{"within alloc slack", record{100000, 19}, 0},
+		{"alloc regression", record{100000, 25}, 1},
+		{"both regressed", record{50000, 30}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := check(base, c.fresh, 0.25, 2.0)
+			if len(got) != c.fails {
+				t.Fatalf("check = %v, want %d failures", got, c.fails)
+			}
+		})
+	}
+}
+
+func TestCheckEmptyBaseline(t *testing.T) {
+	// A zeroed baseline (e.g. a hand-initialized record) must never fail
+	// the gate by division against zero.
+	if got := check(record{}, record{UpdatesPerSec: 1, AllocsPerUpdate: 1}, 0.25, 2.0); len(got) != 0 {
+		t.Fatalf("check against empty baseline = %v, want none", got)
+	}
+}

@@ -48,6 +48,7 @@ func main() {
 		shards  = flag.Int("shards", 8, "engine shards (parallel session workers)")
 		fanout  = flag.Int("fanout", insq.DefaultFanout, "VoR-tree fanout")
 		seed    = flag.Int64("seed", 42, "dataset seed")
+		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (see EXPERIMENTS.md for the profiling recipe)")
 	)
 	flag.Parse()
 	if *objects < 1 || *shards < 1 || *space <= 0 {
@@ -68,9 +69,12 @@ func main() {
 	}
 	log.Printf("engine up in %v", time.Since(start).Round(time.Millisecond))
 
+	if *pprofOn {
+		log.Print("pprof endpoints enabled under /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: (&server{e: e}).handler(),
+		Handler: (&server{e: e, pprof: *pprofOn}).handler(),
 		// Bound slow clients so stuck connections can't pin goroutines (or
 		// eat the whole shutdown budget); bodies are size-capped per
 		// handler.

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	insq "repro"
+)
+
+// TestPprofOptIn asserts the profiling endpoints exist only behind the
+// -pprof flag.
+func TestPprofOptIn(t *testing.T) {
+	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(100, 100))
+	e, err := insq.NewEngine(insq.EngineConfig{
+		Shards:  2,
+		Bounds:  bounds,
+		Objects: insq.UniformPoints(50, bounds, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	off := httptest.NewServer((&server{e: e}).handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without flag: status %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer((&server{e: e, pprof: true}).handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with flag: status %d, want 200", resp.StatusCode)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -19,6 +20,10 @@ import (
 // safe for concurrent use, so handlers need no additional locking.
 type server struct {
 	e *insq.Engine
+	// pprof opt-in: mounts net/http/pprof under /debug/pprof/ (CPU, heap,
+	// mutex, block profiles of the live serving process). Off by default —
+	// profiles expose internals and cost cycles while sampling.
+	pprof bool
 }
 
 // handler builds the route table; factored out of main so tests can mount
@@ -36,6 +41,13 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -193,33 +193,42 @@ func NewStreamStats(s stream.Stats) StreamStats {
 // is the number of live index versions: 1 when every session has re-pinned
 // to the current one, more while lagging sessions keep old versions alive.
 type StatsResponse struct {
-	Shards        int              `json:"shards"`
-	Sessions      int              `json:"sessions"`
-	Objects       int              `json:"objects"`
-	Epoch         uint64           `json:"epoch"`
-	Snapshots     int              `json:"snapshots"`
-	Updates       uint64           `json:"updates"`
-	UptimeSec     float64          `json:"uptime_sec"`
-	UpdatesPerSec float64          `json:"updates_per_sec"`
-	Latency       LatencyStats     `json:"latency"`
-	Counters      metrics.Counters `json:"counters"`
-	Stream        StreamStats      `json:"stream"`
+	Shards        int    `json:"shards"`
+	Sessions      int    `json:"sessions"`
+	Objects       int    `json:"objects"`
+	Epoch         uint64 `json:"epoch"`
+	Snapshots     int    `json:"snapshots"`
+	Updates       uint64 `json:"updates"`
+	// EpochPublishUS is the mean wall time of publishing one data-update
+	// epoch; IndexNodes/IndexNodesCopied expose how much of the index the
+	// latest epoch shared with its predecessor (path-copying publication).
+	EpochPublishUS   float64          `json:"epoch_publish_us"`
+	IndexNodes       int              `json:"index_nodes"`
+	IndexNodesCopied int              `json:"index_nodes_copied"`
+	UptimeSec        float64          `json:"uptime_sec"`
+	UpdatesPerSec    float64          `json:"updates_per_sec"`
+	Latency          LatencyStats     `json:"latency"`
+	Counters         metrics.Counters `json:"counters"`
+	Stream           StreamStats      `json:"stream"`
 }
 
 // NewStatsResponse converts an engine snapshot to wire form.
 func NewStatsResponse(st engine.Stats) StatsResponse {
 	return StatsResponse{
-		Shards:        st.Shards,
-		Sessions:      st.Sessions,
-		Objects:       st.Objects,
-		Epoch:         st.Epoch,
-		Snapshots:     st.Snapshots,
-		Updates:       st.Updates,
-		UptimeSec:     st.Uptime.Seconds(),
-		UpdatesPerSec: st.UpdatesPerSec,
-		Latency:       NewLatencyStats(st.Latency),
-		Counters:      st.Counters,
-		Stream:        NewStreamStats(st.Stream),
+		Shards:           st.Shards,
+		Sessions:         st.Sessions,
+		Objects:          st.Objects,
+		Epoch:            st.Epoch,
+		Snapshots:        st.Snapshots,
+		Updates:          st.Updates,
+		EpochPublishUS:   st.EpochPublishUS,
+		IndexNodes:       st.IndexNodes,
+		IndexNodesCopied: st.IndexNodesCopied,
+		UptimeSec:        st.Uptime.Seconds(),
+		UpdatesPerSec:    st.UpdatesPerSec,
+		Latency:          NewLatencyStats(st.Latency),
+		Counters:         st.Counters,
+		Stream:           NewStreamStats(st.Stream),
 	}
 }
 

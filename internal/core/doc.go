@@ -45,4 +45,9 @@
 //     InfluenceSet — return freshly allocated copies the caller owns.
 //     They are cold paths (rendering, debugging, examples), so the copy
 //     is the right default and lets callers sort or mutate freely.
+//   - The Append* variants (AppendCurrent, AppendPrefetched, AppendINS)
+//     append into a caller-owned buffer and allocate nothing. They exist
+//     for single-goroutine hot paths that reuse a scratch buffer — the
+//     engine shards capturing delta baselines, the stream publication
+//     path — and the copying accessors above remain the public default.
 package core

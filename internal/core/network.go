@@ -77,6 +77,10 @@ func (q *NetworkQuery) K() int { return q.k }
 // Metrics returns the accumulated cost counters.
 func (q *NetworkQuery) Metrics() *metrics.Counters { return &q.m }
 
+// AppendCurrent appends the current kNN set onto dst — the zero-copy
+// accessor for callers that own a reusable buffer.
+func (q *NetworkQuery) AppendCurrent(dst []int) []int { return append(dst, q.knn...) }
+
 // Current returns the current kNN set as a fresh copy; see the package
 // slice-ownership contract.
 func (q *NetworkQuery) Current() []int { return append([]int(nil), q.knn...) }

@@ -49,6 +49,36 @@ type PlaneQuery struct {
 	r             []int // prefetched ⌊ρk⌋ nearest objects, ascending distance at fetch time
 	ins           []int // I(R): influential neighbor set of R
 	knn           []int // current kNN set, ascending distance as of the last re-rank
+
+	// Reusable per-query working memory: the serving hot path processes
+	// millions of Updates, so validation, re-rank and recomputation all run
+	// against these buffers instead of allocating. r/ins/knn above alias
+	// into them; the slices returned by Update are rewritten by the next
+	// Update/Sync/Refresh, which is the package's slice-ownership contract.
+	search vortree.SearchScratch
+	inKNN  map[int]bool // knnValid membership scratch
+	rank   rankBuf      // rerank scratch (ids sorted by cached distance)
+	rBuf   []int        // backing for r (and the knn prefix)
+	insBuf []int        // backing for ins
+}
+
+// rankBuf sorts object ids by a cached distance key. It implements
+// sort.Interface on a field of PlaneQuery so re-ranking allocates nothing.
+type rankBuf struct {
+	ids []int
+	d   []float64
+}
+
+func (r *rankBuf) Len() int { return len(r.ids) }
+func (r *rankBuf) Less(i, j int) bool {
+	if r.d[i] != r.d[j] {
+		return r.d[i] < r.d[j]
+	}
+	return r.ids[i] < r.ids[j]
+}
+func (r *rankBuf) Swap(i, j int) {
+	r.ids[i], r.ids[j] = r.ids[j], r.ids[i]
+	r.d[i], r.d[j] = r.d[j], r.d[i]
 }
 
 // NewPlaneQuery creates an INS MkNN query over the given VoR-tree index.
@@ -110,6 +140,18 @@ func (q *PlaneQuery) SetDisableLocalRerank(v bool) { q.disableRerank = v }
 // Current returns the current kNN set (ascending distance as of the last
 // re-rank) as a fresh copy; see the package slice-ownership contract.
 func (q *PlaneQuery) Current() []int { return append([]int(nil), q.knn...) }
+
+// AppendCurrent appends the current kNN set onto dst and returns it — the
+// zero-copy accessor for callers that own a reusable buffer (the engine
+// shards and the stream broker). The copying accessors remain the public
+// facade's contract.
+func (q *PlaneQuery) AppendCurrent(dst []int) []int { return append(dst, q.knn...) }
+
+// AppendPrefetched appends the prefetched set R onto dst.
+func (q *PlaneQuery) AppendPrefetched(dst []int) []int { return append(dst, q.r...) }
+
+// AppendINS appends I(R) onto dst.
+func (q *PlaneQuery) AppendINS(dst []int) []int { return append(dst, q.ins...) }
 
 // Sync re-pins a snapshot-backed query to the newest published snapshot
 // (a no-op for raw-index queries and when already current). If any data
@@ -284,7 +326,12 @@ func (q *PlaneQuery) Update(p geom.Point) ([]int, error) {
 // member (r.candidate); the kNN set is valid while r.delete is no farther
 // than r.candidate.
 func (q *PlaneQuery) knnValid(p geom.Point) bool {
-	inKNN := make(map[int]bool, len(q.knn))
+	if q.inKNN == nil {
+		q.inKNN = make(map[int]bool, len(q.knn))
+	} else {
+		clear(q.inKNN)
+	}
+	inKNN := q.inKNN
 	var maxKNN float64
 	for _, id := range q.knn {
 		inKNN[id] = true
@@ -333,18 +380,18 @@ func (q *PlaneQuery) rValid(p geom.Point) bool {
 }
 
 // rerank recomposes the kNN set from R by current distance (update cases
-// (i) and (ii): the new kNN set is still inside R).
+// (i) and (ii): the new kNN set is still inside R). Distances are computed
+// once into the rank scratch, so the sort is allocation-free.
 func (q *PlaneQuery) rerank(p geom.Point) {
-	sorted := append([]int(nil), q.r...)
-	sort.Slice(sorted, func(i, j int) bool {
-		di, dj := p.Dist2(q.ix.Point(sorted[i])), p.Dist2(q.ix.Point(sorted[j]))
-		if di != dj {
-			return di < dj
-		}
-		return sorted[i] < sorted[j]
-	})
-	q.m.DistanceCalcs += len(sorted)
-	q.knn = sorted[:q.k]
+	rb := &q.rank
+	rb.ids = append(rb.ids[:0], q.r...)
+	rb.d = rb.d[:0]
+	for _, id := range rb.ids {
+		rb.d = append(rb.d, p.Dist2(q.ix.Point(id)))
+	}
+	sort.Sort(rb)
+	q.m.DistanceCalcs += len(rb.ids)
+	q.knn = rb.ids[:q.k]
 }
 
 // recompute performs the server-side computation: fetch the ⌊ρk⌋ nearest
@@ -358,14 +405,14 @@ func (q *PlaneQuery) recompute(p geom.Point) error {
 	}
 	q.m.Recomputations++
 	m := q.prefetchSize()
-	r, visits := q.ix.KNNCounted(p, m)
-	q.r = r
+	r, visits := q.ix.AppendKNN(p, m, q.rBuf[:0], &q.search)
+	q.rBuf, q.r = r, r
 	q.m.NodeVisits += visits
-	ins, err := q.ix.INS(q.r)
+	ins, err := q.ix.AppendINS(q.r, q.insBuf[:0], &q.search)
 	if err != nil {
 		return fmt.Errorf("core: recompute INS: %w", err)
 	}
-	q.ins = ins
+	q.insBuf, q.ins = ins, ins
 	q.knn = q.r[:q.k]
 	q.m.ObjectsShipped += len(q.r) + len(q.ins)
 	return nil

@@ -3,38 +3,32 @@ package delaunay
 import "repro/internal/geom"
 
 // Clone returns a deep copy of the triangulation that shares no mutable
-// state with the original. The copy's incident-face hints (vface) are
-// rebuilt eagerly from the live faces so that read-only operations on a
-// frozen clone (Neighbors, Contains, Point) never write a repaired hint —
-// the property the copy-on-write index snapshots rely on to stay race-free
-// under concurrent readers.
+// state with the original; site ids are preserved. It is the fallback
+// publication path where the structural sharing of Branch is unsafe — in
+// particular after an aborted mutation batch may have left the shared
+// writer state (duplicate index, free list, appended points) out of sync —
+// so it rebuilds that state from the live faces and vertices instead of
+// copying it.
 func (t *Triangulation) Clone() *Triangulation {
+	own := new(pageOwner)
 	c := &Triangulation{
 		pts:    append([]geom.Point(nil), t.pts...),
-		tris:   append([]triangle(nil), t.tris...),
-		free:   append([]int32(nil), t.free...),
-		index:  make(map[geom.Point]int, len(t.index)),
+		tris:   t.tris.deepCopy(own),
+		vface:  t.vface.deepCopy(own),
+		index:  make(map[geom.Point]int, t.nLive),
 		bounds: t.bounds,
-		walk:   t.walk,
 		nLive:  t.nLive,
-		dead:   make(map[int]bool, len(t.dead)),
-		vface:  make([]int32, len(t.vface)),
+		own:    own,
 	}
-	for p, id := range t.index {
-		c.index[p] = id
-	}
-	for id := range t.dead {
-		c.dead[id] = true
-	}
-	for i := range c.vface {
-		c.vface[i] = noTri
-	}
-	for i := range c.tris {
-		if !c.tris[i].alive {
-			continue
+	c.walk.Store(t.walk.Load())
+	for i := 3; i < len(c.pts); i++ {
+		if c.vfaceAt(int32(i)) != noTri {
+			c.index[c.pts[i]] = i - 3
 		}
-		for _, v := range c.tris[i].v {
-			c.vface[v] = int32(i)
+	}
+	for f := 0; f < c.numFaces(); f++ {
+		if !c.tri(int32(f)).alive {
+			c.free = append(c.free, int32(f))
 		}
 	}
 	return c

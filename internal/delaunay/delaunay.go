@@ -11,11 +11,20 @@
 // package geom, so degenerate inputs (collinear and cocircular points) are
 // handled correctly. Vertex deletion retriangulates the star polygon of the
 // removed vertex with Delaunay ear clipping.
+//
+// The face and vertex tables live in copy-on-write pages (see paged.go),
+// which gives the triangulation cheap version branching: Branch returns a
+// new mutable version in O(n/pageSize) that shares every untouched page
+// with the (now frozen) receiver, and a mutation repairs only the handful
+// of pages holding the faces it rewrites. The copy-on-write index snapshot
+// store publishes one branch per data-update epoch; Clone remains as the
+// deep fallback that shares nothing.
 package delaunay
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -28,7 +37,14 @@ var ErrOutOfBounds = errors.New("delaunay: point outside triangulation bounds")
 // with an existing vertex. The existing vertex index is still returned.
 var ErrDuplicate = errors.New("delaunay: duplicate point")
 
+// ErrFrozen is returned by mutations on a version that has been branched
+// from: only the newest version of a branch chain accepts writes, which is
+// what keeps the shared writer state (duplicate index, free list) coherent.
+var ErrFrozen = errors.New("delaunay: triangulation frozen by Branch")
+
 // noTri marks a missing triangle neighbor (boundary of the super-triangle).
+// In the vertex-face table it additionally marks a removed vertex: a live
+// vertex always has an incident live face.
 const noTri = -1
 
 // triangle is one face of the triangulation. Vertices are indices into
@@ -42,16 +58,25 @@ type triangle struct {
 
 // Triangulation is an incremental Delaunay triangulation. The zero value is
 // not usable; call New.
+//
+// Version state is split three ways. The face table (tris) and the
+// vertex-face hints (vface) are paged copy-on-write and diverge per
+// version. The vertex coordinates (pts) are append-only and shared by every
+// version — ids are never recycled, and only the newest version appends.
+// The duplicate-detection map (index) and the face free list (free) are
+// writer state: they ride along the branch chain and are only meaningful at
+// the newest version, which is the only one allowed to mutate.
 type Triangulation struct {
 	pts    []geom.Point       // vertex 0..2 are the super-triangle corners
-	tris   []triangle         // faces, including dead (recycled) slots
-	free   []int32            // recycled face slots
-	index  map[geom.Point]int // exact-duplicate detection: point -> vertex id
+	tris   paged[triangle]    // faces, including dead (recycled) slots
+	vface  paged[int32]       // some live face incident to each vertex; noTri = removed
+	free   []int32            // writer-only: recycled face slots
+	index  map[geom.Point]int // writer-only: point -> vertex id
 	bounds geom.Rect          // accepted insertion region
-	walk   int32              // recently touched face: walk start hint
+	walk   atomic.Int32       // recently touched face: walk start hint
 	nLive  int                // number of live (non-deleted) input vertices
-	dead   map[int]bool       // deleted vertex ids
-	vface  []int32            // some live face incident to each vertex
+	own    *pageOwner         // this version's page-ownership token
+	frozen atomic.Bool        // set by Branch; mutations are rejected
 }
 
 // New returns an empty triangulation accepting points inside bounds. The
@@ -72,13 +97,52 @@ func New(bounds geom.Rect) *Triangulation {
 		},
 		index:  make(map[geom.Point]int),
 		bounds: bounds,
-		dead:   make(map[int]bool),
+		own:    new(pageOwner),
 	}
-	t.tris = []triangle{{v: [3]int32{0, 1, 2}, n: [3]int32{noTri, noTri, noTri}, alive: true}}
-	t.vface = []int32{0, 0, 0}
-	t.walk = 0
+	t.tris.append(triangle{v: [3]int32{0, 1, 2}, n: [3]int32{noTri, noTri, noTri}, alive: true}, t.own)
+	for i := 0; i < 3; i++ {
+		t.vface.append(0, t.own)
+	}
 	return t
 }
+
+// Branch returns a new mutable version of the triangulation and freezes the
+// receiver: further reads of the receiver stay valid (and race-free against
+// mutations of the branch), but its own Insert/Remove return ErrFrozen.
+// The cost is two page-directory copies — O(n/pageSize), not O(n); the
+// branch shares every page with the receiver until it writes it.
+func (t *Triangulation) Branch() *Triangulation {
+	t.frozen.Store(true)
+	c := &Triangulation{
+		pts:    t.pts,
+		tris:   t.tris.branch(),
+		vface:  t.vface.branch(),
+		free:   t.free,
+		index:  t.index,
+		bounds: t.bounds,
+		nLive:  t.nLive,
+		own:    new(pageOwner),
+	}
+	c.walk.Store(t.walk.Load())
+	return c
+}
+
+// tri returns face f for reading. The pointer is stable on frozen versions;
+// mutation paths must use triMut so interleaved page copies cannot strand a
+// write.
+func (t *Triangulation) tri(f int32) *triangle { return t.tris.at(int(f)) }
+
+// triMut returns face f for writing, copying its page on first touch.
+func (t *Triangulation) triMut(f int32) *triangle { return t.tris.mut(int(f), t.own) }
+
+// numFaces returns the face-table length (live and dead slots).
+func (t *Triangulation) numFaces() int { return t.tris.len() }
+
+// vfaceAt returns the incident-face hint of internal vertex vi.
+func (t *Triangulation) vfaceAt(vi int32) int32 { return *t.vface.at(int(vi)) }
+
+// setVface updates the incident-face hint of internal vertex vi.
+func (t *Triangulation) setVface(vi, f int32) { *t.vface.mut(int(vi), t.own) = f }
 
 // Len returns the number of live input vertices in the triangulation.
 func (t *Triangulation) Len() int { return t.nLive }
@@ -96,6 +160,9 @@ func isSuper(v int32) bool { return v < 3 }
 // returns the existing id together with ErrDuplicate; points outside the
 // triangulation bounds return ErrOutOfBounds.
 func (t *Triangulation) Insert(p geom.Point) (int, error) {
+	if t.frozen.Load() {
+		return -1, ErrFrozen
+	}
 	if !t.bounds.Contains(p) {
 		return -1, fmt.Errorf("%w: %v not in %v", ErrOutOfBounds, p, t.bounds)
 	}
@@ -104,7 +171,7 @@ func (t *Triangulation) Insert(p geom.Point) (int, error) {
 	}
 	vi := int32(len(t.pts))
 	t.pts = append(t.pts, p)
-	t.vface = append(t.vface, noTri)
+	t.vface.append(noTri, t.own)
 	id := int(vi) - 3
 	t.index[p] = id
 	t.nLive++
@@ -120,16 +187,17 @@ func (t *Triangulation) Insert(p geom.Point) (int, error) {
 
 // locate walks from the hint triangle to the face containing p. It returns
 // the face index and, when p lies exactly on one of its edges, that edge's
-// index (otherwise -1).
+// index (otherwise -1). It is called on read paths too (Nearest), so the
+// walk hint is atomic and the face table is only read.
 func (t *Triangulation) locate(p geom.Point) (face int32, onEdge int) {
-	f := t.walk
-	if f < 0 || int(f) >= len(t.tris) || !t.tris[f].alive {
+	f := t.walk.Load()
+	if f < 0 || int(f) >= t.numFaces() || !t.tri(f).alive {
 		f = t.anyAlive()
 	}
 	// The walk is guaranteed to terminate with exact predicates, but guard
 	// against cycles anyway and fall back to a linear scan.
-	for steps := 0; steps < 4*len(t.tris)+16; steps++ {
-		tr := &t.tris[f]
+	for steps := 0; steps < 4*t.numFaces()+16; steps++ {
+		tr := t.tri(f)
 		on := -1
 		moved := false
 		for i := 0; i < 3; i++ {
@@ -153,15 +221,15 @@ func (t *Triangulation) locate(p geom.Point) (face int32, onEdge int) {
 		if moved {
 			continue
 		}
-		t.walk = f
+		t.walk.Store(f)
 		return f, on
 	}
 	// Fallback: exhaustive scan (unreachable in practice).
-	for i := range t.tris {
-		if !t.tris[i].alive {
+	for i := 0; i < t.numFaces(); i++ {
+		tr := t.tri(int32(i))
+		if !tr.alive {
 			continue
 		}
-		tr := &t.tris[i]
 		inside, on := true, -1
 		for e := 0; e < 3; e++ {
 			a, b := t.pts[tr.v[e]], t.pts[tr.v[(e+1)%3]]
@@ -173,7 +241,7 @@ func (t *Triangulation) locate(p geom.Point) (face int32, onEdge int) {
 			}
 		}
 		if inside {
-			t.walk = int32(i)
+			t.walk.Store(int32(i))
 			return int32(i), on
 		}
 	}
@@ -181,8 +249,8 @@ func (t *Triangulation) locate(p geom.Point) (face int32, onEdge int) {
 }
 
 func (t *Triangulation) anyAlive() int32 {
-	for i := len(t.tris) - 1; i >= 0; i-- {
-		if t.tris[i].alive {
+	for i := t.numFaces() - 1; i >= 0; i-- {
+		if t.tri(int32(i)).alive {
 			return int32(i)
 		}
 	}
@@ -197,17 +265,19 @@ func (t *Triangulation) newTri(v0, v1, v2, n0, n1, n2 int32) int32 {
 	if k := len(t.free); k > 0 {
 		id = t.free[k-1]
 		t.free = t.free[:k-1]
-		t.tris[id] = tr
+		*t.triMut(id) = tr
 	} else {
-		t.tris = append(t.tris, tr)
-		id = int32(len(t.tris) - 1)
+		t.tris.append(tr, t.own)
+		id = int32(t.tris.len() - 1)
 	}
-	t.vface[v0], t.vface[v1], t.vface[v2] = id, id, id
+	t.setVface(v0, id)
+	t.setVface(v1, id)
+	t.setVface(v2, id)
 	return id
 }
 
 func (t *Triangulation) killTri(id int32) {
-	t.tris[id].alive = false
+	t.triMut(id).alive = false
 	t.free = append(t.free, id)
 }
 
@@ -217,7 +287,7 @@ func (t *Triangulation) replaceNeighbor(f, old, new int32) {
 	if f == noTri {
 		return
 	}
-	tr := &t.tris[f]
+	tr := t.triMut(f)
 	for i := 0; i < 3; i++ {
 		if tr.n[i] == old {
 			tr.n[i] = new
@@ -229,7 +299,7 @@ func (t *Triangulation) replaceNeighbor(f, old, new int32) {
 
 // insertInFace splits face ti = (a,b,c) into (a,b,p), (b,c,p), (c,a,p).
 func (t *Triangulation) insertInFace(ti, p int32) {
-	tr := t.tris[ti]
+	tr := *t.tri(ti)
 	a, b, c := tr.v[0], tr.v[1], tr.v[2]
 	na, nb, nc := tr.n[0], tr.n[1], tr.n[2]
 	t.killTri(ti)
@@ -237,13 +307,14 @@ func (t *Triangulation) insertInFace(ti, p int32) {
 	t0 := t.newTri(a, b, p, na, noTri, noTri)
 	t1 := t.newTri(b, c, p, nb, noTri, noTri)
 	t2 := t.newTri(c, a, p, nc, noTri, noTri)
-	t.tris[t0].n[1], t.tris[t0].n[2] = t1, t2
-	t.tris[t1].n[1], t.tris[t1].n[2] = t2, t0
-	t.tris[t2].n[1], t.tris[t2].n[2] = t0, t1
+	f0, f1, f2 := t.triMut(t0), t.triMut(t1), t.triMut(t2)
+	f0.n[1], f0.n[2] = t1, t2
+	f1.n[1], f1.n[2] = t2, t0
+	f2.n[1], f2.n[2] = t0, t1
 	t.replaceNeighbor(na, ti, t0)
 	t.replaceNeighbor(nb, ti, t1)
 	t.replaceNeighbor(nc, ti, t2)
-	t.walk = t0
+	t.walk.Store(t0)
 
 	t.legalize(t0, 0, p)
 	t.legalize(t1, 0, p)
@@ -254,7 +325,7 @@ func (t *Triangulation) insertInFace(ti, p int32) {
 // If the edge is on the hull of the super-triangle (no twin), it splits
 // only ti into two faces.
 func (t *Triangulation) insertOnEdge(ti int32, e int, p int32) {
-	tr := t.tris[ti]
+	tr := *t.tri(ti)
 	// Relabel so the split edge is (u, w) with apex c.
 	u, w, c := tr.v[e], tr.v[(e+1)%3], tr.v[(e+2)%3]
 	nuw, nwc, ncu := tr.n[e], tr.n[(e+1)%3], tr.n[(e+2)%3]
@@ -263,11 +334,11 @@ func (t *Triangulation) insertOnEdge(ti int32, e int, p int32) {
 		t.killTri(ti)
 		t0 := t.newTri(u, p, c, noTri, noTri, ncu)
 		t1 := t.newTri(p, w, c, noTri, nwc, noTri)
-		t.tris[t0].n[1] = t1
-		t.tris[t1].n[2] = t0
+		t.triMut(t0).n[1] = t1
+		t.triMut(t1).n[2] = t0
 		t.replaceNeighbor(nwc, ti, t1)
 		t.replaceNeighbor(ncu, ti, t0)
-		t.walk = t0
+		t.walk.Store(t0)
 		t.legalize(t0, 2, p)
 		t.legalize(t1, 1, p)
 		return
@@ -275,7 +346,7 @@ func (t *Triangulation) insertOnEdge(ti int32, e int, p int32) {
 
 	// Twin face o shares directed edge (w, u); find its apex d.
 	o := nuw
-	otr := t.tris[o]
+	otr := *t.tri(o)
 	var j int
 	for j = 0; j < 3; j++ {
 		if otr.v[j] == w && otr.v[(j+1)%3] == u {
@@ -295,15 +366,16 @@ func (t *Triangulation) insertOnEdge(ti int32, e int, p int32) {
 	t1 := t.newTri(p, w, c, noTri, nwc, noTri)
 	t2 := t.newTri(w, p, d, noTri, noTri, ndw)
 	t3 := t.newTri(p, u, d, noTri, nud, noTri)
-	t.tris[t0].n[0], t.tris[t0].n[1] = t3, t1
-	t.tris[t1].n[0], t.tris[t1].n[2] = t2, t0
-	t.tris[t2].n[0], t.tris[t2].n[1] = t1, t3
-	t.tris[t3].n[0], t.tris[t3].n[2] = t0, t2
+	f0, f1, f2, f3 := t.triMut(t0), t.triMut(t1), t.triMut(t2), t.triMut(t3)
+	f0.n[0], f0.n[1] = t3, t1
+	f1.n[0], f1.n[2] = t2, t0
+	f2.n[0], f2.n[1] = t1, t3
+	f3.n[0], f3.n[2] = t0, t2
 	t.replaceNeighbor(ncu, ti, t0)
 	t.replaceNeighbor(nwc, ti, t1)
 	t.replaceNeighbor(ndw, o, t2)
 	t.replaceNeighbor(nud, o, t3)
-	t.walk = t0
+	t.walk.Store(t0)
 
 	t.legalize(t0, 2, p)
 	t.legalize(t1, 1, p)
@@ -315,13 +387,13 @@ func (t *Triangulation) insertOnEdge(ti int32, e int, p int32) {
 // respect to the newly inserted vertex p (which is a vertex of f not on
 // edge e) and flips recursively while violated.
 func (t *Triangulation) legalize(f int32, e int, p int32) {
-	tr := &t.tris[f]
+	tr := *t.tri(f)
 	o := tr.n[e]
 	if o == noTri {
 		return
 	}
 	a, b := tr.v[e], tr.v[(e+1)%3]
-	otr := &t.tris[o]
+	otr := *t.tri(o)
 	var j int
 	for j = 0; j < 3; j++ {
 		if otr.v[j] == b && otr.v[(j+1)%3] == a {
@@ -343,10 +415,12 @@ func (t *Triangulation) legalize(f int32, e int, p int32) {
 	nad, ndb := otr.n[(j+1)%3], otr.n[(j+2)%3]
 
 	// Reuse slots: f becomes (a,d,c), o becomes (d,b,c).
-	t.tris[f] = triangle{v: [3]int32{a, d, c}, n: [3]int32{nad, o, nca}, alive: true}
-	t.tris[o] = triangle{v: [3]int32{d, b, c}, n: [3]int32{ndb, nbc, f}, alive: true}
-	t.vface[a], t.vface[d], t.vface[c] = f, f, f
-	t.vface[b] = o
+	*t.triMut(f) = triangle{v: [3]int32{a, d, c}, n: [3]int32{nad, o, nca}, alive: true}
+	*t.triMut(o) = triangle{v: [3]int32{d, b, c}, n: [3]int32{ndb, nbc, f}, alive: true}
+	t.setVface(a, f)
+	t.setVface(d, f)
+	t.setVface(c, f)
+	t.setVface(b, o)
 	t.replaceNeighbor(nbc, f, o)
 	t.replaceNeighbor(nad, o, f)
 

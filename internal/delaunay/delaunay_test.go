@@ -41,8 +41,8 @@ func checkDelaunay(t *testing.T, tr *Triangulation) {
 // checkAdjacency asserts the internal neighbor pointers are mutual.
 func checkAdjacency(t *testing.T, tr *Triangulation) {
 	t.Helper()
-	for fi := range tr.tris {
-		f := &tr.tris[fi]
+	for fi := 0; fi < tr.numFaces(); fi++ {
+		f := tr.tri(int32(fi))
 		if !f.alive {
 			continue
 		}
@@ -51,14 +51,15 @@ func checkAdjacency(t *testing.T, tr *Triangulation) {
 			if o == noTri {
 				continue
 			}
-			if !tr.tris[o].alive {
+			ot := tr.tri(o)
+			if !ot.alive {
 				t.Fatalf("face %d edge %d points at dead face %d", fi, e, o)
 			}
 			a, b := f.v[e], f.v[(e+1)%3]
 			found := false
 			for k := 0; k < 3; k++ {
-				if tr.tris[o].v[k] == b && tr.tris[o].v[(k+1)%3] == a {
-					if tr.tris[o].n[k] != int32(fi) {
+				if ot.v[k] == b && ot.v[(k+1)%3] == a {
+					if ot.n[k] != int32(fi) {
 						t.Fatalf("face %d edge %d: twin %d does not point back", fi, e, o)
 					}
 					found = true

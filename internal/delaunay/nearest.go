@@ -16,7 +16,7 @@ func (t *Triangulation) Nearest(p geom.Point) int {
 	var seed int32 = -1
 	if t.bounds.Contains(p) {
 		f, _ := t.locate(p)
-		for _, v := range t.tris[f].v {
+		for _, v := range t.tri(f).v {
 			if !isSuper(v) {
 				seed = v
 				break
@@ -25,7 +25,7 @@ func (t *Triangulation) Nearest(p geom.Point) int {
 	}
 	if seed == -1 {
 		for i := int32(3); int(i) < len(t.pts); i++ {
-			if !t.dead[int(i)-3] {
+			if t.vfaceAt(i) != noTri {
 				seed = i
 				break
 			}
@@ -37,9 +37,10 @@ func (t *Triangulation) Nearest(p geom.Point) int {
 
 	cur := seed
 	best := p.Dist2(t.pts[cur])
+	var sc RingScratch
 	for {
 		improved := false
-		_, ring := t.ringAround(cur)
+		_, ring := t.ringAround(cur, &sc)
 		for _, v := range ring {
 			if isSuper(v) {
 				continue

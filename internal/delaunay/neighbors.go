@@ -11,16 +11,20 @@ import (
 // inserted or were already removed.
 var ErrNotFound = fmt.Errorf("delaunay: vertex not found")
 
-// faceOf returns a live face incident to internal vertex vi, repairing a
-// stale hint if necessary.
+// faceOf returns a live face incident to internal vertex vi. The hint
+// table is maintained eagerly by every mutation, so the scan fallback is
+// defensive; it deliberately does not write the repaired hint back, keeping
+// this callable on frozen versions shared across goroutines.
 func (t *Triangulation) faceOf(vi int32) int32 {
-	f := t.vface[vi]
-	if f != noTri && t.tris[f].alive && t.hasVertex(f, vi) {
+	f := t.vfaceAt(vi)
+	if f != noTri && t.tri(f).alive && t.hasVertex(f, vi) {
 		return f
 	}
-	for i := range t.tris {
-		if t.tris[i].alive && t.hasVertex(int32(i), vi) {
-			t.vface[vi] = int32(i)
+	if f == noTri {
+		return noTri // removed vertex: no incident faces by definition
+	}
+	for i := 0; i < t.numFaces(); i++ {
+		if t.tri(int32(i)).alive && t.hasVertex(int32(i), vi) {
 			return int32(i)
 		}
 	}
@@ -28,13 +32,13 @@ func (t *Triangulation) faceOf(vi int32) int32 {
 }
 
 func (t *Triangulation) hasVertex(f, vi int32) bool {
-	tr := &t.tris[f]
+	tr := t.tri(f)
 	return tr.v[0] == vi || tr.v[1] == vi || tr.v[2] == vi
 }
 
 // vertexPos returns the index (0..2) of vi inside face f.
 func (t *Triangulation) vertexPos(f, vi int32) int {
-	tr := &t.tris[f]
+	tr := t.tri(f)
 	for i := 0; i < 3; i++ {
 		if tr.v[i] == vi {
 			return i
@@ -43,10 +47,20 @@ func (t *Triangulation) vertexPos(f, vi int32) int {
 	panic("delaunay: vertex not in face")
 }
 
+// RingScratch is reusable buffer memory for AppendNeighbors. The zero
+// value is ready to use; one scratch serves any number of sequential calls
+// (it must not be shared across goroutines).
+type RingScratch struct {
+	faces, ring []int32
+}
+
 // ringAround returns the faces incident to vi and the link (star boundary)
-// vertices, both in counter-clockwise order around vi. Every real vertex is
-// interior to the super-triangle, so the ring always closes.
-func (t *Triangulation) ringAround(vi int32) (faces, ring []int32) {
+// vertices, both in counter-clockwise order around vi, appended onto the
+// (reset) scratch buffers. Every real vertex is interior to the
+// super-triangle, so the ring always closes.
+func (t *Triangulation) ringAround(vi int32, sc *RingScratch) (faces, ring []int32) {
+	faces, ring = sc.faces[:0], sc.ring[:0]
+	defer func() { sc.faces, sc.ring = faces, ring }()
 	start := t.faceOf(vi)
 	if start == noTri {
 		return nil, nil
@@ -54,19 +68,20 @@ func (t *Triangulation) ringAround(vi int32) (faces, ring []int32) {
 	f := start
 	for {
 		i := t.vertexPos(f, vi)
+		tr := t.tri(f)
 		faces = append(faces, f)
-		ring = append(ring, t.tris[f].v[(i+1)%3])
+		ring = append(ring, tr.v[(i+1)%3])
 		// Rotate counter-clockwise: cross the edge (vi, v[(i+1)%3])... the
 		// next CCW face around vi is across edge (v[(i+2)%3], vi), i.e.
 		// edge index (i+2)%3.
-		f = t.tris[f].n[(i+2)%3]
+		f = tr.n[(i+2)%3]
 		if f == noTri {
 			panic("delaunay: open star around interior vertex")
 		}
 		if f == start {
 			break
 		}
-		if len(faces) > len(t.tris)+3 {
+		if len(faces) > t.numFaces()+3 {
 			panic("delaunay: star walk did not terminate")
 		}
 	}
@@ -79,29 +94,36 @@ func (t *Triangulation) ringAround(vi int32) (faces, ring []int32) {
 // super-triangle corners are omitted. It returns ErrNotFound for unknown or
 // deleted ids.
 func (t *Triangulation) Neighbors(id int) ([]int, error) {
-	if id < 0 || id+3 >= len(t.pts) || t.dead[id] {
-		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	var sc RingScratch
+	return t.AppendNeighbors(id, nil, &sc)
+}
+
+// AppendNeighbors is Neighbors appending onto dst, with ring-walk buffers
+// supplied by the caller — the allocation-free form the serving hot path
+// uses. dst may be nil; the scratch must not be shared across goroutines.
+func (t *Triangulation) AppendNeighbors(id int, dst []int, sc *RingScratch) ([]int, error) {
+	if id < 0 || id+3 >= len(t.pts) || t.vfaceAt(int32(id+3)) == noTri {
+		return dst, fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
-	_, ring := t.ringAround(int32(id + 3))
-	out := make([]int, 0, len(ring))
+	_, ring := t.ringAround(int32(id+3), sc)
 	for _, v := range ring {
 		if !isSuper(v) {
-			out = append(out, int(v)-3)
+			dst = append(dst, int(v)-3)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Contains reports whether vertex id is live in the triangulation.
 func (t *Triangulation) Contains(id int) bool {
-	return id >= 0 && id+3 < len(t.pts) && !t.dead[id]
+	return id >= 0 && id+3 < len(t.pts) && t.vfaceAt(int32(id+3)) != noTri
 }
 
 // VertexIDs returns the ids of all live vertices in insertion order.
 func (t *Triangulation) VertexIDs() []int {
 	ids := make([]int, 0, t.nLive)
 	for i := 0; i < len(t.pts)-3; i++ {
-		if !t.dead[i] {
+		if t.vfaceAt(int32(i+3)) != noTri {
 			ids = append(ids, i)
 		}
 	}
@@ -113,8 +135,8 @@ func (t *Triangulation) VertexIDs() []int {
 // counter-clockwise order.
 func (t *Triangulation) Triangles() [][3]int {
 	var out [][3]int
-	for i := range t.tris {
-		tr := &t.tris[i]
+	for i := 0; i < t.numFaces(); i++ {
+		tr := t.tri(int32(i))
 		if !tr.alive || isSuper(tr.v[0]) || isSuper(tr.v[1]) || isSuper(tr.v[2]) {
 			continue
 		}
@@ -127,11 +149,15 @@ func (t *Triangulation) Triangles() [][3]int {
 // property by retriangulating the star polygon of the removed vertex with
 // Delaunay ear clipping.
 func (t *Triangulation) Remove(id int) error {
+	if t.frozen.Load() {
+		return ErrFrozen
+	}
 	if !t.Contains(id) {
 		return fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
 	vi := int32(id + 3)
-	faces, ring := t.ringAround(vi)
+	var sc RingScratch
+	faces, ring := t.ringAround(vi, &sc)
 	if len(faces) == 0 {
 		return fmt.Errorf("%w: id %d has no incident faces", ErrNotFound, id)
 	}
@@ -143,8 +169,9 @@ func (t *Triangulation) Remove(id int) error {
 	outer := make(map[edge]int32, len(faces))
 	for _, f := range faces {
 		i := t.vertexPos(f, vi)
-		a, b := t.tris[f].v[(i+1)%3], t.tris[f].v[(i+2)%3]
-		outer[edge{a, b}] = t.tris[f].n[(i+1)%3]
+		tr := t.tri(f)
+		a, b := tr.v[(i+1)%3], tr.v[(i+2)%3]
+		outer[edge{a, b}] = tr.n[(i+1)%3]
 	}
 	for _, f := range faces {
 		t.killTri(f)
@@ -155,11 +182,11 @@ func (t *Triangulation) Remove(id int) error {
 	halfEdges := make(map[edge]int32, 2*len(ring))
 	link := func(f int32, ei int, a, b int32) {
 		if of, ok := outer[edge{a, b}]; ok {
-			t.tris[f].n[ei] = of
+			t.triMut(f).n[ei] = of
 			if of != noTri {
 				// The outer face's pointer still references a killed face;
 				// repoint it at f.
-				otr := &t.tris[of]
+				otr := t.triMut(of)
 				for k := 0; k < 3; k++ {
 					if otr.v[k] == b && otr.v[(k+1)%3] == a {
 						otr.n[k] = f
@@ -170,8 +197,8 @@ func (t *Triangulation) Remove(id int) error {
 			return
 		}
 		if tf, ok := halfEdges[edge{b, a}]; ok {
-			t.tris[f].n[ei] = tf
-			ttr := &t.tris[tf]
+			t.triMut(f).n[ei] = tf
+			ttr := t.triMut(tf)
 			for k := 0; k < 3; k++ {
 				if ttr.v[k] == b && ttr.v[(k+1)%3] == a {
 					ttr.n[k] = f
@@ -188,7 +215,7 @@ func (t *Triangulation) Remove(id int) error {
 		link(f, 0, a, b)
 		link(f, 1, b, c)
 		link(f, 2, c, a)
-		t.walk = f
+		t.walk.Store(f)
 	}
 
 	// Delaunay ear clipping of the (star-shaped) hole polygon.
@@ -239,9 +266,8 @@ func (t *Triangulation) Remove(id int) error {
 	emit(poly[0], poly[1], poly[2])
 
 	delete(t.index, t.pts[vi])
-	t.dead[id] = true
 	t.nLive--
-	t.vface[vi] = noTri
+	t.setVface(vi, noTri)
 	return nil
 }
 

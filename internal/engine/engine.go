@@ -133,6 +133,15 @@ type Stats struct {
 	// every session has re-pinned to the current version, more while
 	// lagging sessions keep old versions alive.
 	Snapshots int
+	// EpochPublishUS is the mean wall time of publishing one data-update
+	// epoch (path-copy branch + mutations + publish), in microseconds;
+	// 0 before the first data update.
+	EpochPublishUS float64
+	// IndexNodes is the plane index node count; IndexNodesCopied is how
+	// many of them the latest epoch copied (the rest are shared with the
+	// previous snapshot — the path-copying publication at work).
+	IndexNodes       int
+	IndexNodesCopied int
 	// Updates counts processed location updates.
 	Updates uint64
 	// Uptime is the time since New.
@@ -172,6 +181,21 @@ type Engine struct {
 
 	seqMu   sync.Mutex
 	nextSeq uint64
+
+	// plans recycles the fan-out scratch of batched location updates (the
+	// routed entry slices and the gather channel); only the per-session
+	// results, which are handed to the caller, are allocated per batch.
+	plans sync.Pool
+}
+
+// batchPlan is the reusable fan-out scratch of one batched update: the
+// routed entries, the per-shard partitions and the gather channel. It goes
+// back to the pool only after every shard signalled reply, so pooled
+// memory is never read concurrently with its next use.
+type batchPlan struct {
+	entries  []batchEntry
+	perShard [][]batchEntry
+	reply    chan struct{}
 }
 
 // New builds the engine: one shared index store, then the shard workers,
@@ -211,6 +235,12 @@ func New(cfg Config) (*Engine, error) {
 			notify:   st.Subscribe(),
 			done:     make(chan struct{}),
 			sessions: make(map[SessionID]*session),
+		}
+	}
+	e.plans.New = func() any {
+		return &batchPlan{
+			perShard: make([][]batchEntry, cfg.Shards),
+			reply:    make(chan struct{}, cfg.Shards),
 		}
 	}
 	for _, sh := range e.shards {
@@ -336,31 +366,40 @@ func (e *Engine) CloseSession(sid SessionID) error {
 // update, in input order. The returned error reflects engine-level
 // failure only; per-session errors ride in the results.
 func (e *Engine) UpdateBatch(updates []LocationUpdate) ([]UpdateResult, error) {
-	entries := make([]batchEntry, len(updates))
+	plan := e.plans.Get().(*batchPlan)
+	plan.entries = plan.entries[:0]
 	for i, u := range updates {
-		entries[i] = batchEntry{idx: i, sid: u.Session, pos: u.Pos}
+		plan.entries = append(plan.entries, batchEntry{idx: i, sid: u.Session, pos: u.Pos})
 	}
-	return e.runBatch(false, entries)
+	return e.runBatch(false, plan)
 }
 
 // UpdateNetworkBatch is UpdateBatch for road-network sessions.
 func (e *Engine) UpdateNetworkBatch(updates []NetworkLocationUpdate) ([]UpdateResult, error) {
-	entries := make([]batchEntry, len(updates))
+	plan := e.plans.Get().(*batchPlan)
+	plan.entries = plan.entries[:0]
 	for i, u := range updates {
-		entries[i] = batchEntry{idx: i, sid: u.Session, net: u.Pos}
+		plan.entries = append(plan.entries, batchEntry{idx: i, sid: u.Session, net: u.Pos})
 	}
-	return e.runBatch(true, entries)
+	return e.runBatch(true, plan)
 }
 
-func (e *Engine) runBatch(network bool, entries []batchEntry) ([]UpdateResult, error) {
+// runBatch fans the plan's entries out to their shards, gathers the
+// replies and returns the plan to the pool (every shard is done with the
+// pooled memory once it has signalled).
+func (e *Engine) runBatch(network bool, plan *batchPlan) ([]UpdateResult, error) {
+	defer e.plans.Put(plan)
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return nil, ErrClosed
 	}
-	results := make([]UpdateResult, len(entries))
-	perShard := make([][]batchEntry, len(e.shards))
-	for _, en := range entries {
+	results := make([]UpdateResult, len(plan.entries))
+	perShard := plan.perShard
+	for i := range perShard {
+		perShard[i] = perShard[i][:0]
+	}
+	for _, en := range plan.entries {
 		sh := e.shardOf(en.sid)
 		if sh == nil {
 			results[en.idx] = UpdateResult{Session: en.sid, Err: fmt.Errorf("%w: %d", ErrUnknownSession, en.sid)}
@@ -368,17 +407,16 @@ func (e *Engine) runBatch(network bool, entries []batchEntry) ([]UpdateResult, e
 		}
 		perShard[sh.id] = append(perShard[sh.id], en)
 	}
-	reply := make(chan struct{}, len(e.shards))
 	sent := 0
 	for s, part := range perShard {
 		if len(part) == 0 {
 			continue
 		}
-		e.shards[s].mailbox <- batchMsg{network: network, entries: part, results: results, reply: reply}
+		e.shards[s].mailbox <- batchMsg{network: network, entries: part, results: results, reply: plan.reply}
 		sent++
 	}
 	for i := 0; i < sent; i++ {
-		<-reply
+		<-plan.reply
 	}
 	return results, nil
 }
@@ -456,6 +494,10 @@ func (e *Engine) Stats() (Stats, error) {
 	if plane := e.store.Current().Plane(); plane != nil {
 		st.Objects = plane.Len()
 	}
+	if pubs, total := e.store.PublishStats(); pubs > 0 {
+		st.EpochPublishUS = float64(total.Nanoseconds()) / 1e3 / float64(pubs)
+	}
+	st.IndexNodesCopied, st.IndexNodes = e.store.PlaneShareStats()
 	var hist metrics.Histogram
 	for range e.shards {
 		s := <-reply

@@ -30,6 +30,14 @@ type shard struct {
 	sessions map[SessionID]*session
 	hist     metrics.Histogram
 	updates  uint64
+
+	// Reusable delta scratch: the pre-change baseline buffer and the
+	// membership maps diffIDs needs. Publishing an event still allocates
+	// the event's own slices (events outlive the worker loop), but the
+	// bookkeeping around it is allocation-free.
+	prevBuf []int
+	inOld   map[int]struct{}
+	inNew   map[int]struct{}
 }
 
 // session is one live MkNN query pinned to a shard. Exactly one of plane
@@ -50,6 +58,15 @@ func (s *session) current() []int {
 		return s.plane.Current()
 	}
 	return s.network.Current()
+}
+
+// appendCurrent is current appending onto a caller-owned buffer — the
+// zero-copy form the worker loop uses for delta baselines.
+func (s *session) appendCurrent(dst []int) []int {
+	if s.plane != nil {
+		return s.plane.AppendCurrent(dst)
+	}
+	return s.network.AppendCurrent(dst)
 }
 
 func (s *session) counters() metrics.Counters {
@@ -204,7 +221,8 @@ func (sh *shard) sweep() {
 			s.plane.Sync()
 			continue
 		}
-		prev := s.plane.Current()
+		prev := s.plane.AppendCurrent(sh.prevBuf[:0])
+		sh.prevBuf = prev[:0]
 		knn, recomputed, err := s.plane.Refresh()
 		if err != nil {
 			// The result is gone (e.g. k now exceeds the object count) and
@@ -248,11 +266,13 @@ func (sh *shard) runBatch(m batchMsg) {
 		}
 		// Capture the pre-update membership while the session is watched:
 		// it is the baseline subscribers hold, and the published delta must
-		// apply exactly onto it.
+		// apply exactly onto it (the scratch buffer survives until publish,
+		// which copies what it keeps).
 		watched := sh.events.Watched(uint64(e.sid))
 		var prev []int
 		if watched {
-			prev = s.current()
+			prev = s.appendCurrent(sh.prevBuf[:0])
+			sh.prevBuf = prev[:0]
 		}
 		var knn []int
 		var err error
@@ -298,7 +318,7 @@ func (sh *shard) runBatch(m batchMsg) {
 // consumer can apply them without ever re-reading the full set. The event
 // owns fresh slices and can cross goroutines freely.
 func (sh *shard) publish(sid SessionID, s *session, cause stream.Cause, prev, knn []int, epoch uint64) {
-	added, removed := diffIDs(prev, knn)
+	added, removed := sh.diffIDs(prev, knn)
 	if cause != stream.CauseClose && len(added) == 0 && len(removed) == 0 {
 		return
 	}
@@ -331,13 +351,21 @@ func (sh *shard) state(sid SessionID) stateReply {
 }
 
 // diffIDs returns the membership delta from old to new (order-insensitive;
-// both lists are O(k)). nil results mean "no change on that side".
-func diffIDs(old, new []int) (added, removed []int) {
-	inOld := make(map[int]struct{}, len(old))
+// both lists are O(k)). nil results mean "no change on that side". The
+// returned slices are freshly allocated (they ride in published events);
+// the membership maps are worker-owned scratch.
+func (sh *shard) diffIDs(old, new []int) (added, removed []int) {
+	if sh.inOld == nil {
+		sh.inOld = make(map[int]struct{}, len(old))
+		sh.inNew = make(map[int]struct{}, len(new))
+	} else {
+		clear(sh.inOld)
+		clear(sh.inNew)
+	}
+	inOld, inNew := sh.inOld, sh.inNew
 	for _, id := range old {
 		inOld[id] = struct{}{}
 	}
-	inNew := make(map[int]struct{}, len(new))
 	for _, id := range new {
 		inNew[id] = struct{}{}
 		if _, ok := inOld[id]; !ok {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/index"
 	"repro/internal/trajectory"
 	"repro/internal/workload"
 )
@@ -35,6 +36,19 @@ type EngineBenchResult struct {
 	ResidentIndexBytes uint64  `json:"resident_index_bytes"`
 	SnapshotsLive      int     `json:"snapshots_live"`
 	RecomputePct       float64 `json:"recompute_pct"`
+
+	// EpochPublishUS is the mean wall time of publishing one data-update
+	// epoch during the run. SharedNodeRatio is the fraction of plane index
+	// nodes the latest epoch shares with its predecessor (path-copying
+	// publication; a full clone would be 0). The sublinearity probe times
+	// one single-insert epoch against stores of Objects/8 and Objects
+	// objects: with path copying PublishScalingX8 stays far below the 8x
+	// a deep-clone publication pays.
+	EpochPublishUS   float64 `json:"epoch_publish_us"`
+	SharedNodeRatio  float64 `json:"shared_node_ratio"`
+	PublishUSSmall   float64 `json:"publish_us_small"`
+	PublishUSLarge   float64 `json:"publish_us_large"`
+	PublishScalingX8 float64 `json:"publish_scaling_x8"`
 }
 
 // String renders the result as a short table for the harness output.
@@ -42,10 +56,44 @@ func (r EngineBenchResult) String() string {
 	return fmt.Sprintf(
 		"ENGINE shards=%d sessions=%d objects=%d steps=%d churn=%d\n"+
 			"       updates=%d rate=%.0f/s p50=%.1fus p95=%.1fus p99=%.1fus\n"+
-			"       allocs/update=%.1f index_bytes=%d snapshots=%d recompute=%.2f%%",
+			"       allocs/update=%.1f index_bytes=%d snapshots=%d recompute=%.2f%%\n"+
+			"       publish=%.1fus shared_nodes=%.1f%% scaling_x8=%.2f (%.1fus -> %.1fus)",
 		r.Shards, r.Sessions, r.Objects, r.Steps, r.DataUpdates,
 		r.Updates, r.UpdatesSec, r.P50UpdateUS, r.P95UpdateUS, r.P99UpdateUS,
-		r.AllocsPerUpdate, r.ResidentIndexBytes, r.SnapshotsLive, r.RecomputePct)
+		r.AllocsPerUpdate, r.ResidentIndexBytes, r.SnapshotsLive, r.RecomputePct,
+		r.EpochPublishUS, 100*r.SharedNodeRatio, r.PublishScalingX8, r.PublishUSSmall, r.PublishUSLarge)
+}
+
+// publishProbeUS builds a store of n objects and returns the mean wall
+// time (µs) of a single-mutation epoch publication over rounds
+// insert+remove pairs.
+func publishProbeUS(n, rounds int, seed int64) (float64, error) {
+	st, err := index.NewStore(index.Config{Bounds: Bounds, Objects: workload.Uniform(n, Bounds, seed)})
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	for i := 0; i < rounds/4; i++ { // warm up the page tables and the branch chain
+		id, err := st.Insert(geom.Pt(float64((i*29)%9973)+1, float64((i*31)%9941)+1))
+		if err != nil {
+			return 0, err
+		}
+		if err := st.Remove(id); err != nil {
+			return 0, err
+		}
+	}
+	pubs0, total0 := st.PublishStats()
+	for i := 0; i < rounds; i++ {
+		id, err := st.Insert(geom.Pt(float64((i*131)%9973)+1, float64((i*373)%9941)+1))
+		if err != nil {
+			return 0, err
+		}
+		if err := st.Remove(id); err != nil {
+			return 0, err
+		}
+	}
+	pubs, total := st.PublishStats()
+	return float64((total - total0).Nanoseconds()) / 1e3 / float64(pubs-pubs0), nil
 }
 
 // EngineBench drives the serving engine with a closed-loop batched
@@ -138,6 +186,16 @@ func EngineBench(cfg Config) (EngineBenchResult, error) {
 	if err != nil {
 		return EngineBenchResult{}, err
 	}
+	// Publication sublinearity probe: one single-insert epoch against an
+	// 8x smaller and the full-size object set.
+	pubSmall, err := publishProbeUS(objects/8, 64, 43)
+	if err != nil {
+		return EngineBenchResult{}, err
+	}
+	pubLarge, err := publishProbeUS(objects, 64, 44)
+	if err != nil {
+		return EngineBenchResult{}, err
+	}
 	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 	res := EngineBenchResult{
 		Shards:             st.Shards,
@@ -155,6 +213,15 @@ func EngineBench(cfg Config) (EngineBenchResult, error) {
 		ResidentIndexBytes: indexBytes,
 		SnapshotsLive:      st.Snapshots,
 		RecomputePct:       100 * float64(st.Counters.Recomputations) / float64(max(st.Counters.Timestamps, 1)),
+		EpochPublishUS:     st.EpochPublishUS,
+		PublishUSSmall:     pubSmall,
+		PublishUSLarge:     pubLarge,
+	}
+	if pubSmall > 0 {
+		res.PublishScalingX8 = pubLarge / pubSmall
+	}
+	if st.IndexNodes > 0 {
+		res.SharedNodeRatio = 1 - float64(st.IndexNodesCopied)/float64(st.IndexNodes)
 	}
 	return res, nil
 }

@@ -31,13 +31,24 @@ type StreamBenchResult struct {
 	PushP99US  float64 `json:"push_p99_us"`
 	PushMeanUS float64 `json:"push_mean_us"`
 
-	Published    uint64  `json:"published"`
-	Delivered    uint64  `json:"delivered"`
-	Coalesced    uint64  `json:"coalesced"`
-	Dropped      uint64  `json:"dropped"`
-	CoalescePct  float64 `json:"coalesce_pct"`
-	SlowPending  int     `json:"slow_pending"`
-	SlowCapacity int     `json:"slow_capacity"`
+	// Published counts events the engine handed to the broker. Delivered,
+	// Coalesced and Dropped are the HEALTHY subscriber's counters only: the
+	// deliberately stalled probe below is accounted separately, so these
+	// reflect what a draining consumer actually experiences (Dropped should
+	// be 0 on a healthy path).
+	Published   uint64  `json:"published"`
+	Delivered   uint64  `json:"delivered"`
+	Coalesced   uint64  `json:"coalesced"`
+	Dropped     uint64  `json:"dropped"`
+	CoalescePct float64 `json:"coalesce_pct"`
+	// The stall probe: a subscriber that never drains and must be bounded
+	// by its queue capacity, with the overflow absorbed by coalesces and
+	// drops. Its drops are expected and say nothing about healthy-path
+	// delivery.
+	StallDropped   uint64 `json:"stall_probe_dropped"`
+	StallCoalesced uint64 `json:"stall_probe_coalesced"`
+	SlowPending    int    `json:"slow_pending"`
+	SlowCapacity   int    `json:"slow_capacity"`
 }
 
 // String renders the result as a short table for the harness output.
@@ -45,11 +56,12 @@ func (r StreamBenchResult) String() string {
 	return fmt.Sprintf(
 		"STREAM shards=%d sessions=%d objects=%d churn=%d\n"+
 			"       push events=%d p50=%.1fus p95=%.1fus p99=%.1fus mean=%.1fus\n"+
-			"       published=%d delivered=%d coalesced=%d (%.2f%%) dropped=%d slow_pending=%d/%d",
+			"       published=%d delivered=%d coalesced=%d (%.2f%%) dropped=%d\n"+
+			"       stall probe: dropped=%d coalesced=%d pending=%d/%d",
 		r.Shards, r.Sessions, r.Objects, r.DataUpdates,
 		r.PushEvents, r.PushP50US, r.PushP95US, r.PushP99US, r.PushMeanUS,
 		r.Published, r.Delivered, r.Coalesced, r.CoalescePct, r.Dropped,
-		r.SlowPending, r.SlowCapacity)
+		r.StallDropped, r.StallCoalesced, r.SlowPending, r.SlowCapacity)
 }
 
 // StreamBench drives the push subsystem: sessions spread over the data
@@ -193,22 +205,26 @@ func StreamBench(cfg Config) (StreamBenchResult, error) {
 		hist.add(d)
 	}
 	res := StreamBenchResult{
-		Shards:       shards,
-		Sessions:     sessions,
-		Objects:      objects,
-		K:            k,
-		DataUpdates:  int(st.Epoch),
-		PushEvents:   events,
-		PushP50US:    hist.quantileUS(0.50),
-		PushP95US:    hist.quantileUS(0.95),
-		PushP99US:    hist.quantileUS(0.99),
-		PushMeanUS:   hist.meanUS(),
-		Published:    st.Stream.Published,
-		Delivered:    st.Stream.Delivered,
-		Coalesced:    st.Stream.Coalesced,
-		Dropped:      st.Stream.Dropped,
-		SlowPending:  slowPending,
-		SlowCapacity: slowCap,
+		Shards:      shards,
+		Sessions:    sessions,
+		Objects:     objects,
+		K:           k,
+		DataUpdates: int(st.Epoch),
+		PushEvents:  events,
+		PushP50US:   hist.quantileUS(0.50),
+		PushP95US:   hist.quantileUS(0.95),
+		PushP99US:   hist.quantileUS(0.99),
+		PushMeanUS:  hist.meanUS(),
+		Published:   st.Stream.Published,
+		// Healthy-path counters come from the draining subscriber; the
+		// stall probe's expected drops are reported under stall_probe_*.
+		Delivered:      fast.Delivered(),
+		Coalesced:      fast.Coalesced(),
+		Dropped:        fast.Dropped(),
+		StallDropped:   slow.Dropped(),
+		StallCoalesced: slow.Coalesced(),
+		SlowPending:    slowPending,
+		SlowCapacity:   slowCap,
 	}
 	if res.Published > 0 {
 		res.CoalescePct = 100 * float64(res.Coalesced) / float64(res.Published)

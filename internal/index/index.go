@@ -54,6 +54,12 @@ type PlaneBackend interface {
 	// per-query cost attribution that stays exact under concurrent
 	// readers of a shared snapshot.
 	KNNCounted(q geom.Point, k int) ([]int, int)
+	// AppendKNN is KNNCounted appending onto dst with caller-supplied
+	// scratch — the allocation-free form the serving hot path uses.
+	AppendKNN(q geom.Point, k int, dst []int, sc *vortree.SearchScratch) ([]int, int)
+	// AppendINS is Backend.INS appending onto dst with caller-supplied
+	// scratch.
+	AppendINS(ids []int, dst []int, sc *vortree.SearchScratch) ([]int, error)
 	// Point returns the coordinates of object id.
 	Point(id int) geom.Point
 	// Neighbors returns the order-1 Voronoi neighbor list of object id.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/netvor"
@@ -22,6 +23,9 @@ var (
 	ErrUnknownObject = errors.New("index: unknown object")
 	// ErrClosed is returned by mutations after Close.
 	ErrClosed = errors.New("index: store closed")
+	// ErrOutOfBounds is returned for inserts outside the plane data space,
+	// rejected before the copy-on-write branch is created.
+	ErrOutOfBounds = errors.New("index: point outside the data space")
 )
 
 // DefaultLogDepth is the default mutation-log capacity: how far back a
@@ -93,8 +97,17 @@ type Store struct {
 	closed   bool
 	logDepth int
 	log      []Op // contiguous ops, oldest first
+	// poisoned is set when a mutation batch aborts after partially mutating
+	// the path-copied branch: the writer state shared along the branch
+	// chain (duplicate index, free list) may then be out of sync, so the
+	// next Apply publishes through a deep Clone — the fallback that
+	// rebuilds it — instead of a Branch.
+	poisoned bool
 
 	live atomic.Int64 // snapshots whose pin count is > 0
+
+	publishes atomic.Uint64 // epochs published by Apply
+	publishNS atomic.Int64  // cumulative wall time inside Apply
 
 	subMu sync.Mutex
 	subs  []chan uint64
@@ -241,10 +254,16 @@ func (st *Store) Remove(id int) error {
 	return err
 }
 
-// Apply applies a batch of mutations under ONE index clone and ONE
-// publish, and returns the object id of each mutation in order. Batching
-// amortizes the copy-on-write cost over the batch; a failed mutation
-// aborts the whole batch without publishing anything.
+// Apply applies a batch of mutations under ONE path-copied index branch
+// and ONE publish, and returns the object id of each mutation in order.
+// Publication is sublinear in the object count: the branch shares every
+// untouched R-tree node and every untouched Voronoi overlay page with the
+// snapshot it supersedes, so the epoch cost is proportional to the batch's
+// structural footprint, not to the index size. A failed mutation aborts
+// the whole batch without publishing anything; if the abort happened after
+// part of the batch already mutated the branch, the next Apply falls back
+// to a deep Clone, which rebuilds the writer state the abandoned branch
+// shared with the published snapshot.
 func (st *Store) Apply(muts []Mutation) ([]int, error) {
 	if len(muts) == 0 {
 		return nil, nil
@@ -254,19 +273,25 @@ func (st *Store) Apply(muts []Mutation) ([]int, error) {
 	if st.closed {
 		return nil, ErrClosed
 	}
+	start := time.Now()
 	cur := st.cur.Load()
 	if cur.plane == nil {
 		return nil, ErrNoPlane
 	}
 
-	// Validate removals against the current state before paying for the
-	// clone: the id must be live and not already removed earlier in the
-	// batch. (Insert validation — bounds, duplicates — is the clone's own
-	// Insert contract; inserted ids are unknown until applied, so a batch
-	// cannot reference them.)
+	// Validate the batch against the current state before paying for the
+	// branch: inserts must be in bounds (the only insert failure a caller
+	// can trigger) and removals must reference a live id not already
+	// removed earlier in the batch. Rejecting these up front also means an
+	// abort mid-batch — which poisons the shared writer state — is only
+	// reachable through internal inconsistencies, not bad input. (Inserted
+	// ids are unknown until applied, so a batch cannot reference them.)
 	removed := make(map[int]bool)
 	for _, m := range muts {
 		if m.Insert {
+			if !st.bounds.Contains(m.P) {
+				return nil, fmt.Errorf("%w: %v", ErrOutOfBounds, m.P)
+			}
 			continue
 		}
 		if !cur.plane.Contains(m.ID) || removed[m.ID] {
@@ -275,20 +300,27 @@ func (st *Store) Apply(muts []Mutation) ([]int, error) {
 		removed[m.ID] = true
 	}
 
-	clone := cur.plane.Clone()
+	var next *vortree.Index
+	if st.poisoned {
+		next = cur.plane.Clone() // deep fallback: rebuilds writer state
+		st.poisoned = false
+	} else {
+		next = cur.plane.Branch()
+	}
 	ids := make([]int, len(muts))
 	ops := make([]Op, len(muts))
 	epoch := cur.epoch
 	for i, m := range muts {
 		epoch++
 		if m.Insert {
-			id, err := clone.Insert(m.P)
+			id, err := next.Insert(m.P)
 			if err != nil {
+				st.poisoned = true
 				return nil, fmt.Errorf("index: insert %v: %w", m.P, err)
 			}
 			ids[i] = id
 			op := Op{Epoch: epoch, Insert: true, ID: id, P: m.P}
-			if nb, err := clone.Neighbors(id); err == nil {
+			if nb, err := next.Neighbors(id); err == nil {
 				op.Neighbors = nb
 			} else {
 				op.Conservative = true
@@ -296,7 +328,8 @@ func (st *Store) Apply(muts []Mutation) ([]int, error) {
 			ops[i] = op
 			continue
 		}
-		if err := clone.Remove(m.ID); err != nil {
+		if err := next.Remove(m.ID); err != nil {
+			st.poisoned = true
 			return nil, fmt.Errorf("index: remove %d: %w", m.ID, err)
 		}
 		ids[i] = m.ID
@@ -307,9 +340,29 @@ func (st *Store) Apply(muts []Mutation) ([]int, error) {
 	if over := len(st.log) - st.logDepth; over > 0 {
 		st.log = append([]Op(nil), st.log[over:]...)
 	}
-	st.publish(&Snapshot{store: st, epoch: epoch, plane: clone})
+	st.publish(&Snapshot{store: st, epoch: epoch, plane: next})
+	st.publishes.Add(1)
+	st.publishNS.Add(time.Since(start).Nanoseconds())
 	st.notify(epoch)
 	return ids, nil
+}
+
+// PublishStats returns the number of Apply publications and the cumulative
+// wall time spent inside Apply — branch, mutations and publish. The
+// quotient is the per-epoch publication cost the path-copying publication
+// keeps sublinear in the object count.
+func (st *Store) PublishStats() (publishes uint64, total time.Duration) {
+	return st.publishes.Load(), time.Duration(st.publishNS.Load())
+}
+
+// PlaneShareStats reports the structural sharing of the current plane
+// snapshot against its predecessor: the index nodes its publishing epoch
+// copied, and the total node count. Both are 0 without a plane index.
+func (st *Store) PlaneShareStats() (copied, total int) {
+	if p := st.cur.Load().plane; p != nil {
+		return p.ShareStats()
+	}
+	return 0, 0
 }
 
 // OpsSince returns the ops with epochs in (from, to] and reports whether

@@ -4,10 +4,18 @@
 // index substrate under the VoR-tree (package vortree), which the INSQ
 // system uses to seed kNN computation, mirroring reference [7] of the
 // paper.
+//
+// The tree is persistent with path copying: every mutation copies only the
+// root-to-leaf spine it touches and shares all untouched nodes with earlier
+// versions. Clone is therefore O(1) — it hands out a new handle on the same
+// node graph — and the copy-on-write index snapshot store publishes a new
+// epoch in time proportional to the mutation batch, not the object count.
+// An ownership token makes repeated mutations through the same handle
+// mutate already-copied nodes in place, so bulk builds pay the spine copy
+// only once per node, not once per insert.
 package rtree
 
 import (
-	"container/heap"
 	"fmt"
 	"sync/atomic"
 
@@ -25,14 +33,27 @@ type Item struct {
 	P  geom.Point
 }
 
+// owner is an identity token: nodes carry the token of the tree handle that
+// created (or copied) them, and only that handle may mutate them in place.
+// Clone issues fresh tokens to both handles, so mutations on either side
+// path-copy any node still shared with the other.
+type owner struct{ _ byte }
+
 type node struct {
+	own      *owner
 	rect     geom.Rect
 	children []*node // nil at leaves
 	items    []Item  // nil at internal nodes
-	parent   *node
 }
 
 func (n *node) leaf() bool { return n.children == nil }
+
+func (n *node) entries() int {
+	if n.leaf() {
+		return len(n.items)
+	}
+	return len(n.children)
+}
 
 func (n *node) recomputeRect() {
 	if n.leaf() {
@@ -54,12 +75,23 @@ func (n *node) recomputeRect() {
 	n.rect = r
 }
 
-// Tree is an R-tree over 2D points. The zero value is not usable; call New.
+// Tree is an R-tree handle over a (possibly shared) persistent node graph.
+// The zero value is not usable; call New. A Tree is safe for concurrent
+// readers; mutations require external serialization and must go through
+// exactly one handle per version (the snapshot store's contract).
 type Tree struct {
-	root *node
-	size int
-	max  int // max entries per node (M)
-	min  int // min entries per node (m = M/2)
+	// own, nodes and copied are atomic because Clone retires the
+	// receiver's ownership token (and zeroes its copy counter) while the
+	// receiver — a published, frozen snapshot — may be concurrently read,
+	// including by the share-stats instrumentation. Mutations still
+	// require external serialization.
+	own    atomic.Pointer[owner]
+	root   *node
+	size   int
+	max    int // max entries per node (M)
+	min    int // min entries per node (m = M/2)
+	nodes  atomic.Int64 // total nodes reachable from root (bookkept incrementally)
+	copied atomic.Int64 // nodes copied or created since the last Clone
 
 	// visits counts nodes touched by search operations since the last
 	// ResetStats. It stands in for page I/O in the experiments. Atomic so
@@ -80,37 +112,76 @@ func New(maxEntries int) *Tree {
 	if maxEntries < 4 {
 		maxEntries = 4
 	}
-	return &Tree{
-		root: &node{items: []Item{}},
-		max:  maxEntries,
-		min:  maxEntries / 2,
+	t := &Tree{
+		max: maxEntries,
+		min: maxEntries / 2,
 	}
+	t.own.Store(new(owner))
+	t.root = t.newLeaf()
+	return t
 }
 
 // Len returns the number of stored items.
 func (t *Tree) Len() int { return t.size }
 
+// NodeCount returns the number of nodes in this version of the tree.
+func (t *Tree) NodeCount() int { return int(t.nodes.Load()) }
+
+// CopiedNodes returns the number of nodes copied or freshly created through
+// this handle since it was issued (by New or Clone). Together with
+// NodeCount it measures structural sharing: after a Clone-plus-mutation,
+// NodeCount-CopiedNodes nodes are shared with the previous version.
+func (t *Tree) CopiedNodes() int { return int(t.copied.Load()) }
+
 // ResetStats zeroes the NodeVisits counter.
 func (t *Tree) ResetStats() { t.visits.Store(0) }
 
-// Clone returns a deep copy of the tree with a zeroed visit counter. The
-// index snapshot store uses it to build the next copy-on-write snapshot
-// without touching the published one.
+// Clone returns a new handle on the same node graph with a zeroed visit
+// counter, in O(1): no nodes are copied. Both handles then mutate with path
+// copying — each copies only the root-to-leaf spines it touches and shares
+// everything else — so the index snapshot store publishes the next epoch
+// without duplicating the index. Clone itself issues fresh ownership tokens
+// to both sides; it must not race with a mutation of the receiver.
 func (t *Tree) Clone() *Tree {
-	c := &Tree{size: t.size, max: t.max, min: t.min}
-	c.root = cloneNode(t.root, nil)
+	t.own.Store(new(owner))
+	t.copied.Store(0)
+	c := &Tree{root: t.root, size: t.size, max: t.max, min: t.min}
+	c.own.Store(new(owner))
+	c.nodes.Store(t.nodes.Load())
 	return c
 }
 
-func cloneNode(n *node, parent *node) *node {
-	cp := &node{rect: n.rect, parent: parent}
-	if n.leaf() {
-		cp.items = append([]Item{}, n.items...)
-		return cp
+// newLeaf allocates an empty leaf owned by t.
+func (t *Tree) newLeaf() *node {
+	t.nodes.Add(1)
+	t.copied.Add(1)
+	return &node{own: t.own.Load(), items: []Item{}}
+}
+
+// newInternal allocates an internal node owned by t.
+func (t *Tree) newInternal(children []*node) *node {
+	t.nodes.Add(1)
+	t.copied.Add(1)
+	n := &node{own: t.own.Load(), children: children}
+	n.recomputeRect()
+	return n
+}
+
+// mutable returns n if this handle already owns it, otherwise a shallow
+// copy (fresh entry slice, shared grandchildren) owned by t — the path-copy
+// step. Callers must re-link the returned node into their own copy of the
+// parent.
+func (t *Tree) mutable(n *node) *node {
+	own := t.own.Load()
+	if n.own == own {
+		return n
 	}
-	cp.children = make([]*node, len(n.children))
-	for i, ch := range n.children {
-		cp.children[i] = cloneNode(ch, cp)
+	t.copied.Add(1)
+	cp := &node{own: own, rect: n.rect}
+	if n.leaf() {
+		cp.items = append(make([]Item, 0, len(n.items)+1), n.items...)
+	} else {
+		cp.children = append(make([]*node, 0, len(n.children)+1), n.children...)
 	}
 	return cp
 }
@@ -118,12 +189,38 @@ func cloneNode(n *node, parent *node) *node {
 // Insert adds an item. Duplicate points are allowed; duplicate IDs are the
 // caller's responsibility.
 func (t *Tree) Insert(it Item) {
-	leaf := t.chooseLeaf(t.root, it.P)
-	leaf.items = append(leaf.items, it)
-	leaf.rect = leafAdjust(leaf, it.P)
+	root, sib := t.insert(t.root, it)
+	if sib != nil {
+		root = t.newInternal([]*node{root, sib})
+	}
+	t.root = root
 	t.size++
-	t.splitUpward(leaf)
-	t.adjustUpward(leaf.parent)
+}
+
+// insert adds it under n, path-copying the spine. It returns the (possibly
+// copied) replacement for n and, when n overflowed, the split-off sibling.
+func (t *Tree) insert(n *node, it Item) (*node, *node) {
+	n = t.mutable(n)
+	if n.leaf() {
+		n.items = append(n.items, it)
+		n.rect = leafAdjust(n, it.P)
+		if len(n.items) > t.max {
+			return n, t.splitLeaf(n)
+		}
+		return n, nil
+	}
+	i := chooseChild(n, it.P)
+	child, sib := t.insert(n.children[i], it)
+	n.children[i] = child
+	n.rect = n.rect.Expand(child.rect)
+	if sib != nil {
+		n.children = append(n.children, sib)
+		n.rect = n.rect.Expand(sib.rect)
+		if len(n.children) > t.max {
+			return n, t.splitInternal(n)
+		}
+	}
+	return n, nil
 }
 
 func leafAdjust(n *node, p geom.Point) geom.Rect {
@@ -133,65 +230,24 @@ func leafAdjust(n *node, p geom.Point) geom.Rect {
 	return n.rect.ExpandPoint(p)
 }
 
-func (t *Tree) chooseLeaf(n *node, p geom.Point) *node {
-	for !n.leaf() {
-		best := n.children[0]
-		pr := geom.Rect{Min: p, Max: p}
-		bestEnl := best.rect.EnlargementArea(pr)
-		for _, c := range n.children[1:] {
-			enl := c.rect.EnlargementArea(pr)
-			if enl < bestEnl || (enl == bestEnl && c.rect.Area() < best.rect.Area()) {
-				best, bestEnl = c, enl
-			}
+// chooseChild picks the child needing least enlargement to cover p
+// (ties by smaller area), Guttman's ChooseLeaf step.
+func chooseChild(n *node, p geom.Point) int {
+	pr := geom.Rect{Min: p, Max: p}
+	best := 0
+	bestEnl := n.children[0].rect.EnlargementArea(pr)
+	for i, c := range n.children[1:] {
+		enl := c.rect.EnlargementArea(pr)
+		if enl < bestEnl || (enl == bestEnl && c.rect.Area() < n.children[best].rect.Area()) {
+			best, bestEnl = i+1, enl
 		}
-		n = best
 	}
-	return n
+	return best
 }
 
-// splitUpward splits n if overfull and propagates splits to the root.
-func (t *Tree) splitUpward(n *node) {
-	for n != nil && n.overfull(t.max) {
-		sibling := t.split(n)
-		parent := n.parent
-		if parent == nil {
-			newRoot := &node{children: []*node{n, sibling}}
-			n.parent, sibling.parent = newRoot, newRoot
-			newRoot.recomputeRect()
-			t.root = newRoot
-			return
-		}
-		sibling.parent = parent
-		parent.children = append(parent.children, sibling)
-		parent.recomputeRect()
-		n = parent
-	}
-}
-
-func (n *node) overfull(max int) bool {
-	if n.leaf() {
-		return len(n.items) > max
-	}
-	return len(n.children) > max
-}
-
-// adjustUpward refreshes bounding rectangles from n to the root.
-func (t *Tree) adjustUpward(n *node) {
-	for n != nil {
-		n.recomputeRect()
-		n = n.parent
-	}
-}
-
-// split performs Guttman's quadratic split on an overfull node, leaving
-// half the entries in n and returning a new sibling with the rest.
-func (t *Tree) split(n *node) *node {
-	if n.leaf() {
-		return t.splitLeaf(n)
-	}
-	return t.splitInternal(n)
-}
-
+// splitLeaf performs Guttman's quadratic split on an overfull leaf (owned
+// by t), leaving half the entries in n and returning a new sibling with the
+// rest.
 func (t *Tree) splitLeaf(n *node) *node {
 	items := n.items
 	seedA, seedB := pickSeedsItems(items)
@@ -248,11 +304,14 @@ func (t *Tree) splitLeaf(n *node) *node {
 	}
 	n.items = groupA
 	n.recomputeRect()
-	sib := &node{items: groupB}
+	t.nodes.Add(1)
+	t.copied.Add(1)
+	sib := &node{own: t.own.Load(), items: groupB}
 	sib.recomputeRect()
 	return sib
 }
 
+// splitInternal is splitLeaf for an overfull internal node owned by t.
 func (t *Tree) splitInternal(n *node) *node {
 	children := n.children
 	seedA, seedB := pickSeedsNodes(children)
@@ -304,14 +363,10 @@ func (t *Tree) splitInternal(n *node) *node {
 		}
 	}
 	n.children = groupA
-	sib := &node{children: groupB}
-	for _, c := range groupA {
-		c.parent = n
-	}
-	for _, c := range groupB {
-		c.parent = sib
-	}
 	n.recomputeRect()
+	t.nodes.Add(1)
+	t.copied.Add(1)
+	sib := &node{own: t.own.Load(), children: groupB}
 	sib.recomputeRect()
 	return sib
 }
@@ -346,80 +401,25 @@ func pickSeedsNodes(nodes []*node) (int, int) {
 // Delete removes the item with the given id at point p (the point is used
 // to find the leaf efficiently). It returns false when no such item exists.
 // Underfull nodes are condensed: their remaining entries are reinserted.
+// Like Insert, deletion path-copies the touched spine, leaving earlier
+// versions intact.
 func (t *Tree) Delete(id int, p geom.Point) bool {
-	leaf := t.findLeaf(t.root, id, p)
-	if leaf == nil {
-		return false
-	}
-	for i, it := range leaf.items {
-		if it.ID == id {
-			leaf.items = append(leaf.items[:i], leaf.items[i+1:]...)
-			break
-		}
-	}
-	t.size--
-	t.condense(leaf)
-	return true
-}
-
-func (t *Tree) findLeaf(n *node, id int, p geom.Point) *node {
-	if !n.rect.Contains(p) && t.size > 0 && n != t.root {
-		return nil
-	}
-	if n.leaf() {
-		for _, it := range n.items {
-			if it.ID == id {
-				return n
-			}
-		}
-		return nil
-	}
-	for _, c := range n.children {
-		if c.rect.Contains(p) {
-			if l := t.findLeaf(c, id, p); l != nil {
-				return l
-			}
-		}
-	}
-	return nil
-}
-
-func (t *Tree) condense(n *node) {
 	var orphanItems []Item
 	var orphanNodes []*node
-	for n.parent != nil {
-		parent := n.parent
-		under := false
-		if n.leaf() {
-			under = len(n.items) < t.min
-		} else {
-			under = len(n.children) < t.min
-		}
-		if under {
-			for i, c := range parent.children {
-				if c == n {
-					parent.children = append(parent.children[:i], parent.children[i+1:]...)
-					break
-				}
-			}
-			if n.leaf() {
-				orphanItems = append(orphanItems, n.items...)
-			} else {
-				orphanNodes = append(orphanNodes, n.children...)
-			}
-		} else {
-			n.recomputeRect()
-		}
-		n = parent
+	root, found := t.delete(t.root, id, p, &orphanItems, &orphanNodes)
+	if !found {
+		return false
 	}
-	n.recomputeRect()
-	// Shrink the root if it has a single internal child.
+	t.root = root
+	t.size--
+	// Shrink the root while it has a single internal child.
 	for !t.root.leaf() && len(t.root.children) == 1 {
 		t.root = t.root.children[0]
-		t.root.parent = nil
+		t.nodes.Add(-1)
 	}
 	if !t.root.leaf() && len(t.root.children) == 0 {
-		t.root = &node{items: []Item{}}
+		t.nodes.Add(-1)
+		t.root = t.newLeaf()
 	}
 	// Reinsert orphans. They are still counted in t.size, so compensate
 	// for the increment Insert performs.
@@ -430,9 +430,58 @@ func (t *Tree) condense(n *node) {
 	for _, on := range orphanNodes {
 		t.reinsertSubtree(on)
 	}
+	return true
 }
 
+// delete removes the item from the subtree at n. It returns the (possibly
+// copied) replacement for n and whether the item was found; underfull
+// children are dissolved into the orphan lists for reinsertion (Guttman's
+// CondenseTree). Until the item is found nothing is copied, so a miss
+// leaves the tree untouched.
+func (t *Tree) delete(n *node, id int, p geom.Point, orphanItems *[]Item, orphanNodes *[]*node) (*node, bool) {
+	if n.leaf() {
+		for i, it := range n.items {
+			if it.ID == id {
+				n = t.mutable(n)
+				n.items = append(n.items[:i], n.items[i+1:]...)
+				n.recomputeRect()
+				return n, true
+			}
+		}
+		return n, false
+	}
+	for i, c := range n.children {
+		if !c.rect.Contains(p) {
+			continue
+		}
+		nc, found := t.delete(c, id, p, orphanItems, orphanNodes)
+		if !found {
+			continue
+		}
+		n = t.mutable(n)
+		if nc.entries() < t.min {
+			// Condense: dissolve the underfull child; its entries are
+			// reinserted by Delete once the spine is rebuilt.
+			if nc.leaf() {
+				*orphanItems = append(*orphanItems, nc.items...)
+			} else {
+				*orphanNodes = append(*orphanNodes, nc.children...)
+			}
+			t.nodes.Add(-1)
+			n.children = append(n.children[:i], n.children[i+1:]...)
+		} else {
+			n.children[i] = nc
+		}
+		n.recomputeRect()
+		return n, true
+	}
+	return n, false
+}
+
+// reinsertSubtree dissolves an orphaned subtree, reinserting its items at
+// leaf level (their node structure is discarded).
 func (t *Tree) reinsertSubtree(n *node) {
+	t.nodes.Add(-1)
 	if n.leaf() {
 		for _, it := range n.items {
 			t.Insert(it)
@@ -485,7 +534,8 @@ func (t *Tree) KNNWithVisits(q geom.Point, k int) ([]Item, int) {
 		return nil, 0
 	}
 	out := make([]Item, 0, k)
-	it := t.NewKNNIterator(q)
+	var it KNNIterator
+	it.Reset(t, q)
 	for len(out) < k {
 		item, ok := it.Next()
 		if !ok {
@@ -498,7 +548,10 @@ func (t *Tree) KNNWithVisits(q geom.Point, k int) ([]Item, int) {
 
 // KNNIterator yields items in ascending distance from a query point, one
 // at a time. The VoR-tree and the prefetch logic of the INS algorithm use
-// it to extend a kNN set incrementally without restarting the search.
+// it to extend a kNN set incrementally without restarting the search. The
+// zero value is usable via Reset, which also lets callers reuse one
+// iterator (and its heap memory) across searches — the allocation-free
+// serving path keeps one per query session.
 type KNNIterator struct {
 	t      *Tree
 	q      geom.Point
@@ -511,15 +564,27 @@ func (it *KNNIterator) Visited() int { return it.visits }
 
 // NewKNNIterator starts an incremental nearest-neighbor scan from q.
 func (t *Tree) NewKNNIterator(q geom.Point) *KNNIterator {
-	it := &KNNIterator{t: t, q: q}
-	heap.Push(&it.pq, knnEntry{node: t.root, d2: t.root.rect.Dist2Point(q)})
+	it := &KNNIterator{}
+	it.Reset(t, q)
 	return it
+}
+
+// Reset rewinds the iterator to a fresh scan of t from q, reusing its
+// internal heap memory. The abandoned frontier is zeroed first: its node
+// pointers would otherwise keep subtrees of superseded snapshot versions
+// reachable for the lifetime of a long-lived per-session scratch.
+func (it *KNNIterator) Reset(t *Tree, q geom.Point) {
+	it.t, it.q = t, q
+	clear(it.pq)
+	it.pq = it.pq[:0]
+	it.visits = 0
+	it.pq.push(knnEntry{node: t.root, d2: t.root.rect.Dist2Point(q)})
 }
 
 // Next returns the next-nearest item, or ok=false when exhausted.
 func (it *KNNIterator) Next() (Item, bool) {
-	for it.pq.Len() > 0 {
-		e := heap.Pop(&it.pq).(knnEntry)
+	for len(it.pq) > 0 {
+		e := it.pq.pop()
 		if e.node == nil {
 			return e.item, true
 		}
@@ -528,12 +593,12 @@ func (it *KNNIterator) Next() (Item, bool) {
 		n := e.node
 		if n.leaf() {
 			for _, item := range n.items {
-				heap.Push(&it.pq, knnEntry{item: item, d2: it.q.Dist2(item.P)})
+				it.pq.push(knnEntry{item: item, d2: it.q.Dist2(item.P)})
 			}
 			continue
 		}
 		for _, c := range n.children {
-			heap.Push(&it.pq, knnEntry{node: c, d2: c.rect.Dist2Point(it.q)})
+			it.pq.push(knnEntry{node: c, d2: c.rect.Dist2Point(it.q)})
 		}
 	}
 	return Item{}, false
@@ -545,10 +610,12 @@ type knnEntry struct {
 	d2   float64
 }
 
+// knnHeap is a hand-rolled binary min-heap. container/heap would box every
+// knnEntry into an interface value on Push — one allocation per touched
+// entry — which dominated the kNN allocation profile.
 type knnHeap []knnEntry
 
-func (h knnHeap) Len() int { return len(h) }
-func (h knnHeap) Less(i, j int) bool {
+func (h knnHeap) less(i, j int) bool {
 	if h[i].d2 != h[j].d2 {
 		return h[i].d2 < h[j].d2
 	}
@@ -559,19 +626,52 @@ func (h knnHeap) Less(i, j int) bool {
 	}
 	return h[i].item.ID < h[j].item.ID
 }
-func (h knnHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *knnHeap) Push(x any)   { *h = append(*h, x.(knnEntry)) }
-func (h *knnHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *knnHeap) push(e knnEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *knnHeap) pop() knnEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = knnEntry{} // drop node/item references from the spare slot
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(s) && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // checkInvariants validates structural invariants; tests call it via the
 // exported CheckInvariants.
-func (t *Tree) checkInvariants(n *node, depth int, leafDepth *int) error {
+func (t *Tree) checkInvariants(n *node, depth int, leafDepth *int, nodes *int) error {
+	*nodes++
 	if n.leaf() {
 		if *leafDepth == -1 {
 			*leafDepth = depth
@@ -586,13 +686,10 @@ func (t *Tree) checkInvariants(n *node, depth int, leafDepth *int) error {
 		return nil
 	}
 	for _, c := range n.children {
-		if c.parent != n {
-			return fmt.Errorf("rtree: broken parent pointer")
-		}
 		if !n.rect.ContainsRect(c.rect) {
 			return fmt.Errorf("rtree: child rect escapes parent")
 		}
-		if err := t.checkInvariants(c, depth+1, leafDepth); err != nil {
+		if err := t.checkInvariants(c, depth+1, leafDepth, nodes); err != nil {
 			return err
 		}
 	}
@@ -600,9 +697,17 @@ func (t *Tree) checkInvariants(n *node, depth int, leafDepth *int) error {
 }
 
 // CheckInvariants verifies the structural invariants of the tree: uniform
-// leaf depth, containment of child rectangles, and parent pointers. It is
-// exported for tests and costs a full traversal.
+// leaf depth, containment of child rectangles, and the incremental node
+// count against a full traversal. It is exported for tests and costs a
+// full traversal.
 func (t *Tree) CheckInvariants() error {
 	ld := -1
-	return t.checkInvariants(t.root, 0, &ld)
+	nodes := 0
+	if err := t.checkInvariants(t.root, 0, &ld, &nodes); err != nil {
+		return err
+	}
+	if nodes != int(t.nodes.Load()) {
+		return fmt.Errorf("rtree: node count drifted: counted %d, bookkept %d", nodes, t.nodes.Load())
+	}
+	return nil
 }

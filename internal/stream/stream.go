@@ -274,6 +274,13 @@ type Subscriber struct {
 	done   chan struct{}
 	once   sync.Once
 
+	// Per-subscriber views of the broker's aggregate counters, so one
+	// deliberately slow consumer (a benchmark stall probe, a stuck SSE
+	// client) can be accounted separately from the healthy fan-out.
+	delivered atomic.Uint64
+	coalesced atomic.Uint64
+	dropped   atomic.Uint64
+
 	mu      sync.Mutex
 	closed  bool
 	pending map[uint64]Event
@@ -297,6 +304,17 @@ func (s *Subscriber) Pending() int {
 	return len(s.pending)
 }
 
+// Delivered returns the number of events this subscriber popped via Next.
+func (s *Subscriber) Delivered() uint64 { return s.delivered.Load() }
+
+// Coalesced returns the number of events merged into this subscriber's
+// pending queue (latest-result-wins).
+func (s *Subscriber) Coalesced() uint64 { return s.coalesced.Load() }
+
+// Dropped returns the number of pending events evicted from this
+// subscriber's queue by overflow.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
 // Next pops the oldest pending event. ok is false when the queue is
 // empty.
 func (s *Subscriber) Next() (ev Event, ok bool) {
@@ -311,6 +329,7 @@ func (s *Subscriber) Next() (ev Event, ok bool) {
 	ev = s.pending[sid]
 	delete(s.pending, sid)
 	s.broker.delivered.Add(1)
+	s.delivered.Add(1)
 	return ev, true
 }
 
@@ -359,11 +378,13 @@ func (s *Subscriber) offer(ev Event) {
 	if old, ok := s.pending[ev.Session]; ok {
 		s.pending[ev.Session] = coalesce(old, ev)
 		s.broker.coalesced.Add(1)
+		s.coalesced.Add(1)
 	} else {
 		if len(s.pending) >= s.depth {
 			victim := s.popLocked()
 			delete(s.pending, victim)
 			s.broker.dropped.Add(1)
+			s.dropped.Add(1)
 		}
 		s.pending[ev.Session] = ev
 		s.queue = append(s.queue, ev.Session)

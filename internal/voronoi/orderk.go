@@ -11,26 +11,48 @@ import (
 // of the order-1 Voronoi neighbor sets of the sites in knn, minus knn
 // itself. The result is sorted by id.
 func (d *Diagram) INS(knn []int) ([]int, error) {
-	inKNN := make(map[int]bool, len(knn))
-	for _, id := range knn {
-		inKNN[id] = true
+	var sc INSScratch
+	return d.AppendINS(knn, nil, &sc)
+}
+
+// INSScratch is reusable working memory for AppendINS; the zero value is
+// ready to use. It must not be shared across goroutines.
+type INSScratch struct {
+	ring  NeighborScratch
+	nb    []int
+	inKNN map[int]bool
+	seen  map[int]bool
+}
+
+// AppendINS is INS appending onto dst with caller-supplied scratch — the
+// allocation-free form used by the serving hot path. dst may be nil.
+func (d *Diagram) AppendINS(knn []int, dst []int, sc *INSScratch) ([]int, error) {
+	if sc.inKNN == nil {
+		sc.inKNN = make(map[int]bool, len(knn))
+		sc.seen = make(map[int]bool)
+	} else {
+		clear(sc.inKNN)
+		clear(sc.seen)
 	}
-	seen := make(map[int]bool)
-	var out []int
 	for _, id := range knn {
-		nb, err := d.Neighbors(id)
+		sc.inKNN[id] = true
+	}
+	start := len(dst)
+	for _, id := range knn {
+		nb, err := d.tri.AppendNeighbors(id, sc.nb[:0], &sc.ring)
+		sc.nb = nb[:0]
 		if err != nil {
-			return nil, fmt.Errorf("voronoi: INS of %v: %w", knn, err)
+			return dst[:start], fmt.Errorf("voronoi: INS of %v: %w", knn, err)
 		}
 		for _, u := range nb {
-			if !inKNN[u] && !seen[u] {
-				seen[u] = true
-				out = append(out, u)
+			if !sc.inKNN[u] && !sc.seen[u] {
+				sc.seen[u] = true
+				dst = append(dst, u)
 			}
 		}
 	}
-	sort.Ints(out)
-	return out, nil
+	sort.Ints(dst[start:])
+	return dst, nil
 }
 
 // taggedEdge records which bisector produced a polygon edge during tagged

@@ -45,10 +45,18 @@ func Build(bounds geom.Rect, pts []geom.Point) (*Diagram, []int, error) {
 func (d *Diagram) Bounds() geom.Rect { return d.bounds }
 
 // Clone returns a deep copy of the diagram sharing no mutable state with
-// the original; site ids are preserved. The index snapshot store mutates
-// the copy while readers keep using the original.
+// the original; site ids are preserved. It is the fallback publication
+// path; the snapshot store normally uses Branch.
 func (d *Diagram) Clone() *Diagram {
 	return &Diagram{tri: d.tri.Clone(), bounds: d.bounds}
+}
+
+// Branch returns a new mutable version of the diagram in O(n/pageSize),
+// sharing all untouched triangulation pages with the receiver, which is
+// frozen: its reads stay valid forever, its mutations return an error. The
+// index snapshot store publishes one branch per data-update epoch.
+func (d *Diagram) Branch() *Diagram {
+	return &Diagram{tri: d.tri.Branch(), bounds: d.bounds}
 }
 
 // Len returns the number of live sites.
@@ -72,6 +80,16 @@ func (d *Diagram) Remove(id int) error { return d.tri.Remove(id) }
 // Neighbors returns the Voronoi neighbor set N_O(p_id) of Definition 3:
 // the sites whose order-1 Voronoi cells share an edge with site id's cell.
 func (d *Diagram) Neighbors(id int) ([]int, error) { return d.tri.Neighbors(id) }
+
+// NeighborScratch is reusable buffer memory for AppendNeighbors; the zero
+// value is ready to use. It must not be shared across goroutines.
+type NeighborScratch = delaunay.RingScratch
+
+// AppendNeighbors is Neighbors appending onto dst with caller-supplied
+// scratch — the allocation-free form used by the serving hot path.
+func (d *Diagram) AppendNeighbors(id int, dst []int, sc *NeighborScratch) ([]int, error) {
+	return d.tri.AppendNeighbors(id, dst, sc)
+}
 
 // Nearest returns the id of the site nearest to p, or -1 if the diagram is
 // empty.

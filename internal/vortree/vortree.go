@@ -8,7 +8,6 @@
 package vortree
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/geom"
@@ -53,15 +52,41 @@ func (ix *Index) Diagram() *voronoi.Diagram { return ix.diag }
 func (ix *Index) Tree() *rtree.Tree { return ix.tree }
 
 // Clone returns a deep copy of the VoR-tree with the same object ids and a
-// zeroed node-visit counter. The index snapshot store applies mutations to
-// the clone while published snapshots keep serving reads from the original.
+// zeroed node-visit counter. The R-tree side is persistent, so only the
+// Voronoi overlay is physically copied; Clone is the fallback publication
+// path where the overlay's structural sharing is unsafe (see Branch).
 func (ix *Index) Clone() *Index {
 	return &Index{tree: ix.tree.Clone(), diag: ix.diag.Clone()}
+}
+
+// Branch returns a new mutable version of the VoR-tree by path copying:
+// the R-tree hands out an O(1) persistent handle (mutations then copy only
+// the root-to-leaf spines they touch) and the Voronoi overlay branches its
+// copy-on-write page tables in O(n/pageSize). The receiver is frozen —
+// reads on it stay valid and race-free forever, mutations are rejected —
+// which is exactly the lifecycle of a published index snapshot. Publication
+// cost is therefore sublinear in the object count, where Clone is O(n).
+func (ix *Index) Branch() *Index {
+	return &Index{tree: ix.tree.Clone(), diag: ix.diag.Branch()}
+}
+
+// ShareStats reports the structural-sharing instrumentation of the R-tree:
+// the nodes copied or created through this version's handle since it was
+// branched, and the total node count. 1 - copied/total is the fraction of
+// index nodes the latest epoch shares with its predecessor.
+func (ix *Index) ShareStats() (copied, total int) {
+	return ix.tree.CopiedNodes(), ix.tree.NodeCount()
 }
 
 // INS returns the influential neighbor set I(knn) of Definition 4 under
 // the order-1 Voronoi diagram of the indexed objects, sorted by id.
 func (ix *Index) INS(knn []int) ([]int, error) { return ix.diag.INS(knn) }
+
+// AppendINS is INS appending onto dst with caller-supplied scratch — the
+// allocation-free form used by the serving hot path.
+func (ix *Index) AppendINS(knn []int, dst []int, sc *SearchScratch) ([]int, error) {
+	return ix.diag.AppendINS(knn, dst, &sc.ins)
+}
 
 // Visits returns the cumulative R-tree node-visit counter (the page-I/O
 // stand-in); see rtree.Tree.NodeVisits for its semantics under concurrent
@@ -133,33 +158,64 @@ func (ix *Index) KNN(q geom.Point, k int) []int {
 // visited — exact per call even under concurrent searches on a shared
 // snapshot, unlike a before/after diff of the global Visits counter.
 func (ix *Index) KNNCounted(q geom.Point, k int) ([]int, int) {
+	var sc SearchScratch
+	return ix.AppendKNN(q, k, nil, &sc)
+}
+
+// SearchScratch is reusable per-caller working memory for AppendKNN and
+// AppendINS: the best-first R-tree iterator, the Voronoi expansion
+// frontier, the visited set and the neighbor-walk buffers. The zero value
+// is ready to use; a scratch serves any number of sequential searches
+// against any index version but must not be shared across goroutines. The
+// query layer keeps one per session, which removes every per-call
+// allocation from the kNN path.
+type SearchScratch struct {
+	it   rtree.KNNIterator
+	pq   nnHeap
+	seen map[int]bool
+	nb   []int
+	ring voronoi.NeighborScratch
+	ins  voronoi.INSScratch
+}
+
+// AppendKNN is KNN appending onto dst with caller-supplied scratch and the
+// exact node-visit count of this search. dst may be nil.
+func (ix *Index) AppendKNN(q geom.Point, k int, dst []int, sc *SearchScratch) ([]int, int) {
 	if k <= 0 || ix.Len() == 0 {
-		return nil, 0
+		return dst, 0
 	}
-	seeds, visits := ix.tree.KNNWithVisits(q, 1)
-	if len(seeds) == 0 {
-		return nil, visits
+	sc.it.Reset(ix.tree, q)
+	seed, ok := sc.it.Next()
+	visits := sc.it.Visited()
+	if !ok {
+		return dst, visits
 	}
-	start := seeds[0].ID
-	pq := &nnHeap{}
-	seen := map[int]bool{start: true}
-	heap.Push(pq, nnEntry{id: start, d2: q.Dist2(ix.diag.Site(start))})
-	out := make([]int, 0, k)
-	for pq.Len() > 0 && len(out) < k {
-		e := heap.Pop(pq).(nnEntry)
-		out = append(out, e.id)
-		nb, err := ix.diag.Neighbors(e.id)
+	if sc.seen == nil {
+		sc.seen = make(map[int]bool, 4*k)
+	} else {
+		clear(sc.seen)
+	}
+	start := seed.ID
+	sc.pq = sc.pq[:0]
+	sc.seen[start] = true
+	sc.pq.push(nnEntry{id: start, d2: q.Dist2(ix.diag.Site(start))})
+	need := len(dst) + k
+	for len(sc.pq) > 0 && len(dst) < need {
+		e := sc.pq.pop()
+		dst = append(dst, e.id)
+		nb, err := ix.diag.AppendNeighbors(e.id, sc.nb[:0], &sc.ring)
+		sc.nb = nb[:0]
 		if err != nil {
 			continue
 		}
 		for _, u := range nb {
-			if !seen[u] {
-				seen[u] = true
-				heap.Push(pq, nnEntry{id: u, d2: q.Dist2(ix.diag.Site(u))})
+			if !sc.seen[u] {
+				sc.seen[u] = true
+				sc.pq.push(nnEntry{id: u, d2: q.Dist2(ix.diag.Site(u))})
 			}
 		}
 	}
-	return out, visits
+	return dst, visits
 }
 
 type nnEntry struct {
@@ -167,21 +223,57 @@ type nnEntry struct {
 	d2 float64
 }
 
+// nnHeap is a hand-rolled binary min-heap; container/heap would box every
+// nnEntry pushed, one allocation per expanded Voronoi neighbor. It is the
+// structural twin of rtree's knnHeap, kept separate (rather than behind a
+// generic with a comparison func) so the comparison inlines in the hot
+// loop; unlike knnHeap, pop need not zero the vacated slot because
+// nnEntry holds no pointers.
 type nnHeap []nnEntry
 
-func (h nnHeap) Len() int { return len(h) }
-func (h nnHeap) Less(i, j int) bool {
+func (h nnHeap) less(i, j int) bool {
 	if h[i].d2 != h[j].d2 {
 		return h[i].d2 < h[j].d2
 	}
 	return h[i].id < h[j].id
 }
-func (h nnHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *nnHeap) Push(x any)   { *h = append(*h, x.(nnEntry)) }
-func (h *nnHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *nnHeap) push(e nnEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *nnHeap) pop() nnEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(s) && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
