@@ -5,16 +5,14 @@
 //	bench -exp all         # run everything (minutes)
 //	bench -scale 4         # divide workload sizes by 4 for a quick pass
 //
-// Experiments: E1 (Figure 1 MIS/INS), E2 (Figure 2 network INS),
-// E3 (Figure 4 validation behavior), E4/E5 (recomputation & time vs k),
-// E6 (prefetch ratio ρ sweep), E7 (dataset size sweep), E8/E9 (road
-// networks incl. Theorem-2 ablation), E11 (data-update rate sweep), the
-// ablations A1 (local re-rank), A2 (VoR-tree vs R-tree kNN), A3 (order-k
-// cell construction candidates), and the serving records ENGINE (online
-// serving benchmark) and STREAM (continuous-query push benchmark:
-// insert-to-push latency, coalesce/drop counters). With -benchout and a
-// single record experiment the result is written as the JSON record CI
-// archives (BENCH_engine.json / BENCH_stream.json).
+// The authoritative experiment list is the registry below — the -exp help
+// string and the unknown-id error are generated from it, so the list
+// cannot drift from the code. It covers the paper tables (E1–E12), the
+// ablations (A1–A3) and the serving records ENGINE (online plane
+// serving), STREAM (continuous-query push) and NETWORK (road-network
+// serving). With -benchout and a single record experiment the result is
+// written as the JSON record CI archives and benchguard gates
+// (BENCH_engine.json / BENCH_stream.json / BENCH_network.json).
 package main
 
 import (
@@ -28,69 +26,77 @@ import (
 	"repro/internal/experiments"
 )
 
+// runner is one experiment id: either a table experiment (fn) or a
+// serving-record experiment (record) whose result can be written to
+// -benchout. Exactly one of fn/record is set.
+type runner struct {
+	id     string
+	doc    string
+	fn     func(experiments.Config) ([]experiments.Row, error)
+	record func(experiments.Config) (any, error)
+}
+
+// runners is the single source of truth for valid experiment ids.
+var runners = []runner{
+	{id: "E1", doc: "Figure 1: MIS/INS of the 12-object fixture",
+		fn: func(experiments.Config) ([]experiments.Row, error) { return experiments.E1() }},
+	{id: "E2", doc: "Figure 2: network INS, Theorem 1",
+		fn: func(experiments.Config) ([]experiments.Row, error) { return experiments.E2() }},
+	{id: "E3", doc: "Figure 4: validation/invalidations along a walk", fn: experiments.E3},
+	{id: "E4", doc: "recomputations, shipped objects and us/step vs k (E4+E5)", fn: experiments.E4E5},
+	{id: "E6", doc: "prefetch ratio rho sweep", fn: experiments.E6},
+	{id: "E7", doc: "dataset size sweep", fn: experiments.E7},
+	{id: "E8", doc: "road network comparison incl. Theorem-2 ablation (E8+E9)", fn: experiments.E8E9},
+	{id: "E11", doc: "data-object update rate sweep", fn: experiments.E11},
+	{id: "E12", doc: "order-k precomputation blow-up vs INS", fn: experiments.E12},
+	{id: "A1", doc: "ablation: local re-rank path", fn: experiments.AblationRerank},
+	{id: "A2", doc: "ablation: VoR-tree vs R-tree kNN", fn: experiments.AblationVorTree},
+	{id: "A3", doc: "ablation: order-k cell construction candidates", fn: experiments.AblationOrderKConstruction},
+	{id: "ENGINE", doc: "online serving benchmark (shared snapshot store)",
+		record: func(cfg experiments.Config) (any, error) { return experiments.EngineBench(cfg) }},
+	{id: "STREAM", doc: "continuous-query push benchmark (insert-to-push latency)",
+		record: func(cfg experiments.Config) (any, error) { return experiments.StreamBench(cfg) }},
+	{id: "NETWORK", doc: "road-network serving benchmark (site churn, epoch publication)",
+		record: func(cfg experiments.Config) (any, error) { return experiments.NetworkBench(cfg) }},
+}
+
+// ids returns the registry's experiment ids in order.
+func ids() []string {
+	out := make([]string, len(runners))
+	for i, r := range runners {
+		out[i] = r.id
+	}
+	return out
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
-	exp := flag.String("exp", "all", "experiment id (E1,E2,E3,E4,E6,E7,E8,E11,E12,A1,A2,A3,ENGINE,STREAM) or 'all'")
+	exp := flag.String("exp", "all",
+		"experiment id ("+strings.Join(ids(), ",")+") or 'all'")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (>=1)")
-	benchout := flag.String("benchout", "", "with -exp ENGINE or -exp STREAM: write the result as JSON to this file (e.g. BENCH_engine.json)")
+	benchout := flag.String("benchout", "", "with a single record experiment (ENGINE, STREAM, NETWORK): write the result as JSON to this file (e.g. BENCH_engine.json)")
 	flag.Parse()
 	if *scale < 1 {
 		*scale = 1
 	}
 	cfg := experiments.Config{Scale: *scale}
 
-	type runner struct {
-		id  string
-		fn  func() ([]experiments.Row, error)
-		doc string
-	}
-	runners := []runner{
-		{"E1", func() ([]experiments.Row, error) { return experiments.E1() }, "Figure 1: MIS/INS of the 12-object fixture"},
-		{"E2", func() ([]experiments.Row, error) { return experiments.E2() }, "Figure 2: network INS, Theorem 1"},
-		{"E3", func() ([]experiments.Row, error) { return experiments.E3(cfg) }, "Figure 4: validation/invalidations along a walk"},
-		{"E4", func() ([]experiments.Row, error) { return experiments.E4E5(cfg) }, "recomputations, shipped objects and us/step vs k (E4+E5)"},
-		{"E6", func() ([]experiments.Row, error) { return experiments.E6(cfg) }, "prefetch ratio rho sweep"},
-		{"E7", func() ([]experiments.Row, error) { return experiments.E7(cfg) }, "dataset size sweep"},
-		{"E8", func() ([]experiments.Row, error) { return experiments.E8E9(cfg) }, "road network comparison incl. Theorem-2 ablation (E8+E9)"},
-		{"E11", func() ([]experiments.Row, error) { return experiments.E11(cfg) }, "data-object update rate sweep"},
-		{"E12", func() ([]experiments.Row, error) { return experiments.E12(cfg) }, "order-k precomputation blow-up vs INS"},
-		{"A1", func() ([]experiments.Row, error) { return experiments.AblationRerank(cfg) }, "ablation: local re-rank path"},
-		{"A2", func() ([]experiments.Row, error) { return experiments.AblationVorTree(cfg) }, "ablation: VoR-tree vs R-tree kNN"},
-		{"A3", func() ([]experiments.Row, error) { return experiments.AblationOrderKConstruction(cfg) }, "ablation: order-k cell construction candidates"},
-	}
-
 	want := strings.ToUpper(*exp)
 	if want != "ALL" {
-		known := want == "ENGINE" || want == "STREAM"
-		ids := make([]string, len(runners), len(runners)+2)
-		for i, r := range runners {
-			ids[i] = r.id
+		known := false
+		for _, r := range runners {
 			known = known || want == r.id
 		}
 		if !known {
 			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q; valid ids: %s, or 'all'\n",
-				*exp, strings.Join(append(ids, "ENGINE", "STREAM"), ", "))
+				*exp, strings.Join(ids(), ", "))
 			os.Exit(2)
 		}
 	}
-	for _, r := range runners {
-		if want != "ALL" && want != r.id {
-			continue
-		}
-		fmt.Printf("== %s: %s\n", r.id, r.doc)
-		rows, err := r.fn()
-		if err != nil {
-			log.Fatalf("%s: %v", r.id, err)
-		}
-		for _, row := range rows {
-			fmt.Println(row)
-		}
-		fmt.Println()
-	}
-	// The record experiments: any-typed results so both serving benchmarks
-	// share the -benchout path. Under 'all' the flag keeps its historical
-	// meaning (the ENGINE record) rather than being silently dropped.
+	// The record experiments share the -benchout path. Under 'all' the
+	// flag keeps its historical meaning (the ENGINE record) rather than
+	// being silently dropped.
 	writeRecord := func(id string, res any) {
 		if *benchout == "" {
 			return
@@ -108,22 +114,28 @@ func main() {
 		}
 		log.Printf("wrote %s", *benchout)
 	}
-	if want == "ALL" || want == "ENGINE" {
-		fmt.Println("== ENGINE: online serving benchmark (shared snapshot store)")
-		res, err := experiments.EngineBench(cfg)
-		if err != nil {
-			log.Fatalf("ENGINE: %v", err)
+	for _, r := range runners {
+		if want != "ALL" && want != r.id {
+			continue
 		}
-		fmt.Println(res)
-		writeRecord("ENGINE", res)
-	}
-	if want == "ALL" || want == "STREAM" {
-		fmt.Println("== STREAM: continuous-query push benchmark (insert-to-push latency)")
-		res, err := experiments.StreamBench(cfg)
-		if err != nil {
-			log.Fatalf("STREAM: %v", err)
+		fmt.Printf("== %s: %s\n", r.id, r.doc)
+		if r.record != nil {
+			res, err := r.record(cfg)
+			if err != nil {
+				log.Fatalf("%s: %v", r.id, err)
+			}
+			fmt.Println(res)
+			writeRecord(r.id, res)
+			fmt.Println()
+			continue
 		}
-		fmt.Println(res)
-		writeRecord("STREAM", res)
+		rows, err := r.fn(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", r.id, err)
+		}
+		for _, row := range rows {
+			fmt.Println(row)
+		}
+		fmt.Println()
 	}
 }

@@ -1,15 +1,23 @@
 // Command benchguard is the CI bench regression gate: it compares a
-// freshly measured BENCH_engine.json against the committed baseline and
-// exits non-zero when the serving path regressed beyond the thresholds —
-// an updates_per_sec drop of more than -max-rate-drop (default 25%) or an
-// allocs_per_update growth beyond -max-alloc-growth (default 2x).
+// freshly measured serving record against the committed baseline and
+// exits non-zero when the serving path regressed beyond the per-record
+// thresholds. Three record kinds are gated, matching the three serving
+// benchmarks bench emits:
+//
+//	engine  (BENCH_engine.json):  updates_per_sec drop > -max-rate-drop,
+//	                              allocs_per_update growth > -max-alloc-growth
+//	network (BENCH_network.json): same thresholds as engine, applied to the
+//	                              road-network serving path
+//	stream  (BENCH_stream.json):  push_p95_us growth > -max-push-growth,
+//	                              healthy-path dropped > -max-dropped
 //
 //	go run ./cmd/bench -exp ENGINE -scale 4 -benchout BENCH_engine.fresh.json
-//	go run ./cmd/benchguard -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
+//	go run ./cmd/benchguard -kind engine -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
 //
-// Throughput is machine-sensitive, which is why the rate threshold is
-// deliberately loose; the allocation rate is deterministic for a given
-// build and guards the allocation-free hot path exactly.
+// Throughput and latency are machine-sensitive, which is why those
+// thresholds are deliberately loose; the allocation rate and the drop
+// counter are deterministic for a given build and guard the
+// allocation-free hot path and the healthy delivery path exactly.
 package main
 
 import (
@@ -20,10 +28,13 @@ import (
 	"os"
 )
 
-// record is the slice of EngineBenchResult the guard cares about.
+// record is the union of the per-kind fields the guard cares about; each
+// kind reads its own subset.
 type record struct {
 	UpdatesPerSec   float64 `json:"updates_per_sec"`
 	AllocsPerUpdate float64 `json:"allocs_per_update"`
+	PushP95US       float64 `json:"push_p95_us"`
+	Dropped         uint64  `json:"dropped"`
 }
 
 func load(path string) (record, error) {
@@ -38,36 +49,77 @@ func load(path string) (record, error) {
 	return r, nil
 }
 
-// check returns the regression verdicts; factored out of main for tests.
-func check(base, fresh record, maxRateDrop, maxAllocGrowth float64) []string {
+// thresholds collects every gate knob; each kind applies its subset.
+type thresholds struct {
+	maxRateDrop    float64 // engine, network
+	maxAllocGrowth float64 // engine, network
+	maxPushGrowth  float64 // stream
+	maxDropped     uint64  // stream
+}
+
+// check returns the regression verdicts for one record kind; factored out
+// of main for tests.
+func check(kind string, base, fresh record, th thresholds) []string {
 	var fails []string
-	if base.UpdatesPerSec > 0 {
-		drop := 1 - fresh.UpdatesPerSec/base.UpdatesPerSec
-		if drop > maxRateDrop {
-			fails = append(fails, fmt.Sprintf(
-				"updates_per_sec dropped %.1f%% (%.0f -> %.0f; limit %.0f%%)",
-				100*drop, base.UpdatesPerSec, fresh.UpdatesPerSec, 100*maxRateDrop))
+	switch kind {
+	case "engine", "network":
+		if base.UpdatesPerSec > 0 {
+			drop := 1 - fresh.UpdatesPerSec/base.UpdatesPerSec
+			if drop > th.maxRateDrop {
+				fails = append(fails, fmt.Sprintf(
+					"updates_per_sec dropped %.1f%% (%.0f -> %.0f; limit %.0f%%)",
+					100*drop, base.UpdatesPerSec, fresh.UpdatesPerSec, 100*th.maxRateDrop))
+			}
 		}
-	}
-	if base.AllocsPerUpdate > 0 {
-		growth := fresh.AllocsPerUpdate / base.AllocsPerUpdate
-		if growth > maxAllocGrowth {
-			fails = append(fails, fmt.Sprintf(
-				"allocs_per_update grew %.2fx (%.1f -> %.1f; limit %.1fx)",
-				growth, base.AllocsPerUpdate, fresh.AllocsPerUpdate, maxAllocGrowth))
+		if base.AllocsPerUpdate > 0 {
+			growth := fresh.AllocsPerUpdate / base.AllocsPerUpdate
+			if growth > th.maxAllocGrowth {
+				fails = append(fails, fmt.Sprintf(
+					"allocs_per_update grew %.2fx (%.1f -> %.1f; limit %.1fx)",
+					growth, base.AllocsPerUpdate, fresh.AllocsPerUpdate, th.maxAllocGrowth))
+			}
 		}
+	case "stream":
+		if base.PushP95US > 0 {
+			growth := fresh.PushP95US / base.PushP95US
+			if growth > th.maxPushGrowth {
+				fails = append(fails, fmt.Sprintf(
+					"push_p95_us grew %.2fx (%.1f -> %.1f; limit %.1fx)",
+					growth, base.PushP95US, fresh.PushP95US, th.maxPushGrowth))
+			}
+		}
+		if fresh.Dropped > th.maxDropped {
+			fails = append(fails, fmt.Sprintf(
+				"healthy-path dropped = %d (limit %d): a draining subscriber lost events",
+				fresh.Dropped, th.maxDropped))
+		}
+	default:
+		fails = append(fails, fmt.Sprintf("unknown record kind %q (engine, network, stream)", kind))
 	}
 	return fails
+}
+
+// summary renders the passing verdict for one kind.
+func summary(kind string, base, fresh record) string {
+	if kind == "stream" {
+		return fmt.Sprintf("ok: push p95 %.1fus (baseline %.1fus), dropped %d",
+			fresh.PushP95US, base.PushP95US, fresh.Dropped)
+	}
+	return fmt.Sprintf("ok: rate %.0f/s (baseline %.0f/s), allocs/update %.1f (baseline %.1f)",
+		fresh.UpdatesPerSec, base.UpdatesPerSec, fresh.AllocsPerUpdate, base.AllocsPerUpdate)
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchguard: ")
 	var (
+		kind           = flag.String("kind", "engine", "record kind: engine, network or stream")
 		baseline       = flag.String("baseline", "BENCH_engine.json", "committed baseline record")
 		fresh          = flag.String("fresh", "BENCH_engine.fresh.json", "freshly measured record")
-		maxRateDrop    = flag.Float64("max-rate-drop", 0.25, "fail when updates_per_sec drops by more than this fraction")
-		maxAllocGrowth = flag.Float64("max-alloc-growth", 2.0, "fail when allocs_per_update grows by more than this factor")
+		maxRateDrop    = flag.Float64("max-rate-drop", 0.25, "engine/network: fail when updates_per_sec drops by more than this fraction")
+		maxAllocGrowth = flag.Float64("max-alloc-growth", 2.0, "engine/network: fail when allocs_per_update grows by more than this factor")
+		maxPushGrowth  = flag.Float64("max-push-growth", 4.0, "stream: fail when push_p95_us grows by more than this factor")
+		maxDropped     = flag.Uint64("max-dropped", 0, "stream: fail when the healthy subscriber's dropped counter exceeds this")
 	)
 	flag.Parse()
 
@@ -79,13 +131,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fails := check(base, cur, *maxRateDrop, *maxAllocGrowth)
+	fails := check(*kind, base, cur, thresholds{
+		maxRateDrop:    *maxRateDrop,
+		maxAllocGrowth: *maxAllocGrowth,
+		maxPushGrowth:  *maxPushGrowth,
+		maxDropped:     *maxDropped,
+	})
 	for _, f := range fails {
-		log.Printf("FAIL: %s", f)
+		log.Printf("FAIL [%s]: %s", *kind, f)
 	}
 	if len(fails) > 0 {
 		os.Exit(1)
 	}
-	log.Printf("ok: rate %.0f/s (baseline %.0f/s), allocs/update %.1f (baseline %.1f)",
-		cur.UpdatesPerSec, base.UpdatesPerSec, cur.AllocsPerUpdate, base.AllocsPerUpdate)
+	log.Print(summary(*kind, base, cur))
 }

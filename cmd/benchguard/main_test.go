@@ -2,24 +2,51 @@ package main
 
 import "testing"
 
-func TestCheckThresholds(t *testing.T) {
+var testTh = thresholds{maxRateDrop: 0.25, maxAllocGrowth: 2.0, maxPushGrowth: 4.0, maxDropped: 0}
+
+func TestCheckEngineThresholds(t *testing.T) {
 	base := record{UpdatesPerSec: 100000, AllocsPerUpdate: 10}
 	cases := []struct {
 		name  string
 		fresh record
 		fails int
 	}{
-		{"unchanged", record{100000, 10}, 0},
-		{"faster and leaner", record{150000, 3}, 0},
-		{"within rate slack", record{80000, 10}, 0},
-		{"rate regression", record{70000, 10}, 1},
-		{"within alloc slack", record{100000, 19}, 0},
-		{"alloc regression", record{100000, 25}, 1},
-		{"both regressed", record{50000, 30}, 2},
+		{"unchanged", record{UpdatesPerSec: 100000, AllocsPerUpdate: 10}, 0},
+		{"faster and leaner", record{UpdatesPerSec: 150000, AllocsPerUpdate: 3}, 0},
+		{"within rate slack", record{UpdatesPerSec: 80000, AllocsPerUpdate: 10}, 0},
+		{"rate regression", record{UpdatesPerSec: 70000, AllocsPerUpdate: 10}, 1},
+		{"within alloc slack", record{UpdatesPerSec: 100000, AllocsPerUpdate: 19}, 0},
+		{"alloc regression", record{UpdatesPerSec: 100000, AllocsPerUpdate: 25}, 1},
+		{"both regressed", record{UpdatesPerSec: 50000, AllocsPerUpdate: 30}, 2},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			got := check(base, c.fresh, 0.25, 2.0)
+			for _, kind := range []string{"engine", "network"} {
+				got := check(kind, base, c.fresh, testTh)
+				if len(got) != c.fails {
+					t.Fatalf("check(%s) = %v, want %d failures", kind, got, c.fails)
+				}
+			}
+		})
+	}
+}
+
+func TestCheckStreamThresholds(t *testing.T) {
+	base := record{PushP95US: 100}
+	cases := []struct {
+		name  string
+		fresh record
+		fails int
+	}{
+		{"unchanged", record{PushP95US: 100}, 0},
+		{"within latency slack", record{PushP95US: 390}, 0},
+		{"latency regression", record{PushP95US: 500}, 1},
+		{"healthy drop", record{PushP95US: 100, Dropped: 3}, 1},
+		{"both regressed", record{PushP95US: 800, Dropped: 1}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := check("stream", base, c.fresh, testTh)
 			if len(got) != c.fails {
 				t.Fatalf("check = %v, want %d failures", got, c.fails)
 			}
@@ -30,7 +57,15 @@ func TestCheckThresholds(t *testing.T) {
 func TestCheckEmptyBaseline(t *testing.T) {
 	// A zeroed baseline (e.g. a hand-initialized record) must never fail
 	// the gate by division against zero.
-	if got := check(record{}, record{UpdatesPerSec: 1, AllocsPerUpdate: 1}, 0.25, 2.0); len(got) != 0 {
-		t.Fatalf("check against empty baseline = %v, want none", got)
+	for _, kind := range []string{"engine", "network", "stream"} {
+		if got := check(kind, record{}, record{UpdatesPerSec: 1, AllocsPerUpdate: 1, PushP95US: 1}, testTh); len(got) != 0 {
+			t.Fatalf("check(%s) against empty baseline = %v, want none", kind, got)
+		}
+	}
+}
+
+func TestCheckUnknownKind(t *testing.T) {
+	if got := check("bogus", record{}, record{}, testTh); len(got) != 1 {
+		t.Fatalf("unknown kind = %v, want 1 failure", got)
 	}
 }

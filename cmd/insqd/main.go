@@ -18,6 +18,17 @@
 // insert/delete invalidates a subscribed session, the engine recomputes
 // it eagerly and pushes the kNN delta — the client never polls.
 //
+// With -network-grid G the server additionally builds a G×G synthetic
+// street grid and serves road-network sessions against it, with online
+// site mutations — full parity with the plane side:
+//
+//	insqd -network-grid 64 -network-sites 500
+//
+//	curl -X POST localhost:8080/v1/sessions -d '{"k":5,"network":true}'
+//	curl -X POST localhost:8080/v1/network/update -d '{"updates":[{"session":1,"u":17,"v":18,"t":0.5}]}'
+//	curl -X POST localhost:8080/v1/network/objects -d '{"vertex":17}'
+//	curl -X DELETE localhost:8080/v1/network/objects/17
+//
 // See internal/api for the wire types and cmd/loadgen for a closed-loop
 // driver (-subscribe measures insert-to-push latency). SIGINT/SIGTERM
 // shut the server down gracefully: the stream broker closes first so
@@ -36,19 +47,22 @@ import (
 	"time"
 
 	insq "repro"
+	"repro/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("insqd: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		objects = flag.Int("objects", 100000, "synthetic data objects")
-		space   = flag.Float64("space", 10000, "side length of the square data space")
-		shards  = flag.Int("shards", 8, "engine shards (parallel session workers)")
-		fanout  = flag.Int("fanout", insq.DefaultFanout, "VoR-tree fanout")
-		seed    = flag.Int64("seed", 42, "dataset seed")
-		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (see EXPERIMENTS.md for the profiling recipe)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		objects  = flag.Int("objects", 100000, "synthetic plane data objects")
+		space    = flag.Float64("space", 10000, "side length of the square data space")
+		shards   = flag.Int("shards", 8, "engine shards (parallel session workers)")
+		fanout   = flag.Int("fanout", insq.DefaultFanout, "VoR-tree fanout")
+		seed     = flag.Int64("seed", 42, "dataset seed")
+		netGrid  = flag.Int("network-grid", 0, "serve a road-network side too: a GxG street grid (0 = plane only; loadgen -network must use the same value)")
+		netSites = flag.Int("network-sites", 1000, "initial network data objects (with -network-grid)")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (see EXPERIMENTS.md for the profiling recipe)")
 	)
 	flag.Parse()
 	if *objects < 1 || *shards < 1 || *space <= 0 {
@@ -56,14 +70,27 @@ func main() {
 	}
 
 	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(*space, *space))
-	log.Printf("building shared index of %d objects (%d shards)...", *objects, *shards)
-	start := time.Now()
-	e, err := insq.NewEngine(insq.EngineConfig{
+	cfg := insq.EngineConfig{
 		Shards:  *shards,
 		Fanout:  *fanout,
 		Bounds:  bounds,
 		Objects: insq.UniformPoints(*objects, bounds, *seed),
-	})
+	}
+	if *netGrid > 0 {
+		g, err := workload.Network(*netGrid, bounds, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sites, err := workload.NetworkSites(g, *netSites, *seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Network, cfg.NetworkSites = g, sites
+		log.Printf("road network: %d vertices, %d edges, %d sites", g.NumVertices(), g.NumEdges(), len(sites))
+	}
+	log.Printf("building shared index of %d objects (%d shards)...", *objects, *shards)
+	start := time.Now()
+	e, err := insq.NewEngine(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -35,8 +35,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.sessionEvents)
 	mux.HandleFunc("GET /v1/events", s.events)
 	mux.HandleFunc("POST /v1/update", s.updateBatch)
+	mux.HandleFunc("POST /v1/network/update", s.updateNetworkBatch)
 	mux.HandleFunc("POST /v1/objects", s.insertObject)
 	mux.HandleFunc("DELETE /v1/objects/{id}", s.removeObject)
+	mux.HandleFunc("POST /v1/network/objects", s.insertNetworkObject)
+	mux.HandleFunc("DELETE /v1/network/objects/{id}", s.removeNetworkObject)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -63,6 +66,11 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrUnknownSession), errors.Is(err, engine.ErrUnknownObject):
 		status = http.StatusNotFound
+	case errors.Is(err, engine.ErrSiteExists), errors.Is(err, engine.ErrLastSite):
+		status = http.StatusConflict
+	case errors.Is(err, engine.ErrNoNetwork), errors.Is(err, engine.ErrNoPlaneIndex),
+		errors.Is(err, engine.ErrOutOfBounds):
+		status = http.StatusBadRequest
 	case errors.Is(err, engine.ErrClosed):
 		status = http.StatusServiceUnavailable
 	}
@@ -108,12 +116,18 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 	if req.Rho == 0 {
 		req.Rho = 1.6
 	}
-	sid, err := s.e.CreateSession(req.K, req.Rho)
+	var sid insq.SessionID
+	var err error
+	if req.Network {
+		sid, err = s.e.CreateNetworkSession(req.K, req.Rho)
+	} else {
+		sid, err = s.e.CreateSession(req.K, req.Rho)
+	}
 	if errors.Is(err, engine.ErrClosed) {
 		writeError(w, err)
 		return
 	}
-	if err != nil { // parameter validation
+	if err != nil { // parameter validation (incl. no-network-configured)
 		writeBadRequest(w, err.Error())
 		return
 	}
@@ -143,6 +157,44 @@ func (s *server) updateBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, api.NewUpdateResponse(results))
+}
+
+func (s *server) updateNetworkBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.NetworkUpdateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	results, err := s.e.UpdateNetworkBatch(api.NewNetworkLocationUpdates(req.Updates))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.NewUpdateResponse(results))
+}
+
+func (s *server) insertNetworkObject(w http.ResponseWriter, r *http.Request) {
+	var req api.NetworkObjectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	id, err := s.e.InsertNetworkObject(req.Vertex)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ObjectResponse{ID: id})
+}
+
+func (s *server) removeNetworkObject(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.e.RemoveNetworkObject(int(id)); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *server) insertObject(w http.ResponseWriter, r *http.Request) {

@@ -20,6 +20,12 @@
 // object insert to the moment a subscriber receives the kNN delta it
 // caused, the end-to-end number the continuous-query subsystem is
 // accountable for. Enable churn (-churn) or there is nothing to push.
+//
+// With -network the clients are road-network sessions walking random
+// routes on the same synthetic street grid the server built (-network-grid
+// and the shared -space/-seed knobs must match the server's), updates flow
+// through /v1/network/update, and churn mutates the site set instead of
+// the plane objects.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -43,16 +50,20 @@ import (
 	insq "repro"
 	"repro/internal/api"
 	"repro/internal/metrics"
+	"repro/internal/workload"
 )
 
 // target abstracts insqd-over-HTTP vs an in-process engine behind the
 // operations the load loop needs.
 type target interface {
-	createSession(k int, rho float64) (uint64, error)
+	createSession(k int, rho float64, network bool) (uint64, error)
 	closeSession(sid uint64) error
 	update(entries []api.UpdateEntry) (*api.UpdateResponse, error)
+	networkUpdate(entries []api.NetworkUpdateEntry) (*api.UpdateResponse, error)
 	insertObject(x, y float64) (int, error)
 	removeObject(id int) error
+	insertNetworkObject(vertex int) (int, error)
+	removeNetworkObject(vertex int) error
 	// subscribe watches the sessions on the push stream, invoking onEvent
 	// for every delta until the returned stop function runs.
 	subscribe(sids []uint64, onEvent func(api.SessionEvent)) (stop func(), err error)
@@ -137,6 +148,9 @@ func main() {
 		workers  = flag.Int("workers", 8, "concurrent client workers")
 		stepLen  = flag.Float64("step", 5, "client movement per update")
 		churn    = flag.Float64("churn", 0, "data updates per second (alternating insert/delete), 0 = off")
+		network  = flag.Bool("network", false, "drive road-network sessions instead of plane sessions (server must run with a matching -network-grid)")
+		netGrid  = flag.Int("network-grid", 64, "network mode: GxG street grid (must match the server)")
+		netSites = flag.Int("network-sites", 1000, "network mode, in-process: initial network data objects")
 		subCount = flag.Int("subscribe", 0, "watch the first N sessions on the push stream and measure insert-to-push latency (0 = off)")
 		space    = flag.Float64("space", 10000, "side length of the data space (must match the server)")
 		seed     = flag.Int64("seed", 42, "trajectory seed")
@@ -149,6 +163,23 @@ func main() {
 	}
 
 	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(*space, *space))
+	// Network mode rebuilds the server's synthetic road network from the
+	// same knobs (grid, space, seed), so generated trajectories and site
+	// churn address vertices the server actually has.
+	var roadNet *insq.RoadNetwork
+	var roadSites []int
+	if *network {
+		g, err := workload.Network(*netGrid, bounds, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		roadNet = g
+		roadSites, err = workload.NetworkSites(g, *netSites, *seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("road network: %d vertices, %d sites", g.NumVertices(), len(roadSites))
+	}
 	var tgt target
 	if *addr != "" {
 		tgt = newHTTPTarget(*addr, *workers)
@@ -156,9 +187,11 @@ func main() {
 	} else {
 		log.Printf("target: in-process engine (%d objects, %d shards)", *objects, *shards)
 		e, err := insq.NewEngine(insq.EngineConfig{
-			Shards:  *shards,
-			Bounds:  bounds,
-			Objects: insq.UniformPoints(*objects, bounds, *seed),
+			Shards:       *shards,
+			Bounds:       bounds,
+			Objects:      insq.UniformPoints(*objects, bounds, *seed),
+			Network:      roadNet,
+			NetworkSites: roadSites,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -171,18 +204,39 @@ func main() {
 	log.Printf("creating %d sessions (k=%d, rho=%g)...", *sessions, *k, *rho)
 	sids := make([]uint64, *sessions)
 	if err := parallelFor(*workers, *sessions, func(i int) error {
-		sid, err := tgt.createSession(*k, *rho)
+		sid, err := tgt.createSession(*k, *rho, *network)
 		sids[i] = sid
 		return err
 	}); err != nil {
 		log.Fatal(err)
 	}
 
-	// Precomputed cyclic trajectories keep the hot loop allocation-light.
+	// Precomputed cyclic trajectories keep the hot loop allocation-light:
+	// random-waypoint walks in the plane, random-walk routes sampled at
+	// -step spacing on the road network.
 	const trajSteps = 256
-	trajs := make([][]insq.Point, *sessions)
-	for i := range trajs {
-		trajs[i] = insq.RandomWaypoint(bounds, trajSteps, *stepLen, *seed+int64(i))
+	var trajs [][]insq.Point
+	var netTrajs [][]insq.NetworkPosition
+	if *network {
+		netTrajs = make([][]insq.NetworkPosition, *sessions)
+		rng := rand.New(rand.NewSource(*seed ^ 0x70ad))
+		for i := range netTrajs {
+			route, err := insq.RandomWalkRoute(roadNet, rng.Intn(roadNet.NumVertices()),
+				float64(trajSteps)**stepLen, *seed+int64(i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			steps := make([]insq.NetworkPosition, trajSteps)
+			for j := range steps {
+				steps[j] = route.PositionAt(math.Mod(float64(j)**stepLen, route.Length()))
+			}
+			netTrajs[i] = steps
+		}
+	} else {
+		trajs = make([][]insq.Point, *sessions)
+		for i := range trajs {
+			trajs[i] = insq.RandomWaypoint(bounds, trajSteps, *stepLen, *seed+int64(i))
+		}
 	}
 
 	// Push subscription: watch the first -subscribe sessions and track
@@ -211,7 +265,11 @@ func main() {
 		churnWG.Add(1)
 		go func() {
 			defer churnWG.Done()
-			churnCount = runChurn(tgt, *churn, bounds, *seed, stopChurn, &churnHist, tracker)
+			if *network {
+				churnCount = runNetworkChurn(tgt, *churn, roadNet, roadSites, *seed, stopChurn, &churnHist, tracker)
+			} else {
+				churnCount = runChurn(tgt, *churn, bounds, *seed, stopChurn, &churnHist, tracker)
+			}
 		}()
 	}
 
@@ -237,16 +295,28 @@ func main() {
 				return
 			}
 			entries := make([]api.UpdateEntry, 0, *batch)
+			netEntries := make([]api.NetworkUpdateEntry, 0, *batch)
 			for step := 0; time.Now().Before(deadline); step++ {
 				for lo := 0; lo < len(mine); lo += *batch {
 					hi := min(lo+*batch, len(mine))
-					entries = entries[:0]
-					for _, i := range mine[lo:hi] {
-						p := trajs[i][step%trajSteps]
-						entries = append(entries, api.UpdateEntry{Session: sids[i], X: p.X, Y: p.Y})
-					}
+					var resp *api.UpdateResponse
+					var err error
 					t0 := time.Now()
-					resp, err := tgt.update(entries)
+					if *network {
+						netEntries = netEntries[:0]
+						for _, i := range mine[lo:hi] {
+							p := netTrajs[i][step%trajSteps]
+							netEntries = append(netEntries, api.NetworkUpdateEntry{Session: sids[i], U: p.U, V: p.V, T: p.T})
+						}
+						resp, err = tgt.networkUpdate(netEntries)
+					} else {
+						entries = entries[:0]
+						for _, i := range mine[lo:hi] {
+							p := trajs[i][step%trajSteps]
+							entries = append(entries, api.UpdateEntry{Session: sids[i], X: p.X, Y: p.Y})
+						}
+						resp, err = tgt.update(entries)
+					}
 					res.batches++
 					if err != nil {
 						res.errors++
@@ -429,13 +499,83 @@ func runChurn(tgt target, perSec float64, bounds insq.Rect, seed int64, stop <-c
 	}
 }
 
+// runNetworkChurn is runChurn for the road-network side: it inserts data
+// objects at random free vertices (outside the initial site set) and
+// removes them again once enough have accumulated, keeping the site count
+// near its initial value.
+func runNetworkChurn(tgt target, perSec float64, g *insq.RoadNetwork, initial []int, seed int64, stop <-chan struct{}, hist *metrics.Histogram, tracker *pushTracker) int {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	interval := time.Duration(float64(time.Second) / perSec)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	taken := make(map[int]bool, len(initial))
+	for _, v := range initial {
+		taken[v] = true
+	}
+	var inserted []int
+	n := 0
+	remove := func(v int) {
+		t0 := time.Now()
+		if err := tgt.removeNetworkObject(v); err != nil {
+			log.Printf("churn remove site %d: %v", v, err)
+			return
+		}
+		hist.Record(time.Since(t0))
+		delete(taken, v)
+		if tracker != nil {
+			tracker.forget(v)
+		}
+		n++
+	}
+	for {
+		select {
+		case <-stop:
+			for _, v := range inserted {
+				remove(v)
+			}
+			return n
+		case <-tick.C:
+		}
+		if len(inserted) > 32 {
+			v := inserted[0]
+			inserted = inserted[1:]
+			remove(v)
+		} else {
+			v := rng.Intn(g.NumVertices())
+			for taken[v] {
+				v = rng.Intn(g.NumVertices())
+			}
+			t0 := time.Now()
+			id, err := tgt.insertNetworkObject(v)
+			if err != nil {
+				log.Printf("churn insert site %d: %v", v, err)
+			} else {
+				hist.Record(time.Since(t0))
+				taken[v] = true
+				if tracker != nil {
+					tracker.registerInsert(id, t0)
+				}
+				inserted = append(inserted, v)
+				n++
+			}
+		}
+	}
+}
+
 // inprocTarget serves the load loop straight from an engine, bypassing
 // HTTP; it measures the engine floor.
 type inprocTarget struct {
 	e *insq.Engine
 }
 
-func (t inprocTarget) createSession(k int, rho float64) (uint64, error) {
+func (t inprocTarget) createSession(k int, rho float64, network bool) (uint64, error) {
+	if network {
+		sid, err := t.e.CreateNetworkSession(k, rho)
+		return uint64(sid), err
+	}
 	sid, err := t.e.CreateSession(k, rho)
 	return uint64(sid), err
 }
@@ -453,11 +593,28 @@ func (t inprocTarget) update(entries []api.UpdateEntry) (*api.UpdateResponse, er
 	return &resp, nil
 }
 
+func (t inprocTarget) networkUpdate(entries []api.NetworkUpdateEntry) (*api.UpdateResponse, error) {
+	results, err := t.e.UpdateNetworkBatch(api.NewNetworkLocationUpdates(entries))
+	if err != nil {
+		return nil, err
+	}
+	resp := api.NewUpdateResponse(results)
+	return &resp, nil
+}
+
 func (t inprocTarget) insertObject(x, y float64) (int, error) {
 	return t.e.InsertObject(insq.Pt(x, y))
 }
 
 func (t inprocTarget) removeObject(id int) error { return t.e.RemoveObject(id) }
+
+func (t inprocTarget) insertNetworkObject(vertex int) (int, error) {
+	return t.e.InsertNetworkObject(vertex)
+}
+
+func (t inprocTarget) removeNetworkObject(vertex int) error {
+	return t.e.RemoveNetworkObject(vertex)
+}
 
 // subscribe consumes the engine's broker directly — the push-latency
 // floor without the SSE/TCP stack.
@@ -534,9 +691,9 @@ func (t *httpTarget) post(path string, req, resp any) error {
 	return nil
 }
 
-func (t *httpTarget) createSession(k int, rho float64) (uint64, error) {
+func (t *httpTarget) createSession(k int, rho float64, network bool) (uint64, error) {
 	var resp api.CreateSessionResponse
-	err := t.post("/v1/sessions", api.CreateSessionRequest{K: k, Rho: rho}, &resp)
+	err := t.post("/v1/sessions", api.CreateSessionRequest{K: k, Rho: rho, Network: network}, &resp)
 	return resp.Session, err
 }
 
@@ -564,10 +721,40 @@ func (t *httpTarget) update(entries []api.UpdateEntry) (*api.UpdateResponse, err
 	return &resp, nil
 }
 
+func (t *httpTarget) networkUpdate(entries []api.NetworkUpdateEntry) (*api.UpdateResponse, error) {
+	var resp api.UpdateResponse
+	if err := t.post("/v1/network/update", api.NetworkUpdateRequest{Updates: entries}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 func (t *httpTarget) insertObject(x, y float64) (int, error) {
 	var resp api.ObjectResponse
 	err := t.post("/v1/objects", api.ObjectRequest{X: x, Y: y}, &resp)
 	return resp.ID, err
+}
+
+func (t *httpTarget) insertNetworkObject(vertex int) (int, error) {
+	var resp api.ObjectResponse
+	err := t.post("/v1/network/objects", api.NetworkObjectRequest{Vertex: vertex}, &resp)
+	return resp.ID, err
+}
+
+func (t *httpTarget) removeNetworkObject(vertex int) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/network/objects/%d", t.base, vertex), nil)
+	if err != nil {
+		return err
+	}
+	r, err := t.c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		return fmt.Errorf("delete network object %d: status %d", vertex, r.StatusCode)
+	}
+	return nil
 }
 
 func (t *httpTarget) removeObject(id int) error {

@@ -8,10 +8,20 @@
 //	GET    /v1/sessions/{id}/events                           -> SSE stream of SessionEvent
 //	GET    /v1/events?sessions=1,2,...                        -> SSE stream (all sessions when the parameter is omitted)
 //	POST   /v1/update                   UpdateRequest         -> UpdateResponse
+//	POST   /v1/network/update           NetworkUpdateRequest  -> UpdateResponse
 //	POST   /v1/objects                  ObjectRequest         -> ObjectResponse
 //	DELETE /v1/objects/{id}                                   -> 204
+//	POST   /v1/network/objects          NetworkObjectRequest  -> ObjectResponse
+//	DELETE /v1/network/objects/{vertex}                       -> 204
 //	GET    /v1/stats                                          -> StatsResponse
 //	GET    /healthz                                           -> 200 "ok"
+//
+// Sessions come in two flavors: plane sessions (the default) move in the
+// 2D Euclidean space and are fed through /v1/update; network sessions
+// (CreateSessionRequest.Network) move along the road network and are fed
+// through /v1/network/update with edge positions. Network data objects
+// are identified by the vertex they sit on, so /v1/network/objects echoes
+// the vertex as the object id.
 //
 // The /events endpoints are Server-Sent Events streams: each frame's SSE
 // event name is the SessionEvent cause ("snapshot", "move", "data",
@@ -29,6 +39,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/metrics"
+	"repro/internal/roadnet"
 	"repro/internal/stream"
 )
 
@@ -38,6 +49,9 @@ type CreateSessionRequest struct {
 	K int `json:"k"`
 	// Rho is the prefetch ratio (>= 1); 0 defaults to 1.6.
 	Rho float64 `json:"rho,omitempty"`
+	// Network selects a road-network session (fed via /v1/network/update)
+	// instead of a plane session.
+	Network bool `json:"network,omitempty"`
 }
 
 // CreateSessionResponse returns the id to use in update batches.
@@ -77,6 +91,36 @@ func NewLocationUpdates(entries []UpdateEntry) []engine.LocationUpdate {
 	batch := make([]engine.LocationUpdate, len(entries))
 	for i, u := range entries {
 		batch[i] = engine.LocationUpdate{Session: engine.SessionID(u.Session), Pos: geom.Pt(u.X, u.Y)}
+	}
+	return batch
+}
+
+// NetworkUpdateEntry is one network session's location update: a position
+// on edge (U,V) at fraction T from U (U == V or T == 0 means exactly at
+// vertex U).
+type NetworkUpdateEntry struct {
+	Session uint64  `json:"session"`
+	U       int     `json:"u"`
+	V       int     `json:"v"`
+	T       float64 `json:"t"`
+}
+
+// NetworkUpdateRequest carries network location updates for many sessions
+// in one request; responses reuse UpdateResponse.
+type NetworkUpdateRequest struct {
+	Updates []NetworkUpdateEntry `json:"updates"`
+}
+
+// NewNetworkLocationUpdates converts wire entries to engine batch input,
+// shared by the server and in-process clients so the mappings cannot
+// drift.
+func NewNetworkLocationUpdates(entries []NetworkUpdateEntry) []engine.NetworkLocationUpdate {
+	batch := make([]engine.NetworkLocationUpdate, len(entries))
+	for i, u := range entries {
+		batch[i] = engine.NetworkLocationUpdate{
+			Session: engine.SessionID(u.Session),
+			Pos:     roadnet.Position{U: u.U, V: u.V, T: u.T},
+		}
 	}
 	return batch
 }
@@ -130,13 +174,20 @@ func NewSessionEvent(ev stream.Event) SessionEvent {
 	}
 }
 
-// ObjectRequest inserts a data object.
+// ObjectRequest inserts a plane data object.
 type ObjectRequest struct {
 	X float64 `json:"x"`
 	Y float64 `json:"y"`
 }
 
-// ObjectResponse returns the inserted object's id.
+// NetworkObjectRequest inserts a network data object at a road-network
+// vertex.
+type NetworkObjectRequest struct {
+	Vertex int `json:"vertex"`
+}
+
+// ObjectResponse returns the inserted object's id (the vertex itself for
+// network objects).
 type ObjectResponse struct {
 	ID int `json:"id"`
 }
@@ -193,12 +244,13 @@ func NewStreamStats(s stream.Stats) StreamStats {
 // is the number of live index versions: 1 when every session has re-pinned
 // to the current one, more while lagging sessions keep old versions alive.
 type StatsResponse struct {
-	Shards        int    `json:"shards"`
-	Sessions      int    `json:"sessions"`
-	Objects       int    `json:"objects"`
-	Epoch         uint64 `json:"epoch"`
-	Snapshots     int    `json:"snapshots"`
-	Updates       uint64 `json:"updates"`
+	Shards         int    `json:"shards"`
+	Sessions       int    `json:"sessions"`
+	Objects        int    `json:"objects"`
+	NetworkObjects int    `json:"network_objects"`
+	Epoch          uint64 `json:"epoch"`
+	Snapshots      int    `json:"snapshots"`
+	Updates        uint64 `json:"updates"`
 	// EpochPublishUS is the mean wall time of publishing one data-update
 	// epoch; IndexNodes/IndexNodesCopied expose how much of the index the
 	// latest epoch shared with its predecessor (path-copying publication).
@@ -218,6 +270,7 @@ func NewStatsResponse(st engine.Stats) StatsResponse {
 		Shards:           st.Shards,
 		Sessions:         st.Sessions,
 		Objects:          st.Objects,
+		NetworkObjects:   st.NetworkObjects,
 		Epoch:            st.Epoch,
 		Snapshots:        st.Snapshots,
 		Updates:          st.Updates,

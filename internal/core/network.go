@@ -15,47 +15,91 @@ import (
 var ErrDisconnected = errors.New("core: query position cannot reach k objects")
 
 // NetworkQuery is the INS-based moving kNN query in road networks
-// (Section IV of the paper). The data objects are the sites of a
-// precomputed network Voronoi diagram; the query object moves along the
-// network and reports a position (edge + fraction) at every timestamp.
+// (Section IV of the paper). The data objects are the sites of a network
+// Voronoi diagram; the query object moves along the network and reports a
+// position (edge + fraction) at every timestamp.
 //
 // Validation follows Theorem 2: instead of running shortest-path searches
 // on the full network, the processor keeps the subnetwork covered by the
 // Voronoi cells of the guard objects R ∪ I(R) and ranks the guard objects
 // on it. While the top-k on the subnetwork equals the current kNN set, the
 // kNN set is valid on the full network.
+//
+// Like PlaneQuery, a network query resolves its diagram through one of two
+// handles: NewNetworkQuery binds it to a raw diagram it may also mutate
+// (the single-threaded experiment mode), while NewNetworkQueryPinned pins
+// it to the immutable snapshots of an index.Store shared with other
+// sessions — every Update then lazily re-pins to the newest snapshot,
+// invalidating the client state only when a skipped site mutation could
+// disturb its guard cells.
 type NetworkQuery struct {
 	d   index.NetworkBackend
 	k   int
 	rho float64
 	m   metrics.Counters
 
-	init  bool
-	last  roadnet.Position
-	r     []int // prefetched ⌊ρk⌋ nearest sites, ascending network distance at fetch
-	ins   []int // I(R) under the network Voronoi diagram
-	guard []int // r ∪ ins
-	sub   *netvor.Subnetwork
-	knn   []int // current kNN set
+	// Exactly one of raw / store is set. snap is the pinned snapshot
+	// (store mode), released on Close or when re-pinning.
+	raw   *netvor.Diagram
+	store *index.Store
+	snap  *index.Snapshot
+
+	init    bool
+	located bool // Update has been called at least once; last is meaningful
+	last    roadnet.Position
+	r       []int // prefetched ⌊ρk⌋ nearest sites, ascending network distance at fetch
+	ins     []int // I(R) under the network Voronoi diagram
+	guard   []int // r ∪ ins
+	sub     *netvor.Subnetwork
+	knn     []int // current kNN set
+
+	// Reusable per-query working memory mirroring PlaneQuery: the Dijkstra
+	// scratch of every network search plus the backing buffers r/ins/guard/
+	// knn alias into. Slices returned by Update are rewritten by the next
+	// Update/Sync/Refresh — the package's slice-ownership contract.
+	sc       netvor.SearchScratch
+	setBuf   map[int]int
+	rBuf     []int
+	insBuf   []int
+	guardBuf []int
+	knnBuf   []int
+	topkBuf  []int
+	rankBuf  []int
+	dsBuf    []float64
 }
 
-// NewNetworkQuery creates an INS MkNN query over a network Voronoi diagram.
+// NewNetworkQuery creates an INS MkNN query over a network Voronoi diagram
+// the caller owns (and may mutate through InsertSite/RemoveSite).
 // Parameters mirror NewPlaneQuery.
 func NewNetworkQuery(d *netvor.Diagram, k int, rho float64) (*NetworkQuery, error) {
-	return newNetworkQuery(d, k, rho)
+	q, err := newNetworkQuery(d, k, rho)
+	if err != nil {
+		return nil, err
+	}
+	q.raw = d
+	return q, nil
 }
 
 // NewNetworkQueryPinned creates an INS MkNN query served from a shared
-// index store's network backend. The network Voronoi diagram has no online
-// mutations, so unlike the plane side there is no per-update re-pinning —
-// the backend is the same immutable diagram in every snapshot (its reads
-// are race-free across sessions).
+// index store's network backend. The query pins the current snapshot and
+// re-pins lazily at each Update, replaying the store's mutation log over
+// its guard sets exactly like the plane side; call Close when the session
+// ends so old snapshots can be collected.
 func NewNetworkQueryPinned(st *index.Store, k int, rho float64) (*NetworkQuery, error) {
-	nb := st.Network()
-	if nb == nil {
+	if !st.HasNetwork() {
 		return nil, errors.New("core: no road network configured")
 	}
-	return newNetworkQuery(nb, k, rho)
+	snap := st.Acquire()
+	if snap == nil {
+		return nil, fmt.Errorf("core: %w", index.ErrClosed)
+	}
+	q, err := newNetworkQuery(snap.Network(), k, rho)
+	if err != nil {
+		snap.Release()
+		return nil, err
+	}
+	q.store, q.snap = st, snap
+	return q, nil
 }
 
 func newNetworkQuery(d index.NetworkBackend, k int, rho float64) (*NetworkQuery, error) {
@@ -94,12 +138,224 @@ func (q *NetworkQuery) Prefetched() []int { return append([]int(nil), q.r...) }
 // Subnetwork returns the current Theorem-2 validation subnetwork.
 func (q *NetworkQuery) Subnetwork() *netvor.Subnetwork { return q.sub }
 
+// Sync re-pins a snapshot-backed query to the newest published snapshot
+// (a no-op for raw-diagram queries and when already current). If any
+// network-site mutation between the pinned and the newest epoch can
+// disturb the query's guard cells — the new site's cell touches a guard
+// member's, the site lands inside the Theorem-2 subnetwork, or a removed
+// site participates in (or neighbors) the guard set — the client state is
+// invalidated and the next Update recomputes; otherwise the existing state
+// carries over unchanged. Plane ops in the shared log are skipped: they
+// cannot affect a network session.
+func (q *NetworkQuery) Sync() {
+	if q.store == nil || q.snap == nil {
+		return
+	}
+	cur := q.store.Current()
+	if cur.Epoch() == q.snap.Epoch() {
+		return
+	}
+	// Pin first, then read the op window up to the pinned epoch, so no
+	// mutation can slip between the window and the snapshot.
+	next := q.store.Acquire()
+	if next == nil {
+		return // store closed: keep serving the already-pinned snapshot
+	}
+	invalidate := false
+	if q.init {
+		ops, ok := q.store.OpsSince(q.snap.Epoch(), next.Epoch())
+		if !ok {
+			invalidate = true // lagged past the log: be conservative
+		} else {
+			for _, op := range ops {
+				if !op.Network {
+					continue
+				}
+				// Affectedness is evaluated against the still-pinned old
+				// snapshot's guard state, where every guard site is live.
+				switch {
+				case op.Conservative:
+					invalidate = true
+				case op.Insert:
+					invalidate = q.AffectedBySiteInsert(op.ID, op.Neighbors)
+				default:
+					invalidate = q.AffectedBySiteRemove(op.ID, op.Neighbors)
+				}
+				if invalidate {
+					break
+				}
+			}
+		}
+	}
+	q.snap.Release()
+	q.snap = next
+	q.d = next.Network()
+	if invalidate {
+		q.Invalidate()
+	}
+}
+
+// Refresh turns lazy invalidation into eager repair: it re-pins via Sync
+// and, when that invalidated the client state (a skipped site mutation
+// disturbed the guard cells), immediately recomputes at the last reported
+// position instead of waiting for the next location update. recomputed
+// reports whether a recomputation ran; the kNN slice aliases internal
+// state under the same contract as Update. The serving engine calls it on
+// epoch notifications for sessions with push subscribers.
+func (q *NetworkQuery) Refresh() (knn []int, recomputed bool, err error) {
+	q.Sync()
+	if q.init || !q.located {
+		return q.knn, false, nil
+	}
+	if err := q.recompute(q.last); err != nil {
+		return nil, false, err
+	}
+	q.init = true
+	return q.knn, true, nil
+}
+
+// Epoch returns the pinned snapshot's epoch (0 for raw-diagram queries).
+func (q *NetworkQuery) Epoch() uint64 {
+	if q.snap == nil {
+		return 0
+	}
+	return q.snap.Epoch()
+}
+
+// Close releases the query's snapshot pin. It is idempotent and a no-op
+// for raw-diagram queries; the query must not be used afterwards.
+func (q *NetworkQuery) Close() {
+	if q.snap != nil {
+		q.snap.Release()
+		q.snap = nil
+	}
+}
+
+// Invalidate discards the client-side state (R, I(R), the subnetwork and
+// the kNN set) so the next Update performs a full recomputation.
+func (q *NetworkQuery) Invalidate() {
+	q.init = false
+	q.r, q.ins, q.guard, q.knn, q.sub = nil, nil, nil, nil, nil
+}
+
+// UsesSite reports whether vertex v participates in the query's guard set
+// R ∪ I(R); removing such a site invalidates the client state.
+func (q *NetworkQuery) UsesSite(v int) bool {
+	for _, s := range q.guard {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AffectedBySiteInsert reports whether a site just inserted at vertex v
+// (with its post-insert network Voronoi neighbor list) can change this
+// query's prefetched state: it carved territory adjacent to a guard cell
+// (any guard member in its neighbor list — capturing territory from a
+// guard member always creates that adjacency) or it landed inside the
+// Theorem-2 subnetwork, the region every candidate closer than the guard
+// radius must occupy. The caller supplies the neighbor list so it is
+// looked up once per mutation rather than once per session.
+func (q *NetworkQuery) AffectedBySiteInsert(v int, neighbors []int) bool {
+	if !q.init {
+		return false
+	}
+	if neighbors == nil {
+		return true // unknown adjacency: be conservative
+	}
+	if q.sub != nil {
+		if _, ok := q.sub.ToSub[v]; ok {
+			return true
+		}
+	}
+	return q.intersectsGuard(neighbors)
+}
+
+// AffectedBySiteRemove reports whether removing the site at vertex v (with
+// its pre-removal neighbor list) can change this query's state: the site
+// participated in the guard set, or its territory is inherited by a guard
+// member (whose cell then grows past the materialized subnetwork).
+func (q *NetworkQuery) AffectedBySiteRemove(v int, neighbors []int) bool {
+	if !q.init {
+		return false
+	}
+	if q.UsesSite(v) {
+		return true
+	}
+	if neighbors == nil {
+		return true
+	}
+	return q.intersectsGuard(neighbors)
+}
+
+// intersectsGuard reports whether any of the listed sites is a guard
+// member. Both lists are O(k); no map needed.
+func (q *NetworkQuery) intersectsGuard(sites []int) bool {
+	for _, s := range sites {
+		for _, g := range q.guard {
+			if s == g {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// InsertSite adds a data object at vertex v during query maintenance. The
+// prefetched state is refreshed only when the new site can affect it (see
+// AffectedBySiteInsert). It is only available on raw-diagram queries;
+// snapshot-pinned queries return ErrReadOnly (mutations of a shared index
+// go through its index.Store).
+func (q *NetworkQuery) InsertSite(v int) error {
+	if q.raw == nil {
+		return ErrReadOnly
+	}
+	if err := q.raw.Insert(v); err != nil {
+		return err
+	}
+	if !q.init {
+		return nil
+	}
+	nb, err := q.raw.Neighbors(v)
+	if err != nil {
+		nb = nil // conservative
+	}
+	if q.AffectedBySiteInsert(v, nb) {
+		return q.recompute(q.last)
+	}
+	return nil
+}
+
+// RemoveSite deletes the data object at vertex v during query
+// maintenance; state is refreshed when the removal can affect it (see
+// AffectedBySiteRemove). Raw-diagram queries only.
+func (q *NetworkQuery) RemoveSite(v int) error {
+	if q.raw == nil {
+		return ErrReadOnly
+	}
+	nb, err := q.raw.Neighbors(v)
+	if err != nil {
+		nb = nil
+	}
+	if err := q.raw.Remove(v); err != nil {
+		return err
+	}
+	if !q.init {
+		return nil
+	}
+	if q.AffectedBySiteRemove(v, nb) {
+		return q.recompute(q.last)
+	}
+	return nil
+}
+
 func (q *NetworkQuery) prefetchSize() int {
 	m := int(q.rho * float64(q.k))
 	if m < q.k {
 		m = q.k
 	}
-	if n := len(q.d.Sites()); m > n {
+	if n := q.d.Len(); m > n {
 		m = n
 	}
 	return m
@@ -108,11 +364,13 @@ func (q *NetworkQuery) prefetchSize() int {
 // Update processes a location update and returns the current kNN set
 // (shared slice; do not modify).
 func (q *NetworkQuery) Update(pos roadnet.Position) ([]int, error) {
+	q.Sync()
 	q.m.Timestamps++
 	if err := pos.Validate(q.d.Graph()); err != nil {
 		return nil, err
 	}
 	q.last = pos
+	q.located = true
 	if !q.init {
 		if err := q.recompute(pos); err != nil {
 			return nil, err
@@ -126,17 +384,19 @@ func (q *NetworkQuery) Update(pos roadnet.Position) ([]int, error) {
 	// guard objects are settled; Theorem 2 certifies the kNN set when the
 	// subnetwork top-k matches it. This is the common, cheap path.
 	relaxBefore := q.sub.G.EdgeRelaxations()
-	topK, _ := q.sub.KNNSites(pos, q.guard, q.k)
+	topK, ds := q.sub.AppendKNNSites(pos, q.guard, q.k, q.topkBuf[:0], q.dsBuf[:0], &q.sc)
+	q.topkBuf, q.dsBuf = topK, ds
 	q.m.DijkstraRuns++
 	q.m.EdgeRelaxations += q.sub.G.EdgeRelaxations() - relaxBefore
-	if len(topK) >= q.k && sameSet(topK, q.knn) {
+	if len(topK) >= q.k && q.sameSet(topK, q.knn) {
 		return q.knn, nil
 	}
 	q.m.Invalidations++
 
 	// Stale: rank the whole prefetched set to see whether R survived.
 	relaxBefore = q.sub.G.EdgeRelaxations()
-	ranked, _ := q.sub.KNNSites(pos, q.guard, len(q.r))
+	ranked, ds2 := q.sub.AppendKNNSites(pos, q.guard, len(q.r), q.rankBuf[:0], q.dsBuf[:0], &q.sc)
+	q.rankBuf, q.dsBuf = ranked, ds2
 	q.m.DijkstraRuns++
 	q.m.EdgeRelaxations += q.sub.G.EdgeRelaxations() - relaxBefore
 
@@ -144,8 +404,9 @@ func (q *NetworkQuery) Update(pos roadnet.Position) ([]int, error) {
 	// set, the subnetwork distances to its members are exact and the new
 	// kNN set is the subnetwork top-k — composed locally, no
 	// recomputation.
-	if len(ranked) >= len(q.r) && sameSet(ranked[:len(q.r)], q.r) {
-		q.knn = append([]int(nil), ranked[:q.k]...)
+	if len(ranked) >= len(q.r) && q.sameSet(ranked[:len(q.r)], q.r) {
+		q.knnBuf = append(q.knnBuf[:0], ranked[:q.k]...)
+		q.knn = q.knnBuf
 		return q.knn, nil
 	}
 	if err := q.recompute(pos); err != nil {
@@ -157,40 +418,52 @@ func (q *NetworkQuery) Update(pos roadnet.Position) ([]int, error) {
 // recompute fetches R and I(R) with incremental network expansion on the
 // full network and rebuilds the Theorem-2 subnetwork.
 func (q *NetworkQuery) recompute(pos roadnet.Position) error {
+	if q.d.Len() < q.k {
+		return fmt.Errorf("core: k = %d exceeds site count %d", q.k, q.d.Len())
+	}
 	q.m.Recomputations++
 	m := q.prefetchSize()
-	ids, _, relaxed := q.d.KNNWithDistancesCounted(pos, m)
+	ids, ds, relaxed := q.d.AppendKNN(pos, m, q.rBuf[:0], q.dsBuf[:0], &q.sc)
+	q.rBuf, q.dsBuf = ids, ds
 	q.m.DijkstraRuns++
 	q.m.EdgeRelaxations += relaxed
 	if len(ids) < q.k {
 		return fmt.Errorf("%w: found %d of %d", ErrDisconnected, len(ids), q.k)
 	}
 	q.r = ids
-	ins, err := q.d.INS(q.r)
+	ins, err := q.d.AppendINS(q.r, q.insBuf[:0], &q.sc)
 	if err != nil {
 		return fmt.Errorf("core: network INS: %w", err)
 	}
-	q.ins = ins
-	q.guard = append(append([]int(nil), q.r...), q.ins...)
+	q.insBuf, q.ins = ins, ins
+	guard := append(q.guardBuf[:0], q.r...)
+	guard = append(guard, q.ins...)
+	q.guardBuf, q.guard = guard, guard
 	q.sub = q.d.Subnetwork(q.guard)
-	q.knn = append([]int(nil), q.r[:q.k]...)
+	q.knn = q.r[:q.k]
 	q.m.ObjectsShipped += len(q.r) + len(q.ins)
 	return nil
 }
 
-func sameSet(a, b []int) bool {
+// sameSet reports set equality of two id lists using the query's reusable
+// membership scratch, so the per-update validation allocates nothing.
+func (q *NetworkQuery) sameSet(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	m := make(map[int]int, len(a))
+	if q.setBuf == nil {
+		q.setBuf = make(map[int]int, len(a))
+	} else {
+		clear(q.setBuf)
+	}
 	for _, x := range a {
-		m[x]++
+		q.setBuf[x]++
 	}
 	for _, x := range b {
-		if m[x] == 0 {
+		if q.setBuf[x] == 0 {
 			return false
 		}
-		m[x]--
+		q.setBuf[x]--
 	}
 	return true
 }

@@ -184,6 +184,9 @@ func (q *PlaneQuery) Sync() {
 			invalidate = true // lagged past the log: be conservative
 		} else {
 			for _, op := range ops {
+				if op.Network {
+					continue // site mutations cannot affect a plane session
+				}
 				// Affectedness is evaluated against the still-pinned old
 				// snapshot (q.ix), where every guard object is live.
 				switch {

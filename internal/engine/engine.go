@@ -57,9 +57,16 @@ var (
 	// engine configured without a road network.
 	ErrNoNetwork = errors.New("engine: no road network configured")
 	// ErrOutOfBounds is returned when inserting an object outside the
-	// configured data space — a caller-input error, rejected before the
-	// update reaches the store.
+	// configured data space — a plane point outside the bounds or a
+	// network vertex id outside the graph — a caller-input error, rejected
+	// before the update reaches the store.
 	ErrOutOfBounds = errors.New("engine: point outside the data space")
+	// ErrSiteExists is returned when inserting a network data object at a
+	// vertex that already carries one.
+	ErrSiteExists = errors.New("engine: network site already exists")
+	// ErrLastSite is returned when removing the only remaining network
+	// data object.
+	ErrLastSite = errors.New("engine: cannot remove the last network site")
 )
 
 // Config parameterizes New. Objects/Bounds configure the 2D Euclidean
@@ -127,7 +134,11 @@ type Stats struct {
 	// Objects is the number of live plane data objects (0 without a plane
 	// index).
 	Objects int
-	// Epoch counts applied data updates.
+	// NetworkObjects is the number of live network data objects (sites; 0
+	// without a road network).
+	NetworkObjects int
+	// Epoch counts applied data updates (both sides share one epoch
+	// sequence).
 	Epoch uint64
 	// Snapshots is the number of index snapshots still pinned: 1 when
 	// every session has re-pinned to the current version, more while
@@ -142,6 +153,11 @@ type Stats struct {
 	// previous snapshot — the path-copying publication at work).
 	IndexNodes       int
 	IndexNodesCopied int
+	// NetPages is the network label-page count; NetPagesCopied is how many
+	// of them the latest epoch copied — the network side's share
+	// instrumentation, mirroring IndexNodes/IndexNodesCopied.
+	NetPages       int
+	NetPagesCopied int
 	// Updates counts processed location updates.
 	Updates uint64
 	// Uptime is the time since New.
@@ -160,8 +176,8 @@ type Stats struct {
 
 // String renders the snapshot as a short report.
 func (s Stats) String() string {
-	return fmt.Sprintf("shards=%d sessions=%d objects=%d epoch=%d snaps=%d updates=%d up=%v rate=%.0f/s latency[%v] stream[subs=%d pub=%d coal=%d drop=%d]",
-		s.Shards, s.Sessions, s.Objects, s.Epoch, s.Snapshots, s.Updates,
+	return fmt.Sprintf("shards=%d sessions=%d objects=%d netobjects=%d epoch=%d snaps=%d updates=%d up=%v rate=%.0f/s latency[%v] stream[subs=%d pub=%d coal=%d drop=%d]",
+		s.Shards, s.Sessions, s.Objects, s.NetworkObjects, s.Epoch, s.Snapshots, s.Updates,
 		s.Uptime.Round(time.Millisecond), s.UpdatesPerSec, s.Latency,
 		s.Stream.Subscribers, s.Stream.Published, s.Stream.Coalesced, s.Stream.Dropped)
 }
@@ -458,14 +474,56 @@ func (e *Engine) RemoveObject(id int) error {
 	return nil
 }
 
+// InsertNetworkObject adds a network data object at vertex v. The store
+// applies the site insertion copy-on-write to the network Voronoi diagram
+// and publishes the next snapshot under the next epoch; network sessions
+// whose guard cells the new site can disturb are invalidated when they
+// re-pin — the exact machinery the plane side uses, now covering the road
+// network. The returned id is v: network objects are identified by the
+// vertex they sit on.
+func (e *Engine) InsertNetworkObject(v int) (int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return -1, ErrClosed
+	}
+	if err := e.store.InsertSite(v); err != nil {
+		return -1, e.mapStoreErr(err)
+	}
+	return v, nil
+}
+
+// RemoveNetworkObject deletes the network data object at vertex v;
+// network sessions using it (or bordering its cell) are invalidated when
+// they re-pin.
+func (e *Engine) RemoveNetworkObject(v int) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if err := e.store.RemoveSite(v); err != nil {
+		return e.mapStoreErr(err)
+	}
+	return nil
+}
+
 // mapStoreErr translates index.Store errors into the engine's error
 // vocabulary (kept stable for HTTP status mapping and errors.Is callers).
 func (e *Engine) mapStoreErr(err error) error {
 	switch {
 	case errors.Is(err, index.ErrNoPlane):
 		return ErrNoPlaneIndex
-	case errors.Is(err, index.ErrUnknownObject):
+	case errors.Is(err, index.ErrNoNetwork):
+		return ErrNoNetwork
+	case errors.Is(err, index.ErrUnknownObject), errors.Is(err, index.ErrUnknownSite):
 		return fmt.Errorf("%w: %v", ErrUnknownObject, err)
+	case errors.Is(err, index.ErrSiteExists):
+		return fmt.Errorf("%w: %v", ErrSiteExists, err)
+	case errors.Is(err, index.ErrLastSite):
+		return ErrLastSite
+	case errors.Is(err, index.ErrOutOfBounds):
+		return fmt.Errorf("%w: %v", ErrOutOfBounds, err)
 	case errors.Is(err, index.ErrClosed):
 		return ErrClosed
 	}
@@ -494,10 +552,14 @@ func (e *Engine) Stats() (Stats, error) {
 	if plane := e.store.Current().Plane(); plane != nil {
 		st.Objects = plane.Len()
 	}
+	if net := e.store.Current().Network(); net != nil {
+		st.NetworkObjects = net.Len()
+	}
 	if pubs, total := e.store.PublishStats(); pubs > 0 {
 		st.EpochPublishUS = float64(total.Nanoseconds()) / 1e3 / float64(pubs)
 	}
 	st.IndexNodesCopied, st.IndexNodes = e.store.PlaneShareStats()
+	st.NetPagesCopied, st.NetPages = e.store.NetworkShareStats()
 	var hist metrics.Histogram
 	for range e.shards {
 		s := <-reply

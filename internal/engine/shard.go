@@ -76,12 +76,39 @@ func (s *session) counters() metrics.Counters {
 	return *s.network.Metrics()
 }
 
-// close releases the session's snapshot pin (network sessions hold none:
-// the network diagram is shared and immutable).
+// sync re-pins the session to the newest snapshot, applying the lazy
+// invalidation check of the underlying processor.
+func (s *session) sync() {
+	if s.plane != nil {
+		s.plane.Sync()
+		return
+	}
+	s.network.Sync()
+}
+
+// refresh is the eager-repair form of sync used for watched sessions.
+func (s *session) refresh() (knn []int, recomputed bool, err error) {
+	if s.plane != nil {
+		return s.plane.Refresh()
+	}
+	return s.network.Refresh()
+}
+
+// epoch returns the index snapshot epoch the session is pinned to.
+func (s *session) epoch() uint64 {
+	if s.plane != nil {
+		return s.plane.Epoch()
+	}
+	return s.network.Epoch()
+}
+
+// close releases the session's snapshot pin.
 func (s *session) close() {
 	if s.plane != nil {
 		s.plane.Close()
+		return
 	}
+	s.network.Close()
 }
 
 // message is a mailbox envelope; the worker type-switches on it.
@@ -204,26 +231,24 @@ func (sh *shard) shutdown() {
 	sh.sessions = nil
 }
 
-// sweep re-pins every plane session to the newest snapshot, applying the
-// lazy-invalidation check inside PlaneQuery.Sync. Unwatched affected
-// sessions recompute at their next location update (the paper's lazy
-// path); sessions with push subscribers instead recompute eagerly via
-// Refresh, and the resulting delta — the data update's effect on their
-// kNN — is published immediately, which is what turns the engine's
-// invalidation machinery into user-visible push notifications.
+// sweep re-pins every session — plane and network alike — to the newest
+// snapshot, applying the lazy-invalidation check inside the processor's
+// Sync. Unwatched affected sessions recompute at their next location
+// update (the paper's lazy path); sessions with push subscribers instead
+// recompute eagerly via Refresh, and the resulting delta — the data
+// update's effect on their kNN — is published immediately, which is what
+// turns the engine's invalidation machinery into user-visible push
+// notifications.
 func (sh *shard) sweep() {
 	active := sh.events.Active()
 	for sid, s := range sh.sessions {
-		if s.plane == nil {
-			continue
-		}
 		if !active || !sh.events.Watched(uint64(sid)) {
-			s.plane.Sync()
+			s.sync()
 			continue
 		}
-		prev := s.plane.AppendCurrent(sh.prevBuf[:0])
+		prev := s.appendCurrent(sh.prevBuf[:0])
 		sh.prevBuf = prev[:0]
-		knn, recomputed, err := s.plane.Refresh()
+		knn, recomputed, err := s.refresh()
 		if err != nil {
 			// The result is gone (e.g. k now exceeds the object count) and
 			// the error will surface at the session's next Update. Still
@@ -231,11 +256,11 @@ func (sh *shard) sweep() {
 			// kept the old members would otherwise hold a silently-wrong
 			// view, and the eventual recompute publishes its delta against
 			// the empty baseline — the chain stays exact.
-			sh.publish(sid, s, stream.CauseData, prev, nil, s.plane.Epoch())
+			sh.publish(sid, s, stream.CauseData, prev, nil, s.epoch())
 			continue
 		}
 		if recomputed {
-			sh.publish(sid, s, stream.CauseData, prev, knn, s.plane.Epoch())
+			sh.publish(sid, s, stream.CauseData, prev, knn, s.epoch())
 		}
 	}
 }
@@ -295,10 +320,7 @@ func (sh *shard) runBatch(m batchMsg) {
 		// boundary fixed by the core package's slice-ownership contract).
 		m.results[e.idx] = UpdateResult{Session: e.sid, KNN: append([]int(nil), knn...), Err: err}
 		if watched {
-			epoch := sh.store.Epoch()
-			if s.plane != nil {
-				epoch = s.plane.Epoch()
-			}
+			epoch := s.epoch()
 			if err != nil {
 				// A failed update can still change the session's state
 				// (recompute errors invalidate it); publish whatever
@@ -340,14 +362,7 @@ func (sh *shard) state(sid SessionID) stateReply {
 	if !ok {
 		return stateReply{err: fmt.Errorf("%w: %d", ErrUnknownSession, sid)}
 	}
-	st := SessionState{Seq: s.seq, Epoch: sh.store.Epoch()}
-	if s.plane != nil {
-		st.KNN = s.plane.Current()
-		st.Epoch = s.plane.Epoch()
-	} else {
-		st.KNN = s.network.Current()
-	}
-	return stateReply{state: st}
+	return stateReply{state: SessionState{Seq: s.seq, Epoch: s.epoch(), KNN: s.current()}}
 }
 
 // diffIDs returns the membership delta from old to new (order-insensitive;

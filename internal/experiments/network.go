@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/roadnet"
+	"repro/internal/workload"
+)
+
+// NetworkBenchResult is the road-network serving benchmark record written
+// to BENCH_network.json by `bench -exp NETWORK`. It tracks the numbers
+// network serving parity is accountable for across PRs: update throughput
+// and tail latency of network sessions, the allocation rate of the
+// network serving path, and the copy-on-write publication cost of site
+// mutations (which must stay sublinear in the network size, mirroring the
+// plane side's path-copying guarantees).
+type NetworkBenchResult struct {
+	Shards   int `json:"shards"`
+	Sessions int `json:"sessions"`
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	Sites    int `json:"sites"`
+	K        int `json:"k"`
+
+	Steps       int     `json:"steps"`
+	DataUpdates int     `json:"data_updates"`
+	Updates     uint64  `json:"updates"`
+	UpdatesSec  float64 `json:"updates_per_sec"`
+
+	P50UpdateUS float64 `json:"p50_update_us"`
+	P95UpdateUS float64 `json:"p95_update_us"`
+	P99UpdateUS float64 `json:"p99_update_us"`
+
+	AllocsPerUpdate float64 `json:"allocs_per_update"`
+	SnapshotsLive   int     `json:"snapshots_live"`
+	RecomputePct    float64 `json:"recompute_pct"`
+
+	// EpochPublishUS is the mean wall time of publishing one site-mutation
+	// epoch during the run. SharedPageRatio is the fraction of
+	// shortest-path label pages the latest epoch shares with its
+	// predecessor (copy-on-write publication; a deep clone would be 0).
+	// The sublinearity probe times one single-site epoch against networks
+	// of Vertices/8 and Vertices vertices: with page sharing and
+	// incremental repair PublishScalingX8 stays far below the 8x a
+	// rebuild-the-diagram publication would pay.
+	EpochPublishUS   float64 `json:"epoch_publish_us"`
+	SharedPageRatio  float64 `json:"shared_page_ratio"`
+	PublishUSSmall   float64 `json:"publish_us_small"`
+	PublishUSLarge   float64 `json:"publish_us_large"`
+	PublishScalingX8 float64 `json:"publish_scaling_x8"`
+}
+
+// String renders the result as a short table for the harness output.
+func (r NetworkBenchResult) String() string {
+	return fmt.Sprintf(
+		"NETWORK shards=%d sessions=%d vertices=%d sites=%d steps=%d churn=%d\n"+
+			"        updates=%d rate=%.0f/s p50=%.1fus p95=%.1fus p99=%.1fus\n"+
+			"        allocs/update=%.1f snapshots=%d recompute=%.2f%%\n"+
+			"        publish=%.1fus shared_pages=%.1f%% scaling_x8=%.2f (%.1fus -> %.1fus)",
+		r.Shards, r.Sessions, r.Vertices, r.Sites, r.Steps, r.DataUpdates,
+		r.Updates, r.UpdatesSec, r.P50UpdateUS, r.P95UpdateUS, r.P99UpdateUS,
+		r.AllocsPerUpdate, r.SnapshotsLive, r.RecomputePct,
+		r.EpochPublishUS, 100*r.SharedPageRatio, r.PublishScalingX8, r.PublishUSSmall, r.PublishUSLarge)
+}
+
+// networkPublishProbeUS builds a network store over a grid×grid street
+// network and returns the mean wall time (µs) of a single-site epoch
+// publication over rounds insert+remove pairs.
+func networkPublishProbeUS(grid, nSites, rounds int, seed int64) (float64, error) {
+	g, err := workload.Network(grid, Bounds, seed)
+	if err != nil {
+		return 0, err
+	}
+	sites, err := workload.NetworkSites(g, nSites, seed+1)
+	if err != nil {
+		return 0, err
+	}
+	st, err := index.NewStore(index.Config{Network: g, NetworkSites: sites})
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	taken := make(map[int]bool, nSites)
+	for _, s := range sites {
+		taken[s] = true
+	}
+	rng := rand.New(rand.NewSource(seed + 2))
+	freeVertex := func() int {
+		v := rng.Intn(g.NumVertices())
+		for taken[v] {
+			v = rng.Intn(g.NumVertices())
+		}
+		return v
+	}
+	churn := func(rounds int) error {
+		for i := 0; i < rounds; i++ {
+			v := freeVertex()
+			if err := st.InsertSite(v); err != nil {
+				return err
+			}
+			if err := st.RemoveSite(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := churn(rounds / 4); err != nil { // warm the branch chain
+		return 0, err
+	}
+	pubs0, total0 := st.PublishStats()
+	if err := churn(rounds); err != nil {
+		return 0, err
+	}
+	pubs, total := st.PublishStats()
+	return float64((total - total0).Nanoseconds()) / 1e3 / float64(pubs-pubs0), nil
+}
+
+// NetworkBench drives the serving engine with a closed-loop batched
+// road-network workload (random-walk sessions on a synthetic street grid,
+// periodic site churn) and measures the network serving trajectory
+// numbers — the road twin of EngineBench. Scale divides sessions and
+// steps.
+func NetworkBench(cfg Config) (NetworkBenchResult, error) {
+	const (
+		grid     = 64
+		nSites   = 600
+		k        = 5
+		rho      = 1.6
+		shards   = 8
+		batchLen = 64
+	)
+	sessions := 800
+	steps := 100
+	if cfg.Scale > 1 {
+		sessions /= cfg.Scale
+		steps /= cfg.Scale
+	}
+
+	// Publication sublinearity probe first, before the engine's sessions
+	// and trajectories occupy the heap (GC assists under a large live heap
+	// would otherwise bleed into the measured epoch cost): one single-site
+	// epoch against an 8x smaller and the full-size street network (site
+	// density held fixed).
+	smallGrid := grid / 3 // (64/3)^2 ≈ 64^2/8 vertices
+	pubSmall, err := networkPublishProbeUS(smallGrid, nSites/8, 64, 44)
+	if err != nil {
+		return NetworkBenchResult{}, err
+	}
+	pubLarge, err := networkPublishProbeUS(grid, nSites, 64, 45)
+	if err != nil {
+		return NetworkBenchResult{}, err
+	}
+
+	g, err := workload.Network(grid, Bounds, 42)
+	if err != nil {
+		return NetworkBenchResult{}, err
+	}
+	sites, err := workload.NetworkSites(g, nSites, 43)
+	if err != nil {
+		return NetworkBenchResult{}, err
+	}
+	e, err := engine.New(engine.Config{Shards: shards, Network: g, NetworkSites: sites})
+	if err != nil {
+		return NetworkBenchResult{}, err
+	}
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	sids := make([]engine.SessionID, sessions)
+	trajs := make([][]roadnet.Position, sessions)
+	for i := range sids {
+		sid, err := e.CreateNetworkSession(k, rho)
+		if err != nil {
+			return NetworkBenchResult{}, err
+		}
+		sids[i] = sid
+		route, err := roadnet.RandomWalkRoute(g, rng.Intn(g.NumVertices()), float64(steps)*25, int64(i))
+		if err != nil {
+			return NetworkBenchResult{}, err
+		}
+		pos := make([]roadnet.Position, steps)
+		for s := range pos {
+			pos[s] = route.PositionAt(float64(s) * 25)
+		}
+		trajs[i] = pos
+	}
+
+	taken := make(map[int]bool, len(sites))
+	for _, s := range sites {
+		taken[s] = true
+	}
+	var inserted []int
+	var mallocsBefore runtime.MemStats
+	runtime.ReadMemStats(&mallocsBefore)
+	start := time.Now()
+	churn := 0
+	for s := 0; s < steps; s++ {
+		// Site churn: one data update every four steps.
+		if s%4 == 1 {
+			if len(inserted) > 8 {
+				v := inserted[0]
+				inserted = inserted[1:]
+				if err := e.RemoveNetworkObject(v); err != nil {
+					return NetworkBenchResult{}, err
+				}
+				delete(taken, v)
+			} else {
+				v := rng.Intn(g.NumVertices())
+				for taken[v] {
+					v = rng.Intn(g.NumVertices())
+				}
+				if _, err := e.InsertNetworkObject(v); err != nil {
+					return NetworkBenchResult{}, err
+				}
+				taken[v] = true
+				inserted = append(inserted, v)
+			}
+			churn++
+		}
+		for lo := 0; lo < sessions; lo += batchLen {
+			hi := min(lo+batchLen, sessions)
+			batch := make([]engine.NetworkLocationUpdate, hi-lo)
+			for i := lo; i < hi; i++ {
+				batch[i-lo] = engine.NetworkLocationUpdate{Session: sids[i], Pos: trajs[i][s]}
+			}
+			results, err := e.UpdateNetworkBatch(batch)
+			if err != nil {
+				return NetworkBenchResult{}, err
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					return NetworkBenchResult{}, r.Err
+				}
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	var mallocsAfter runtime.MemStats
+	runtime.ReadMemStats(&mallocsAfter)
+
+	st, err := e.Stats()
+	if err != nil {
+		return NetworkBenchResult{}, err
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	res := NetworkBenchResult{
+		Shards:          st.Shards,
+		Sessions:        sessions,
+		Vertices:        g.NumVertices(),
+		Edges:           g.NumEdges(),
+		Sites:           st.NetworkObjects,
+		K:               k,
+		Steps:           steps,
+		DataUpdates:     churn,
+		Updates:         st.Updates,
+		UpdatesSec:      float64(st.Updates) / elapsed.Seconds(),
+		P50UpdateUS:     us(st.Latency.P50),
+		P95UpdateUS:     us(st.Latency.P95),
+		P99UpdateUS:     us(st.Latency.P99),
+		AllocsPerUpdate: float64(mallocsAfter.Mallocs-mallocsBefore.Mallocs) / float64(max(int(st.Updates), 1)),
+		SnapshotsLive:   st.Snapshots,
+		RecomputePct:    100 * float64(st.Counters.Recomputations) / float64(max(st.Counters.Timestamps, 1)),
+		EpochPublishUS:  st.EpochPublishUS,
+		PublishUSSmall:  pubSmall,
+		PublishUSLarge:  pubLarge,
+	}
+	if pubSmall > 0 {
+		res.PublishScalingX8 = pubLarge / pubSmall
+	}
+	if st.NetPages > 0 {
+		res.SharedPageRatio = 1 - float64(st.NetPagesCopied)/float64(st.NetPages)
+	}
+	return res, nil
+}

@@ -5,9 +5,9 @@
 // The INS workload is read-dominated: thousands of live query sessions
 // resolve kNN and influential-neighbor lookups against the index for every
 // location update, while object inserts/deletes are comparatively rare.
-// The Store therefore keeps ONE canonical copy of the plane VoR-tree (and
-// the network Voronoi diagram, which has no online mutations) and applies
-// each mutation batch copy-on-write: clone the current plane index, apply
+// The Store therefore keeps ONE canonical copy of the plane VoR-tree and
+// ONE of the network Voronoi diagram and applies each mutation batch
+// copy-on-write: branch the mutated side(s) of the current snapshot, apply
 // the batch, publish the result as a new Snapshot behind an atomic pointer.
 // Readers pin a snapshot and serve from it lock-free; publishing is O(1)
 // for them. Old snapshots are garbage-collected by the Go runtime as soon
@@ -79,6 +79,15 @@ type NetworkBackend interface {
 	// KNNWithDistancesCounted additionally returns the edge relaxations
 	// of this search, exact under concurrent readers.
 	KNNWithDistancesCounted(pos roadnet.Position, k int) ([]int, []float64, int)
+	// AppendKNN is KNNWithDistancesCounted appending onto dst/ds with
+	// caller-supplied scratch — the allocation-free form the serving hot
+	// path uses.
+	AppendKNN(pos roadnet.Position, k int, dst []int, ds []float64, sc *netvor.SearchScratch) ([]int, []float64, int)
+	// AppendINS is Backend.INS appending onto dst with caller-supplied
+	// scratch.
+	AppendINS(ids []int, dst []int, sc *netvor.SearchScratch) ([]int, error)
+	// IsSite reports whether vertex v carries a data object.
+	IsSite(v int) bool
 	// Subnetwork extracts the Theorem-2 search space of the given sites.
 	Subnetwork(sites []int) *netvor.Subnetwork
 	// Graph returns the underlying road network.

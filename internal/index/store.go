@@ -15,16 +15,30 @@ import (
 
 // Errors returned by Store mutations.
 var (
-	// ErrNoPlane is returned for object mutations on a store configured
-	// without plane objects (the network site set has no online mutations).
+	// ErrNoPlane is returned for plane-object mutations on a store
+	// configured without plane objects.
 	ErrNoPlane = errors.New("index: no plane index configured")
+	// ErrNoNetwork is returned for network-site mutations on a store
+	// configured without a road network.
+	ErrNoNetwork = errors.New("index: no road network configured")
 	// ErrUnknownObject is returned when removing an object id that is not
 	// live.
 	ErrUnknownObject = errors.New("index: unknown object")
+	// ErrUnknownSite is returned when removing a network vertex that
+	// carries no data object.
+	ErrUnknownSite = errors.New("index: unknown network site")
+	// ErrSiteExists is returned when inserting a network site at a vertex
+	// that already carries one.
+	ErrSiteExists = errors.New("index: network site already exists")
+	// ErrLastSite is returned when a batch would leave the network side
+	// without any site; the network Voronoi diagram of an empty site set
+	// is undefined.
+	ErrLastSite = errors.New("index: cannot remove the last network site")
 	// ErrClosed is returned by mutations after Close.
 	ErrClosed = errors.New("index: store closed")
-	// ErrOutOfBounds is returned for inserts outside the plane data space,
-	// rejected before the copy-on-write branch is created.
+	// ErrOutOfBounds is returned for inserts outside the data space —
+	// a plane point outside the bounds or a network vertex id outside the
+	// graph — rejected before the copy-on-write branch is created.
 	ErrOutOfBounds = errors.New("index: point outside the data space")
 )
 
@@ -54,29 +68,36 @@ type Config struct {
 	NetworkSites []int
 }
 
-// Mutation is one object update in a batch: an insert of point P, or a
-// removal of object ID.
+// Mutation is one object update in a batch. On the plane side (Network
+// false) it is an insert of point P or a removal of object ID. On the
+// network side (Network true) ID is the site vertex for both inserts and
+// removals — network data objects are identified by the vertex they sit
+// on. A batch may mix both sides; each side branches at most once.
 type Mutation struct {
-	Insert bool
-	P      geom.Point
-	ID     int
+	Insert  bool
+	P       geom.Point
+	ID      int
+	Network bool
 }
 
 // Op is one applied mutation in the store's log, replayed by re-pinning
 // sessions to decide whether their guard sets survived the epoch range
-// they skipped.
+// they skipped. Plane sessions skip network ops and vice versa.
 type Op struct {
 	// Epoch is the op's position in the global mutation order; the first
 	// applied op has epoch 1.
 	Epoch  uint64
 	Insert bool
+	// Network marks a network-site op; ID is then the site vertex.
+	Network bool
 	// ID is the object inserted or removed.
 	ID int
-	// P is the inserted object's position (inserts only).
+	// P is the inserted object's position (plane inserts only).
 	P geom.Point
-	// Neighbors is the inserted object's Voronoi neighbor list captured at
-	// apply time, shared by every session's affectedness check. Nil with
-	// Conservative set when the lookup failed.
+	// Neighbors is the object's Voronoi neighbor list captured at apply
+	// time (after an insert, before a removal on the network side), shared
+	// by every session's affectedness check. Nil with Conservative set
+	// when the lookup failed.
 	Neighbors []int
 	// Conservative marks an op whose affectedness cannot be decided
 	// exactly; sessions seeing it must invalidate.
@@ -88,7 +109,6 @@ type Op struct {
 type Store struct {
 	fanout int
 	bounds geom.Rect
-	net    *netvor.Diagram // shared by every snapshot; never mutated online
 
 	cur       atomic.Pointer[Snapshot]
 	closedFlg atomic.Bool
@@ -97,11 +117,13 @@ type Store struct {
 	closed   bool
 	logDepth int
 	log      []Op // contiguous ops, oldest first
-	// poisoned is set when a mutation batch aborts after partially mutating
-	// the path-copied branch: the writer state shared along the branch
-	// chain (duplicate index, free list) may then be out of sync, so the
-	// next Apply publishes through a deep Clone — the fallback that
-	// rebuilds it — instead of a Branch.
+	// poisoned is set when a plane mutation batch aborts after partially
+	// mutating the path-copied branch: the writer state shared along the
+	// branch chain (duplicate index, free list) may then be out of sync,
+	// so the next Apply publishes through a deep Clone — the fallback that
+	// rebuilds it — instead of a Branch. The network side needs no such
+	// flag: a netvor branch shares no writer state with its parent, so an
+	// abandoned branch cannot corrupt the published snapshot.
 	poisoned bool
 
 	live atomic.Int64 // snapshots whose pin count is > 0
@@ -119,7 +141,8 @@ type Store struct {
 type Snapshot struct {
 	store *Store
 	epoch uint64
-	plane *vortree.Index // frozen after publish; nil without plane data
+	plane *vortree.Index  // frozen after publish; nil without plane data
+	net   *netvor.Diagram // frozen after publish; nil without a road network
 	pins  atomic.Int64
 }
 
@@ -145,14 +168,15 @@ func NewStore(cfg Config) (*Store, error) {
 		}
 		plane = ix
 	}
+	var net *netvor.Diagram
 	if cfg.Network != nil {
 		nv, err := netvor.Build(cfg.Network, cfg.NetworkSites)
 		if err != nil {
 			return nil, fmt.Errorf("index: build network diagram: %w", err)
 		}
-		st.net = nv
+		net = nv
 	}
-	st.publish(&Snapshot{store: st, epoch: 0, plane: plane})
+	st.publish(&Snapshot{store: st, epoch: 0, plane: plane, net: net})
 	return st, nil
 }
 
@@ -169,17 +193,23 @@ func (st *Store) publish(s *Snapshot) {
 // HasPlane reports whether the store carries a plane index.
 func (st *Store) HasPlane() bool { return st.cur.Load().plane != nil }
 
+// HasNetwork reports whether the store carries a road-network side.
+func (st *Store) HasNetwork() bool { return st.cur.Load().net != nil }
+
 // Bounds returns the plane data space.
 func (st *Store) Bounds() geom.Rect { return st.bounds }
 
-// Network returns the shared network read surface, or nil when the store
-// has no road network. The diagram is immutable once built, so unlike the
-// plane side it needs no versioning: every snapshot serves the same one.
+// Network returns the CURRENT snapshot's network read surface, or nil
+// when the store has no road network. Like the plane side, the diagram is
+// epoch-versioned: site mutations publish a new frozen diagram, so
+// sessions that need a stable view across updates must pin a snapshot
+// rather than re-reading this accessor.
 func (st *Store) Network() NetworkBackend {
-	if st.net == nil {
+	s := st.cur.Load()
+	if s.net == nil {
 		return nil
 	}
-	return st.net
+	return s.net
 }
 
 // Current returns the current snapshot without pinning it. The returned
@@ -254,16 +284,33 @@ func (st *Store) Remove(id int) error {
 	return err
 }
 
-// Apply applies a batch of mutations under ONE path-copied index branch
-// and ONE publish, and returns the object id of each mutation in order.
-// Publication is sublinear in the object count: the branch shares every
-// untouched R-tree node and every untouched Voronoi overlay page with the
-// snapshot it supersedes, so the epoch cost is proportional to the batch's
-// structural footprint, not to the index size. A failed mutation aborts
-// the whole batch without publishing anything; if the abort happened after
-// part of the batch already mutated the branch, the next Apply falls back
-// to a deep Clone, which rebuilds the writer state the abandoned branch
-// shared with the published snapshot.
+// InsertSite adds one network data object at vertex v copy-on-write and
+// publishes the next snapshot.
+func (st *Store) InsertSite(v int) error {
+	_, err := st.Apply([]Mutation{{Network: true, Insert: true, ID: v}})
+	return err
+}
+
+// RemoveSite deletes the network data object at vertex v copy-on-write
+// and publishes the next snapshot.
+func (st *Store) RemoveSite(v int) error {
+	_, err := st.Apply([]Mutation{{Network: true, ID: v}})
+	return err
+}
+
+// Apply applies a batch of mutations under at most ONE path-copied branch
+// per index side and ONE publish, and returns the object id of each
+// mutation in order. Publication is sublinear in the object count on both
+// sides: the plane branch shares every untouched R-tree node and Voronoi
+// overlay page, and the network branch shares every untouched
+// shortest-path label page, with the snapshot it supersedes — the epoch
+// cost is proportional to the batch's structural footprint, not to the
+// index size. A failed mutation aborts the whole batch without publishing
+// anything; if a plane abort happened after part of the batch already
+// mutated the branch, the next Apply falls back to a deep Clone, which
+// rebuilds the writer state the abandoned branch shared with the published
+// snapshot (network branches share no writer state, so they are simply
+// discarded).
 func (st *Store) Apply(muts []Mutation) ([]int, error) {
 	if len(muts) == 0 {
 		return nil, nil
@@ -275,52 +322,53 @@ func (st *Store) Apply(muts []Mutation) ([]int, error) {
 	}
 	start := time.Now()
 	cur := st.cur.Load()
-	if cur.plane == nil {
-		return nil, ErrNoPlane
+	if err := st.validate(cur, muts); err != nil {
+		return nil, err
 	}
 
-	// Validate the batch against the current state before paying for the
-	// branch: inserts must be in bounds (the only insert failure a caller
-	// can trigger) and removals must reference a live id not already
-	// removed earlier in the batch. Rejecting these up front also means an
-	// abort mid-batch — which poisons the shared writer state — is only
-	// reachable through internal inconsistencies, not bad input. (Inserted
-	// ids are unknown until applied, so a batch cannot reference them.)
-	removed := make(map[int]bool)
+	var nextPlane *vortree.Index
+	var nextNet *netvor.Diagram
 	for _, m := range muts {
-		if m.Insert {
-			if !st.bounds.Contains(m.P) {
-				return nil, fmt.Errorf("%w: %v", ErrOutOfBounds, m.P)
+		if m.Network && nextNet == nil {
+			nextNet = cur.net.Branch()
+		}
+		if !m.Network && nextPlane == nil {
+			if st.poisoned {
+				nextPlane = cur.plane.Clone() // deep fallback: rebuilds writer state
+				st.poisoned = false
+			} else {
+				nextPlane = cur.plane.Branch()
 			}
-			continue
 		}
-		if !cur.plane.Contains(m.ID) || removed[m.ID] {
-			return nil, fmt.Errorf("%w: %d", ErrUnknownObject, m.ID)
-		}
-		removed[m.ID] = true
-	}
-
-	var next *vortree.Index
-	if st.poisoned {
-		next = cur.plane.Clone() // deep fallback: rebuilds writer state
-		st.poisoned = false
-	} else {
-		next = cur.plane.Branch()
 	}
 	ids := make([]int, len(muts))
 	ops := make([]Op, len(muts))
 	epoch := cur.epoch
 	for i, m := range muts {
 		epoch++
+		if m.Network {
+			op, err := applySite(nextNet, m, epoch)
+			if err != nil {
+				// The network branch is safely discardable, but a mixed
+				// batch may already have mutated the plane branch, whose
+				// shared writer state is now suspect — same fallback as a
+				// plane abort.
+				st.poisoned = st.poisoned || nextPlane != nil
+				return nil, err
+			}
+			ids[i] = m.ID
+			ops[i] = op
+			continue
+		}
 		if m.Insert {
-			id, err := next.Insert(m.P)
+			id, err := nextPlane.Insert(m.P)
 			if err != nil {
 				st.poisoned = true
 				return nil, fmt.Errorf("index: insert %v: %w", m.P, err)
 			}
 			ids[i] = id
 			op := Op{Epoch: epoch, Insert: true, ID: id, P: m.P}
-			if nb, err := next.Neighbors(id); err == nil {
+			if nb, err := nextPlane.Neighbors(id); err == nil {
 				op.Neighbors = nb
 			} else {
 				op.Conservative = true
@@ -328,23 +376,127 @@ func (st *Store) Apply(muts []Mutation) ([]int, error) {
 			ops[i] = op
 			continue
 		}
-		if err := next.Remove(m.ID); err != nil {
+		if err := nextPlane.Remove(m.ID); err != nil {
 			st.poisoned = true
 			return nil, fmt.Errorf("index: remove %d: %w", m.ID, err)
 		}
 		ids[i] = m.ID
 		ops[i] = Op{Epoch: epoch, ID: m.ID}
 	}
+	if nextPlane == nil {
+		nextPlane = cur.plane // untouched side carries over, shared
+	}
+	if nextNet == nil {
+		nextNet = cur.net
+	}
 
 	st.log = append(st.log, ops...)
 	if over := len(st.log) - st.logDepth; over > 0 {
 		st.log = append([]Op(nil), st.log[over:]...)
 	}
-	st.publish(&Snapshot{store: st, epoch: epoch, plane: next})
+	st.publish(&Snapshot{store: st, epoch: epoch, plane: nextPlane, net: nextNet})
 	st.publishes.Add(1)
 	st.publishNS.Add(time.Since(start).Nanoseconds())
 	st.notify(epoch)
 	return ids, nil
+}
+
+// applySite applies one network-site mutation to the branched diagram and
+// builds its log op. The op captures the site's network Voronoi neighbor
+// list — after an insert (who the new cell touches) and before a removal
+// (who inherits the territory) — which is exactly what a lagging session
+// needs to decide whether its guard cells were disturbed.
+func applySite(net *netvor.Diagram, m Mutation, epoch uint64) (Op, error) {
+	op := Op{Epoch: epoch, Network: true, Insert: m.Insert, ID: m.ID}
+	if m.Insert {
+		if err := net.Insert(m.ID); err != nil {
+			return Op{}, fmt.Errorf("index: insert site %d: %w", m.ID, err)
+		}
+		if nb, err := net.Neighbors(m.ID); err == nil {
+			op.Neighbors = nb // immutable list; safe to share with the log
+		} else {
+			op.Conservative = true
+		}
+		return op, nil
+	}
+	if nb, err := net.Neighbors(m.ID); err == nil {
+		op.Neighbors = nb
+	} else {
+		op.Conservative = true
+	}
+	if err := net.Remove(m.ID); err != nil {
+		return Op{}, fmt.Errorf("index: remove site %d: %w", m.ID, err)
+	}
+	return op, nil
+}
+
+// validate rejects a bad batch against the current state before any branch
+// is paid for: plane inserts must be in bounds, network inserts must name
+// a fresh vertex, and removals must reference an object live at that point
+// of the batch (the network side additionally may never drain to zero
+// sites). Rejecting input errors up front means a mid-batch abort — which
+// poisons the plane's shared writer state — is only reachable through
+// internal inconsistencies. (Plane ids assigned by an insert are unknown
+// until applied, so a batch cannot remove them; network sites are named by
+// vertex, so it can.)
+func (st *Store) validate(cur *Snapshot, muts []Mutation) error {
+	var removed map[int]bool   // plane ids removed earlier in the batch
+	var siteDelta map[int]bool // vertex -> is a site after the batch prefix
+	sitesLeft := 0             // network site count along the batch prefix
+	isSiteNow := func(v int) bool {
+		if s, ok := siteDelta[v]; ok {
+			return s
+		}
+		return cur.net.IsSite(v)
+	}
+	for _, m := range muts {
+		if m.Network {
+			if cur.net == nil {
+				return ErrNoNetwork
+			}
+			if siteDelta == nil {
+				siteDelta = make(map[int]bool)
+				sitesLeft = cur.net.Len()
+			}
+			if m.Insert {
+				if m.ID < 0 || m.ID >= cur.net.Graph().NumVertices() {
+					return fmt.Errorf("%w: network vertex %d", ErrOutOfBounds, m.ID)
+				}
+				if isSiteNow(m.ID) {
+					return fmt.Errorf("%w: %d", ErrSiteExists, m.ID)
+				}
+				siteDelta[m.ID] = true
+				sitesLeft++
+				continue
+			}
+			if !isSiteNow(m.ID) {
+				return fmt.Errorf("%w: %d", ErrUnknownSite, m.ID)
+			}
+			if sitesLeft == 1 {
+				return ErrLastSite
+			}
+			siteDelta[m.ID] = false
+			sitesLeft--
+			continue
+		}
+		if cur.plane == nil {
+			return ErrNoPlane
+		}
+		if m.Insert {
+			if !st.bounds.Contains(m.P) {
+				return fmt.Errorf("%w: %v", ErrOutOfBounds, m.P)
+			}
+			continue
+		}
+		if removed == nil {
+			removed = make(map[int]bool)
+		}
+		if !cur.plane.Contains(m.ID) || removed[m.ID] {
+			return fmt.Errorf("%w: %d", ErrUnknownObject, m.ID)
+		}
+		removed[m.ID] = true
+	}
+	return nil
 }
 
 // PublishStats returns the number of Apply publications and the cumulative
@@ -361,6 +513,17 @@ func (st *Store) PublishStats() (publishes uint64, total time.Duration) {
 func (st *Store) PlaneShareStats() (copied, total int) {
 	if p := st.cur.Load().plane; p != nil {
 		return p.ShareStats()
+	}
+	return 0, 0
+}
+
+// NetworkShareStats reports the structural sharing of the current network
+// snapshot against its predecessor: the shortest-path label pages its
+// publishing epoch copied, and the total page count. Both are 0 without a
+// road network.
+func (st *Store) NetworkShareStats() (copied, total int) {
+	if n := st.cur.Load().net; n != nil {
+		return n.ShareStats()
 	}
 	return 0, 0
 }
@@ -448,9 +611,15 @@ func (s *Snapshot) Plane() PlaneBackend {
 	return s.plane
 }
 
-// Network returns the shared network read surface (identical across
-// snapshots), or nil without a road network.
-func (s *Snapshot) Network() NetworkBackend { return s.store.Network() }
+// Network returns the snapshot's network read surface, or nil without a
+// road network. The diagram is frozen at publish; reads are race-free
+// across sessions for as long as the snapshot is pinned.
+func (s *Snapshot) Network() NetworkBackend {
+	if s.net == nil {
+		return nil
+	}
+	return s.net
+}
 
 // Release drops one pin. When the last pin of a superseded snapshot goes,
 // the snapshot becomes unreachable and the Go runtime reclaims its index

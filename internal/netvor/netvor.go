@@ -6,10 +6,20 @@
 // by the Voronoi cells of a set of objects — on which kNN validation can
 // run instead of the full graph, and provides incremental network
 // expansion (INE-style) kNN from arbitrary on-edge positions.
+//
+// The diagram is an online structure with the same publication lifecycle
+// as the plane VoR-tree: Insert/Remove mutate the site set incrementally
+// (relabeling only the vertices whose ownership actually changes), Branch
+// hands out a new mutable version by copy-on-write over the shortest-path
+// label pages (freezing the receiver, whose reads stay race-free forever),
+// and Clone is the deep-copy fallback. Cell adjacency is maintained
+// incrementally through per-pair edge-support counts, so a mutation's cost
+// is proportional to the territory it moves, not to the network size.
 package netvor
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -17,17 +27,74 @@ import (
 	"repro/internal/roadnet"
 )
 
+// Errors returned by diagram mutations.
+var (
+	// ErrFrozen is returned by mutations on a diagram frozen by Branch;
+	// a published snapshot stays immutable forever.
+	ErrFrozen = errors.New("netvor: diagram frozen by Branch")
+	// ErrSiteExists is returned when inserting a vertex that already
+	// carries a data object.
+	ErrSiteExists = errors.New("netvor: site already exists")
+	// ErrUnknownSite is returned when removing a vertex that carries no
+	// data object.
+	ErrUnknownSite = errors.New("netvor: unknown site")
+	// ErrLastSite is returned when removing the only remaining site; the
+	// diagram of an empty site set is undefined.
+	ErrLastSite = errors.New("netvor: cannot remove the last site")
+)
+
+// pageSize is the label-page granularity: Branch copies the page table
+// (O(vertices/pageSize)) and mutations copy only the pages whose labels
+// they rewrite.
+const pageSize = 256
+
+// labelPage holds the owner/dist labels of one run of pageSize vertices.
+// Pages are immutable once shared between versions; writers copy first.
+type labelPage struct {
+	owner []int
+	dist  []float64
+}
+
+// adjPageSize is the adjacency-page granularity: small enough that a
+// mutation's copy-on-write footprint stays a few KB, large enough that
+// Branch's page-table copy stays short.
+const adjPageSize = 64
+
+// adjEntry is one vertex's slot in the adjacency table. For a site it
+// holds the sorted neighbor sites and, parallel to them, the number of
+// edges supporting each adjacency (the count that lets adjacency update
+// incrementally as territory moves). Slices are immutable once installed:
+// every change writes fresh ones, so entries shared across versions never
+// change underneath their readers.
+type adjEntry struct {
+	sites  []int
+	counts []int
+}
+
+// adjPage holds the adjacency entries of one run of adjPageSize vertices.
+type adjPage struct {
+	entries []adjEntry
+}
+
 // Diagram is the network Voronoi diagram of a set of sites (vertex ids
 // carrying data objects) over a road network.
 type Diagram struct {
 	g     *roadnet.Graph
-	sites []int
+	sites []int // sorted site vertex ids; owned by this version
 
-	isSite []bool
-	owner  []int     // nearest site of each vertex (-1 if unreachable)
-	dist   []float64 // distance from each vertex to its owner
+	// Copy-on-write label tables: owner (nearest site of each vertex, -1
+	// if unreachable) and dist (distance from each vertex to its owner).
+	pages  []*labelPage
+	shared []bool // page i is shared with another version; copy before write
+	copied int    // pages copied or created through this version
 
-	neighbors map[int][]int // site -> sorted neighboring sites
+	// Copy-on-write adjacency table, indexed by site vertex id: each
+	// site's sorted network Voronoi neighbors plus per-neighbor edge
+	// supports. Paged like the label tables so Branch never pays O(sites).
+	adj       []*adjPage
+	adjShared []bool
+
+	frozen bool
 }
 
 // Build computes the network Voronoi diagram of the given site vertices.
@@ -39,25 +106,18 @@ func Build(g *roadnet.Graph, sites []int) (*Diagram, error) {
 	}
 	n := g.NumVertices()
 	d := &Diagram{
-		g:      g,
-		sites:  append([]int(nil), sites...),
-		isSite: make([]bool, n),
-		owner:  make([]int, n),
-		dist:   make([]float64, n),
+		g:     g,
+		sites: append([]int(nil), sites...),
 	}
+	d.initPages(n)
 	sort.Ints(d.sites)
-	for _, s := range d.sites {
+	for i, s := range d.sites {
 		if s < 0 || s >= n {
 			return nil, fmt.Errorf("netvor: site %d out of range", s)
 		}
-		if d.isSite[s] {
+		if i > 0 && d.sites[i-1] == s {
 			return nil, fmt.Errorf("netvor: duplicate site %d", s)
 		}
-		d.isSite[s] = true
-	}
-	for i := range d.owner {
-		d.owner[i] = -1
-		d.dist[i] = math.Inf(1)
 	}
 
 	// Multi-source Dijkstra carrying the owning site with each label.
@@ -67,43 +127,406 @@ func Build(g *roadnet.Graph, sites []int) (*Diagram, error) {
 	}
 	for h.Len() > 0 {
 		it := heap.Pop(h).(ownerItem)
-		if it.d > d.dist[it.v] || (it.d == d.dist[it.v] && d.owner[it.v] != -1 && d.owner[it.v] <= it.site) {
+		o, dd := d.label(it.v)
+		if it.d > dd || (it.d == dd && o != -1 && o <= it.site) {
 			continue
 		}
-		d.dist[it.v] = it.d
-		d.owner[it.v] = it.site
-		for _, u := range d.g.AdjacentVertices(it.v) {
-			w, _ := d.g.EdgeWeight(it.v, u)
+		d.setLabel(it.v, it.site, it.d)
+		d.g.VisitEdgesFrom(it.v, func(u int, w float64) {
 			nd := it.d + w
-			if nd < d.dist[u] || (nd == d.dist[u] && it.site < d.owner[u]) {
+			uo, ud := d.label(u)
+			if nd < ud || (nd == ud && it.site < uo) {
 				heap.Push(h, ownerItem{v: u, d: nd, site: it.site})
 			}
-		}
+		})
 	}
 
 	// Voronoi adjacency: two cells touch when some edge has endpoints with
 	// different owners (the boundary point lies on that edge).
-	adj := make(map[int]map[int]bool, len(d.sites))
-	for _, s := range d.sites {
-		adj[s] = make(map[int]bool)
-	}
 	g.Edges(func(u, v int, w float64) {
-		a, b := d.owner[u], d.owner[v]
-		if a != b && a != -1 && b != -1 {
-			adj[a][b] = true
-			adj[b][a] = true
-		}
+		a, _ := d.label(u)
+		b, _ := d.label(v)
+		d.incPair(a, b)
 	})
-	d.neighbors = make(map[int][]int, len(d.sites))
-	for s, m := range adj {
-		ns := make([]int, 0, len(m))
-		for u := range m {
-			ns = append(ns, u)
-		}
-		sort.Ints(ns)
-		d.neighbors[s] = ns
-	}
 	return d, nil
+}
+
+// initPages allocates fresh, unshared label pages covering n vertices,
+// every label set to (unreachable, +Inf).
+func (d *Diagram) initPages(n int) {
+	np := (n + pageSize - 1) / pageSize
+	d.pages = make([]*labelPage, np)
+	d.shared = make([]bool, np)
+	for i := range d.pages {
+		lo := i * pageSize
+		hi := min(lo+pageSize, n)
+		pg := &labelPage{owner: make([]int, hi-lo), dist: make([]float64, hi-lo)}
+		for j := range pg.owner {
+			pg.owner[j] = -1
+			pg.dist[j] = math.Inf(1)
+		}
+		d.pages[i] = pg
+	}
+	d.copied = np
+	na := (n + adjPageSize - 1) / adjPageSize
+	d.adj = make([]*adjPage, na)
+	d.adjShared = make([]bool, na)
+	for i := range d.adj {
+		lo := i * adjPageSize
+		hi := min(lo+adjPageSize, n)
+		d.adj[i] = &adjPage{entries: make([]adjEntry, hi-lo)}
+	}
+}
+
+// adjAt returns vertex v's adjacency entry for reading.
+func (d *Diagram) adjAt(v int) *adjEntry {
+	return &d.adj[v/adjPageSize].entries[v%adjPageSize]
+}
+
+// writableAdj returns vertex v's adjacency entry for writing, copying the
+// page (shallow — entry slices stay shared until rewritten) when it is
+// shared with another version.
+func (d *Diagram) writableAdj(v int) *adjEntry {
+	pi := v / adjPageSize
+	if d.adjShared[pi] {
+		d.adj[pi] = &adjPage{entries: append([]adjEntry(nil), d.adj[pi].entries...)}
+		d.adjShared[pi] = false
+	}
+	return &d.adj[pi].entries[v%adjPageSize]
+}
+
+// label returns vertex v's (owner, dist).
+func (d *Diagram) label(v int) (int, float64) {
+	pg := d.pages[v/pageSize]
+	return pg.owner[v%pageSize], pg.dist[v%pageSize]
+}
+
+// setLabel writes vertex v's (owner, dist), copying the page first when it
+// is shared with another version.
+func (d *Diagram) setLabel(v int, owner int, dist float64) {
+	pi := v / pageSize
+	if d.shared[pi] {
+		old := d.pages[pi]
+		pg := &labelPage{
+			owner: append([]int(nil), old.owner...),
+			dist:  append([]float64(nil), old.dist...),
+		}
+		d.pages[pi] = pg
+		d.shared[pi] = false
+		d.copied++
+	}
+	pg := d.pages[pi]
+	pg.owner[v%pageSize] = owner
+	pg.dist[v%pageSize] = dist
+}
+
+// Branch returns a new mutable version of the diagram by copy-on-write:
+// the label page table is copied (O(vertices/pageSize)), pages themselves
+// are shared until written, and the site/adjacency tables are copied at
+// their own (site-proportional) size. The receiver is frozen — reads stay
+// valid and race-free forever, mutations are rejected with ErrFrozen —
+// which is exactly the lifecycle of a published index snapshot. The child
+// shares no writer state with the parent, so abandoning it mid-mutation
+// can never corrupt the published version.
+func (d *Diagram) Branch() *Diagram {
+	d.frozen = true
+	child := &Diagram{
+		g:         d.g,
+		sites:     append([]int(nil), d.sites...),
+		pages:     append([]*labelPage(nil), d.pages...),
+		shared:    make([]bool, len(d.pages)),
+		adj:       append([]*adjPage(nil), d.adj...),
+		adjShared: make([]bool, len(d.adj)),
+	}
+	for i := range child.shared {
+		child.shared[i] = true
+	}
+	for i := range child.adjShared {
+		child.adjShared[i] = true
+	}
+	return child
+}
+
+// Clone returns a deep, unfrozen copy sharing nothing but the road network
+// itself — the fallback publication path mirroring vortree.Index.Clone.
+func (d *Diagram) Clone() *Diagram {
+	c := &Diagram{
+		g:         d.g,
+		sites:     append([]int(nil), d.sites...),
+		pages:     make([]*labelPage, len(d.pages)),
+		shared:    make([]bool, len(d.pages)),
+		copied:    len(d.pages),
+		adj:       make([]*adjPage, len(d.adj)),
+		adjShared: make([]bool, len(d.adj)),
+	}
+	for i, pg := range d.pages {
+		c.pages[i] = &labelPage{
+			owner: append([]int(nil), pg.owner...),
+			dist:  append([]float64(nil), pg.dist...),
+		}
+	}
+	for i, pg := range d.adj {
+		entries := make([]adjEntry, len(pg.entries))
+		for j, e := range pg.entries {
+			entries[j] = adjEntry{
+				sites:  append([]int(nil), e.sites...),
+				counts: append([]int(nil), e.counts...),
+			}
+		}
+		c.adj[i] = &adjPage{entries: entries}
+	}
+	return c
+}
+
+// ShareStats reports the structural-sharing instrumentation of the label
+// tables: the pages copied or created through this version since it was
+// branched, and the total page count. 1 - copied/total is the fraction of
+// shortest-path labels the latest epoch shares with its predecessor.
+func (d *Diagram) ShareStats() (copied, total int) { return d.copied, len(d.pages) }
+
+// incPair adds one edge of support between the cells of sites a and b,
+// installing the Voronoi adjacency when the first supporting edge appears.
+func (d *Diagram) incPair(a, b int) {
+	if a == b || a == -1 || b == -1 {
+		return
+	}
+	d.addSupport(a, b)
+	d.addSupport(b, a)
+}
+
+// decPair removes one edge of support between the cells of sites a and b,
+// dropping the adjacency when the last supporting edge goes.
+func (d *Diagram) decPair(a, b int) {
+	if a == b || a == -1 || b == -1 {
+		return
+	}
+	d.dropSupport(a, b)
+	d.dropSupport(b, a)
+}
+
+// addSupport records one more edge supporting t in s's neighbor list.
+// Entry slices are rewritten, never mutated: shared copies held by other
+// versions (or captured in mutation logs) never change underneath their
+// readers.
+func (d *Diagram) addSupport(s, t int) {
+	e := d.writableAdj(s)
+	i := sort.SearchInts(e.sites, t)
+	if i < len(e.sites) && e.sites[i] == t {
+		counts := append([]int(nil), e.counts...)
+		counts[i]++
+		e.counts = counts
+		return
+	}
+	sites := make([]int, 0, len(e.sites)+1)
+	sites = append(sites, e.sites[:i]...)
+	sites = append(sites, t)
+	sites = append(sites, e.sites[i:]...)
+	counts := make([]int, 0, len(e.counts)+1)
+	counts = append(counts, e.counts[:i]...)
+	counts = append(counts, 1)
+	counts = append(counts, e.counts[i:]...)
+	e.sites, e.counts = sites, counts
+}
+
+// dropSupport removes one edge supporting t in s's neighbor list,
+// dropping the adjacency when the last supporting edge goes.
+func (d *Diagram) dropSupport(s, t int) {
+	e := d.writableAdj(s)
+	i := sort.SearchInts(e.sites, t)
+	if i >= len(e.sites) || e.sites[i] != t {
+		return
+	}
+	if e.counts[i] > 1 {
+		counts := append([]int(nil), e.counts...)
+		counts[i]--
+		e.counts = counts
+		return
+	}
+	sites := make([]int, 0, len(e.sites)-1)
+	sites = append(sites, e.sites[:i]...)
+	sites = append(sites, e.sites[i+1:]...)
+	counts := make([]int, 0, len(e.counts)-1)
+	counts = append(counts, e.counts[:i]...)
+	counts = append(counts, e.counts[i+1:]...)
+	e.sites, e.counts = sites, counts
+}
+
+// insertSorted returns a fresh sorted slice with x added.
+func insertSorted(ns []int, x int) []int {
+	i := sort.SearchInts(ns, x)
+	out := make([]int, 0, len(ns)+1)
+	out = append(out, ns[:i]...)
+	out = append(out, x)
+	return append(out, ns[i:]...)
+}
+
+// removeSorted returns a fresh sorted slice with x removed.
+func removeSorted(ns []int, x int) []int {
+	i := sort.SearchInts(ns, x)
+	if i >= len(ns) || ns[i] != x {
+		return ns
+	}
+	out := make([]int, 0, len(ns)-1)
+	out = append(out, ns[:i]...)
+	return append(out, ns[i+1:]...)
+}
+
+// Insert adds a data object at vertex v and repairs the diagram
+// incrementally: one Dijkstra from v claims exactly the territory the new
+// cell wins (plus a frontier ring of failed relaxations), and the
+// adjacency supports of the relabeled vertices' incident edges move to the
+// new owner. Cost is proportional to the new cell's size, not the network.
+func (d *Diagram) Insert(v int) error {
+	if d.frozen {
+		return ErrFrozen
+	}
+	if v < 0 || v >= d.g.NumVertices() {
+		return fmt.Errorf("netvor: site %d out of range", v)
+	}
+	if d.IsSite(v) {
+		return fmt.Errorf("%w: %d", ErrSiteExists, v)
+	}
+
+	// Claim Dijkstra: labels all carry site v, so the plain distance heap
+	// suffices. old records each relabeled vertex's previous owner once.
+	old := make(map[int]int)
+	h := &roadPQ{}
+	heap.Push(h, roadPQItem{v, 0})
+	for h.Len() > 0 {
+		it := heap.Pop(h).(roadPQItem)
+		o, dd := d.label(it.v)
+		if !(it.d < dd || (it.d == dd && v < o)) {
+			continue
+		}
+		if _, seen := old[it.v]; !seen {
+			old[it.v] = o
+		}
+		d.setLabel(it.v, v, it.d)
+		d.g.VisitEdgesFrom(it.v, func(u int, w float64) {
+			nd := it.d + w
+			uo, ud := d.label(u)
+			if nd < ud || (nd == ud && v < uo) {
+				heap.Push(h, roadPQItem{u, nd})
+			}
+		})
+	}
+
+	// Move the adjacency support of every edge touching relabeled
+	// territory from the old owners to v. Edges inside the claimed region
+	// are processed once (u < x) and contribute nothing new (both ends now
+	// belong to v).
+	for u, ou := range old {
+		d.g.VisitEdgesFrom(u, func(x int, w float64) {
+			if ox, relabeled := old[x]; relabeled {
+				if u < x {
+					d.decPair(ou, ox)
+				}
+				return
+			}
+			xo, _ := d.label(x)
+			d.decPair(ou, xo)
+			d.incPair(v, xo)
+		})
+	}
+	d.sites = insertSorted(d.sites, v)
+	return nil
+}
+
+// Remove deletes the data object at vertex s and repairs the diagram
+// incrementally: the orphaned cell is collected (it is connected, because
+// every vertex's shortest-path predecessor shares its owner), its labels
+// reset, and a multi-source Dijkstra seeded from the cell's boundary
+// redistributes the territory among the surviving neighbors. Cost is
+// proportional to the removed cell, not the network.
+func (d *Diagram) Remove(s int) error {
+	if d.frozen {
+		return ErrFrozen
+	}
+	if !d.IsSite(s) {
+		return fmt.Errorf("%w: %d", ErrUnknownSite, s)
+	}
+	if len(d.sites) == 1 {
+		return ErrLastSite
+	}
+
+	// Collect the cell by DFS over s-owned vertices.
+	cellSet := map[int]bool{s: true}
+	cell := []int{s}
+	for stack := []int{s}; len(stack) > 0; {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d.g.VisitEdgesFrom(u, func(x int, w float64) {
+			if cellSet[x] {
+				return
+			}
+			if o, _ := d.label(x); o == s {
+				cellSet[x] = true
+				cell = append(cell, x)
+				stack = append(stack, x)
+			}
+		})
+	}
+
+	// Reset the hole, then seed the repair from every boundary edge: a
+	// surviving neighbor's exact label plus the crossing edge. Labels
+	// propagate only within the hole; outside labels are already optimal
+	// with respect to the surviving sites.
+	for _, u := range cell {
+		d.setLabel(u, -1, math.Inf(1))
+	}
+	h := &ownerHeap{}
+	for _, u := range cell {
+		d.g.VisitEdgesFrom(u, func(x int, w float64) {
+			if cellSet[x] {
+				return
+			}
+			if xo, xd := d.label(x); xo != -1 {
+				heap.Push(h, ownerItem{v: u, d: xd + w, site: xo})
+			}
+		})
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(ownerItem)
+		o, dd := d.label(it.v)
+		if !(it.d < dd || (it.d == dd && it.site < o)) {
+			continue
+		}
+		d.setLabel(it.v, it.site, it.d)
+		d.g.VisitEdgesFrom(it.v, func(u int, w float64) {
+			if !cellSet[u] {
+				return
+			}
+			nd := it.d + w
+			uo, ud := d.label(u)
+			if nd < ud || (nd == ud && it.site < uo) {
+				heap.Push(h, ownerItem{v: u, d: nd, site: it.site})
+			}
+		})
+	}
+
+	// Move the adjacency support of the cell's edges to the new owners.
+	// Pre-removal, edges inside the cell carried no support (both ends s)
+	// and boundary edges supported (s, outside-owner).
+	for _, u := range cell {
+		uo, _ := d.label(u)
+		d.g.VisitEdgesFrom(u, func(x int, w float64) {
+			if cellSet[x] {
+				if u < x {
+					xo, _ := d.label(x)
+					d.incPair(uo, xo)
+				}
+				return
+			}
+			xo, _ := d.label(x)
+			d.decPair(s, xo)
+			d.incPair(uo, xo)
+		})
+	}
+	if e := d.adjAt(s); len(e.sites) != 0 {
+		return fmt.Errorf("netvor: remove %d left dangling adjacency %v", s, e.sites)
+	}
+	d.sites = removeSorted(d.sites, s)
+	return nil
 }
 
 // ownerItem is a Dijkstra label carrying the site that would own the
@@ -136,7 +559,8 @@ func (h *ownerHeap) Pop() any {
 // Graph returns the underlying road network.
 func (d *Diagram) Graph() *roadnet.Graph { return d.g }
 
-// Sites returns the sorted site vertex ids.
+// Sites returns the sorted site vertex ids. The slice is shared; callers
+// must not modify it.
 func (d *Diagram) Sites() []int { return d.sites }
 
 // Len returns the number of data objects (sites); it makes the diagram an
@@ -147,46 +571,69 @@ func (d *Diagram) Len() int { return len(d.sites) }
 // method of the same name.
 func (d *Diagram) Contains(id int) bool { return d.IsSite(id) }
 
-// IsSite reports whether vertex v carries a data object.
-func (d *Diagram) IsSite(v int) bool { return v >= 0 && v < len(d.isSite) && d.isSite[v] }
+// IsSite reports whether vertex v carries a data object. A site always
+// owns itself at distance 0, so site membership reads off the label table.
+func (d *Diagram) IsSite(v int) bool {
+	if v < 0 || v >= d.g.NumVertices() {
+		return false
+	}
+	o, _ := d.label(v)
+	return o == v
+}
 
 // Owner returns the site owning vertex v and the network distance to it.
-func (d *Diagram) Owner(v int) (site int, dist float64) { return d.owner[v], d.dist[v] }
+func (d *Diagram) Owner(v int) (site int, dist float64) { return d.label(v) }
 
 // Neighbors returns the network Voronoi neighbor set of site s (Definition
-// 3 transplanted to road networks), sorted by id.
+// 3 transplanted to road networks), sorted by id. The returned slice is
+// immutable — later mutations install fresh lists rather than rewriting it.
 func (d *Diagram) Neighbors(s int) ([]int, error) {
-	ns, ok := d.neighbors[s]
-	if !ok {
+	if !d.IsSite(s) {
 		return nil, fmt.Errorf("netvor: %d is not a site", s)
 	}
-	return ns, nil
+	if ns := d.adjAt(s).sites; ns != nil {
+		return ns, nil
+	}
+	return []int{}, nil // an isolated cell has no neighbors, not no entry
+}
+
+// AppendNeighbors is Neighbors appending onto dst — the allocation-free
+// form mirroring voronoi.Diagram.AppendNeighbors.
+func (d *Diagram) AppendNeighbors(s int, dst []int) ([]int, error) {
+	if !d.IsSite(s) {
+		return dst, fmt.Errorf("netvor: %d is not a site", s)
+	}
+	return append(dst, d.adjAt(s).sites...), nil
 }
 
 // INS returns the influential neighbor set I(knn) of Definition 4 in the
 // network setting: the union of the network Voronoi neighbor sets of the
 // sites in knn, minus knn. Sorted by id.
 func (d *Diagram) INS(knn []int) ([]int, error) {
-	inKNN := make(map[int]bool, len(knn))
+	var sc SearchScratch
+	return d.AppendINS(knn, nil, &sc)
+}
+
+// AppendINS is INS appending onto dst with caller-supplied scratch.
+func (d *Diagram) AppendINS(knn []int, dst []int, sc *SearchScratch) ([]int, error) {
+	sc.resetSets()
 	for _, s := range knn {
-		inKNN[s] = true
+		sc.want[s] = true
 	}
-	seen := make(map[int]bool)
-	var out []int
+	start := len(dst)
 	for _, s := range knn {
-		ns, err := d.Neighbors(s)
-		if err != nil {
-			return nil, err
+		if !d.IsSite(s) {
+			return dst[:start], fmt.Errorf("netvor: %d is not a site", s)
 		}
-		for _, u := range ns {
-			if !inKNN[u] && !seen[u] {
-				seen[u] = true
-				out = append(out, u)
+		for _, u := range d.adjAt(s).sites {
+			if !sc.want[u] && !sc.done[u] {
+				sc.done[u] = true
+				dst = append(dst, u)
 			}
 		}
 	}
-	sort.Ints(out)
-	return out, nil
+	sort.Ints(dst[start:])
+	return dst, nil
 }
 
 // KNN returns the k nearest sites to the given network position in
@@ -208,46 +655,88 @@ func (d *Diagram) KNNWithDistances(pos roadnet.Position, k int) ([]int, []float6
 // under concurrent searches on the shared network, unlike a before/after
 // diff of the graph's global counter (which is still charged too).
 func (d *Diagram) KNNWithDistancesCounted(pos roadnet.Position, k int) ([]int, []float64, int) {
-	if k <= 0 {
-		return nil, nil, 0
+	var sc SearchScratch
+	return d.AppendKNN(pos, k, nil, nil, &sc)
+}
+
+// SearchScratch is reusable per-caller working memory for the network
+// searches: the Dijkstra frontier heap, the tentative-distance and settled
+// sets of the expansion, and the membership sets of guard-restricted
+// searches. The zero value is ready to use; a scratch serves any number of
+// sequential searches against any diagram version but must not be shared
+// across goroutines. The query layer keeps one per session, which removes
+// every per-update allocation from the network kNN path — the road twin of
+// vortree.SearchScratch.
+type SearchScratch struct {
+	h    posHeap
+	dist map[int]float64
+	done map[int]bool
+	want map[int]bool
+}
+
+func (sc *SearchScratch) resetSearch() {
+	sc.h = sc.h[:0]
+	if sc.dist == nil {
+		sc.dist = make(map[int]float64, 64)
+		sc.done = make(map[int]bool, 64)
+	} else {
+		clear(sc.dist)
+		clear(sc.done)
 	}
-	dist := make(map[int]float64, 64)
-	h := &roadPQ{}
+}
+
+func (sc *SearchScratch) resetSets() {
+	if sc.want == nil {
+		sc.want = make(map[int]bool, 16)
+		if sc.done == nil {
+			sc.done = make(map[int]bool, 64)
+		}
+	} else {
+		clear(sc.want)
+	}
+	clear(sc.done)
+}
+
+// AppendKNN is KNNWithDistancesCounted appending ids onto dst (and, when
+// ds is non-nil or appended-to, distances onto ds) with caller-supplied
+// scratch — the allocation-free form the serving hot path uses.
+func (d *Diagram) AppendKNN(pos roadnet.Position, k int, dst []int, ds []float64, sc *SearchScratch) ([]int, []float64, int) {
+	if k <= 0 {
+		return dst, ds, 0
+	}
+	sc.resetSearch()
 	for _, s := range pos.Sources(d.g) {
-		if cur, ok := dist[s.V]; !ok || s.D < cur {
-			dist[s.V] = s.D
-			heap.Push(h, roadPQItem{s.V, s.D})
+		if cur, ok := sc.dist[s.V]; !ok || s.D < cur {
+			sc.dist[s.V] = s.D
+			sc.h.push(roadPQItem{s.V, s.D})
 		}
 	}
-	done := make(map[int]bool, 64)
-	var ids []int
-	var ds []float64
+	need := len(dst) + k
 	relaxed := 0
-	for h.Len() > 0 && len(ids) < k {
-		it := heap.Pop(h).(roadPQItem)
-		if done[it.v] {
+	for len(sc.h) > 0 && len(dst) < need {
+		it := sc.h.pop()
+		if sc.done[it.v] {
 			continue
 		}
-		done[it.v] = true
-		if d.isSite[it.v] {
-			ids = append(ids, it.v)
+		sc.done[it.v] = true
+		if d.IsSite(it.v) {
+			dst = append(dst, it.v)
 			ds = append(ds, it.d)
-			if len(ids) == k {
+			if len(dst) == need {
 				break
 			}
 		}
-		for _, u := range d.g.AdjacentVertices(it.v) {
+		d.g.VisitEdgesFrom(it.v, func(u int, w float64) {
 			relaxed++
-			w, _ := d.g.EdgeWeight(it.v, u)
 			nd := it.d + w
-			if cur, ok := dist[u]; !ok || nd < cur {
-				dist[u] = nd
-				heap.Push(h, roadPQItem{u, nd})
+			if cur, ok := sc.dist[u]; !ok || nd < cur {
+				sc.dist[u] = nd
+				sc.h.push(roadPQItem{u, nd})
 			}
-		}
+		})
 	}
 	d.g.AddRelaxations(relaxed)
-	return ids, ds, relaxed
+	return dst, ds, relaxed
 }
 
 type roadPQItem struct {
@@ -272,6 +761,58 @@ func (h *roadPQ) Pop() any {
 	it := old[n-1]
 	*h = old[:n-1]
 	return it
+}
+
+// posHeap is a hand-rolled binary min-heap over Dijkstra labels;
+// container/heap would box every pushed item, one allocation per edge
+// relaxation. Ordering matches roadPQ (distance, then vertex id).
+type posHeap []roadPQItem
+
+func (h posHeap) less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	return h[i].v < h[j].v
+}
+
+func (h *posHeap) push(e roadPQItem) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *posHeap) pop() roadPQItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(s) && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // Subnetwork is the Theorem-2 search space: the part of the road network
@@ -304,7 +845,9 @@ func (d *Diagram) Subnetwork(sites []int) *Subnetwork {
 		return id
 	}
 	d.g.Edges(func(u, v int, w float64) {
-		if want[d.owner[u]] || want[d.owner[v]] {
+		uo, _ := d.label(u)
+		vo, _ := d.label(v)
+		if want[uo] || want[vo] {
 			su, sv := addVertex(u), addVertex(v)
 			if err := sub.G.AddEdge(su, sv, w); err != nil {
 				panic(fmt.Sprintf("netvor: subnetwork edge: %v", err))
@@ -351,56 +894,64 @@ func (s *Subnetwork) Translate(pos roadnet.Position) (roadnet.Position, bool) {
 // objects may exceed their full-network values, so only the set comparison
 // is meaningful.
 func (s *Subnetwork) KNNSites(pos roadnet.Position, sites []int, k int) ([]int, []float64) {
+	var sc SearchScratch
+	return s.AppendKNNSites(pos, sites, k, nil, nil, &sc)
+}
+
+// AppendKNNSites is KNNSites appending ids onto dst and distances onto ds
+// with caller-supplied scratch — the allocation-free form the per-update
+// validation path uses.
+func (s *Subnetwork) AppendKNNSites(pos roadnet.Position, sites []int, k int, dst []int, ds []float64, sc *SearchScratch) ([]int, []float64) {
 	if k <= 0 {
-		return nil, nil
+		return dst, ds
 	}
 	spos, ok := s.Translate(pos)
 	if !ok {
-		return nil, nil
+		return dst, ds
 	}
-	want := make(map[int]bool, len(sites))
+	sc.resetSearch()
+	if sc.want == nil {
+		sc.want = make(map[int]bool, len(sites))
+	} else {
+		clear(sc.want)
+	}
 	for _, site := range sites {
 		if sv, ok := s.ToSub[site]; ok {
-			want[sv] = true
+			sc.want[sv] = true
 		}
 	}
-	dist := make(map[int]float64, 64)
-	h := &roadPQ{}
 	for _, src := range spos.Sources(s.G) {
-		if cur, ok := dist[src.V]; !ok || src.D < cur {
-			dist[src.V] = src.D
-			heap.Push(h, roadPQItem{src.V, src.D})
+		if cur, ok := sc.dist[src.V]; !ok || src.D < cur {
+			sc.dist[src.V] = src.D
+			sc.h.push(roadPQItem{src.V, src.D})
 		}
 	}
-	done := make(map[int]bool, 64)
-	var ids []int
-	var ds []float64
+	need := len(dst) + k
 	relaxed := 0
-	for h.Len() > 0 && len(ids) < k {
-		it := heap.Pop(h).(roadPQItem)
-		if done[it.v] {
+	for len(sc.h) > 0 && len(dst) < need {
+		it := sc.h.pop()
+		if sc.done[it.v] {
 			continue
 		}
-		done[it.v] = true
-		if want[it.v] {
-			ids = append(ids, s.ToFull[it.v])
+		sc.done[it.v] = true
+		if sc.want[it.v] {
+			dst = append(dst, s.ToFull[it.v])
 			ds = append(ds, it.d)
-			if len(ids) == k {
+			if len(dst) == need {
 				break
 			}
 		}
-		for _, u := range s.G.AdjacentVertices(it.v) {
+		s.G.VisitEdgesFrom(it.v, func(u int, w float64) {
 			relaxed++
-			w, _ := s.G.EdgeWeight(it.v, u)
 			nd := it.d + w
-			if cur, ok := dist[u]; !ok || nd < cur {
-				dist[u] = nd
-				heap.Push(h, roadPQItem{u, nd})
+			if cur, ok := sc.dist[u]; !ok || nd < cur {
+				sc.dist[u] = nd
+				sc.h.push(roadPQItem{u, nd})
 			}
-		}
+		})
 	}
 	s.G.AddRelaxations(relaxed)
-	return ids, ds
+	return dst, ds
 }
 
 // DistancesToSites returns the network distance from pos to each given

@@ -114,6 +114,16 @@ func (g *Graph) AdjacentVertices(v int) []int {
 	return out
 }
 
+// VisitEdgesFrom calls fn for every edge incident to v with the far
+// endpoint and the edge weight. It is the allocation-free form of
+// AdjacentVertices+EdgeWeight that search hot paths use: one pass over the
+// adjacency list instead of an O(deg) weight lookup per neighbor.
+func (g *Graph) VisitEdgesFrom(v int, fn func(to int, w float64)) {
+	for _, he := range g.adj[v] {
+		fn(he.to, he.w)
+	}
+}
+
 // EdgeWeight returns the weight of edge (u,v) and whether it exists.
 func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
 	if u < 0 || u >= len(g.pts) {

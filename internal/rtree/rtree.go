@@ -88,8 +88,8 @@ type Tree struct {
 	own    atomic.Pointer[owner]
 	root   *node
 	size   int
-	max    int // max entries per node (M)
-	min    int // min entries per node (m = M/2)
+	max    int          // max entries per node (M)
+	min    int          // min entries per node (m = M/2)
 	nodes  atomic.Int64 // total nodes reachable from root (bookkept incrementally)
 	copied atomic.Int64 // nodes copied or created since the last Clone
 
