@@ -9,10 +9,12 @@
 // string and the unknown-id error are generated from it, so the list
 // cannot drift from the code. It covers the paper tables (E1–E12), the
 // ablations (A1–A3) and the serving records ENGINE (online plane
-// serving), STREAM (continuous-query push) and NETWORK (road-network
-// serving). With -benchout and a single record experiment the result is
-// written as the JSON record CI archives and benchguard gates
-// (BENCH_engine.json / BENCH_stream.json / BENCH_network.json).
+// serving), STREAM (continuous-query push), NETWORK (road-network
+// serving) and WAL (durability overhead and crash recovery). With
+// -benchout and a single record experiment the result is written as the
+// JSON record CI archives and benchguard gates (BENCH_engine.json /
+// BENCH_stream.json / BENCH_network.json / BENCH_wal.json). -seed
+// offsets every workload seed for seed-sensitivity reruns.
 package main
 
 import (
@@ -58,6 +60,8 @@ var runners = []runner{
 		record: func(cfg experiments.Config) (any, error) { return experiments.StreamBench(cfg) }},
 	{id: "NETWORK", doc: "road-network serving benchmark (site churn, epoch publication)",
 		record: func(cfg experiments.Config) (any, error) { return experiments.NetworkBench(cfg) }},
+	{id: "WAL", doc: "durability benchmark (WAL append overhead, crash recovery)",
+		record: func(cfg experiments.Config) (any, error) { return experiments.DurabilityBench(cfg) }},
 }
 
 // ids returns the registry's experiment ids in order.
@@ -75,12 +79,13 @@ func main() {
 	exp := flag.String("exp", "all",
 		"experiment id ("+strings.Join(ids(), ",")+") or 'all'")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (>=1)")
-	benchout := flag.String("benchout", "", "with a single record experiment (ENGINE, STREAM, NETWORK): write the result as JSON to this file (e.g. BENCH_engine.json)")
+	seed := flag.Int64("seed", 0, "offset every workload seed (datasets, trajectories, churn RNGs) to probe seed sensitivity; 0 = the canonical published tables (E1/E2 fixtures are seed-independent)")
+	benchout := flag.String("benchout", "", "with a single record experiment (ENGINE, STREAM, NETWORK, WAL): write the result as JSON to this file (e.g. BENCH_engine.json)")
 	flag.Parse()
 	if *scale < 1 {
 		*scale = 1
 	}
-	cfg := experiments.Config{Scale: *scale}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
 
 	want := strings.ToUpper(*exp)
 	if want != "ALL" {

@@ -10,6 +10,11 @@
 //	                              road-network serving path
 //	stream  (BENCH_stream.json):  push_p95_us growth > -max-push-growth,
 //	                              healthy-path dropped > -max-dropped
+//	wal     (BENCH_wal.json):     self-contained record: fresh
+//	                              updates_per_sec vs its own
+//	                              base_updates_per_sec overhead >
+//	                              -max-wal-overhead, recovery_ms >
+//	                              -max-recovery-ms (absolute)
 //
 //	go run ./cmd/bench -exp ENGINE -scale 4 -benchout BENCH_engine.fresh.json
 //	go run ./cmd/benchguard -kind engine -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
@@ -35,6 +40,10 @@ type record struct {
 	AllocsPerUpdate float64 `json:"allocs_per_update"`
 	PushP95US       float64 `json:"push_p95_us"`
 	Dropped         uint64  `json:"dropped"`
+	// wal records carry their own in-process baseline rate, so the
+	// overhead gate is machine-consistent by construction.
+	BaseUpdatesPerSec float64 `json:"base_updates_per_sec"`
+	RecoveryMS        float64 `json:"recovery_ms"`
 }
 
 func load(path string) (record, error) {
@@ -55,6 +64,8 @@ type thresholds struct {
 	maxAllocGrowth float64 // engine, network
 	maxPushGrowth  float64 // stream
 	maxDropped     uint64  // stream
+	maxWALOverhead float64 // wal
+	maxRecoveryMS  float64 // wal
 }
 
 // check returns the regression verdicts for one record kind; factored out
@@ -79,6 +90,22 @@ func check(kind string, base, fresh record, th thresholds) []string {
 					growth, base.AllocsPerUpdate, fresh.AllocsPerUpdate, th.maxAllocGrowth))
 			}
 		}
+	case "wal":
+		// The wal record is self-contained: both rates come from the same
+		// process, so the gate reads the fresh record only (the committed
+		// baseline just anchors the history).
+		if fresh.BaseUpdatesPerSec > 0 {
+			overhead := 1 - fresh.UpdatesPerSec/fresh.BaseUpdatesPerSec
+			if overhead > th.maxWALOverhead {
+				fails = append(fails, fmt.Sprintf(
+					"WAL serving overhead %.1f%% (%.0f/s with log vs %.0f/s without; limit %.0f%%)",
+					100*overhead, fresh.UpdatesPerSec, fresh.BaseUpdatesPerSec, 100*th.maxWALOverhead))
+			}
+		}
+		if fresh.RecoveryMS > th.maxRecoveryMS {
+			fails = append(fails, fmt.Sprintf(
+				"crash recovery took %.1fms (limit %.0fms)", fresh.RecoveryMS, th.maxRecoveryMS))
+		}
 	case "stream":
 		if base.PushP95US > 0 {
 			growth := fresh.PushP95US / base.PushP95US
@@ -94,13 +121,18 @@ func check(kind string, base, fresh record, th thresholds) []string {
 				fresh.Dropped, th.maxDropped))
 		}
 	default:
-		fails = append(fails, fmt.Sprintf("unknown record kind %q (engine, network, stream)", kind))
+		fails = append(fails, fmt.Sprintf("unknown record kind %q (engine, network, stream, wal)", kind))
 	}
 	return fails
 }
 
 // summary renders the passing verdict for one kind.
 func summary(kind string, base, fresh record) string {
+	if kind == "wal" {
+		return fmt.Sprintf("ok: WAL overhead %.1f%% (%.0f/s vs %.0f/s), recovery %.1fms",
+			100*(1-fresh.UpdatesPerSec/maxFloat(fresh.BaseUpdatesPerSec, 1)),
+			fresh.UpdatesPerSec, fresh.BaseUpdatesPerSec, fresh.RecoveryMS)
+	}
 	if kind == "stream" {
 		return fmt.Sprintf("ok: push p95 %.1fus (baseline %.1fus), dropped %d",
 			fresh.PushP95US, base.PushP95US, fresh.Dropped)
@@ -109,17 +141,26 @@ func summary(kind string, base, fresh record) string {
 		fresh.UpdatesPerSec, base.UpdatesPerSec, fresh.AllocsPerUpdate, base.AllocsPerUpdate)
 }
 
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchguard: ")
 	var (
-		kind           = flag.String("kind", "engine", "record kind: engine, network or stream")
+		kind           = flag.String("kind", "engine", "record kind: engine, network, stream or wal")
 		baseline       = flag.String("baseline", "BENCH_engine.json", "committed baseline record")
 		fresh          = flag.String("fresh", "BENCH_engine.fresh.json", "freshly measured record")
 		maxRateDrop    = flag.Float64("max-rate-drop", 0.25, "engine/network: fail when updates_per_sec drops by more than this fraction")
 		maxAllocGrowth = flag.Float64("max-alloc-growth", 2.0, "engine/network: fail when allocs_per_update grows by more than this factor")
 		maxPushGrowth  = flag.Float64("max-push-growth", 4.0, "stream: fail when push_p95_us grows by more than this factor")
 		maxDropped     = flag.Uint64("max-dropped", 0, "stream: fail when the healthy subscriber's dropped counter exceeds this")
+		maxWALOverhead = flag.Float64("max-wal-overhead", 0.10, "wal: fail when the fresh record's updates_per_sec falls more than this fraction below its own base_updates_per_sec")
+		maxRecoveryMS  = flag.Float64("max-recovery-ms", 2000, "wal: fail when the fresh record's crash recovery exceeds this many milliseconds")
 	)
 	flag.Parse()
 
@@ -136,6 +177,8 @@ func main() {
 		maxAllocGrowth: *maxAllocGrowth,
 		maxPushGrowth:  *maxPushGrowth,
 		maxDropped:     *maxDropped,
+		maxWALOverhead: *maxWALOverhead,
+		maxRecoveryMS:  *maxRecoveryMS,
 	})
 	for _, f := range fails {
 		log.Printf("FAIL [%s]: %s", *kind, f)

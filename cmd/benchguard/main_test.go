@@ -2,7 +2,8 @@ package main
 
 import "testing"
 
-var testTh = thresholds{maxRateDrop: 0.25, maxAllocGrowth: 2.0, maxPushGrowth: 4.0, maxDropped: 0}
+var testTh = thresholds{maxRateDrop: 0.25, maxAllocGrowth: 2.0, maxPushGrowth: 4.0, maxDropped: 0,
+	maxWALOverhead: 0.10, maxRecoveryMS: 2000}
 
 func TestCheckEngineThresholds(t *testing.T) {
 	base := record{UpdatesPerSec: 100000, AllocsPerUpdate: 10}
@@ -54,6 +55,31 @@ func TestCheckStreamThresholds(t *testing.T) {
 	}
 }
 
+func TestCheckWALThresholds(t *testing.T) {
+	cases := []struct {
+		name  string
+		fresh record
+		fails int
+	}{
+		{"no overhead", record{BaseUpdatesPerSec: 100000, UpdatesPerSec: 100000, RecoveryMS: 50}, 0},
+		{"within overhead slack", record{BaseUpdatesPerSec: 100000, UpdatesPerSec: 92000, RecoveryMS: 50}, 0},
+		{"faster with log", record{BaseUpdatesPerSec: 100000, UpdatesPerSec: 110000, RecoveryMS: 50}, 0},
+		{"overhead regression", record{BaseUpdatesPerSec: 100000, UpdatesPerSec: 85000, RecoveryMS: 50}, 1},
+		{"slow recovery", record{BaseUpdatesPerSec: 100000, UpdatesPerSec: 100000, RecoveryMS: 5000}, 1},
+		{"both regressed", record{BaseUpdatesPerSec: 100000, UpdatesPerSec: 50000, RecoveryMS: 9000}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// The wal gate reads the fresh record only; an old baseline
+			// must not mask it.
+			got := check("wal", record{}, c.fresh, testTh)
+			if len(got) != c.fails {
+				t.Fatalf("check = %v, want %d failures", got, c.fails)
+			}
+		})
+	}
+}
+
 func TestCheckEmptyBaseline(t *testing.T) {
 	// A zeroed baseline (e.g. a hand-initialized record) must never fail
 	// the gate by division against zero.
@@ -61,6 +87,10 @@ func TestCheckEmptyBaseline(t *testing.T) {
 		if got := check(kind, record{}, record{UpdatesPerSec: 1, AllocsPerUpdate: 1, PushP95US: 1}, testTh); len(got) != 0 {
 			t.Fatalf("check(%s) against empty baseline = %v, want none", kind, got)
 		}
+	}
+	// A wal record with a zero base rate likewise cannot divide by zero.
+	if got := check("wal", record{}, record{UpdatesPerSec: 1, RecoveryMS: 1}, testTh); len(got) != 0 {
+		t.Fatalf("check(wal) with zero base rate = %v, want none", got)
 	}
 }
 

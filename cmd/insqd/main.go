@@ -47,6 +47,8 @@ import (
 	"time"
 
 	insq "repro"
+	"repro/internal/index"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -63,6 +65,9 @@ func main() {
 		netGrid  = flag.Int("network-grid", 0, "serve a road-network side too: a GxG street grid (0 = plane only; loadgen -network must use the same value)")
 		netSites = flag.Int("network-sites", 1000, "initial network data objects (with -network-grid)")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (see EXPERIMENTS.md for the profiling recipe)")
+		dataDir  = flag.String("data-dir", "", "durability directory: write-ahead log + checkpoints; on boot the newest checkpoint is loaded and the WAL tail replayed (empty = no durability, state dies with the process)")
+		fsync    = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always (group commit, no acknowledged batch lost), interval (bounded loss window), off")
+		ckptEach = flag.Uint64("checkpoint-every", wal.DefaultCheckpointEvery, "checkpoint the index snapshot every N data-update epochs (with -data-dir)")
 	)
 	flag.Parse()
 	if *objects < 1 || *shards < 1 || *space <= 0 {
@@ -88,20 +93,17 @@ func main() {
 		cfg.Network, cfg.NetworkSites = g, sites
 		log.Printf("road network: %d vertices, %d edges, %d sites", g.NumVertices(), g.NumEdges(), len(sites))
 	}
-	log.Printf("building shared index of %d objects (%d shards)...", *objects, *shards)
-	start := time.Now()
-	e, err := insq.NewEngine(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("engine up in %v", time.Since(start).Round(time.Millisecond))
 
+	// Start listening before recovery: during WAL replay clients get a
+	// clean 503 + Retry-After instead of a connection refused, and load
+	// balancers can watch /healthz flip.
 	if *pprofOn {
 		log.Print("pprof endpoints enabled under /debug/pprof/")
 	}
+	hs := &server{pprof: *pprofOn}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: (&server{e: e, pprof: *pprofOn}).handler(),
+		Handler: hs.handler(),
 		// Bound slow clients so stuck connections can't pin goroutines (or
 		// eat the whole shutdown budget); bodies are size-capped per
 		// handler.
@@ -110,8 +112,6 @@ func main() {
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer cancel()
 	go func() {
 		log.Printf("listening on %s", *addr)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -119,6 +119,43 @@ func main() {
 		}
 	}()
 
+	var mgr *wal.Manager
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("durability: opening %s (fsync=%s, checkpoint-every=%d)...", *dataDir, policy, *ckptEach)
+		mgr, err = wal.Open(index.Config{
+			Fanout:       *fanout,
+			Bounds:       bounds,
+			Objects:      cfg.Objects,
+			Network:      cfg.Network,
+			NetworkSites: cfg.NetworkSites,
+		}, wal.Options{
+			Dir:             *dataDir,
+			Sync:            policy,
+			CheckpointEvery: *ckptEach,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws := mgr.Stats()
+		log.Printf("recovered to epoch %d in %v (checkpoint epoch %d, %d batches replayed, %d bytes truncated)",
+			ws.RecoveredEpoch, ws.Recovery.Round(time.Millisecond), ws.CheckpointEpoch, ws.ReplayedBatches, ws.TruncatedBytes)
+		cfg.WAL = mgr
+	}
+	log.Printf("building shared index of %d objects (%d shards)...", *objects, *shards)
+	start := time.Now()
+	e, err := insq.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs.setEngine(e)
+	log.Printf("engine up in %v", time.Since(start).Round(time.Millisecond))
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
 	<-ctx.Done()
 	log.Print("shutting down...")
 	// Close the push broker first: every SSE subscriber gets a final "bye"
@@ -133,6 +170,13 @@ func main() {
 	}
 	if st, err := e.Stats(); err == nil {
 		log.Printf("final: %v", st)
+	}
+	if mgr != nil {
+		// Final checkpoint needs a live store: close the manager before the
+		// engine.
+		if err := mgr.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
 	}
 	e.Close()
 	log.Print("bye")

@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	insq "repro"
@@ -19,16 +20,48 @@ import (
 // server routes the insqd HTTP API onto one serving engine. The engine is
 // safe for concurrent use, so handlers need no additional locking.
 type server struct {
-	e *insq.Engine
+	// e is nil until setEngine; handlers only run after ready flips, whose
+	// atomic store/load orders the engine write before any handler read.
+	e     *insq.Engine
+	ready atomic.Bool
 	// pprof opt-in: mounts net/http/pprof under /debug/pprof/ (CPU, heap,
 	// mutex, block profiles of the live serving process). Off by default —
 	// profiles expose internals and cost cycles while sampling.
 	pprof bool
 }
 
-// handler builds the route table; factored out of main so tests can mount
-// it on httptest servers.
+// newServer returns a server already open for traffic — the in-process
+// boot path (and tests), where the engine exists before the listener.
+func newServer(e *insq.Engine, pprofOn bool) *server {
+	s := &server{pprof: pprofOn}
+	s.setEngine(e)
+	return s
+}
+
+// setEngine publishes the engine and opens the server for traffic. The
+// listener starts before crash recovery finishes, so clients get a clean
+// 503 + Retry-After instead of a connection refused while the WAL
+// replays.
+func (s *server) setEngine(e *insq.Engine) {
+	s.e = e
+	s.ready.Store(true)
+}
+
+// handler builds the route table behind the readiness gate; factored out
+// of main so tests can mount it on httptest servers.
 func (s *server) handler() http.Handler {
+	mux := s.routes()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, api.ErrorResponse{Error: "recovering: server not ready"})
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.createSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.closeSession)

@@ -26,6 +26,14 @@
 // and the shared -space/-seed knobs must match the server's), updates flow
 // through /v1/network/update, and churn mutates the site set instead of
 // the plane objects.
+//
+// Against HTTP targets every request retries 503s (up to three times,
+// honoring Retry-After) — a restarting insqd replaying its WAL answers
+// 503 until recovery publishes, and the load should ride through that
+// window rather than die. -report-errors prints a per-endpoint table of
+// error statuses, retries taken and transport failures so the recovery
+// window (or any other unhealthiness) is visible instead of folded into
+// generic error counts.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -156,6 +165,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "trajectory seed")
 		objects  = flag.Int("objects", 50000, "in-process mode: synthetic data objects")
 		shards   = flag.Int("shards", 8, "in-process mode: engine shards")
+		repErrs  = flag.Bool("report-errors", false, "HTTP mode: print per-endpoint error statuses, 503 retries and transport failures after the run")
 	)
 	flag.Parse()
 	if *sessions < 1 || *batch < 1 || *workers < 1 {
@@ -389,6 +399,17 @@ func main() {
 		if s := st.Stream; s.Published > 0 || s.Subscribers > 0 {
 			fmt.Printf("server stream          published=%d delivered=%d coalesced=%d dropped=%d\n",
 				s.Published, s.Delivered, s.Coalesced, s.Dropped)
+		}
+	}
+	if *repErrs {
+		if ht, ok := tgt.(*httpTarget); ok {
+			if tbl := ht.errs.report(); tbl != "" {
+				fmt.Printf("http errors by endpoint\n%s", tbl)
+			} else {
+				fmt.Println("http errors by endpoint: none")
+			}
+		} else {
+			log.Print("-report-errors: in-process target, no HTTP layer to report on")
 		}
 	}
 	// Release the sessions (after the stats read — server counters cover
@@ -658,16 +679,128 @@ func (t inprocTarget) stats() (*api.StatsResponse, error) {
 
 func (t inprocTarget) close() { t.e.Close() }
 
+// errStats tallies per-endpoint HTTP failures and 503 retries so
+// recovery-window unavailability (insqd replaying its WAL answers 503 +
+// Retry-After until the engine publishes) is visible in the -report-errors
+// table instead of vanishing into generic error counts.
+type errStats struct {
+	mu      sync.Mutex
+	counts  map[string]map[int]uint64 // endpoint -> status -> responses
+	retries map[string]uint64         // endpoint -> 503 retries taken
+	netErrs map[string]uint64         // endpoint -> transport errors
+}
+
+func newErrStats() *errStats {
+	return &errStats{
+		counts:  make(map[string]map[int]uint64),
+		retries: make(map[string]uint64),
+		netErrs: make(map[string]uint64),
+	}
+}
+
+func (s *errStats) record(endpoint string, status int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.counts[endpoint]
+	if m == nil {
+		m = make(map[int]uint64)
+		s.counts[endpoint] = m
+	}
+	m[status]++
+}
+
+func (s *errStats) retry(endpoint string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retries[endpoint]++
+}
+
+func (s *errStats) netErr(endpoint string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.netErrs[endpoint]++
+}
+
+// report renders one line per endpoint with its error statuses, retries
+// and transport failures; empty when every request succeeded first try.
+func (s *errStats) report() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	endpoints := make(map[string]bool)
+	for ep := range s.counts {
+		endpoints[ep] = true
+	}
+	for ep := range s.retries {
+		endpoints[ep] = true
+	}
+	for ep := range s.netErrs {
+		endpoints[ep] = true
+	}
+	ordered := make([]string, 0, len(endpoints))
+	for ep := range endpoints {
+		ordered = append(ordered, ep)
+	}
+	sort.Strings(ordered)
+	var b strings.Builder
+	for _, ep := range ordered {
+		fmt.Fprintf(&b, "  %-28s", ep)
+		statuses := make([]int, 0, len(s.counts[ep]))
+		for code := range s.counts[ep] {
+			statuses = append(statuses, code)
+		}
+		sort.Ints(statuses)
+		for _, code := range statuses {
+			fmt.Fprintf(&b, " %dx%d", s.counts[ep][code], code)
+		}
+		if n := s.retries[ep]; n > 0 {
+			fmt.Fprintf(&b, " retries=%d", n)
+		}
+		if n := s.netErrs[ep]; n > 0 {
+			fmt.Fprintf(&b, " transport=%d", n)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // httpTarget talks to a running insqd.
 type httpTarget struct {
 	base string
 	c    *http.Client
+	errs *errStats
 }
 
 func newHTTPTarget(base string, workers int) *httpTarget {
 	tr := http.DefaultTransport.(*http.Transport).Clone()
 	tr.MaxIdleConnsPerHost = workers + 2
-	return &httpTarget{base: base, c: &http.Client{Transport: tr, Timeout: 30 * time.Second}}
+	return &httpTarget{base: base, c: &http.Client{Transport: tr, Timeout: 30 * time.Second}, errs: newErrStats()}
+}
+
+// doRetry issues fn, retrying up to three 503s (the server's recovery
+// window) after its Retry-After hint, recording every non-2xx response,
+// retry and transport failure per endpoint.
+func (t *httpTarget) doRetry(endpoint string, fn func() (*http.Response, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		r, err := fn()
+		if err != nil {
+			t.errs.netErr(endpoint)
+			return nil, err
+		}
+		if r.StatusCode >= 300 {
+			t.errs.record(endpoint, r.StatusCode)
+		}
+		if r.StatusCode != http.StatusServiceUnavailable || attempt >= 3 {
+			return r, nil
+		}
+		wait := time.Second
+		if ra, err := strconv.Atoi(r.Header.Get("Retry-After")); err == nil && ra >= 0 {
+			wait = min(time.Duration(ra)*time.Second, 5*time.Second)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		t.errs.retry(endpoint)
+		time.Sleep(wait)
+	}
 }
 
 func (t *httpTarget) post(path string, req, resp any) error {
@@ -675,7 +808,9 @@ func (t *httpTarget) post(path string, req, resp any) error {
 	if err != nil {
 		return err
 	}
-	r, err := t.c.Post(t.base+path, "application/json", bytes.NewReader(body))
+	r, err := t.doRetry("POST "+path, func() (*http.Response, error) {
+		return t.c.Post(t.base+path, "application/json", bytes.NewReader(body))
+	})
 	if err != nil {
 		return err
 	}
@@ -698,11 +833,13 @@ func (t *httpTarget) createSession(k int, rho float64, network bool) (uint64, er
 }
 
 func (t *httpTarget) closeSession(sid uint64) error {
-	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%d", t.base, sid), nil)
-	if err != nil {
-		return err
-	}
-	r, err := t.c.Do(req)
+	r, err := t.doRetry("DELETE /v1/sessions", func() (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%d", t.base, sid), nil)
+		if err != nil {
+			return nil, err
+		}
+		return t.c.Do(req)
+	})
 	if err != nil {
 		return err
 	}
@@ -742,11 +879,13 @@ func (t *httpTarget) insertNetworkObject(vertex int) (int, error) {
 }
 
 func (t *httpTarget) removeNetworkObject(vertex int) error {
-	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/network/objects/%d", t.base, vertex), nil)
-	if err != nil {
-		return err
-	}
-	r, err := t.c.Do(req)
+	r, err := t.doRetry("DELETE /v1/network/objects", func() (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/network/objects/%d", t.base, vertex), nil)
+		if err != nil {
+			return nil, err
+		}
+		return t.c.Do(req)
+	})
 	if err != nil {
 		return err
 	}
@@ -758,11 +897,13 @@ func (t *httpTarget) removeNetworkObject(vertex int) error {
 }
 
 func (t *httpTarget) removeObject(id int) error {
-	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/objects/%d", t.base, id), nil)
-	if err != nil {
-		return err
-	}
-	r, err := t.c.Do(req)
+	r, err := t.doRetry("DELETE /v1/objects", func() (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/objects/%d", t.base, id), nil)
+		if err != nil {
+			return nil, err
+		}
+		return t.c.Do(req)
+	})
 	if err != nil {
 		return err
 	}

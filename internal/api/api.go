@@ -41,6 +41,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/roadnet"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // CreateSessionRequest registers one moving kNN query session.
@@ -240,6 +241,51 @@ func NewStreamStats(s stream.Stats) StreamStats {
 	}
 }
 
+// WALStats is the durability pipeline's counter snapshot: the write-ahead
+// log's append/fsync side, the checkpoint lifecycle, and what the last
+// recovery replayed. Present in StatsResponse only when the server runs
+// with -data-dir.
+type WALStats struct {
+	Policy            string  `json:"policy"`
+	AppendedBatches   uint64  `json:"appended_batches"`
+	AppendedMutations uint64  `json:"appended_mutations"`
+	AppendedBytes     uint64  `json:"appended_bytes"`
+	Fsyncs            uint64  `json:"fsyncs"`
+	FsyncTotalMS      float64 `json:"fsync_total_ms"`
+	Segments          int     `json:"segments"`
+	PrunedSegments    uint64  `json:"pruned_segments"`
+	Checkpoints       uint64  `json:"checkpoints"`
+	CheckpointEpoch   uint64  `json:"checkpoint_epoch"`
+	CheckpointBytes   uint64  `json:"checkpoint_bytes"`
+	ReplayedBatches   uint64  `json:"replayed_batches"`
+	ReplayedMutations uint64  `json:"replayed_mutations"`
+	TruncatedBytes    int64   `json:"truncated_bytes"`
+	RecoveredEpoch    uint64  `json:"recovered_epoch"`
+	RecoveryMS        float64 `json:"recovery_ms"`
+}
+
+// NewWALStats converts a durability snapshot to wire form.
+func NewWALStats(s wal.Stats) WALStats {
+	return WALStats{
+		Policy:            string(s.Policy),
+		AppendedBatches:   s.AppendedBatches,
+		AppendedMutations: s.AppendedMutations,
+		AppendedBytes:     s.AppendedBytes,
+		Fsyncs:            s.Fsyncs,
+		FsyncTotalMS:      float64(s.FsyncTotal.Nanoseconds()) / 1e6,
+		Segments:          s.Segments,
+		PrunedSegments:    s.PrunedSegments,
+		Checkpoints:       s.Checkpoints,
+		CheckpointEpoch:   s.CheckpointEpoch,
+		CheckpointBytes:   s.CheckpointBytes,
+		ReplayedBatches:   s.ReplayedBatches,
+		ReplayedMutations: s.ReplayedMutations,
+		TruncatedBytes:    s.TruncatedBytes,
+		RecoveredEpoch:    s.RecoveredEpoch,
+		RecoveryMS:        float64(s.Recovery.Nanoseconds()) / 1e6,
+	}
+}
+
 // StatsResponse is the engine snapshot served by GET /v1/stats. Snapshots
 // is the number of live index versions: 1 when every session has re-pinned
 // to the current one, more while lagging sessions keep old versions alive.
@@ -262,11 +308,13 @@ type StatsResponse struct {
 	Latency          LatencyStats     `json:"latency"`
 	Counters         metrics.Counters `json:"counters"`
 	Stream           StreamStats      `json:"stream"`
+	// WAL is present only when the server runs with durability enabled.
+	WAL *WALStats `json:"wal,omitempty"`
 }
 
 // NewStatsResponse converts an engine snapshot to wire form.
 func NewStatsResponse(st engine.Stats) StatsResponse {
-	return StatsResponse{
+	resp := StatsResponse{
 		Shards:           st.Shards,
 		Sessions:         st.Sessions,
 		Objects:          st.Objects,
@@ -283,6 +331,11 @@ func NewStatsResponse(st engine.Stats) StatsResponse {
 		Counters:         st.Counters,
 		Stream:           NewStreamStats(st.Stream),
 	}
+	if st.WAL != nil {
+		ws := NewWALStats(*st.WAL)
+		resp.WAL = &ws
+	}
+	return resp
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -185,6 +185,29 @@ func (t *Triangulation) Insert(p geom.Point) (int, error) {
 	return id, nil
 }
 
+// PadVertex appends one dead vertex slot without touching the
+// triangulation: the slot's id is burned exactly as if the vertex had been
+// inserted and removed, so the next Insert assigns the id after it.
+// Restore paths (rebuilding a checkpointed index) use it to reproduce an
+// id sequence that contains removed vertices, which keeps ids assigned
+// after recovery identical to the ids the original instance would have
+// assigned.
+func (t *Triangulation) PadVertex() (int, error) {
+	if t.frozen.Load() {
+		return -1, ErrFrozen
+	}
+	vi := int32(len(t.pts))
+	t.pts = append(t.pts, geom.Point{})
+	t.vface.append(noTri, t.own)
+	return int(vi) - 3, nil
+}
+
+// IDUpperBound returns the exclusive upper bound of assigned vertex ids:
+// the id the next Insert (or PadVertex) will receive. Removed vertices
+// keep their ids burned, so this is the value a restore path must pad up
+// to — not the live-vertex count.
+func (t *Triangulation) IDUpperBound() int { return len(t.pts) - 3 }
+
 // locate walks from the hint triangle to the face containing p. It returns
 // the face index and, when p lies exactly on one of its edges, that edge's
 // index (otherwise -1). It is called on read paths too (Nearest), so the

@@ -38,6 +38,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/roadnet"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // Errors returned by engine operations.
@@ -100,6 +101,14 @@ type Config struct {
 	Network *roadnet.Graph
 	// NetworkSites are the vertices holding the network data objects.
 	NetworkSites []int
+
+	// WAL, when non-nil, is an opened durability manager; the engine then
+	// serves from its recovered store instead of building one (and
+	// Objects/NetworkSites/Bounds above are ignored — the manager's store
+	// already carries the recovered state). Lifecycle: close the manager
+	// BEFORE Engine.Close, so its final checkpoint can still pin a
+	// snapshot; the engine closes the store either way.
+	WAL *wal.Manager
 }
 
 // SessionID identifies a live query session. The owning shard is encoded
@@ -172,6 +181,9 @@ type Stats struct {
 	// delivered events, and the coalesce/drop counters that make the
 	// overflow policy observable.
 	Stream stream.Stats
+	// WAL is the durability pipeline's counter snapshot, nil when the
+	// engine runs without a write-ahead log.
+	WAL *wal.Stats
 }
 
 // String renders the snapshot as a short report.
@@ -186,6 +198,7 @@ func (s Stats) String() string {
 // concurrent use.
 type Engine struct {
 	store    *index.Store
+	wal      *wal.Manager // nil without durability
 	events   *stream.Broker
 	shards   []*shard
 	start    time.Time
@@ -223,24 +236,31 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = 128
 	}
-	st, err := index.NewStore(index.Config{
-		Fanout:       cfg.Fanout,
-		LogDepth:     cfg.LogDepth,
-		Bounds:       cfg.Bounds,
-		Objects:      cfg.Objects,
-		Network:      cfg.Network,
-		NetworkSites: cfg.NetworkSites,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
+	var st *index.Store
+	if cfg.WAL != nil {
+		st = cfg.WAL.Store()
+	} else {
+		var err error
+		st, err = index.NewStore(index.Config{
+			Fanout:       cfg.Fanout,
+			LogDepth:     cfg.LogDepth,
+			Bounds:       cfg.Bounds,
+			Objects:      cfg.Objects,
+			Network:      cfg.Network,
+			NetworkSites: cfg.NetworkSites,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
 	}
 	e := &Engine{
 		store:    st,
+		wal:      cfg.WAL,
 		events:   stream.NewBroker(cfg.StreamQueueDepth),
 		shards:   make([]*shard, cfg.Shards),
 		start:    time.Now(),
 		hasPlane: st.HasPlane(),
-		bounds:   cfg.Bounds,
+		bounds:   st.Bounds(),
 	}
 	for i := range e.shards {
 		e.shards[i] = &shard{
@@ -548,6 +568,10 @@ func (e *Engine) Stats() (Stats, error) {
 		Epoch:     e.store.Epoch(),
 		Snapshots: e.store.LiveSnapshots(),
 		Stream:    e.events.Stats(),
+	}
+	if e.wal != nil {
+		ws := e.wal.Stats()
+		st.WAL = &ws
 	}
 	if plane := e.store.Current().Plane(); plane != nil {
 		st.Objects = plane.Len()

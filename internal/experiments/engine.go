@@ -114,7 +114,7 @@ func EngineBench(cfg Config) (EngineBenchResult, error) {
 		steps /= cfg.Scale
 	}
 
-	pts := workload.Uniform(objects, Bounds, 42)
+	pts := workload.Uniform(objects, Bounds, cfg.seed(42))
 	runtime.GC()
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -136,7 +136,7 @@ func EngineBench(cfg Config) (EngineBenchResult, error) {
 			return EngineBenchResult{}, err
 		}
 		sids[i] = sid
-		trajs[i] = trajectory.RandomWaypoint(Bounds, steps, 8, int64(i))
+		trajs[i] = trajectory.RandomWaypoint(Bounds, steps, 8, cfg.seed(int64(i)))
 	}
 
 	var mallocsBefore runtime.MemStats
@@ -188,11 +188,11 @@ func EngineBench(cfg Config) (EngineBenchResult, error) {
 	}
 	// Publication sublinearity probe: one single-insert epoch against an
 	// 8x smaller and the full-size object set.
-	pubSmall, err := publishProbeUS(objects/8, 64, 43)
+	pubSmall, err := publishProbeUS(objects/8, 64, cfg.seed(43))
 	if err != nil {
 		return EngineBenchResult{}, err
 	}
-	pubLarge, err := publishProbeUS(objects, 64, 44)
+	pubLarge, err := publishProbeUS(objects, 64, cfg.seed(44))
 	if err != nil {
 		return EngineBenchResult{}, err
 	}

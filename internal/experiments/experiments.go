@@ -60,7 +60,16 @@ func reportRow(exp, param string, rep sim.Report, extra string) Row {
 // `go test -bench=.` stays tractable.
 type Config struct {
 	Scale int
+	// Seed offsets every workload seed (datasets, trajectories, churn
+	// RNGs) so reruns can probe seed sensitivity; 0 reproduces the
+	// canonical published tables. The E1/E2 paper-figure fixtures are
+	// seed-independent by construction.
+	Seed int64
 }
+
+// seed derives a workload seed from its canonical base and the run's
+// Seed offset.
+func (c Config) seed(base int64) int64 { return base + c.Seed }
 
 func (c Config) steps(n int) int {
 	if c.Scale <= 1 {
@@ -78,12 +87,12 @@ func planeIndex(n int, seed int64) (*vortree.Index, error) {
 // E4E5 sweeps k and reports recomputations, shipped objects (E4) and
 // processing time per step (E5) for INS and the baselines.
 func E4E5(cfg Config) ([]Row, error) {
-	ix, err := planeIndex(10000, 4)
+	ix, err := planeIndex(10000, cfg.seed(4))
 	if err != nil {
 		return nil, err
 	}
 	steps := cfg.steps(4000)
-	traj := trajectory.RandomWaypoint(Bounds, steps, 8, 44)
+	traj := trajectory.RandomWaypoint(Bounds, steps, 8, cfg.seed(44))
 	var rows []Row
 	for _, k := range []int{1, 2, 4, 8, 16, 32} {
 		param := fmt.Sprintf("k=%d", k)
@@ -131,12 +140,12 @@ func planeProcessors(ix *vortree.Index, k int, rho float64, x int) ([]sim.PlaneP
 // E6 sweeps the prefetch ratio ρ and reports the communication /
 // recomputation trade-off it balances.
 func E6(cfg Config) ([]Row, error) {
-	ix, err := planeIndex(10000, 6)
+	ix, err := planeIndex(10000, cfg.seed(6))
 	if err != nil {
 		return nil, err
 	}
 	steps := cfg.steps(6000)
-	traj := trajectory.RandomWaypoint(Bounds, steps, 8, 66)
+	traj := trajectory.RandomWaypoint(Bounds, steps, 8, cfg.seed(66))
 	var rows []Row
 	for _, rho := range []float64{1.0, 1.2, 1.6, 2.0, 3.0} {
 		q, err := core.NewPlaneQuery(ix, 8, rho)
@@ -165,11 +174,11 @@ func E7(cfg Config) ([]Row, error) {
 		sizes = []int{1000, 5000, 10000, 50000}
 	}
 	for _, n := range sizes {
-		ix, err := planeIndex(n, int64(n))
+		ix, err := planeIndex(n, cfg.seed(int64(n)))
 		if err != nil {
 			return nil, err
 		}
-		traj := trajectory.RandomWaypoint(Bounds, steps, 8, int64(n)+7)
+		traj := trajectory.RandomWaypoint(Bounds, steps, 8, cfg.seed(int64(n)+7))
 		param := fmt.Sprintf("n=%d", n)
 		ins, err := core.NewPlaneQuery(ix, 8, 1.6)
 		if err != nil {
@@ -206,17 +215,17 @@ func E7(cfg Config) ([]Row, error) {
 // ablation (E9): the same INS logic with validation on the full network.
 func E8E9(cfg Config) ([]Row, error) {
 	netBounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(20000, 20000))
-	g, err := roadnet.GridNetwork(64, 64, netBounds, 0.25, 0.3, 8)
+	g, err := roadnet.GridNetwork(64, 64, netBounds, 0.25, 0.3, cfg.seed(8))
 	if err != nil {
 		return nil, err
 	}
-	sites := pickSites(g.NumVertices(), 400, 88)
+	sites := pickSites(g.NumVertices(), 400, cfg.seed(88))
 	d, err := netvor.Build(g, sites)
 	if err != nil {
 		return nil, err
 	}
 	routeLen := float64(cfg.steps(400000))
-	route, err := roadnet.RandomWalkRoute(g, 0, routeLen, 89)
+	route, err := roadnet.RandomWalkRoute(g, 0, routeLen, cfg.seed(89))
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +284,7 @@ func E11(cfg Config) ([]Row, error) {
 	steps := cfg.steps(3000)
 	var rows []Row
 	for _, updatesPer100 := range []int{0, 1, 5, 10} {
-		ix, err := planeIndex(10000, 11)
+		ix, err := planeIndex(10000, cfg.seed(11))
 		if err != nil {
 			return nil, err
 		}
@@ -283,8 +292,8 @@ func E11(cfg Config) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		traj := trajectory.RandomWaypoint(Bounds, steps, 8, 111)
-		state := uint64(12345)
+		traj := trajectory.RandomWaypoint(Bounds, steps, 8, cfg.seed(111))
+		state := uint64(12345 + cfg.Seed)
 		rnd := func(n int) int {
 			// Use the high bits: the low bits of an LCG cycle with tiny
 			// periods (bit 0 alternates every call).

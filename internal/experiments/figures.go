@@ -104,7 +104,7 @@ func E2() ([]Row, error) {
 // how many of those invalidations were repaired locally vs. recomputed.
 func E3(cfg Config) ([]Row, error) {
 	ix, _, err := vortree.Build(Fig1Bounds,
-		16, workload.Uniform(200, Fig1Bounds, 14))
+		16, workload.Uniform(200, Fig1Bounds, cfg.seed(14)))
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +112,7 @@ func E3(cfg Config) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	traj := trajectory.RandomWaypoint(Fig1Bounds, cfg.steps(4000), 0.5, 15)
+	traj := trajectory.RandomWaypoint(Fig1Bounds, cfg.steps(4000), 0.5, cfg.seed(15))
 	rep, err := sim.RunPlane(q, traj, nil)
 	if err != nil {
 		return nil, err
@@ -126,11 +126,11 @@ func E3(cfg Config) ([]Row, error) {
 // AblationRerank measures what the local re-rank path (update cases
 // (i)/(ii)) is worth by disabling it.
 func AblationRerank(cfg Config) ([]Row, error) {
-	ix, err := planeIndex(10000, 21)
+	ix, err := planeIndex(10000, cfg.seed(21))
 	if err != nil {
 		return nil, err
 	}
-	traj := trajectory.RandomWaypoint(Bounds, cfg.steps(4000), 8, 121)
+	traj := trajectory.RandomWaypoint(Bounds, cfg.steps(4000), 8, cfg.seed(121))
 	var rows []Row
 	for _, disable := range []bool{false, true} {
 		q, err := core.NewPlaneQuery(ix, 8, 1.6)
@@ -153,11 +153,11 @@ func AblationRerank(cfg Config) ([]Row, error) {
 // AblationVorTree compares computing R with the VoR-tree (one best-first
 // descent + Voronoi expansion) against plain best-first R-tree kNN.
 func AblationVorTree(cfg Config) ([]Row, error) {
-	ix, err := planeIndex(50000, 22)
+	ix, err := planeIndex(50000, cfg.seed(22))
 	if err != nil {
 		return nil, err
 	}
-	traj := trajectory.RandomWaypoint(Bounds, cfg.steps(2000), 50, 122)
+	traj := trajectory.RandomWaypoint(Bounds, cfg.steps(2000), 50, cfg.seed(122))
 	tree := ix.Tree()
 	var rows []Row
 	run := func(name string, knn func(geom.Point, int) []int) Row {
@@ -189,11 +189,11 @@ func AblationVorTree(cfg Config) ([]Row, error) {
 // AblationOrderKConstruction compares order-k cell construction against all
 // outsiders (references [2]/[6]) vs. against INS candidates only.
 func AblationOrderKConstruction(cfg Config) ([]Row, error) {
-	ix, err := planeIndex(10000, 23)
+	ix, err := planeIndex(10000, cfg.seed(23))
 	if err != nil {
 		return nil, err
 	}
-	traj := trajectory.RandomWaypoint(Bounds, cfg.steps(2000), 8, 123)
+	traj := trajectory.RandomWaypoint(Bounds, cfg.steps(2000), 8, cfg.seed(123))
 	var rows []Row
 	for _, assisted := range []bool{false, true} {
 		q, err := baseline.NewOrderKCellPlane(ix, 8, assisted)
@@ -222,11 +222,11 @@ func E12(cfg Config) ([]Row, error) {
 	if cfg.Scale > 1 {
 		n = 1000
 	}
-	ix, err := planeIndex(n, 12)
+	ix, err := planeIndex(n, cfg.seed(12))
 	if err != nil {
 		return nil, err
 	}
-	traj := trajectory.RandomWaypoint(Bounds, cfg.steps(2000), 8, 112)
+	traj := trajectory.RandomWaypoint(Bounds, cfg.steps(2000), 8, cfg.seed(112))
 	var rows []Row
 	for _, k := range []int{1, 2, 4, 8} {
 		pre, err := baseline.NewPrecomputedOrderKPlane(ix, k)

@@ -147,20 +147,20 @@ func NetworkBench(cfg Config) (NetworkBenchResult, error) {
 	// epoch against an 8x smaller and the full-size street network (site
 	// density held fixed).
 	smallGrid := grid / 3 // (64/3)^2 ≈ 64^2/8 vertices
-	pubSmall, err := networkPublishProbeUS(smallGrid, nSites/8, 64, 44)
+	pubSmall, err := networkPublishProbeUS(smallGrid, nSites/8, 64, cfg.seed(44))
 	if err != nil {
 		return NetworkBenchResult{}, err
 	}
-	pubLarge, err := networkPublishProbeUS(grid, nSites, 64, 45)
+	pubLarge, err := networkPublishProbeUS(grid, nSites, 64, cfg.seed(45))
 	if err != nil {
 		return NetworkBenchResult{}, err
 	}
 
-	g, err := workload.Network(grid, Bounds, 42)
+	g, err := workload.Network(grid, Bounds, cfg.seed(42))
 	if err != nil {
 		return NetworkBenchResult{}, err
 	}
-	sites, err := workload.NetworkSites(g, nSites, 43)
+	sites, err := workload.NetworkSites(g, nSites, cfg.seed(43))
 	if err != nil {
 		return NetworkBenchResult{}, err
 	}
@@ -170,7 +170,7 @@ func NetworkBench(cfg Config) (NetworkBenchResult, error) {
 	}
 	defer e.Close()
 
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(cfg.seed(7)))
 	sids := make([]engine.SessionID, sessions)
 	trajs := make([][]roadnet.Position, sessions)
 	for i := range sids {
@@ -179,7 +179,7 @@ func NetworkBench(cfg Config) (NetworkBenchResult, error) {
 			return NetworkBenchResult{}, err
 		}
 		sids[i] = sid
-		route, err := roadnet.RandomWalkRoute(g, rng.Intn(g.NumVertices()), float64(steps)*25, int64(i))
+		route, err := roadnet.RandomWalkRoute(g, rng.Intn(g.NumVertices()), float64(steps)*25, cfg.seed(int64(i)))
 		if err != nil {
 			return NetworkBenchResult{}, err
 		}

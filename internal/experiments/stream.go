@@ -85,13 +85,13 @@ func StreamBench(cfg Config) (StreamBenchResult, error) {
 		churn /= cfg.Scale
 	}
 
-	e, err := engine.New(engine.Config{Shards: shards, Bounds: Bounds, Objects: workload.Uniform(objects, Bounds, 42)})
+	e, err := engine.New(engine.Config{Shards: shards, Bounds: Bounds, Objects: workload.Uniform(objects, Bounds, cfg.seed(42))})
 	if err != nil {
 		return StreamBenchResult{}, err
 	}
 	defer e.Close()
 
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(cfg.seed(7)))
 	pos := make([]geom.Point, sessions)
 	batch := make([]engine.LocationUpdate, sessions)
 	for i := range batch {

@@ -66,6 +66,46 @@ type Config struct {
 	Network *roadnet.Graph
 	// NetworkSites are the vertices holding the network data objects.
 	NetworkSites []int
+
+	// Restore, when non-nil, publishes a recovered logical state at its
+	// checkpoint epoch instead of seeding from Objects/NetworkSites (which
+	// are then ignored; Bounds and Network still describe the data space).
+	// The durability layer (internal/wal) fills it from the newest valid
+	// checkpoint, then replays the write-ahead log tail through Apply.
+	Restore *Restore
+}
+
+// Restore is a recovered logical store state: everything a checkpoint
+// needs to rebuild the indexes so that they answer — and keep assigning
+// object ids — exactly as the instance that wrote it.
+type Restore struct {
+	// Epoch is the checkpoint's data-update epoch; the restored store
+	// publishes its first snapshot at this version and WAL replay
+	// continues from Epoch+1.
+	Epoch uint64
+	// HasPlane marks that the original store carried a plane index (which
+	// may have drained to zero live objects).
+	HasPlane bool
+	// Plane lists the live plane objects ascending by id; NextID is the id
+	// the next insert must receive (removed ids stay burned).
+	Plane  []vortree.RestoreObject
+	NextID int
+	// Sites are the network site vertices at the checkpoint (ascending).
+	Sites []int
+}
+
+// Durability is the optional write-ahead hook of the store. Apply invokes
+// it after the whole batch mutated the copy-on-write branch but before the
+// snapshot is published or any caller sees the new epoch — the append (and
+// its policy-dependent fsync) is the durability point of the batch. An
+// error aborts the batch unpublished; the caller never observes a state
+// the log does not cover. The hook runs under the store's mutation lock,
+// so appends arrive in epoch order.
+type Durability interface {
+	// AppendBatch persists one applied batch; firstEpoch is the epoch of
+	// the batch's first mutation (the batch covers firstEpoch ..
+	// firstEpoch+len(muts)-1). The implementation must not retain muts.
+	AppendBatch(firstEpoch uint64, muts []Mutation) error
 }
 
 // Mutation is one object update in a batch. On the plane side (Network
@@ -116,7 +156,8 @@ type Store struct {
 	mu       sync.Mutex // serializes mutation, publish, and notification order
 	closed   bool
 	logDepth int
-	log      []Op // contiguous ops, oldest first
+	log      []Op       // contiguous ops, oldest first
+	dur      Durability // optional write-ahead hook; see SetDurability
 	// poisoned is set when a plane mutation batch aborts after partially
 	// mutating the path-copied branch: the writer state shared along the
 	// branch chain (duplicate index, free list) may then be out of sync,
@@ -156,13 +197,26 @@ func NewStore(cfg Config) (*Store, error) {
 		cfg.LogDepth = DefaultLogDepth
 	}
 	hasPlane := len(cfg.Objects) > 0
+	sites := cfg.NetworkSites
+	epoch := uint64(0)
+	if rs := cfg.Restore; rs != nil {
+		hasPlane = rs.HasPlane
+		sites = rs.Sites
+		epoch = rs.Epoch
+	}
 	if !hasPlane && cfg.Network == nil {
 		return nil, errors.New("index: config has neither plane objects nor a road network")
 	}
 	st := &Store{fanout: cfg.Fanout, bounds: cfg.Bounds, logDepth: cfg.LogDepth}
 	var plane *vortree.Index
 	if hasPlane {
-		ix, _, err := vortree.Build(cfg.Bounds, cfg.Fanout, cfg.Objects)
+		var ix *vortree.Index
+		var err error
+		if rs := cfg.Restore; rs != nil {
+			ix, err = vortree.Restore(cfg.Bounds, cfg.Fanout, rs.Plane, rs.NextID)
+		} else {
+			ix, _, err = vortree.Build(cfg.Bounds, cfg.Fanout, cfg.Objects)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("index: build plane index: %w", err)
 		}
@@ -170,14 +224,23 @@ func NewStore(cfg Config) (*Store, error) {
 	}
 	var net *netvor.Diagram
 	if cfg.Network != nil {
-		nv, err := netvor.Build(cfg.Network, cfg.NetworkSites)
+		nv, err := netvor.Build(cfg.Network, sites)
 		if err != nil {
 			return nil, fmt.Errorf("index: build network diagram: %w", err)
 		}
 		net = nv
 	}
-	st.publish(&Snapshot{store: st, epoch: 0, plane: plane, net: net})
+	st.publish(&Snapshot{store: st, epoch: epoch, plane: plane, net: net})
 	return st, nil
+}
+
+// SetDurability attaches (or, with nil, detaches) the write-ahead hook.
+// The durability layer attaches it only after recovery replay has run, so
+// replayed batches are not appended a second time.
+func (st *Store) SetDurability(d Durability) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.dur = d
 }
 
 // publish installs s as the current snapshot, transferring the store's own
@@ -382,6 +445,16 @@ func (st *Store) Apply(muts []Mutation) ([]int, error) {
 		}
 		ids[i] = m.ID
 		ops[i] = Op{Epoch: epoch, ID: m.ID}
+	}
+	if st.dur != nil {
+		if err := st.dur.AppendBatch(cur.epoch+1, muts); err != nil {
+			// The batch is durable only if the append succeeded; abort
+			// unpublished so no caller observes state the log misses. A
+			// touched plane branch leaves suspect shared writer state behind,
+			// exactly like a mid-batch abort.
+			st.poisoned = st.poisoned || nextPlane != nil
+			return nil, fmt.Errorf("index: durability append: %w", err)
+		}
 	}
 	if nextPlane == nil {
 		nextPlane = cur.plane // untouched side carries over, shared
@@ -619,6 +692,34 @@ func (s *Snapshot) Network() NetworkBackend {
 		return nil
 	}
 	return s.net
+}
+
+// PlaneObjects serializes the snapshot's plane side for checkpointing: the
+// live objects ascending by id, and the id the next insert will assign
+// (removed ids stay burned). Both are nil/0 without a plane index. The
+// checkpoint writer calls it on a pinned frozen snapshot off the hot path.
+func (s *Snapshot) PlaneObjects() ([]vortree.RestoreObject, int) {
+	if s.plane == nil {
+		return nil, 0
+	}
+	ids := s.plane.Diagram().IDs()
+	objs := make([]vortree.RestoreObject, len(ids))
+	for i, id := range ids {
+		objs[i] = vortree.RestoreObject{ID: id, P: s.plane.Point(id)}
+	}
+	return objs, s.plane.NextID()
+}
+
+// NetworkSites serializes the snapshot's network side for checkpointing:
+// the site vertices ascending, or nil without a road network.
+func (s *Snapshot) NetworkSites() []int {
+	if s.net == nil {
+		return nil
+	}
+	sites := s.net.Sites()
+	out := make([]int, len(sites))
+	copy(out, sites)
+	return out
 }
 
 // Release drops one pin. When the last pin of a superseded snapshot goes,

@@ -74,6 +74,15 @@ func (d *Diagram) Contains(id int) bool { return d.tri.Contains(id) }
 // Insert adds a site and returns its id.
 func (d *Diagram) Insert(p geom.Point) (int, error) { return d.tri.Insert(p) }
 
+// PadSite burns one site id without adding a site, exactly as if the site
+// had been inserted and removed. Restore paths use it to reproduce the id
+// sequence of a checkpointed diagram whose history contains removals.
+func (d *Diagram) PadSite() (int, error) { return d.tri.PadVertex() }
+
+// IDUpperBound returns the id the next Insert will assign; removed sites
+// keep their ids burned, so it can exceed Len.
+func (d *Diagram) IDUpperBound() int { return d.tri.IDUpperBound() }
+
 // Remove deletes a site.
 func (d *Diagram) Remove(id int) error { return d.tri.Remove(id) }
 

@@ -43,6 +43,55 @@ func Build(bounds geom.Rect, fanout int, pts []geom.Point) (*Index, []int, error
 	return ix, ids, nil
 }
 
+// RestoreObject is one live object of a serialized index snapshot: its
+// assigned id and its position.
+type RestoreObject struct {
+	ID int
+	P  geom.Point
+}
+
+// Restore rebuilds a VoR-tree whose live object set AND id sequence match
+// a checkpointed index: objs must be strictly ascending by id, and nextID
+// is the id the original index would assign to the next insert (ids of
+// removed objects stay burned, so nextID can exceed len(objs)). The
+// physical tree shape may differ from the original — objects are inserted
+// in id order, not in their historical order — but every query answer and
+// every id assigned after the restore is identical, which is what crash
+// recovery (internal/wal) needs to replay a write-ahead log on top.
+func Restore(bounds geom.Rect, fanout int, objs []RestoreObject, nextID int) (*Index, error) {
+	ix := New(bounds, fanout)
+	j := 0
+	for id := 0; id < nextID; id++ {
+		if j < len(objs) && objs[j].ID == id {
+			got, err := ix.Insert(objs[j].P)
+			if err != nil {
+				return nil, fmt.Errorf("vortree: restore id %d: %w", id, err)
+			}
+			if got != id {
+				return nil, fmt.Errorf("vortree: restore assigned id %d, want %d (objs not ascending?)", got, id)
+			}
+			j++
+			continue
+		}
+		got, err := ix.diag.PadSite()
+		if err != nil {
+			return nil, fmt.Errorf("vortree: restore pad %d: %w", id, err)
+		}
+		if got != id {
+			return nil, fmt.Errorf("vortree: restore pad assigned id %d, want %d", got, id)
+		}
+	}
+	if j != len(objs) {
+		return nil, fmt.Errorf("vortree: restore: %d objects with ids >= nextID %d", len(objs)-j, nextID)
+	}
+	return ix, nil
+}
+
+// NextID returns the id the next Insert will assign. Removed objects keep
+// their ids burned, so it can exceed Len; checkpoints persist it so a
+// restored index keeps assigning the same ids.
+func (ix *Index) NextID() int { return ix.diag.IDUpperBound() }
+
 // Diagram exposes the underlying Voronoi diagram (shared, do not mutate
 // except through Index methods).
 func (ix *Index) Diagram() *voronoi.Diagram { return ix.diag }
