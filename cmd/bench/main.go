@@ -81,11 +81,12 @@ func main() {
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (>=1)")
 	seed := flag.Int64("seed", 0, "offset every workload seed (datasets, trajectories, churn RNGs) to probe seed sensitivity; 0 = the canonical published tables (E1/E2 fixtures are seed-independent)")
 	benchout := flag.String("benchout", "", "with a single record experiment (ENGINE, STREAM, NETWORK, WAL): write the result as JSON to this file (e.g. BENCH_engine.json)")
+	vertices := flag.Int("vertices", 0, "NETWORK: override the road-network vertex count (street grid is ceil(sqrt(vertices)) on a side, site density held fixed); 0 = the canonical 4096-vertex grid")
 	flag.Parse()
 	if *scale < 1 {
 		*scale = 1
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Vertices: *vertices}
 
 	want := strings.ToUpper(*exp)
 	if want != "ALL" {

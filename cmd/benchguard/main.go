@@ -7,7 +7,12 @@
 //	engine  (BENCH_engine.json):  updates_per_sec drop > -max-rate-drop,
 //	                              allocs_per_update growth > -max-alloc-growth
 //	network (BENCH_network.json): same thresholds as engine, applied to the
-//	                              road-network serving path
+//	                              road-network serving path; optionally also
+//	                              relaxations_per_update growth >
+//	                              -max-relax-growth, p95_update_us growth >
+//	                              -max-p95-growth and an absolute
+//	                              allocs_per_update cap -max-allocs
+//	                              (each 0 = off)
 //	stream  (BENCH_stream.json):  push_p95_us growth > -max-push-growth,
 //	                              healthy-path dropped > -max-dropped
 //	wal     (BENCH_wal.json):     self-contained record: fresh
@@ -40,6 +45,10 @@ type record struct {
 	AllocsPerUpdate float64 `json:"allocs_per_update"`
 	PushP95US       float64 `json:"push_p95_us"`
 	Dropped         uint64  `json:"dropped"`
+	// network records also carry the per-update search work (Dijkstra edge
+	// relaxations, deterministic for a build) and the update tail latency.
+	RelaxationsPerUpdate float64 `json:"relaxations_per_update"`
+	P95UpdateUS          float64 `json:"p95_update_us"`
 	// wal records carry their own in-process baseline rate, so the
 	// overhead gate is machine-consistent by construction.
 	BaseUpdatesPerSec float64 `json:"base_updates_per_sec"`
@@ -58,10 +67,15 @@ func load(path string) (record, error) {
 	return r, nil
 }
 
-// thresholds collects every gate knob; each kind applies its subset.
+// thresholds collects every gate knob; each kind applies its subset. The
+// zero value of the optional gates (relax, p95, absolute allocs) means
+// "off", so existing invocations keep their behavior.
 type thresholds struct {
 	maxRateDrop    float64 // engine, network
 	maxAllocGrowth float64 // engine, network
+	maxRelaxGrowth float64 // engine, network: relaxations_per_update factor, 0 = off
+	maxP95Growth   float64 // engine, network: p95_update_us factor, 0 = off
+	maxAllocs      float64 // engine, network: absolute allocs_per_update cap, 0 = off
 	maxPushGrowth  float64 // stream
 	maxDropped     uint64  // stream
 	maxWALOverhead float64 // wal
@@ -88,6 +102,27 @@ func check(kind string, base, fresh record, th thresholds) []string {
 				fails = append(fails, fmt.Sprintf(
 					"allocs_per_update grew %.2fx (%.1f -> %.1f; limit %.1fx)",
 					growth, base.AllocsPerUpdate, fresh.AllocsPerUpdate, th.maxAllocGrowth))
+			}
+		}
+		if th.maxAllocs > 0 && fresh.AllocsPerUpdate > th.maxAllocs {
+			fails = append(fails, fmt.Sprintf(
+				"allocs_per_update = %.1f (absolute limit %.1f)",
+				fresh.AllocsPerUpdate, th.maxAllocs))
+		}
+		if th.maxRelaxGrowth > 0 && base.RelaxationsPerUpdate > 0 {
+			growth := fresh.RelaxationsPerUpdate / base.RelaxationsPerUpdate
+			if growth > th.maxRelaxGrowth {
+				fails = append(fails, fmt.Sprintf(
+					"relaxations_per_update grew %.2fx (%.1f -> %.1f; limit %.1fx): the search pruning regressed",
+					growth, base.RelaxationsPerUpdate, fresh.RelaxationsPerUpdate, th.maxRelaxGrowth))
+			}
+		}
+		if th.maxP95Growth > 0 && base.P95UpdateUS > 0 {
+			growth := fresh.P95UpdateUS / base.P95UpdateUS
+			if growth > th.maxP95Growth {
+				fails = append(fails, fmt.Sprintf(
+					"p95_update_us grew %.2fx (%.1f -> %.1f; limit %.1fx)",
+					growth, base.P95UpdateUS, fresh.P95UpdateUS, th.maxP95Growth))
 			}
 		}
 	case "wal":
@@ -157,6 +192,9 @@ func main() {
 		fresh          = flag.String("fresh", "BENCH_engine.fresh.json", "freshly measured record")
 		maxRateDrop    = flag.Float64("max-rate-drop", 0.25, "engine/network: fail when updates_per_sec drops by more than this fraction")
 		maxAllocGrowth = flag.Float64("max-alloc-growth", 2.0, "engine/network: fail when allocs_per_update grows by more than this factor")
+		maxRelaxGrowth = flag.Float64("max-relax-growth", 0, "engine/network: fail when relaxations_per_update grows by more than this factor (0 = off)")
+		maxP95Growth   = flag.Float64("max-p95-growth", 0, "engine/network: fail when p95_update_us grows by more than this factor (0 = off)")
+		maxAllocs      = flag.Float64("max-allocs", 0, "engine/network: fail when the fresh allocs_per_update exceeds this absolute cap (0 = off)")
 		maxPushGrowth  = flag.Float64("max-push-growth", 4.0, "stream: fail when push_p95_us grows by more than this factor")
 		maxDropped     = flag.Uint64("max-dropped", 0, "stream: fail when the healthy subscriber's dropped counter exceeds this")
 		maxWALOverhead = flag.Float64("max-wal-overhead", 0.10, "wal: fail when the fresh record's updates_per_sec falls more than this fraction below its own base_updates_per_sec")
@@ -175,6 +213,9 @@ func main() {
 	fails := check(*kind, base, cur, thresholds{
 		maxRateDrop:    *maxRateDrop,
 		maxAllocGrowth: *maxAllocGrowth,
+		maxRelaxGrowth: *maxRelaxGrowth,
+		maxP95Growth:   *maxP95Growth,
+		maxAllocs:      *maxAllocs,
 		maxPushGrowth:  *maxPushGrowth,
 		maxDropped:     *maxDropped,
 		maxWALOverhead: *maxWALOverhead,

@@ -32,6 +32,58 @@ func TestCheckEngineThresholds(t *testing.T) {
 	}
 }
 
+func TestCheckNetworkGates(t *testing.T) {
+	// The relax / p95 / absolute-alloc gates are opt-in: zero thresholds
+	// (as in testTh) must ignore arbitrarily bad fresh values.
+	base := record{UpdatesPerSec: 100000, AllocsPerUpdate: 5,
+		RelaxationsPerUpdate: 200, P95UpdateUS: 50}
+	bad := record{UpdatesPerSec: 100000, AllocsPerUpdate: 5,
+		RelaxationsPerUpdate: 10000, P95UpdateUS: 5000}
+	if got := check("network", base, bad, testTh); len(got) != 0 {
+		t.Fatalf("zero thresholds gated the optional fields: %v", got)
+	}
+
+	th := testTh
+	th.maxRelaxGrowth = 2.0
+	th.maxP95Growth = 4.0
+	th.maxAllocs = 8
+	cases := []struct {
+		name  string
+		fresh record
+		fails int
+	}{
+		{"unchanged", base, 0},
+		{"within relax slack", record{UpdatesPerSec: 100000, AllocsPerUpdate: 5,
+			RelaxationsPerUpdate: 390, P95UpdateUS: 50}, 0},
+		{"relax regression", record{UpdatesPerSec: 100000, AllocsPerUpdate: 5,
+			RelaxationsPerUpdate: 500, P95UpdateUS: 50}, 1},
+		{"within p95 slack", record{UpdatesPerSec: 100000, AllocsPerUpdate: 5,
+			RelaxationsPerUpdate: 200, P95UpdateUS: 190}, 0},
+		{"p95 regression", record{UpdatesPerSec: 100000, AllocsPerUpdate: 5,
+			RelaxationsPerUpdate: 200, P95UpdateUS: 250}, 1},
+		{"alloc cap ok", record{UpdatesPerSec: 100000, AllocsPerUpdate: 8,
+			RelaxationsPerUpdate: 200, P95UpdateUS: 50}, 0},
+		{"alloc cap exceeded", record{UpdatesPerSec: 100000, AllocsPerUpdate: 8.5,
+			RelaxationsPerUpdate: 200, P95UpdateUS: 50}, 1},
+		{"all three regressed", record{UpdatesPerSec: 100000, AllocsPerUpdate: 20,
+			RelaxationsPerUpdate: 1000, P95UpdateUS: 1000}, 4}, // + relative alloc growth
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := check("network", base, c.fresh, th); len(got) != c.fails {
+				t.Fatalf("check = %v, want %d failures", got, c.fails)
+			}
+		})
+	}
+
+	// A baseline without the new fields (older record) never divides by
+	// zero or fails the growth gates, even with the gates on.
+	oldBase := record{UpdatesPerSec: 100000, AllocsPerUpdate: 5}
+	if got := check("network", oldBase, bad, th); len(got) != 0 {
+		t.Fatalf("old baseline tripped the growth gates: %v", got)
+	}
+}
+
 func TestCheckStreamThresholds(t *testing.T) {
 	base := record{PushP95US: 100}
 	cases := []struct {

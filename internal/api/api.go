@@ -300,14 +300,20 @@ type StatsResponse struct {
 	// EpochPublishUS is the mean wall time of publishing one data-update
 	// epoch; IndexNodes/IndexNodesCopied expose how much of the index the
 	// latest epoch shared with its predecessor (path-copying publication).
-	EpochPublishUS   float64          `json:"epoch_publish_us"`
-	IndexNodes       int              `json:"index_nodes"`
-	IndexNodesCopied int              `json:"index_nodes_copied"`
-	UptimeSec        float64          `json:"uptime_sec"`
-	UpdatesPerSec    float64          `json:"updates_per_sec"`
-	Latency          LatencyStats     `json:"latency"`
-	Counters         metrics.Counters `json:"counters"`
-	Stream           StreamStats      `json:"stream"`
+	EpochPublishUS   float64 `json:"epoch_publish_us"`
+	IndexNodes       int     `json:"index_nodes"`
+	IndexNodesCopied int     `json:"index_nodes_copied"`
+	// NetLandmarks is the network index's ALT landmark count (0 without a
+	// road network); NetProjRebuilds counts lazy site-projection rebuilds
+	// — together with Counters.EdgeRelaxations they make the shortest-path
+	// pruning observable in serving, not just in bench.
+	NetLandmarks    int              `json:"net_landmarks,omitempty"`
+	NetProjRebuilds uint64           `json:"net_proj_rebuilds,omitempty"`
+	UptimeSec       float64          `json:"uptime_sec"`
+	UpdatesPerSec   float64          `json:"updates_per_sec"`
+	Latency         LatencyStats     `json:"latency"`
+	Counters        metrics.Counters `json:"counters"`
+	Stream          StreamStats      `json:"stream"`
 	// WAL is present only when the server runs with durability enabled.
 	WAL *WALStats `json:"wal,omitempty"`
 }
@@ -325,6 +331,8 @@ func NewStatsResponse(st engine.Stats) StatsResponse {
 		EpochPublishUS:   st.EpochPublishUS,
 		IndexNodes:       st.IndexNodes,
 		IndexNodesCopied: st.IndexNodesCopied,
+		NetLandmarks:     st.NetLandmarks,
+		NetProjRebuilds:  st.NetProjRebuilds,
 		UptimeSec:        st.Uptime.Seconds(),
 		UpdatesPerSec:    st.UpdatesPerSec,
 		Latency:          NewLatencyStats(st.Latency),

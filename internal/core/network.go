@@ -56,8 +56,14 @@ type NetworkQuery struct {
 	// Reusable per-query working memory mirroring PlaneQuery: the Dijkstra
 	// scratch of every network search plus the backing buffers r/ins/guard/
 	// knn alias into. Slices returned by Update are rewritten by the next
-	// Update/Sync/Refresh — the package's slice-ownership contract.
-	sc       netvor.SearchScratch
+	// Update/Sync/Refresh — the package's slice-ownership contract. sc
+	// defaults to the session-owned ownSc; UseScratch swaps in a shared
+	// (e.g. per-shard) scratch so its dense arrays are paid for once, not
+	// per session. subBuf retains the extracted subnetwork's storage across
+	// Invalidate so recomputes stop allocating.
+	sc       *netvor.SearchScratch
+	ownSc    netvor.SearchScratch
+	subBuf   *netvor.Subnetwork
 	setBuf   map[int]int
 	rBuf     []int
 	insBuf   []int
@@ -109,7 +115,20 @@ func newNetworkQuery(d index.NetworkBackend, k int, rho float64) (*NetworkQuery,
 	if d.Len() < k {
 		return nil, fmt.Errorf("core: k = %d exceeds site count %d", k, d.Len())
 	}
-	return &NetworkQuery{d: d, k: k, rho: rho}, nil
+	q := &NetworkQuery{d: d, k: k, rho: rho}
+	q.sc = &q.ownSc
+	return q, nil
+}
+
+// UseScratch makes the query run its network searches through the given
+// shared scratch instead of its own. The serving engine passes one scratch
+// per shard: a shard's sessions run serially on its worker goroutine, so
+// sharing is race-free and the scratch's dense per-vertex arrays (sized by
+// the road network) are allocated once per shard rather than per session.
+func (q *NetworkQuery) UseScratch(sc *netvor.SearchScratch) {
+	if sc != nil {
+		q.sc = sc
+	}
 }
 
 // Name identifies the processor in simulation reports.
@@ -135,7 +154,9 @@ func (q *NetworkQuery) INS() []int { return append([]int(nil), q.ins...) }
 // Prefetched returns R as a fresh copy.
 func (q *NetworkQuery) Prefetched() []int { return append([]int(nil), q.r...) }
 
-// Subnetwork returns the current Theorem-2 validation subnetwork.
+// Subnetwork returns the current Theorem-2 validation subnetwork. Its
+// storage is reused by the next recomputation — read it before the next
+// Update/Refresh, per the package's slice-ownership contract.
 func (q *NetworkQuery) Subnetwork() *netvor.Subnetwork { return q.sub }
 
 // Sync re-pins a snapshot-backed query to the newest published snapshot
@@ -384,7 +405,7 @@ func (q *NetworkQuery) Update(pos roadnet.Position) ([]int, error) {
 	// guard objects are settled; Theorem 2 certifies the kNN set when the
 	// subnetwork top-k matches it. This is the common, cheap path.
 	relaxBefore := q.sub.G.EdgeRelaxations()
-	topK, ds := q.sub.AppendKNNSites(pos, q.guard, q.k, q.topkBuf[:0], q.dsBuf[:0], &q.sc)
+	topK, ds := q.sub.AppendKNNSites(pos, q.guard, q.k, q.topkBuf[:0], q.dsBuf[:0], q.sc)
 	q.topkBuf, q.dsBuf = topK, ds
 	q.m.DijkstraRuns++
 	q.m.EdgeRelaxations += q.sub.G.EdgeRelaxations() - relaxBefore
@@ -395,7 +416,7 @@ func (q *NetworkQuery) Update(pos roadnet.Position) ([]int, error) {
 
 	// Stale: rank the whole prefetched set to see whether R survived.
 	relaxBefore = q.sub.G.EdgeRelaxations()
-	ranked, ds2 := q.sub.AppendKNNSites(pos, q.guard, len(q.r), q.rankBuf[:0], q.dsBuf[:0], &q.sc)
+	ranked, ds2 := q.sub.AppendKNNSites(pos, q.guard, len(q.r), q.rankBuf[:0], q.dsBuf[:0], q.sc)
 	q.rankBuf, q.dsBuf = ranked, ds2
 	q.m.DijkstraRuns++
 	q.m.EdgeRelaxations += q.sub.G.EdgeRelaxations() - relaxBefore
@@ -423,7 +444,7 @@ func (q *NetworkQuery) recompute(pos roadnet.Position) error {
 	}
 	q.m.Recomputations++
 	m := q.prefetchSize()
-	ids, ds, relaxed := q.d.AppendKNN(pos, m, q.rBuf[:0], q.dsBuf[:0], &q.sc)
+	ids, ds, relaxed := q.d.AppendKNN(pos, m, q.rBuf[:0], q.dsBuf[:0], q.sc)
 	q.rBuf, q.dsBuf = ids, ds
 	q.m.DijkstraRuns++
 	q.m.EdgeRelaxations += relaxed
@@ -431,7 +452,7 @@ func (q *NetworkQuery) recompute(pos roadnet.Position) error {
 		return fmt.Errorf("%w: found %d of %d", ErrDisconnected, len(ids), q.k)
 	}
 	q.r = ids
-	ins, err := q.d.AppendINS(q.r, q.insBuf[:0], &q.sc)
+	ins, err := q.d.AppendINS(q.r, q.insBuf[:0], q.sc)
 	if err != nil {
 		return fmt.Errorf("core: network INS: %w", err)
 	}
@@ -439,17 +460,32 @@ func (q *NetworkQuery) recompute(pos roadnet.Position) error {
 	guard := append(q.guardBuf[:0], q.r...)
 	guard = append(guard, q.ins...)
 	q.guardBuf, q.guard = guard, guard
-	q.sub = q.d.Subnetwork(q.guard)
+	q.subBuf = q.d.SubnetworkInto(q.guard, q.subBuf, q.sc)
+	q.sub = q.subBuf
 	q.knn = q.r[:q.k]
 	q.m.ObjectsShipped += len(q.r) + len(q.ins)
 	return nil
 }
 
 // sameSet reports set equality of two id lists using the query's reusable
-// membership scratch, so the per-update validation allocates nothing.
+// membership scratch, so the per-update validation allocates nothing. At
+// kNN sizes (k, or the prefetch m) a quadratic scan beats hashing, so the
+// map only backs lists longer than a cache line's worth of ids.
 func (q *NetworkQuery) sameSet(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
+	}
+	if len(a) <= 32 {
+	outer:
+		for _, x := range b {
+			for _, y := range a {
+				if x == y {
+					continue outer
+				}
+			}
+			return false
+		}
+		return true
 	}
 	if q.setBuf == nil {
 		q.setBuf = make(map[int]int, len(a))

@@ -8,6 +8,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/netvor"
 	"repro/internal/roadnet"
 	"repro/internal/stream"
 )
@@ -38,6 +39,21 @@ type shard struct {
 	prevBuf []int
 	inOld   map[int]struct{}
 	inNew   map[int]struct{}
+
+	// Shared network-search scratch handed to every network session on this
+	// shard (sessions run serially on the worker goroutine, so sharing is
+	// race-free). Its dense per-vertex arrays are sized by the road network,
+	// so one per shard instead of one per session keeps memory flat as
+	// session counts grow. Lazily created by the first network session.
+	netSc *netvor.SearchScratch
+}
+
+// netScratch returns the shard's shared network-search scratch.
+func (sh *shard) netScratch() *netvor.SearchScratch {
+	if sh.netSc == nil {
+		sh.netSc = &netvor.SearchScratch{}
+	}
+	return sh.netSc
 }
 
 // session is one live MkNN query pinned to a shard. Exactly one of plane
@@ -271,6 +287,7 @@ func (sh *shard) create(m createMsg) error {
 		if err != nil {
 			return err
 		}
+		q.UseScratch(sh.netScratch())
 		sh.sessions[m.sid] = &session{network: q}
 		return nil
 	}

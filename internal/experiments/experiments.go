@@ -65,6 +65,11 @@ type Config struct {
 	// canonical published tables. The E1/E2 paper-figure fixtures are
 	// seed-independent by construction.
 	Seed int64
+	// Vertices overrides the NETWORK benchmark's road-network size (the
+	// street grid is ⌈√Vertices⌉ on a side; site density is held fixed so
+	// cell sizes — and with them the per-update search work — stay
+	// comparable across sizes). 0 keeps the canonical 4096-vertex grid.
+	Vertices int
 }
 
 // seed derives a workload seed from its canonical base and the run's

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"time"
@@ -40,6 +41,13 @@ type NetworkBenchResult struct {
 	SnapshotsLive   int     `json:"snapshots_live"`
 	RecomputePct    float64 `json:"recompute_pct"`
 
+	// RelaxationsPerUpdate is the mean number of Dijkstra edge relaxations
+	// one location update costs — the work metric the ALT pruning layer is
+	// accountable for. ALTLandmarks is the landmark count behind that
+	// pruning (0 would mean the searches ran unpruned).
+	RelaxationsPerUpdate float64 `json:"relaxations_per_update"`
+	ALTLandmarks         int     `json:"alt_landmarks"`
+
 	// EpochPublishUS is the mean wall time of publishing one site-mutation
 	// epoch during the run. SharedPageRatio is the fraction of
 	// shortest-path label pages the latest epoch shares with its
@@ -60,11 +68,11 @@ func (r NetworkBenchResult) String() string {
 	return fmt.Sprintf(
 		"NETWORK shards=%d sessions=%d vertices=%d sites=%d steps=%d churn=%d\n"+
 			"        updates=%d rate=%.0f/s p50=%.1fus p95=%.1fus p99=%.1fus\n"+
-			"        allocs/update=%.1f snapshots=%d recompute=%.2f%%\n"+
+			"        allocs/update=%.1f relaxations/update=%.1f landmarks=%d snapshots=%d recompute=%.2f%%\n"+
 			"        publish=%.1fus shared_pages=%.1f%% scaling_x8=%.2f (%.1fus -> %.1fus)",
 		r.Shards, r.Sessions, r.Vertices, r.Sites, r.Steps, r.DataUpdates,
 		r.Updates, r.UpdatesSec, r.P50UpdateUS, r.P95UpdateUS, r.P99UpdateUS,
-		r.AllocsPerUpdate, r.SnapshotsLive, r.RecomputePct,
+		r.AllocsPerUpdate, r.RelaxationsPerUpdate, r.ALTLandmarks, r.SnapshotsLive, r.RecomputePct,
 		r.EpochPublishUS, 100*r.SharedPageRatio, r.PublishScalingX8, r.PublishUSSmall, r.PublishUSLarge)
 }
 
@@ -127,18 +135,34 @@ func networkPublishProbeUS(grid, nSites, rounds int, seed int64) (float64, error
 // steps.
 func NetworkBench(cfg Config) (NetworkBenchResult, error) {
 	const (
-		grid     = 64
-		nSites   = 600
 		k        = 5
 		rho      = 1.6
 		shards   = 8
 		batchLen = 64
 	)
+	// The street grid is ⌈√Vertices⌉ on a side (canonically 64 → 4096
+	// vertices); site density is held at the canonical 600/4096 so cells —
+	// and with them the per-update search work — stay comparable as the
+	// -vertices override sweeps graph size.
+	grid := 64
+	if cfg.Vertices > 0 {
+		grid = int(math.Ceil(math.Sqrt(float64(cfg.Vertices))))
+		if grid < 8 {
+			grid = 8
+		}
+	}
+	nSites := grid * grid * 600 / 4096
+	if nSites < 64 {
+		nSites = 64
+	}
+	// Scale divides sessions only. Dividing steps as well would shrink the
+	// measured window into noise territory (tens of milliseconds at scale
+	// 4), and the steady-state rate is what the record gates on — a short
+	// window turns scheduler jitter into benchguard false positives.
 	sessions := 800
 	steps := 100
 	if cfg.Scale > 1 {
 		sessions /= cfg.Scale
-		steps /= cfg.Scale
 	}
 
 	// Publication sublinearity probe first, before the engine's sessions
@@ -195,11 +219,38 @@ func NetworkBench(cfg Config) (NetworkBenchResult, error) {
 		taken[s] = true
 	}
 	var inserted []int
+
+	// Warm every session with its first location update (which always
+	// recomputes: the session has no prior state) so the measured window
+	// reports the steady-state serving rate — the number a long-running
+	// deployment sees — rather than charging each session's one-time
+	// buffer warmup to the per-update averages.
+	for lo := 0; lo < sessions; lo += batchLen {
+		hi := min(lo+batchLen, sessions)
+		batch := make([]engine.NetworkLocationUpdate, hi-lo)
+		for i := lo; i < hi; i++ {
+			batch[i-lo] = engine.NetworkLocationUpdate{Session: sids[i], Pos: trajs[i][0]}
+		}
+		results, err := e.UpdateNetworkBatch(batch)
+		if err != nil {
+			return NetworkBenchResult{}, err
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				return NetworkBenchResult{}, r.Err
+			}
+		}
+	}
+	st0, err := e.Stats()
+	if err != nil {
+		return NetworkBenchResult{}, err
+	}
+
 	var mallocsBefore runtime.MemStats
 	runtime.ReadMemStats(&mallocsBefore)
 	start := time.Now()
 	churn := 0
-	for s := 0; s < steps; s++ {
+	for s := 1; s < steps; s++ {
 		// Site churn: one data update every four steps.
 		if s%4 == 1 {
 			if len(inserted) > 8 {
@@ -248,6 +299,10 @@ func NetworkBench(cfg Config) (NetworkBenchResult, error) {
 		return NetworkBenchResult{}, err
 	}
 	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	// All per-update averages are deltas over the measured window so the
+	// warmup round above is excluded.
+	measured := st.Updates - st0.Updates
+	steady := st.Counters.Timestamps - st0.Counters.Timestamps
 	res := NetworkBenchResult{
 		Shards:          st.Shards,
 		Sessions:        sessions,
@@ -257,17 +312,21 @@ func NetworkBench(cfg Config) (NetworkBenchResult, error) {
 		K:               k,
 		Steps:           steps,
 		DataUpdates:     churn,
-		Updates:         st.Updates,
-		UpdatesSec:      float64(st.Updates) / elapsed.Seconds(),
+		Updates:         measured,
+		UpdatesSec:      float64(measured) / elapsed.Seconds(),
 		P50UpdateUS:     us(st.Latency.P50),
 		P95UpdateUS:     us(st.Latency.P95),
 		P99UpdateUS:     us(st.Latency.P99),
-		AllocsPerUpdate: float64(mallocsAfter.Mallocs-mallocsBefore.Mallocs) / float64(max(int(st.Updates), 1)),
+		AllocsPerUpdate: float64(mallocsAfter.Mallocs-mallocsBefore.Mallocs) / float64(max(int(measured), 1)),
 		SnapshotsLive:   st.Snapshots,
-		RecomputePct:    100 * float64(st.Counters.Recomputations) / float64(max(st.Counters.Timestamps, 1)),
-		EpochPublishUS:  st.EpochPublishUS,
-		PublishUSSmall:  pubSmall,
-		PublishUSLarge:  pubLarge,
+		RecomputePct: 100 * float64(st.Counters.Recomputations-st0.Counters.Recomputations) /
+			float64(max(steady, 1)),
+		RelaxationsPerUpdate: float64(st.Counters.EdgeRelaxations-st0.Counters.EdgeRelaxations) /
+			float64(max(steady, 1)),
+		ALTLandmarks:   st.NetLandmarks,
+		EpochPublishUS: st.EpochPublishUS,
+		PublishUSSmall: pubSmall,
+		PublishUSLarge: pubLarge,
 	}
 	if pubSmall > 0 {
 		res.PublishScalingX8 = pubLarge / pubSmall

@@ -90,6 +90,14 @@ type NetworkBackend interface {
 	IsSite(v int) bool
 	// Subnetwork extracts the Theorem-2 search space of the given sites.
 	Subnetwork(sites []int) *netvor.Subnetwork
+	// SubnetworkInto is Subnetwork reusing a previous extraction's storage
+	// (nil allocates fresh) and caller-supplied scratch — the form the
+	// query layer uses so periodic recomputes stop paying the extraction
+	// allocations.
+	SubnetworkInto(sites []int, sub *netvor.Subnetwork, sc *netvor.SearchScratch) *netvor.Subnetwork
+	// ALTStats reports the shortest-path pruning instrumentation: the
+	// landmark count and the lazy site-projection rebuilds performed.
+	ALTStats() (landmarks int, projRebuilds uint64)
 	// Graph returns the underlying road network.
 	Graph() *roadnet.Graph
 	// Sites returns the sorted site vertex ids.

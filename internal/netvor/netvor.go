@@ -15,14 +15,23 @@
 // and Clone is the deep-copy fallback. Cell adjacency is maintained
 // incrementally through per-pair edge-support counts, so a mutation's cost
 // is proportional to the territory it moves, not to the network size.
+//
+// Searches run over the graph's packed CSR view with dense epoch-stamped
+// scratch and are pruned by the graph's ALT landmarks: the diagram keeps a
+// projection of its site set onto the landmark axes, maintained exactly
+// across Insert and conservatively (superset intervals) across Remove, so
+// a pruned search always returns exactly what plain Dijkstra would — see
+// OracleKNNWithDistances for the unpruned oracle the tests compare against.
 package netvor
 
 import (
-	"container/heap"
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/roadnet"
 )
@@ -76,6 +85,38 @@ type adjPage struct {
 	entries []adjEntry
 }
 
+// siteProj is the projection of the diagram's site set onto its landmark
+// axes: per landmark, the [lo,hi] interval of landmark distances over the
+// sites. The pruned searches lower-bound the distance to the nearest site
+// through these intervals (roadnet.ALTBound). exact records whether the
+// intervals are over precisely the current site set: Insert widens them
+// exactly, Remove only flags them stale — intervals over a SUPERSET of
+// the sites are still admissible (wider intervals only weaken the bound),
+// so a stale projection can cost pruning power but never a wrong answer.
+// The next search lazily rebuilds an exact one (see altProj).
+type siteProj struct {
+	lo, hi []float64
+	exact  bool
+}
+
+// relabel records one vertex's previous owner during an Insert claim —
+// the dense replacement for the old map[int]int mutation log.
+type relabel struct {
+	v, old int32
+}
+
+// mutScratch is reusable working memory for diagram mutations: the owner
+// frontier heap, the Insert relabel log, and the Remove cell/DFS buffers.
+// One scratch is shared down a Branch lineage (only the unfrozen head
+// mutates, and the store serializes mutations), so steady-state site
+// churn allocates nothing here.
+type mutScratch struct {
+	oh        ownerHeap4
+	relabeled []relabel
+	cell      []int32
+	stack     []int32
+}
+
 // Diagram is the network Voronoi diagram of a set of sites (vertex ids
 // carrying data objects) over a road network.
 type Diagram struct {
@@ -93,6 +134,14 @@ type Diagram struct {
 	// supports. Paged like the label tables so Branch never pays O(sites).
 	adj       []*adjPage
 	adjShared []bool
+
+	// ALT state: the graph's landmark set as captured at Build, the site
+	// projection onto it, and the lineage-shared lazy-rebuild counter.
+	lm           *roadnet.Landmarks
+	proj         atomic.Pointer[siteProj]
+	projRebuilds *atomic.Uint64
+
+	mut *mutScratch // shared down the Branch lineage; see mutScratch
 
 	frozen bool
 }
@@ -121,24 +170,26 @@ func Build(g *roadnet.Graph, sites []int) (*Diagram, error) {
 	}
 
 	// Multi-source Dijkstra carrying the owning site with each label.
-	h := &ownerHeap{}
+	c := g.CSR()
+	var h ownerHeap4
 	for _, s := range d.sites {
-		heap.Push(h, ownerItem{v: s, d: 0, site: s})
+		h.push(ownerItem{v: int32(s), d: 0, site: int32(s)})
 	}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(ownerItem)
-		o, dd := d.label(it.v)
-		if it.d > dd || (it.d == dd && o != -1 && o <= it.site) {
+	for len(h) > 0 {
+		it := h.pop()
+		o, dd := d.label(int(it.v))
+		if it.d > dd || (it.d == dd && o != -1 && int32(o) <= it.site) {
 			continue
 		}
-		d.setLabel(it.v, it.site, it.d)
-		d.g.VisitEdgesFrom(it.v, func(u int, w float64) {
-			nd := it.d + w
-			uo, ud := d.label(u)
-			if nd < ud || (nd == ud && it.site < uo) {
-				heap.Push(h, ownerItem{v: u, d: nd, site: it.site})
+		d.setLabel(int(it.v), int(it.site), it.d)
+		for e := c.Off[it.v]; e < c.Off[it.v+1]; e++ {
+			u := c.To[e]
+			nd := it.d + c.W[e]
+			uo, ud := d.label(int(u))
+			if nd < ud || (nd == ud && int(it.site) < uo) {
+				h.push(ownerItem{v: u, d: nd, site: it.site})
 			}
-		})
+		}
 	}
 
 	// Voronoi adjacency: two cells touch when some edge has endpoints with
@@ -148,7 +199,78 @@ func Build(g *roadnet.Graph, sites []int) (*Diagram, error) {
 		b, _ := d.label(v)
 		d.incPair(a, b)
 	})
+
+	d.lm = g.Landmarks()
+	d.proj.Store(d.buildSiteProj())
+	d.projRebuilds = new(atomic.Uint64)
 	return d, nil
+}
+
+// buildSiteProj computes the exact projection of the current site set.
+func (d *Diagram) buildSiteProj() *siteProj {
+	lo, hi := d.lm.Project(d.sites, nil, nil)
+	return &siteProj{lo: lo, hi: hi, exact: true}
+}
+
+// altProj returns a projection of the site set usable for pruning,
+// lazily rebuilding an exact one when a Remove left it stale. The rebuild
+// races benignly under concurrent reads of a frozen version: every racer
+// computes the identical projection from the immutable site set.
+func (d *Diagram) altProj() *siteProj {
+	if p := d.proj.Load(); p != nil && p.exact {
+		return p
+	}
+	p := d.buildSiteProj()
+	d.proj.Store(p)
+	if d.projRebuilds != nil {
+		d.projRebuilds.Add(1)
+	}
+	return p
+}
+
+// widenProj extends an exact projection with the new site v — min/max
+// against v's landmark distances — keeping it exact without a rebuild.
+func (d *Diagram) widenProj(v int) {
+	p := d.proj.Load()
+	if p == nil || !p.exact || d.lm == nil || len(p.lo) != d.lm.Count() {
+		return
+	}
+	np := &siteProj{
+		lo:    append([]float64(nil), p.lo...),
+		hi:    append([]float64(nil), p.hi...),
+		exact: true,
+	}
+	for l := 0; l < d.lm.Count(); l++ {
+		dv := d.lm.DistRow(l)[v]
+		if dv < np.lo[l] {
+			np.lo[l] = dv
+		}
+		if dv > np.hi[l] {
+			np.hi[l] = dv
+		}
+	}
+	d.proj.Store(np)
+}
+
+// ALTStats reports the ALT instrumentation: the landmark count and the
+// number of lazy exact-projection rebuilds performed across this
+// diagram's Branch lineage.
+func (d *Diagram) ALTStats() (landmarks int, projRebuilds uint64) {
+	if d.lm != nil {
+		landmarks = d.lm.Count()
+	}
+	if d.projRebuilds != nil {
+		projRebuilds = d.projRebuilds.Load()
+	}
+	return landmarks, projRebuilds
+}
+
+// mutSc returns the lineage's mutation scratch, creating it lazily.
+func (d *Diagram) mutSc() *mutScratch {
+	if d.mut == nil {
+		d.mut = &mutScratch{}
+	}
+	return d.mut
 }
 
 // initPages allocates fresh, unshared label pages covering n vertices,
@@ -226,18 +348,23 @@ func (d *Diagram) setLabel(v int, owner int, dist float64) {
 // their own (site-proportional) size. The receiver is frozen — reads stay
 // valid and race-free forever, mutations are rejected with ErrFrozen —
 // which is exactly the lifecycle of a published index snapshot. The child
-// shares no writer state with the parent, so abandoning it mid-mutation
-// can never corrupt the published version.
+// shares no writer state with the parent (the mutation scratch is shared,
+// but only the unfrozen head of a lineage ever touches it), so abandoning
+// it mid-mutation can never corrupt the published version.
 func (d *Diagram) Branch() *Diagram {
 	d.frozen = true
 	child := &Diagram{
-		g:         d.g,
-		sites:     append([]int(nil), d.sites...),
-		pages:     append([]*labelPage(nil), d.pages...),
-		shared:    make([]bool, len(d.pages)),
-		adj:       append([]*adjPage(nil), d.adj...),
-		adjShared: make([]bool, len(d.adj)),
+		g:            d.g,
+		sites:        append([]int(nil), d.sites...),
+		pages:        append([]*labelPage(nil), d.pages...),
+		shared:       make([]bool, len(d.pages)),
+		adj:          append([]*adjPage(nil), d.adj...),
+		adjShared:    make([]bool, len(d.adj)),
+		lm:           d.lm,
+		projRebuilds: d.projRebuilds,
+		mut:          d.mut,
 	}
+	child.proj.Store(d.proj.Load())
 	for i := range child.shared {
 		child.shared[i] = true
 	}
@@ -251,14 +378,17 @@ func (d *Diagram) Branch() *Diagram {
 // itself — the fallback publication path mirroring vortree.Index.Clone.
 func (d *Diagram) Clone() *Diagram {
 	c := &Diagram{
-		g:         d.g,
-		sites:     append([]int(nil), d.sites...),
-		pages:     make([]*labelPage, len(d.pages)),
-		shared:    make([]bool, len(d.pages)),
-		copied:    len(d.pages),
-		adj:       make([]*adjPage, len(d.adj)),
-		adjShared: make([]bool, len(d.adj)),
+		g:            d.g,
+		sites:        append([]int(nil), d.sites...),
+		pages:        make([]*labelPage, len(d.pages)),
+		shared:       make([]bool, len(d.pages)),
+		copied:       len(d.pages),
+		adj:          make([]*adjPage, len(d.adj)),
+		adjShared:    make([]bool, len(d.adj)),
+		lm:           d.lm,
+		projRebuilds: new(atomic.Uint64),
 	}
+	c.proj.Store(d.proj.Load())
 	for i, pg := range d.pages {
 		c.pages[i] = &labelPage{
 			owner: append([]int(nil), pg.owner...),
@@ -387,48 +517,56 @@ func (d *Diagram) Insert(v int) error {
 		return fmt.Errorf("%w: %d", ErrSiteExists, v)
 	}
 
-	// Claim Dijkstra: labels all carry site v, so the plain distance heap
-	// suffices. old records each relabeled vertex's previous owner once.
-	old := make(map[int]int)
-	h := &roadPQ{}
-	heap.Push(h, roadPQItem{v, 0})
-	for h.Len() > 0 {
-		it := heap.Pop(h).(roadPQItem)
-		o, dd := d.label(it.v)
+	// Claim Dijkstra: labels all carry site v. mut.relabeled logs each
+	// relabeled vertex's previous owner; a vertex is accepted at most once
+	// (pushes require strict improvement or a strictly better tie), so the
+	// log holds each vertex exactly once.
+	c := d.g.CSR()
+	mut := d.mutSc()
+	mut.oh = mut.oh[:0]
+	mut.relabeled = mut.relabeled[:0]
+	mut.oh.push(ownerItem{v: int32(v), d: 0, site: int32(v)})
+	for len(mut.oh) > 0 {
+		it := mut.oh.pop()
+		o, dd := d.label(int(it.v))
 		if !(it.d < dd || (it.d == dd && v < o)) {
 			continue
 		}
-		if _, seen := old[it.v]; !seen {
-			old[it.v] = o
-		}
-		d.setLabel(it.v, v, it.d)
-		d.g.VisitEdgesFrom(it.v, func(u int, w float64) {
-			nd := it.d + w
-			uo, ud := d.label(u)
+		mut.relabeled = append(mut.relabeled, relabel{v: it.v, old: int32(o)})
+		d.setLabel(int(it.v), v, it.d)
+		for e := c.Off[it.v]; e < c.Off[it.v+1]; e++ {
+			u := c.To[e]
+			nd := it.d + c.W[e]
+			uo, ud := d.label(int(u))
 			if nd < ud || (nd == ud && v < uo) {
-				heap.Push(h, roadPQItem{u, nd})
+				mut.oh.push(ownerItem{v: u, d: nd, site: int32(v)})
 			}
-		})
+		}
 	}
 
 	// Move the adjacency support of every edge touching relabeled
-	// territory from the old owners to v. Edges inside the claimed region
-	// are processed once (u < x) and contribute nothing new (both ends now
-	// belong to v).
-	for u, ou := range old {
-		d.g.VisitEdgesFrom(u, func(x int, w float64) {
-			if ox, relabeled := old[x]; relabeled {
-				if u < x {
-					d.decPair(ou, ox)
+	// territory from the old owners to v. Post-claim, owner(x) == v is
+	// exactly "x was relabeled" (v owned nothing before), so membership
+	// reads off the label table and old owners come from the sorted log.
+	slices.SortFunc(mut.relabeled, func(a, b relabel) int { return cmp.Compare(a.v, b.v) })
+	for _, r := range mut.relabeled {
+		ou := int(r.old)
+		for e := c.Off[r.v]; e < c.Off[r.v+1]; e++ {
+			x := c.To[e]
+			if xo, _ := d.label(int(x)); xo == v {
+				if r.v < x {
+					i, _ := slices.BinarySearchFunc(mut.relabeled, x, func(a relabel, t int32) int { return cmp.Compare(a.v, t) })
+					d.decPair(ou, int(mut.relabeled[i].old))
 				}
-				return
+				continue
+			} else {
+				d.decPair(ou, xo)
+				d.incPair(v, xo)
 			}
-			xo, _ := d.label(x)
-			d.decPair(ou, xo)
-			d.incPair(v, xo)
-		})
+		}
 	}
 	d.sites = insertSorted(d.sites, v)
+	d.widenProj(v)
 	return nil
 }
 
@@ -449,111 +587,157 @@ func (d *Diagram) Remove(s int) error {
 		return ErrLastSite
 	}
 
-	// Collect the cell by DFS over s-owned vertices.
-	cellSet := map[int]bool{s: true}
-	cell := []int{s}
-	for stack := []int{s}; len(stack) > 0; {
-		u := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		d.g.VisitEdgesFrom(u, func(x int, w float64) {
-			if cellSet[x] {
-				return
+	// Collect the cell by DFS over s-owned vertices, resetting each label
+	// to (unreachable, +Inf) as it is discovered — the reset doubles as
+	// the visited mark, so no membership set is needed.
+	c := d.g.CSR()
+	mut := d.mutSc()
+	mut.cell = append(mut.cell[:0], int32(s))
+	mut.stack = append(mut.stack[:0], int32(s))
+	d.setLabel(s, -1, math.Inf(1))
+	for len(mut.stack) > 0 {
+		u := mut.stack[len(mut.stack)-1]
+		mut.stack = mut.stack[:len(mut.stack)-1]
+		for e := c.Off[u]; e < c.Off[u+1]; e++ {
+			x := c.To[e]
+			if o, _ := d.label(int(x)); o == s {
+				d.setLabel(int(x), -1, math.Inf(1))
+				mut.cell = append(mut.cell, x)
+				mut.stack = append(mut.stack, x)
 			}
-			if o, _ := d.label(x); o == s {
-				cellSet[x] = true
-				cell = append(cell, x)
-				stack = append(stack, x)
-			}
-		})
+		}
 	}
+	slices.Sort(mut.cell)
 
-	// Reset the hole, then seed the repair from every boundary edge: a
-	// surviving neighbor's exact label plus the crossing edge. Labels
-	// propagate only within the hole; outside labels are already optimal
-	// with respect to the surviving sites.
-	for _, u := range cell {
-		d.setLabel(u, -1, math.Inf(1))
-	}
-	h := &ownerHeap{}
-	for _, u := range cell {
-		d.g.VisitEdgesFrom(u, func(x int, w float64) {
-			if cellSet[x] {
-				return
+	// Seed the repair from every boundary edge: a surviving neighbor's
+	// exact label plus the crossing edge. In-cell neighbors now read
+	// (-1, +Inf) and so seed nothing. The repair frontier never escapes
+	// the hole on its own: outside labels are already optimal (with the
+	// min-site tie-break) with respect to the surviving sites, so the
+	// push test below rejects every outward relaxation.
+	mut.oh = mut.oh[:0]
+	for _, u := range mut.cell {
+		for e := c.Off[u]; e < c.Off[u+1]; e++ {
+			x := c.To[e]
+			if xo, xd := d.label(int(x)); xo != -1 {
+				mut.oh.push(ownerItem{v: u, d: xd + c.W[e], site: int32(xo)})
 			}
-			if xo, xd := d.label(x); xo != -1 {
-				heap.Push(h, ownerItem{v: u, d: xd + w, site: xo})
-			}
-		})
+		}
 	}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(ownerItem)
-		o, dd := d.label(it.v)
-		if !(it.d < dd || (it.d == dd && it.site < o)) {
+	for len(mut.oh) > 0 {
+		it := mut.oh.pop()
+		o, dd := d.label(int(it.v))
+		if !(it.d < dd || (it.d == dd && int(it.site) < o)) {
 			continue
 		}
-		d.setLabel(it.v, it.site, it.d)
-		d.g.VisitEdgesFrom(it.v, func(u int, w float64) {
-			if !cellSet[u] {
-				return
+		d.setLabel(int(it.v), int(it.site), it.d)
+		for e := c.Off[it.v]; e < c.Off[it.v+1]; e++ {
+			u := c.To[e]
+			nd := it.d + c.W[e]
+			uo, ud := d.label(int(u))
+			if nd < ud || (nd == ud && int(it.site) < uo) {
+				mut.oh.push(ownerItem{v: u, d: nd, site: it.site})
 			}
-			nd := it.d + w
-			uo, ud := d.label(u)
-			if nd < ud || (nd == ud && it.site < uo) {
-				heap.Push(h, ownerItem{v: u, d: nd, site: it.site})
-			}
-		})
+		}
 	}
 
 	// Move the adjacency support of the cell's edges to the new owners.
 	// Pre-removal, edges inside the cell carried no support (both ends s)
-	// and boundary edges supported (s, outside-owner).
-	for _, u := range cell {
-		uo, _ := d.label(u)
-		d.g.VisitEdgesFrom(u, func(x int, w float64) {
-			if cellSet[x] {
+	// and boundary edges supported (s, outside-owner). Cell membership is
+	// a binary search in the sorted cell list.
+	for _, u := range mut.cell {
+		uo, _ := d.label(int(u))
+		for e := c.Off[u]; e < c.Off[u+1]; e++ {
+			x := c.To[e]
+			xo, _ := d.label(int(x))
+			if _, inCell := slices.BinarySearch(mut.cell, x); inCell {
 				if u < x {
-					xo, _ := d.label(x)
 					d.incPair(uo, xo)
 				}
-				return
+				continue
 			}
-			xo, _ := d.label(x)
 			d.decPair(s, xo)
 			d.incPair(uo, xo)
-		})
+		}
 	}
 	if e := d.adjAt(s); len(e.sites) != 0 {
 		return fmt.Errorf("netvor: remove %d left dangling adjacency %v", s, e.sites)
 	}
 	d.sites = removeSorted(d.sites, s)
+	// The projection may now be wider than the site set. That is still
+	// admissible (superset intervals), so flag it for a lazy rebuild
+	// instead of paying for one on every remove.
+	if p := d.proj.Load(); p != nil && p.exact {
+		d.proj.Store(&siteProj{lo: p.lo, hi: p.hi, exact: false})
+	}
 	return nil
 }
 
 // ownerItem is a Dijkstra label carrying the site that would own the
 // vertex if this label wins.
 type ownerItem struct {
-	v    int
 	d    float64
-	site int
+	v    int32
+	site int32
 }
 
-type ownerHeap []ownerItem
+// ownerHeap4 is a hand-rolled 4-ary min-heap over owner labels, ordered by
+// (distance, then site id) — the tie order that makes lower site ids win
+// contested territory deterministically. Like roadnet's heap4 it avoids
+// container/heap's per-push boxing allocation.
+type ownerHeap4 []ownerItem
 
-func (h ownerHeap) Len() int { return len(h) }
-func (h ownerHeap) Less(i, j int) bool {
+func (h ownerHeap4) less(i, j int) bool {
 	if h[i].d != h[j].d {
 		return h[i].d < h[j].d
 	}
 	return h[i].site < h[j].site
 }
-func (h ownerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *ownerHeap) Push(x any)   { *h = append(*h, x.(ownerItem)) }
-func (h *ownerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *ownerHeap4) push(it ownerItem) {
+	s := append(*h, it)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *ownerHeap4) pop() ownerItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= len(s) {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > len(s) {
+			end = len(s)
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(c, m) {
+				m = c
+			}
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // Graph returns the underlying road network.
@@ -616,9 +800,10 @@ func (d *Diagram) INS(knn []int) ([]int, error) {
 
 // AppendINS is INS appending onto dst with caller-supplied scratch.
 func (d *Diagram) AppendINS(knn []int, dst []int, sc *SearchScratch) ([]int, error) {
-	sc.resetSets()
+	road := &sc.road
+	road.MarkBegin(d.g.NumVertices())
 	for _, s := range knn {
-		sc.want[s] = true
+		road.SetMark(int32(s), 1)
 	}
 	start := len(dst)
 	for _, s := range knn {
@@ -626,8 +811,8 @@ func (d *Diagram) AppendINS(knn []int, dst []int, sc *SearchScratch) ([]int, err
 			return dst[:start], fmt.Errorf("netvor: %d is not a site", s)
 		}
 		for _, u := range d.adjAt(s).sites {
-			if !sc.want[u] && !sc.done[u] {
-				sc.done[u] = true
+			if road.Mark(int32(u)) == 0 {
+				road.SetMark(int32(u), 2)
 				dst = append(dst, u)
 			}
 		}
@@ -659,169 +844,131 @@ func (d *Diagram) KNNWithDistancesCounted(pos roadnet.Position, k int) ([]int, [
 	return d.AppendKNN(pos, k, nil, nil, &sc)
 }
 
+// OracleKNNWithDistances is KNNWithDistances computed by plain Dijkstra
+// with no ALT pruning — the oracle path the differential tests compare
+// the pruned searches against. Because the ALT heuristic is consistent
+// and zero at every site, the pruned search settles sites in the exact
+// same order with the exact same distances; this method exists to prove
+// that, not to be faster.
+func (d *Diagram) OracleKNNWithDistances(pos roadnet.Position, k int) ([]int, []float64) {
+	var sc SearchScratch
+	ids, ds, _ := d.appendKNN(pos, k, nil, nil, &sc, false)
+	return ids, ds
+}
+
 // SearchScratch is reusable per-caller working memory for the network
-// searches: the Dijkstra frontier heap, the tentative-distance and settled
-// sets of the expansion, and the membership sets of guard-restricted
-// searches. The zero value is ready to use; a scratch serves any number of
+// searches: the dense epoch-stamped search state (frontier heap, tentative
+// distances, mark set) plus the ALT bound evaluator and a traversal stack.
+// The zero value is ready to use; a scratch serves any number of
 // sequential searches against any diagram version but must not be shared
-// across goroutines. The query layer keeps one per session, which removes
+// across goroutines. The serving layer keeps one per shard, which removes
 // every per-update allocation from the network kNN path — the road twin of
 // vortree.SearchScratch.
 type SearchScratch struct {
-	h    posHeap
-	dist map[int]float64
-	done map[int]bool
-	want map[int]bool
-}
-
-func (sc *SearchScratch) resetSearch() {
-	sc.h = sc.h[:0]
-	if sc.dist == nil {
-		sc.dist = make(map[int]float64, 64)
-		sc.done = make(map[int]bool, 64)
-	} else {
-		clear(sc.dist)
-		clear(sc.done)
-	}
-}
-
-func (sc *SearchScratch) resetSets() {
-	if sc.want == nil {
-		sc.want = make(map[int]bool, 16)
-		if sc.done == nil {
-			sc.done = make(map[int]bool, 64)
-		}
-	} else {
-		clear(sc.want)
-	}
-	clear(sc.done)
+	road  roadnet.SearchScratch
+	bnd   roadnet.ALTBound
+	stack []int32
 }
 
 // AppendKNN is KNNWithDistancesCounted appending ids onto dst (and, when
 // ds is non-nil or appended-to, distances onto ds) with caller-supplied
-// scratch — the allocation-free form the serving hot path uses.
+// scratch — the allocation-free form the serving hot path uses. The
+// expansion is ALT-pruned; results are identical to the plain-Dijkstra
+// oracle (see OracleKNNWithDistances).
 func (d *Diagram) AppendKNN(pos roadnet.Position, k int, dst []int, ds []float64, sc *SearchScratch) ([]int, []float64, int) {
+	return d.appendKNN(pos, k, dst, ds, sc, true)
+}
+
+// appendKNN runs the incremental network expansion, A*-guided by the ALT
+// site bound when useALT is set. Lazy deletion needs no settled set:
+// pushes happen only on strict tentative-distance improvement, so a
+// popped entry is current iff its distance still matches the table.
+func (d *Diagram) appendKNN(pos roadnet.Position, k int, dst []int, ds []float64, sc *SearchScratch, useALT bool) ([]int, []float64, int) {
 	if k <= 0 {
 		return dst, ds, 0
 	}
-	sc.resetSearch()
-	for _, s := range pos.Sources(d.g) {
-		if cur, ok := sc.dist[s.V]; !ok || s.D < cur {
-			sc.dist[s.V] = s.D
-			sc.h.push(roadPQItem{s.V, s.D})
+	g := d.g
+	n := g.NumVertices()
+	c := g.CSR()
+	road := &sc.road
+	road.Begin(n)
+	bnd := &sc.bnd
+	bnd.Clear()
+	if useALT {
+		p := d.altProj()
+		bnd.Bind(d.lm, p.lo, p.hi, int32(pos.U))
+	}
+	seed := func(v int, dd float64) {
+		if v < 0 || v >= n {
+			return
 		}
+		sv := int32(v)
+		if road.TryImprove(sv, dd) {
+			road.Push(dd+bnd.Bound(sv), dd, sv)
+		}
+	}
+	if v, ok := pos.AtVertex(); ok {
+		seed(v, 0)
+	} else if w, ok := g.EdgeWeight(pos.U, pos.V); ok {
+		seed(pos.U, pos.T*w)
+		seed(pos.V, (1-pos.T)*w)
 	}
 	need := len(dst) + k
 	relaxed := 0
-	for len(sc.h) > 0 && len(dst) < need {
-		it := sc.h.pop()
-		if sc.done[it.v] {
+	for {
+		_, dd, v, ok := road.Pop()
+		if !ok {
+			break
+		}
+		if dd > road.DistAt(v) {
 			continue
 		}
-		sc.done[it.v] = true
-		if d.IsSite(it.v) {
-			dst = append(dst, it.v)
-			ds = append(ds, it.d)
+		if d.IsSite(int(v)) {
+			dst = append(dst, int(v))
+			ds = append(ds, dd)
 			if len(dst) == need {
 				break
 			}
 		}
-		d.g.VisitEdgesFrom(it.v, func(u int, w float64) {
+		for e := c.Off[v]; e < c.Off[v+1]; e++ {
 			relaxed++
-			nd := it.d + w
-			if cur, ok := sc.dist[u]; !ok || nd < cur {
-				sc.dist[u] = nd
-				sc.h.push(roadPQItem{u, nd})
+			u := c.To[e]
+			nd := dd + c.W[e]
+			if road.TryImprove(u, nd) {
+				road.Push(nd+bnd.Bound(u), nd, u)
 			}
-		})
+		}
 	}
-	d.g.AddRelaxations(relaxed)
+	g.AddRelaxations(relaxed)
 	return dst, ds, relaxed
-}
-
-type roadPQItem struct {
-	v int
-	d float64
-}
-
-type roadPQ []roadPQItem
-
-func (h roadPQ) Len() int { return len(h) }
-func (h roadPQ) Less(i, j int) bool {
-	if h[i].d != h[j].d {
-		return h[i].d < h[j].d
-	}
-	return h[i].v < h[j].v
-}
-func (h roadPQ) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *roadPQ) Push(x any)   { *h = append(*h, x.(roadPQItem)) }
-func (h *roadPQ) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-// posHeap is a hand-rolled binary min-heap over Dijkstra labels;
-// container/heap would box every pushed item, one allocation per edge
-// relaxation. Ordering matches roadPQ (distance, then vertex id).
-type posHeap []roadPQItem
-
-func (h posHeap) less(i, j int) bool {
-	if h[i].d != h[j].d {
-		return h[i].d < h[j].d
-	}
-	return h[i].v < h[j].v
-}
-
-func (h *posHeap) push(e roadPQItem) {
-	*h = append(*h, e)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-}
-
-func (h *posHeap) pop() roadPQItem {
-	s := *h
-	top := s[0]
-	last := len(s) - 1
-	s[0] = s[last]
-	*h = s[:last]
-	s = s[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(s) && s.less(l, smallest) {
-			smallest = l
-		}
-		if r < len(s) && s.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		s[i], s[smallest] = s[smallest], s[i]
-		i = smallest
-	}
-	return top
 }
 
 // Subnetwork is the Theorem-2 search space: the part of the road network
 // covered by the Voronoi cells of a chosen site set, materialized as its
-// own Graph with vertex id translation maps.
+// own Graph with vertex id translation maps plus the ALT state needed to
+// prune searches on it (landmark distances stay in the full-network
+// metric, which lower-bounds the subnetwork metric).
 type Subnetwork struct {
 	G      *roadnet.Graph
 	ToSub  map[int]int // full-network vertex id -> subnetwork id
 	ToFull []int       // subnetwork id -> full-network id
+
+	full32 []int32 // ToFull as int32, for allocation-free bound lookups
+
+	// ALT pruning state captured at extraction: the diagram's landmarks
+	// and the projection of the extraction site set onto them. Searches
+	// for any SUBSET of the extraction sites stay admissible under it.
+	lm             *roadnet.Landmarks
+	projLo, projHi []float64
+
+	// extSites is the exact slice passed to SubnetworkInto and isSite the
+	// per-subnetwork-vertex membership of that set. When AppendKNNSites is
+	// handed the identical slice (the steady-state validation path always
+	// re-asks about the extraction set) the cached membership replaces the
+	// per-query map lookups. The caller must not mutate the slice between
+	// extraction and queries, per the package's slice-ownership contract.
+	extSites []int
+	isSite   []bool
 }
 
 // Subnetwork extracts the union of the Voronoi cells of the given sites:
@@ -830,34 +977,105 @@ type Subnetwork struct {
 // space a superset of the exact cell union and preserves Theorem 2's
 // distance guarantee).
 func (d *Diagram) Subnetwork(sites []int) *Subnetwork {
-	want := make(map[int]bool, len(sites))
-	for _, s := range sites {
-		want[s] = true
-	}
-	sub := &Subnetwork{G: roadnet.NewGraph(), ToSub: make(map[int]int)}
-	addVertex := func(v int) int {
-		if id, ok := sub.ToSub[v]; ok {
-			return id
-		}
-		id := sub.G.AddVertex(d.g.Point(v))
-		sub.ToSub[v] = id
-		sub.ToFull = append(sub.ToFull, v)
+	var sc SearchScratch
+	return d.SubnetworkInto(sites, nil, &sc)
+}
+
+// intern maps full-network vertex v into the subnetwork, creating its
+// subnetwork vertex on first sight.
+func (s *Subnetwork) intern(d *Diagram, v int32) int {
+	if id, ok := s.ToSub[int(v)]; ok {
 		return id
 	}
-	d.g.Edges(func(u, v int, w float64) {
-		uo, _ := d.label(u)
-		vo, _ := d.label(v)
-		if want[uo] || want[vo] {
-			su, sv := addVertex(u), addVertex(v)
-			if err := sub.G.AddEdge(su, sv, w); err != nil {
-				panic(fmt.Sprintf("netvor: subnetwork edge: %v", err))
+	id := s.G.AddVertex(d.g.Point(int(v)))
+	s.ToSub[int(v)] = id
+	s.ToFull = append(s.ToFull, int(v))
+	s.full32 = append(s.full32, v)
+	return id
+}
+
+// Mark bits of the SubnetworkInto cell walk.
+const (
+	snWant    = 1 << 0 // vertex is one of the wanted sites
+	snVisited = 1 << 1 // vertex already interned / queued by the walk
+)
+
+// SubnetworkInto is Subnetwork reusing a previously returned Subnetwork's
+// storage (pass nil to allocate a fresh one) and caller-supplied scratch —
+// the form the query layer uses so periodic recomputes stop paying the
+// extraction allocations. Instead of scanning every network edge, it
+// walks each wanted cell outward from its site (cells are connected:
+// every vertex's shortest-path predecessor shares its owner), visiting
+// only the extracted region plus its one-edge boundary ring. Subnetwork
+// vertex ids are assigned in walk order, so two extractions of the same
+// region are equal as graphs but may number vertices differently; callers
+// hold no contract on the numbering.
+func (d *Diagram) SubnetworkInto(sites []int, sub *Subnetwork, sc *SearchScratch) *Subnetwork {
+	if sub == nil {
+		sub = &Subnetwork{G: roadnet.NewGraph(), ToSub: make(map[int]int, len(sites)*8)}
+	} else {
+		sub.G.Reset()
+		clear(sub.ToSub)
+		sub.ToFull = sub.ToFull[:0]
+		sub.full32 = sub.full32[:0]
+	}
+	c := d.g.CSR()
+	road := &sc.road
+	road.MarkBegin(d.g.NumVertices())
+	for _, s := range sites {
+		road.SetMark(int32(s), snWant)
+	}
+	stack := sc.stack[:0]
+	for _, s := range sites {
+		sv := int32(s)
+		if road.Mark(sv)&snVisited != 0 {
+			continue
+		}
+		road.SetMark(sv, road.Mark(sv)|snVisited)
+		sub.intern(d, sv)
+		if o, _ := d.label(s); o != s {
+			continue // not actually a site of this diagram; keep the lone vertex
+		}
+		stack = append(stack, sv)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			su := sub.intern(d, u)
+			for e := c.Off[u]; e < c.Off[u+1]; e++ {
+				x := c.To[e]
+				xo, _ := d.label(int(x))
+				inside := xo >= 0 && road.Mark(int32(xo))&snWant != 0
+				if inside {
+					if road.Mark(x)&snVisited == 0 {
+						road.SetMark(x, road.Mark(x)|snVisited)
+						stack = append(stack, x)
+					}
+					if u >= x {
+						continue // interior edges added once, from the lower endpoint
+					}
+				}
+				sx := sub.intern(d, x)
+				// AddEdgeWeight, not AddEdge: the latter treats weight 0
+				// as "use the Euclidean length", which would silently
+				// rewrite explicit zero-weight edges.
+				if err := sub.G.AddEdgeWeight(su, sx, c.W[e]); err != nil {
+					panic(fmt.Sprintf("netvor: subnetwork edge: %v", err))
+				}
 			}
 		}
-	})
-	// Isolated sites (possible only in degenerate graphs) still get a
-	// vertex so distance queries can resolve them.
-	for s := range want {
-		addVertex(s)
+	}
+	sc.stack = stack
+	sub.lm = d.lm
+	if sub.lm != nil {
+		sub.projLo, sub.projHi = sub.lm.Project(sites, sub.projLo[:0], sub.projHi[:0])
+	}
+	sub.extSites = sites
+	sub.isSite = slices.Grow(sub.isSite[:0], len(sub.ToFull))[:len(sub.ToFull)]
+	clear(sub.isSite)
+	for _, s := range sites {
+		if sv, ok := sub.ToSub[s]; ok {
+			sub.isSite[sv] = true
+		}
 	}
 	return sub
 }
@@ -900,7 +1118,11 @@ func (s *Subnetwork) KNNSites(pos roadnet.Position, sites []int, k int) ([]int, 
 
 // AppendKNNSites is KNNSites appending ids onto dst and distances onto ds
 // with caller-supplied scratch — the allocation-free form the per-update
-// validation path uses.
+// validation path uses. The expansion is ALT-pruned through the
+// extraction-time projection: full-network landmark distances lower-bound
+// subnetwork distances (the subnetwork has a subset of the edges), and
+// the given sites must be a subset of the extraction sites, so the bound
+// stays admissible and the answer matches plain Dijkstra exactly.
 func (s *Subnetwork) AppendKNNSites(pos roadnet.Position, sites []int, k int, dst []int, ds []float64, sc *SearchScratch) ([]int, []float64) {
 	if k <= 0 {
 		return dst, ds
@@ -909,48 +1131,68 @@ func (s *Subnetwork) AppendKNNSites(pos roadnet.Position, sites []int, k int, ds
 	if !ok {
 		return dst, ds
 	}
-	sc.resetSearch()
-	if sc.want == nil {
-		sc.want = make(map[int]bool, len(sites))
-	} else {
-		clear(sc.want)
-	}
-	for _, site := range sites {
-		if sv, ok := s.ToSub[site]; ok {
-			sc.want[sv] = true
+	g := s.G
+	n := g.NumVertices()
+	c := g.CSR()
+	road := &sc.road
+	// The steady-state caller re-asks about the extraction set itself, so
+	// the cached membership vector answers "is this a wanted site" without
+	// per-query map lookups; any other slice falls back to mark bits.
+	cached := len(sites) == len(s.extSites) &&
+		(len(sites) == 0 || &sites[0] == &s.extSites[0])
+	if !cached {
+		road.MarkBegin(n)
+		for _, site := range sites {
+			if sv, ok := s.ToSub[site]; ok {
+				road.SetMark(int32(sv), 1)
+			}
 		}
 	}
-	for _, src := range spos.Sources(s.G) {
-		if cur, ok := sc.dist[src.V]; !ok || src.D < cur {
-			sc.dist[src.V] = src.D
-			sc.h.push(roadPQItem{src.V, src.D})
+	road.Begin(n)
+	bnd := &sc.bnd
+	bnd.Clear()
+	if s.lm != nil {
+		bnd.Bind(s.lm, s.projLo, s.projHi, int32(s.ToFull[spos.U]))
+	}
+	seed := func(v int, dd float64) {
+		sv := int32(v)
+		if road.TryImprove(sv, dd) {
+			road.Push(dd+bnd.Bound(s.full32[sv]), dd, sv)
 		}
+	}
+	if v, ok := spos.AtVertex(); ok {
+		seed(v, 0)
+	} else if w, ok := g.EdgeWeight(spos.U, spos.V); ok {
+		seed(spos.U, spos.T*w)
+		seed(spos.V, (1-spos.T)*w)
 	}
 	need := len(dst) + k
 	relaxed := 0
-	for len(sc.h) > 0 && len(dst) < need {
-		it := sc.h.pop()
-		if sc.done[it.v] {
+	for {
+		_, dd, v, ok := road.Pop()
+		if !ok {
+			break
+		}
+		if dd > road.DistAt(v) {
 			continue
 		}
-		sc.done[it.v] = true
-		if sc.want[it.v] {
-			dst = append(dst, s.ToFull[it.v])
-			ds = append(ds, it.d)
+		if (cached && s.isSite[v]) || (!cached && road.Mark(v) != 0) {
+			dst = append(dst, s.ToFull[v])
+			ds = append(ds, dd)
 			if len(dst) == need {
 				break
 			}
 		}
-		s.G.VisitEdgesFrom(it.v, func(u int, w float64) {
+		for e := c.Off[v]; e < c.Off[v+1]; e++ {
 			relaxed++
-			nd := it.d + w
-			if cur, ok := sc.dist[u]; !ok || nd < cur {
-				sc.dist[u] = nd
-				sc.h.push(roadPQItem{u, nd})
+			u := c.To[e]
+			nd := dd + c.W[e]
+			if road.TryImprove(u, nd) {
+				road.Push(nd+bnd.Bound(s.full32[u]), nd, u)
 			}
-		})
+		}
 	}
-	s.G.AddRelaxations(relaxed)
+	g.AddRelaxations(relaxed)
 	return dst, ds
 }
 

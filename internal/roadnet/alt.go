@@ -1,0 +1,222 @@
+// ALT (A*, Landmarks, Triangle inequality) preprocessing: a small set of
+// farthest-point-selected vertices with precomputed single-source distance
+// vectors. For any vertices v, t and landmark l the triangle inequality
+// gives |dist_l(v) - dist_l(t)| <= d(v,t); taking the max over landmarks
+// yields a consistent A* heuristic toward any target set, and a consistent
+// heuristic settles targets in exact ascending true distance — so the
+// pruned searches return bit-identical answers to plain Dijkstra, only
+// visiting fewer vertices on the way.
+package roadnet
+
+import "math"
+
+// DefaultLandmarks is the landmark budget: enough axes that some landmark
+// is roughly "behind" most source/target pairs, small enough that the
+// distance vectors stay a few MB even on 65k-vertex networks.
+const DefaultLandmarks = 16
+
+// Landmarks is the ALT preprocessing of a graph. It is derived state with
+// the same lifecycle as the CSR view: built lazily on first use, cached on
+// the graph, and invalidated by any graph mutation — so the vectors can
+// never be stale with respect to the graph they serve. (Staleness of the
+// *target-set* projection is the caller's concern; see ALTBound.)
+type Landmarks struct {
+	ids  []int32
+	dist [][]float64 // dist[l][v]: distance from landmark l to vertex v
+}
+
+// Landmarks returns the graph's ALT landmark set, building and caching it
+// on first use. Like CSR, concurrent first builds race benignly; mutating
+// while other goroutines search is not supported.
+func (g *Graph) Landmarks() *Landmarks {
+	if lm := g.lms.Load(); lm != nil {
+		return lm
+	}
+	lm := g.buildLandmarks(DefaultLandmarks)
+	g.lms.Store(lm)
+	return lm
+}
+
+// buildLandmarks selects min(k, V) landmarks by deterministic
+// farthest-point traversal: the first is the vertex farthest from vertex 0,
+// each next maximizes the minimum distance to those already chosen.
+// Unreachable counts as infinitely far, so every connected component
+// claims a landmark before any component receives its second — a landmark
+// per component is what keeps the bounds meaningful on disconnected
+// graphs. Ties break toward the lower vertex id.
+func (g *Graph) buildLandmarks(k int) *Landmarks {
+	n := len(g.pts)
+	lm := &Landmarks{}
+	if n == 0 || k <= 0 {
+		return lm
+	}
+	if k > n {
+		k = n
+	}
+	minDist := g.ShortestDistances([]Source{{V: 0}}, -1)
+	cur := 0
+	for v := 1; v < n; v++ {
+		if minDist[v] > minDist[cur] {
+			cur = v
+		}
+	}
+	for {
+		dv := g.ShortestDistances([]Source{{V: cur}}, -1)
+		lm.ids = append(lm.ids, int32(cur))
+		lm.dist = append(lm.dist, dv)
+		if len(lm.ids) == k {
+			return lm
+		}
+		for v, d := range dv {
+			if d < minDist[v] {
+				minDist[v] = d
+			}
+		}
+		best, bestD := -1, 0.0
+		for v := 0; v < n; v++ {
+			if d := minDist[v]; d > bestD {
+				best, bestD = v, d
+			}
+		}
+		if best < 0 {
+			return lm // every remaining vertex is already a landmark
+		}
+		cur = best
+	}
+}
+
+// Count returns the number of landmarks.
+func (lm *Landmarks) Count() int { return len(lm.ids) }
+
+// IDs returns the landmark vertex ids (shared slice; read-only).
+func (lm *Landmarks) IDs() []int32 { return lm.ids }
+
+// DistRow returns landmark l's distance vector (shared slice; read-only).
+func (lm *Landmarks) DistRow(l int) []float64 { return lm.dist[l] }
+
+// Project computes the projection of a target set onto every landmark
+// axis — per landmark, the [min,max] interval of landmark distances over
+// the targets — appending into the given buffers (pass lo[:0], hi[:0] to
+// reuse). A projection over a SUPERSET of the actual targets is still
+// admissible for ALTBound (wider intervals only weaken the bound), which
+// is what makes conservatively-stale projections safe.
+func (lm *Landmarks) Project(targets []int, lo, hi []float64) (outLo, outHi []float64) {
+	for l := range lm.ids {
+		row := lm.dist[l]
+		tlo, thi := math.Inf(1), math.Inf(-1)
+		for _, t := range targets {
+			d := row[t]
+			if d < tlo {
+				tlo = d
+			}
+			if d > thi {
+				thi = d
+			}
+		}
+		lo = append(lo, tlo)
+		hi = append(hi, thi)
+	}
+	return lo, hi
+}
+
+// altActive caps the landmarks consulted per vertex during one search.
+// Any fixed subset of the landmark bounds is still consistent, and a
+// handful of well-chosen axes captures nearly all the pruning at a
+// quarter of the per-relaxation cost.
+const altActive = 4
+
+// ALTBound evaluates the ALT lower bound on the distance from a vertex to
+// the nearest member of a projected target set, restricted to the few
+// landmarks most promising for the query's start region. The zero value
+// (or an unbound one) reports 0 everywhere, degenerating A* to Dijkstra.
+type ALTBound struct {
+	n    int
+	rows [altActive][]float64
+	lo   [altActive]float64
+	hi   [altActive]float64
+}
+
+// Clear unbinds the evaluator; Bound reports 0 until the next Bind.
+func (b *ALTBound) Clear() { b.n = 0 }
+
+// Bind selects the active landmarks for a search starting near vertex
+// start: those whose lower bound at start is largest (any choice is
+// correct; this one prunes best because the bound stays strong along the
+// frontier growing away from the targets). lo/hi is a target projection in
+// the full-graph metric, as produced by Project — possibly over a superset
+// of the real targets. Bind is a no-op (leaving the evaluator cleared)
+// when the projection does not match the landmark set or start is out of
+// range.
+func (b *ALTBound) Bind(lm *Landmarks, lo, hi []float64, start int32) {
+	b.n = 0
+	if lm == nil || len(lm.ids) == 0 || len(lo) != len(lm.ids) || len(hi) != len(lm.ids) {
+		return
+	}
+	if start < 0 || int(start) >= len(lm.dist[0]) {
+		start = lm.ids[0]
+	}
+	var scores [altActive]float64
+	for l := range lm.ids {
+		dv := lm.dist[l][start]
+		if math.IsInf(dv, 1) {
+			continue // this landmark cannot see the start's component
+		}
+		s := 0.0
+		if d := lo[l] - dv; d > s {
+			s = d
+		}
+		if d := dv - hi[l]; d > s {
+			s = d
+		}
+		// Keep the altActive best-scoring axes (ties keep the earlier
+		// landmark, so selection is deterministic).
+		pos := b.n
+		for pos > 0 && scores[pos-1] < s {
+			pos--
+		}
+		if pos >= altActive {
+			continue
+		}
+		end := b.n
+		if end == altActive {
+			end--
+		}
+		for j := end; j > pos; j-- {
+			scores[j] = scores[j-1]
+			b.rows[j] = b.rows[j-1]
+			b.lo[j] = b.lo[j-1]
+			b.hi[j] = b.hi[j-1]
+		}
+		scores[pos] = s
+		b.rows[pos] = lm.dist[l]
+		b.lo[pos] = lo[l]
+		b.hi[pos] = hi[l]
+		if b.n < altActive {
+			b.n++
+		}
+	}
+}
+
+// Bound returns the ALT lower bound on the distance from full-graph
+// vertex v to the nearest projected target (0 when nothing applies). The
+// Inf cases are handled without ever forming NaN: a landmark that cannot
+// reach v is skipped (its interval says nothing about v's component); an
+// infinite lo means no target is reachable from that landmark, and for a
+// v it CAN reach the resulting +Inf bound is correct — no target shares
+// v's component.
+func (b *ALTBound) Bound(v int32) float64 {
+	best := 0.0
+	for i := 0; i < b.n; i++ {
+		dv := b.rows[i][v]
+		if math.IsInf(dv, 1) {
+			continue
+		}
+		if d := b.lo[i] - dv; d > best {
+			best = d
+		}
+		if d := dv - b.hi[i]; d > best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,232 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestHeap4Ordering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h heap4
+	var want []heapItem
+	for i := 0; i < 500; i++ {
+		// Few distinct keys, so the (key, v) tie-break is exercised hard.
+		it := heapItem{key: float64(rng.Intn(8)), d: rng.Float64(), v: int32(rng.Intn(64))}
+		h.push(it)
+		want = append(want, it)
+	}
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].key != want[j].key {
+			return want[i].key < want[j].key
+		}
+		return want[i].v < want[j].v
+	})
+	for i, w := range want {
+		got := h.pop()
+		if got.key != w.key || got.v != w.v {
+			t.Fatalf("pop %d = (%g, %d), want (%g, %d)", i, got.key, got.v, w.key, w.v)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not drained: %d left", len(h))
+	}
+}
+
+func TestSearchScratchEpochs(t *testing.T) {
+	var sc SearchScratch
+	sc.Begin(8)
+	if !sc.TryImprove(3, 5) {
+		t.Fatal("first improvement rejected")
+	}
+	if sc.TryImprove(3, 5) || sc.TryImprove(3, 7) {
+		t.Fatal("non-improvement accepted")
+	}
+	if !sc.TryImprove(3, 2) {
+		t.Fatal("strict improvement rejected")
+	}
+	if got := sc.DistAt(3); got != 2 {
+		t.Fatalf("DistAt = %g, want 2", got)
+	}
+	if sc.Reached(4) {
+		t.Fatal("untouched vertex reads reached")
+	}
+	// A new epoch logically clears everything without touching the arrays.
+	sc.Begin(8)
+	if sc.Reached(3) || !math.IsInf(sc.DistAt(3), 1) {
+		t.Fatal("epoch bump did not clear the distance state")
+	}
+	// The mark set is independent of the distance state.
+	sc.MarkBegin(8)
+	sc.SetMark(2, 7)
+	if got := sc.Mark(2); got != 7 {
+		t.Fatalf("Mark = %d, want 7", got)
+	}
+	if got := sc.Mark(3); got != 0 {
+		t.Fatalf("unset Mark = %d, want 0", got)
+	}
+	sc.MarkBegin(8)
+	if got := sc.Mark(2); got != 0 {
+		t.Fatalf("Mark after MarkBegin = %d, want 0", got)
+	}
+}
+
+func TestCSRMatchesAdjacency(t *testing.T) {
+	g, err := RandomPlanarNetwork(60, testBounds, 0.5, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSR := func(g *Graph) {
+		t.Helper()
+		c := g.CSR()
+		if len(c.Off) != g.NumVertices()+1 {
+			t.Fatalf("CSR offsets: %d, want %d", len(c.Off), g.NumVertices()+1)
+		}
+		edges := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			for e := c.Off[v]; e < c.Off[v+1]; e++ {
+				edges++
+				u := int(c.To[e])
+				w, ok := g.EdgeWeight(v, u)
+				if !ok {
+					t.Fatalf("CSR edge %d-%d not in the graph", v, u)
+				}
+				if w != c.W[e] {
+					t.Fatalf("CSR weight %d-%d = %g, graph says %g", v, u, c.W[e], w)
+				}
+			}
+		}
+		if edges != 2*g.NumEdges() {
+			t.Fatalf("CSR half-edges = %d, want %d", edges, 2*g.NumEdges())
+		}
+	}
+	checkCSR(g)
+
+	// Mutation invalidates the cached view; the rebuilt one includes the
+	// new edge, and an explicit zero weight survives (AddEdgeWeight must
+	// not substitute the Euclidean length the way AddEdge does).
+	a := g.AddVertex(geom.Pt(1, 1))
+	b := g.AddVertex(geom.Pt(2, 2))
+	if err := g.AddEdgeWeight(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkCSR(g)
+	if w, ok := g.EdgeWeight(a, b); !ok || w != 0 {
+		t.Fatalf("zero-weight edge reads (%g, %v)", w, ok)
+	}
+
+	// Reset recycles the CSR storage; the rebuilt graph gets a fresh view.
+	g.Reset()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("Reset left vertices or edges behind")
+	}
+	v0 := g.AddVertex(geom.Pt(0, 0))
+	v1 := g.AddVertex(geom.Pt(3, 4))
+	if err := g.AddEdge(v0, v1, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkCSR(g)
+}
+
+func TestLandmarksDeterministicAndComponentCover(t *testing.T) {
+	g, err := RandomPlanarNetwork(120, testBounds, 0.5, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm1 := g.buildLandmarks(DefaultLandmarks)
+	lm2 := g.buildLandmarks(DefaultLandmarks)
+	if len(lm1.ids) != len(lm2.ids) {
+		t.Fatalf("landmark counts differ: %d vs %d", len(lm1.ids), len(lm2.ids))
+	}
+	for i := range lm1.ids {
+		if lm1.ids[i] != lm2.ids[i] {
+			t.Fatalf("landmark %d differs: %d vs %d", i, lm1.ids[i], lm2.ids[i])
+		}
+	}
+	// The cached accessor returns the same set until a mutation.
+	if got := g.Landmarks(); got != g.Landmarks() {
+		t.Fatal("Landmarks() not cached")
+	}
+
+	// Two disjoint components: every component must own a landmark before
+	// any component gets its second, so with budget >= components every
+	// vertex sees a finite distance from some landmark.
+	d := NewGraph()
+	var comp1, comp2 []int
+	for i := 0; i < 5; i++ {
+		comp1 = append(comp1, d.AddVertex(geom.Pt(float64(i), 0)))
+		comp2 = append(comp2, d.AddVertex(geom.Pt(float64(i), 100)))
+	}
+	for i := 0; i+1 < 5; i++ {
+		if err := d.AddEdge(comp1[i], comp1[i+1], 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddEdge(comp2[i], comp2[i+1], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lm := d.buildLandmarks(2)
+	if lm.Count() != 2 {
+		t.Fatalf("landmarks = %d, want 2", lm.Count())
+	}
+	for v := 0; v < d.NumVertices(); v++ {
+		seen := false
+		for l := 0; l < lm.Count(); l++ {
+			if !math.IsInf(lm.DistRow(l)[v], 1) {
+				seen = true
+			}
+		}
+		if !seen {
+			t.Fatalf("vertex %d unreachable from every landmark", v)
+		}
+	}
+}
+
+// TestALTBoundAdmissible checks the load-bearing ALT property: for any
+// target set T and any superset projection, Bound(v) never exceeds the
+// true distance from v to the nearest member of T — so an A* pruned by it
+// can never settle a target late or with a wrong distance.
+func TestALTBoundAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		g, err := RandomPlanarNetwork(80+trial*10, testBounds, 0.5, 0.3, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lm := g.Landmarks()
+		n := g.NumVertices()
+		targets := make([]int, 0, 6)
+		for len(targets) < 6 {
+			targets = append(targets, rng.Intn(n))
+		}
+		// True distance to the nearest target, by multi-source Dijkstra.
+		srcs := make([]Source, len(targets))
+		for i, tg := range targets {
+			srcs[i] = Source{V: tg}
+		}
+		truth := g.ShortestDistances(srcs, -1)
+
+		super := append(append([]int(nil), targets...), rng.Intn(n), rng.Intn(n))
+		for _, tset := range [][]int{targets, super} {
+			lo, hi := lm.Project(tset, nil, nil)
+			var b ALTBound
+			b.Bind(lm, lo, hi, int32(rng.Intn(n)))
+			for v := 0; v < n; v++ {
+				bd := b.Bound(int32(v))
+				if bd > truth[v]+1e-9 {
+					t.Fatalf("trial %d: Bound(%d) = %g exceeds true distance %g (targets %v)",
+						trial, v, bd, truth[v], tset)
+				}
+			}
+		}
+		// A mismatched projection must leave the evaluator cleared.
+		var b ALTBound
+		b.Bind(lm, []float64{1}, []float64{2}, 0)
+		if got := b.Bound(0); got != 0 {
+			t.Fatalf("mismatched Bind gave Bound = %g, want 0", got)
+		}
+	}
+}

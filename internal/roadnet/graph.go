@@ -6,7 +6,6 @@
 package roadnet
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -30,10 +29,26 @@ type halfEdge struct {
 // Graph is an undirected weighted graph with 2D vertex coordinates. Data
 // objects live on vertices, matching the paper's model ("we assume that the
 // data objects are all at the vertices").
+//
+// Storage is two-layered: the adjacency lists are the mutable build-time
+// representation, and the search hot paths read a packed CSR view (see
+// CSR) that is derived lazily and invalidated by any mutation. Likewise,
+// the ALT landmark set (see Landmarks) is derived lazily and invalidated
+// together with the view, so a graph that stops mutating — the serving
+// lifecycle — pays for each exactly once.
 type Graph struct {
 	pts   []geom.Point
 	adj   [][]halfEdge
 	edges int
+
+	// view is the packed adjacency cache, published atomically so frozen
+	// index snapshots sharing this graph can search it from many
+	// goroutines. recycle holds the arrays of a Reset graph's old view for
+	// the next build (only Reset writes it, and Reset requires exclusive
+	// ownership).
+	view    atomic.Pointer[CSR]
+	lms     atomic.Pointer[Landmarks]
+	recycle *CSR
 
 	// relax counts Dijkstra edge relaxations since ResetStats; the
 	// experiments use it as a machine-independent cost measure. Atomic so
@@ -59,10 +74,29 @@ func (g *Graph) AddRelaxations(n int) {
 // NewGraph returns an empty graph.
 func NewGraph() *Graph { return &Graph{} }
 
-// AddVertex adds a vertex at p and returns its id.
+// invalidate drops the derived views after a mutation. The loads keep the
+// common build loop (thousands of Adds, views never built) from hammering
+// the same cache line with stores.
+func (g *Graph) invalidate() {
+	if g.view.Load() != nil {
+		g.view.Store(nil)
+	}
+	if g.lms.Load() != nil {
+		g.lms.Store(nil)
+	}
+}
+
+// AddVertex adds a vertex at p and returns its id. After a Reset, the
+// adjacency slots of the previous incarnation are reused capacity and all.
 func (g *Graph) AddVertex(p geom.Point) int {
 	g.pts = append(g.pts, p)
-	g.adj = append(g.adj, nil)
+	if len(g.adj) < cap(g.adj) {
+		g.adj = g.adj[:len(g.adj)+1]
+		g.adj[len(g.adj)-1] = g.adj[len(g.adj)-1][:0]
+	} else {
+		g.adj = append(g.adj, nil)
+	}
+	g.invalidate()
 	return len(g.pts) - 1
 }
 
@@ -76,21 +110,65 @@ func (g *Graph) AddEdge(u, v int, w float64) error {
 	if u == v {
 		return fmt.Errorf("%w: self-loop at %d", ErrEdge, u)
 	}
-	for _, he := range g.adj[u] {
-		if he.to == v {
-			return fmt.Errorf("%w: parallel edge (%d,%d)", ErrEdge, u, v)
-		}
-	}
 	if w <= 0 {
 		w = g.pts[u].Dist(g.pts[v])
 	}
 	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 		return fmt.Errorf("%w: weight %g on (%d,%d)", ErrEdge, w, u, v)
 	}
+	return g.addEdgeChecked(u, v, w)
+}
+
+// AddEdgeWeight connects u and v with the exact weight w (w >= 0, finite;
+// zero is legal and models coincident junctions). AddEdge's "w <= 0 means
+// Euclidean" convention makes an explicit zero weight inexpressible there;
+// subnetwork extraction, which must transplant weights verbatim, and tests
+// exercising zero-weight edges use this form.
+func (g *Graph) AddEdgeWeight(u, v int, w float64) error {
+	if u < 0 || v < 0 || u >= len(g.pts) || v >= len(g.pts) {
+		return fmt.Errorf("%w: (%d,%d)", ErrVertex, u, v)
+	}
+	if u == v {
+		return fmt.Errorf("%w: self-loop at %d", ErrEdge, u)
+	}
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("%w: weight %g on (%d,%d)", ErrEdge, w, u, v)
+	}
+	return g.addEdgeChecked(u, v, w)
+}
+
+// addEdgeChecked inserts an edge whose endpoints and weight have been
+// validated, rejecting parallels.
+func (g *Graph) addEdgeChecked(u, v int, w float64) error {
+	for _, he := range g.adj[u] {
+		if he.to == v {
+			return fmt.Errorf("%w: parallel edge (%d,%d)", ErrEdge, u, v)
+		}
+	}
 	g.adj[u] = append(g.adj[u], halfEdge{v, w})
 	g.adj[v] = append(g.adj[v], halfEdge{u, w})
 	g.edges++
+	g.invalidate()
 	return nil
+}
+
+// Reset empties the graph in place, keeping every backing allocation (the
+// vertex and adjacency slices plus the recycled CSR arrays) for reuse —
+// the subnetwork-materialization path rebuilds a small graph into the same
+// memory on every recompute. The caller must have exclusive use of the
+// graph.
+func (g *Graph) Reset() {
+	g.pts = g.pts[:0]
+	g.adj = g.adj[:0]
+	g.edges = 0
+	g.relax.Store(0)
+	if c := g.view.Load(); c != nil {
+		g.recycle = c
+		g.view.Store(nil)
+	}
+	if g.lms.Load() != nil {
+		g.lms.Store(nil)
+	}
 }
 
 // NumVertices returns the vertex count.
@@ -116,8 +194,8 @@ func (g *Graph) AdjacentVertices(v int) []int {
 
 // VisitEdgesFrom calls fn for every edge incident to v with the far
 // endpoint and the edge weight. It is the allocation-free form of
-// AdjacentVertices+EdgeWeight that search hot paths use: one pass over the
-// adjacency list instead of an O(deg) weight lookup per neighbor.
+// AdjacentVertices+EdgeWeight; search hot paths iterate the CSR view
+// directly instead.
 func (g *Graph) VisitEdgesFrom(v int, fn func(to int, w float64)) {
 	for _, he := range g.adj[v] {
 		fn(he.to, he.w)
@@ -151,29 +229,66 @@ func (g *Graph) Edges(fn func(u, v int, w float64)) {
 // ResetStats zeroes the relaxation counter.
 func (g *Graph) ResetStats() { g.relax.Store(0) }
 
-// pqItem is a priority-queue element for Dijkstra variants.
-type pqItem struct {
-	v int
-	d float64
+// CSR is the packed adjacency view of a graph in compressed-sparse-row
+// layout: the half-edges of vertex v are To[Off[v]:Off[v+1]] with parallel
+// weights in W (Off has length V+1). Search hot paths iterate it with
+// three flat array reads per edge instead of chasing per-vertex slice
+// headers; weights stay float64 so distances are bit-identical to the
+// adjacency-list searches. A CSR is immutable once published.
+type CSR struct {
+	Off []int32
+	To  []int32
+	W   []float64
 }
 
-type pq []pqItem
-
-func (h pq) Len() int { return len(h) }
-func (h pq) Less(i, j int) bool {
-	if h[i].d != h[j].d {
-		return h[i].d < h[j].d
+// CSR returns the packed adjacency view, building and publishing it on
+// first use after a mutation. Concurrent readers may race to build after
+// the same mutation; the copies are identical and the last store wins.
+// Mutating the graph while other goroutines search it is not supported
+// (unchanged from the adjacency lists).
+func (g *Graph) CSR() *CSR {
+	if c := g.view.Load(); c != nil {
+		return c
 	}
-	return h[i].v < h[j].v
+	c := g.buildCSR()
+	g.view.Store(c)
+	return c
 }
-func (h pq) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pq) Push(x any)   { *h = append(*h, x.(pqItem)) }
-func (h *pq) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (g *Graph) buildCSR() *CSR {
+	n := len(g.pts)
+	m := 2 * g.edges
+	c := g.recycle
+	g.recycle = nil
+	if c == nil {
+		c = &CSR{}
+	}
+	if cap(c.Off) >= n+1 {
+		c.Off = c.Off[:n+1]
+	} else {
+		c.Off = make([]int32, n+1)
+	}
+	if cap(c.To) >= m {
+		c.To = c.To[:m]
+	} else {
+		c.To = make([]int32, m)
+	}
+	if cap(c.W) >= m {
+		c.W = c.W[:m]
+	} else {
+		c.W = make([]float64, m)
+	}
+	pos := int32(0)
+	for v, a := range g.adj {
+		c.Off[v] = pos
+		for _, he := range a {
+			c.To[pos] = int32(he.to)
+			c.W[pos] = he.w
+			pos++
+		}
+	}
+	c.Off[n] = pos
+	return c
 }
 
 // Source is a Dijkstra seed: vertex V is reachable at initial cost D.
@@ -192,34 +307,36 @@ func (g *Graph) ShortestDistances(sources []Source, stopAt float64) []float64 {
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
-	h := &pq{}
+	var h heap4
 	for _, s := range sources {
 		if s.V < 0 || s.V >= len(g.pts) {
 			continue
 		}
 		if s.D < dist[s.V] {
 			dist[s.V] = s.D
-			heap.Push(h, pqItem{s.V, s.D})
+			h.push(heapItem{key: s.D, d: s.D, v: int32(s.V)})
 		}
 	}
+	c := g.CSR()
 	relaxed := 0
-	defer func() { g.AddRelaxations(relaxed) }()
-	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
+	for len(h) > 0 {
+		it := h.pop()
 		if it.d > dist[it.v] {
 			continue
 		}
 		if stopAt >= 0 && it.d > stopAt {
 			break
 		}
-		for _, he := range g.adj[it.v] {
+		for i := c.Off[it.v]; i < c.Off[it.v+1]; i++ {
 			relaxed++
-			if nd := it.d + he.w; nd < dist[he.to] {
-				dist[he.to] = nd
-				heap.Push(h, pqItem{he.to, nd})
+			u := c.To[i]
+			if nd := it.d + c.W[i]; nd < dist[u] {
+				dist[u] = nd
+				h.push(heapItem{key: nd, d: nd, v: u})
 			}
 		}
 	}
+	g.AddRelaxations(relaxed)
 	return dist
 }
 
@@ -232,23 +349,23 @@ func (g *Graph) ShortestPath(s, t int) (path []int, d float64, ok bool) {
 	if s == t {
 		return []int{s}, 0, true
 	}
-	distF := map[int]float64{s: 0}
-	distB := map[int]float64{t: 0}
-	prevF := map[int]int{}
-	prevB := map[int]int{}
-	doneF := map[int]bool{}
-	doneB := map[int]bool{}
-	hf, hb := &pq{{s, 0}}, &pq{{t, 0}}
-	heap.Init(hf)
-	heap.Init(hb)
+	c := g.CSR()
+	distF := map[int32]float64{int32(s): 0}
+	distB := map[int32]float64{int32(t): 0}
+	prevF := map[int32]int32{}
+	prevB := map[int32]int32{}
+	doneF := map[int32]bool{}
+	doneB := map[int32]bool{}
+	var hf, hb heap4
+	hf.push(heapItem{key: 0, d: 0, v: int32(s)})
+	hb.push(heapItem{key: 0, d: 0, v: int32(t)})
 	best := math.Inf(1)
-	meet := -1
+	meet := int32(-1)
 	relaxed := 0
-	defer func() { g.AddRelaxations(relaxed) }()
 
-	expand := func(h *pq, dist map[int]float64, prev map[int]int, done map[int]bool,
-		otherDist map[int]float64) {
-		it := heap.Pop(h).(pqItem)
+	expand := func(h *heap4, dist map[int32]float64, prev map[int32]int32, done map[int32]bool,
+		otherDist map[int32]float64) {
+		it := h.pop()
 		if done[it.v] {
 			return
 		}
@@ -258,34 +375,36 @@ func (g *Graph) ShortestPath(s, t int) (path []int, d float64, ok bool) {
 				best, meet = total, it.v
 			}
 		}
-		for _, he := range g.adj[it.v] {
+		for i := c.Off[it.v]; i < c.Off[it.v+1]; i++ {
 			relaxed++
-			nd := it.d + he.w
-			if cur, ok := dist[he.to]; !ok || nd < cur {
-				dist[he.to] = nd
-				prev[he.to] = it.v
-				heap.Push(h, pqItem{he.to, nd})
+			u := c.To[i]
+			nd := it.d + c.W[i]
+			if cur, ok := dist[u]; !ok || nd < cur {
+				dist[u] = nd
+				prev[u] = it.v
+				h.push(heapItem{key: nd, d: nd, v: u})
 			}
 		}
 	}
 
-	for hf.Len() > 0 && hb.Len() > 0 {
-		if (*hf)[0].d+(*hb)[0].d >= best {
+	for len(hf) > 0 && len(hb) > 0 {
+		if hf[0].d+hb[0].d >= best {
 			break
 		}
-		if (*hf)[0].d <= (*hb)[0].d {
-			expand(hf, distF, prevF, doneF, distB)
+		if hf[0].d <= hb[0].d {
+			expand(&hf, distF, prevF, doneF, distB)
 		} else {
-			expand(hb, distB, prevB, doneB, distF)
+			expand(&hb, distB, prevB, doneB, distF)
 		}
 	}
+	g.AddRelaxations(relaxed)
 	if meet == -1 {
 		return nil, 0, false
 	}
 	// Stitch the two half-paths at the meeting vertex.
 	var fwd []int
 	for v := meet; ; {
-		fwd = append(fwd, v)
+		fwd = append(fwd, int(v))
 		p, ok := prevF[v]
 		if !ok {
 			break
@@ -301,7 +420,7 @@ func (g *Graph) ShortestPath(s, t int) (path []int, d float64, ok bool) {
 			break
 		}
 		v = p
-		fwd = append(fwd, v)
+		fwd = append(fwd, int(v))
 	}
 	return fwd, best, true
 }
@@ -323,24 +442,25 @@ func (g *Graph) AStar(s, t int) (path []int, d float64, ok bool) {
 	if s < 0 || t < 0 || s >= len(g.pts) || t >= len(g.pts) {
 		return nil, 0, false
 	}
+	c := g.CSR()
 	target := g.pts[t]
-	dist := map[int]float64{s: 0}
-	prev := map[int]int{}
-	done := map[int]bool{}
-	h := &pq{{s, g.pts[s].Dist(target)}}
-	heap.Init(h)
+	dist := map[int32]float64{int32(s): 0}
+	prev := map[int32]int32{}
+	done := map[int32]bool{}
+	var h heap4
+	h.push(heapItem{key: g.pts[s].Dist(target), d: 0, v: int32(s)})
 	relaxed := 0
 	defer func() { g.AddRelaxations(relaxed) }()
-	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
+	for len(h) > 0 {
+		it := h.pop()
 		if done[it.v] {
 			continue
 		}
 		done[it.v] = true
-		if it.v == t {
+		if int(it.v) == t {
 			var out []int
-			for v := t; ; {
-				out = append(out, v)
+			for v := int32(t); ; {
+				out = append(out, int(v))
 				p, ok := prev[v]
 				if !ok {
 					break
@@ -350,15 +470,16 @@ func (g *Graph) AStar(s, t int) (path []int, d float64, ok bool) {
 			for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
 				out[i], out[j] = out[j], out[i]
 			}
-			return out, dist[t], true
+			return out, dist[int32(t)], true
 		}
-		for _, he := range g.adj[it.v] {
+		for i := c.Off[it.v]; i < c.Off[it.v+1]; i++ {
 			relaxed++
-			nd := dist[it.v] + he.w
-			if cur, ok := dist[he.to]; !ok || nd < cur {
-				dist[he.to] = nd
-				prev[he.to] = it.v
-				heap.Push(h, pqItem{he.to, nd + g.pts[he.to].Dist(target)})
+			u := c.To[i]
+			nd := dist[it.v] + c.W[i]
+			if cur, ok := dist[u]; !ok || nd < cur {
+				dist[u] = nd
+				prev[u] = it.v
+				h.push(heapItem{key: nd + g.pts[u].Dist(target), d: nd, v: u})
 			}
 		}
 	}
