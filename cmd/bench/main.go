@@ -10,11 +10,13 @@
 // cannot drift from the code. It covers the paper tables (E1–E12), the
 // ablations (A1–A3) and the serving records ENGINE (online plane
 // serving), STREAM (continuous-query push), NETWORK (road-network
-// serving) and WAL (durability overhead and crash recovery). With
+// serving), WAL (durability overhead and crash recovery) and OBS
+// (observability overhead: metrics-on vs noop serving rate). With
 // -benchout and a single record experiment the result is written as the
 // JSON record CI archives and benchguard gates (BENCH_engine.json /
-// BENCH_stream.json / BENCH_network.json / BENCH_wal.json). -seed
-// offsets every workload seed for seed-sensitivity reruns.
+// BENCH_stream.json / BENCH_network.json / BENCH_wal.json /
+// BENCH_obs.json). -seed offsets every workload seed for
+// seed-sensitivity reruns.
 package main
 
 import (
@@ -62,6 +64,8 @@ var runners = []runner{
 		record: func(cfg experiments.Config) (any, error) { return experiments.NetworkBench(cfg) }},
 	{id: "WAL", doc: "durability benchmark (WAL append overhead, crash recovery)",
 		record: func(cfg experiments.Config) (any, error) { return experiments.DurabilityBench(cfg) }},
+	{id: "OBS", doc: "observability benchmark (metrics-on vs noop serving rate, scrape cost)",
+		record: func(cfg experiments.Config) (any, error) { return experiments.ObsBench(cfg) }},
 }
 
 // ids returns the registry's experiment ids in order.
@@ -80,7 +84,7 @@ func main() {
 		"experiment id ("+strings.Join(ids(), ",")+") or 'all'")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (>=1)")
 	seed := flag.Int64("seed", 0, "offset every workload seed (datasets, trajectories, churn RNGs) to probe seed sensitivity; 0 = the canonical published tables (E1/E2 fixtures are seed-independent)")
-	benchout := flag.String("benchout", "", "with a single record experiment (ENGINE, STREAM, NETWORK, WAL): write the result as JSON to this file (e.g. BENCH_engine.json)")
+	benchout := flag.String("benchout", "", "with a single record experiment (ENGINE, STREAM, NETWORK, WAL, OBS): write the result as JSON to this file (e.g. BENCH_engine.json)")
 	vertices := flag.Int("vertices", 0, "NETWORK: override the road-network vertex count (street grid is ceil(sqrt(vertices)) on a side, site density held fixed); 0 = the canonical 4096-vertex grid")
 	flag.Parse()
 	if *scale < 1 {

@@ -1,7 +1,7 @@
 // Command benchguard is the CI bench regression gate: it compares a
 // freshly measured serving record against the committed baseline and
 // exits non-zero when the serving path regressed beyond the per-record
-// thresholds. Three record kinds are gated, matching the three serving
+// thresholds. Five record kinds are gated, matching the serving
 // benchmarks bench emits:
 //
 //	engine  (BENCH_engine.json):  updates_per_sec drop > -max-rate-drop,
@@ -20,6 +20,9 @@
 //	                              base_updates_per_sec overhead >
 //	                              -max-wal-overhead, recovery_ms >
 //	                              -max-recovery-ms (absolute)
+//	obs     (BENCH_obs.json):     self-contained like wal: instrumented
+//	                              vs noop serving rate overhead >
+//	                              -max-obs-overhead
 //
 //	go run ./cmd/bench -exp ENGINE -scale 4 -benchout BENCH_engine.fresh.json
 //	go run ./cmd/benchguard -kind engine -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
@@ -80,6 +83,7 @@ type thresholds struct {
 	maxDropped     uint64  // stream
 	maxWALOverhead float64 // wal
 	maxRecoveryMS  float64 // wal
+	maxObsOverhead float64 // obs
 }
 
 // check returns the regression verdicts for one record kind; factored out
@@ -141,6 +145,17 @@ func check(kind string, base, fresh record, th thresholds) []string {
 			fails = append(fails, fmt.Sprintf(
 				"crash recovery took %.1fms (limit %.0fms)", fresh.RecoveryMS, th.maxRecoveryMS))
 		}
+	case "obs":
+		// Self-contained like wal: metrics-on vs noop rate measured by the
+		// same process, gating the instrumentation overhead.
+		if fresh.BaseUpdatesPerSec > 0 {
+			overhead := 1 - fresh.UpdatesPerSec/fresh.BaseUpdatesPerSec
+			if overhead > th.maxObsOverhead {
+				fails = append(fails, fmt.Sprintf(
+					"observability overhead %.1f%% (%.0f/s instrumented vs %.0f/s noop; limit %.0f%%)",
+					100*overhead, fresh.UpdatesPerSec, fresh.BaseUpdatesPerSec, 100*th.maxObsOverhead))
+			}
+		}
 	case "stream":
 		if base.PushP95US > 0 {
 			growth := fresh.PushP95US / base.PushP95US
@@ -156,7 +171,7 @@ func check(kind string, base, fresh record, th thresholds) []string {
 				fresh.Dropped, th.maxDropped))
 		}
 	default:
-		fails = append(fails, fmt.Sprintf("unknown record kind %q (engine, network, stream, wal)", kind))
+		fails = append(fails, fmt.Sprintf("unknown record kind %q (engine, network, stream, wal, obs)", kind))
 	}
 	return fails
 }
@@ -167,6 +182,11 @@ func summary(kind string, base, fresh record) string {
 		return fmt.Sprintf("ok: WAL overhead %.1f%% (%.0f/s vs %.0f/s), recovery %.1fms",
 			100*(1-fresh.UpdatesPerSec/maxFloat(fresh.BaseUpdatesPerSec, 1)),
 			fresh.UpdatesPerSec, fresh.BaseUpdatesPerSec, fresh.RecoveryMS)
+	}
+	if kind == "obs" {
+		return fmt.Sprintf("ok: observability overhead %.1f%% (%.0f/s vs %.0f/s)",
+			100*(1-fresh.UpdatesPerSec/maxFloat(fresh.BaseUpdatesPerSec, 1)),
+			fresh.UpdatesPerSec, fresh.BaseUpdatesPerSec)
 	}
 	if kind == "stream" {
 		return fmt.Sprintf("ok: push p95 %.1fus (baseline %.1fus), dropped %d",
@@ -187,7 +207,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchguard: ")
 	var (
-		kind           = flag.String("kind", "engine", "record kind: engine, network, stream or wal")
+		kind           = flag.String("kind", "engine", "record kind: engine, network, stream, wal or obs")
 		baseline       = flag.String("baseline", "BENCH_engine.json", "committed baseline record")
 		fresh          = flag.String("fresh", "BENCH_engine.fresh.json", "freshly measured record")
 		maxRateDrop    = flag.Float64("max-rate-drop", 0.25, "engine/network: fail when updates_per_sec drops by more than this fraction")
@@ -199,6 +219,7 @@ func main() {
 		maxDropped     = flag.Uint64("max-dropped", 0, "stream: fail when the healthy subscriber's dropped counter exceeds this")
 		maxWALOverhead = flag.Float64("max-wal-overhead", 0.10, "wal: fail when the fresh record's updates_per_sec falls more than this fraction below its own base_updates_per_sec")
 		maxRecoveryMS  = flag.Float64("max-recovery-ms", 2000, "wal: fail when the fresh record's crash recovery exceeds this many milliseconds")
+		maxObsOverhead = flag.Float64("max-obs-overhead", 0.03, "obs: fail when the fresh record's updates_per_sec falls more than this fraction below its own base_updates_per_sec")
 	)
 	flag.Parse()
 
@@ -220,6 +241,7 @@ func main() {
 		maxDropped:     *maxDropped,
 		maxWALOverhead: *maxWALOverhead,
 		maxRecoveryMS:  *maxRecoveryMS,
+		maxObsOverhead: *maxObsOverhead,
 	})
 	for _, f := range fails {
 		log.Printf("FAIL [%s]: %s", *kind, f)

@@ -3,7 +3,7 @@ package main
 import "testing"
 
 var testTh = thresholds{maxRateDrop: 0.25, maxAllocGrowth: 2.0, maxPushGrowth: 4.0, maxDropped: 0,
-	maxWALOverhead: 0.10, maxRecoveryMS: 2000}
+	maxWALOverhead: 0.10, maxRecoveryMS: 2000, maxObsOverhead: 0.03}
 
 func TestCheckEngineThresholds(t *testing.T) {
 	base := record{UpdatesPerSec: 100000, AllocsPerUpdate: 10}
@@ -132,6 +132,28 @@ func TestCheckWALThresholds(t *testing.T) {
 	}
 }
 
+func TestCheckObsThresholds(t *testing.T) {
+	cases := []struct {
+		name  string
+		fresh record
+		fails int
+	}{
+		{"no overhead", record{BaseUpdatesPerSec: 100000, UpdatesPerSec: 100000}, 0},
+		{"within overhead slack", record{BaseUpdatesPerSec: 100000, UpdatesPerSec: 97500}, 0},
+		{"faster instrumented", record{BaseUpdatesPerSec: 100000, UpdatesPerSec: 105000}, 0},
+		{"overhead regression", record{BaseUpdatesPerSec: 100000, UpdatesPerSec: 95000}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Like wal, the obs gate reads the fresh record only.
+			got := check("obs", record{}, c.fresh, testTh)
+			if len(got) != c.fails {
+				t.Fatalf("check = %v, want %d failures", got, c.fails)
+			}
+		})
+	}
+}
+
 func TestCheckEmptyBaseline(t *testing.T) {
 	// A zeroed baseline (e.g. a hand-initialized record) must never fail
 	// the gate by division against zero.
@@ -143,6 +165,9 @@ func TestCheckEmptyBaseline(t *testing.T) {
 	// A wal record with a zero base rate likewise cannot divide by zero.
 	if got := check("wal", record{}, record{UpdatesPerSec: 1, RecoveryMS: 1}, testTh); len(got) != 0 {
 		t.Fatalf("check(wal) with zero base rate = %v, want none", got)
+	}
+	if got := check("obs", record{}, record{UpdatesPerSec: 1}, testTh); len(got) != 0 {
+		t.Fatalf("check(obs) with zero base rate = %v, want none", got)
 	}
 }
 

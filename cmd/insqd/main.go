@@ -41,13 +41,16 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	insq "repro"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -56,18 +59,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("insqd: ")
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		objects  = flag.Int("objects", 100000, "synthetic plane data objects")
-		space    = flag.Float64("space", 10000, "side length of the square data space")
-		shards   = flag.Int("shards", 8, "engine shards (parallel session workers)")
-		fanout   = flag.Int("fanout", insq.DefaultFanout, "VoR-tree fanout")
-		seed     = flag.Int64("seed", 42, "dataset seed")
-		netGrid  = flag.Int("network-grid", 0, "serve a road-network side too: a GxG street grid (0 = plane only; loadgen -network must use the same value)")
-		netSites = flag.Int("network-sites", 1000, "initial network data objects (with -network-grid)")
-		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (see EXPERIMENTS.md for the profiling recipe)")
-		dataDir  = flag.String("data-dir", "", "durability directory: write-ahead log + checkpoints; on boot the newest checkpoint is loaded and the WAL tail replayed (empty = no durability, state dies with the process)")
-		fsync    = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always (group commit, no acknowledged batch lost), interval (bounded loss window), off")
-		ckptEach = flag.Uint64("checkpoint-every", wal.DefaultCheckpointEvery, "checkpoint the index snapshot every N data-update epochs (with -data-dir)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		objects     = flag.Int("objects", 100000, "synthetic plane data objects")
+		space       = flag.Float64("space", 10000, "side length of the square data space")
+		shards      = flag.Int("shards", 8, "engine shards (parallel session workers)")
+		fanout      = flag.Int("fanout", insq.DefaultFanout, "VoR-tree fanout")
+		seed        = flag.Int64("seed", 42, "dataset seed")
+		netGrid     = flag.Int("network-grid", 0, "serve a road-network side too: a GxG street grid (0 = plane only; loadgen -network must use the same value)")
+		netSites    = flag.Int("network-sites", 1000, "initial network data objects (with -network-grid)")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (see EXPERIMENTS.md for the profiling recipe)")
+		dataDir     = flag.String("data-dir", "", "durability directory: write-ahead log + checkpoints; on boot the newest checkpoint is loaded and the WAL tail replayed (empty = no durability, state dies with the process)")
+		fsync       = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always (group commit, no acknowledged batch lost), interval (bounded loss window), off")
+		ckptEach    = flag.Uint64("checkpoint-every", wal.DefaultCheckpointEvery, "checkpoint the index snapshot every N data-update epochs (with -data-dir)")
+		metricsOn   = flag.Bool("metrics", true, "pipeline observability: Prometheus /metrics, per-stage latency histograms, per-request trace IDs, slow-op log")
+		accessLogOn = flag.Bool("access-log", false, "structured access log on stderr: method, path, status, duration, trace ID")
+		slowBatch   = flag.Duration("slow-batch", 50*time.Millisecond, "slow-op log threshold for one shard batch (0 = off)")
+		slowFsync   = flag.Duration("slow-fsync", 20*time.Millisecond, "slow-op log threshold for one WAL fsync (0 = off)")
+		slowPublish = flag.Duration("slow-publish", 20*time.Millisecond, "slow-op log threshold for one epoch publication (0 = off)")
+		statsTTL    = flag.Duration("stats-ttl", 500*time.Millisecond, "cache the merged /v1/stats snapshot this long so scrapers don't perturb shard workers (0 = no cache)")
 	)
 	flag.Parse()
 	if *objects < 1 || *shards < 1 || *space <= 0 {
@@ -100,7 +109,29 @@ func main() {
 	if *pprofOn {
 		log.Print("pprof endpoints enabled under /debug/pprof/")
 	}
-	hs := &server{pprof: *pprofOn}
+	// Observability wiring: one registry and slow-op log shared by every
+	// layer (server decode, engine shards, store publishes, WAL appends,
+	// stream pushes). -metrics=false compiles the whole pipeline to a
+	// noop: pipe stays nil and every instrumentation site is one branch.
+	var pipe *obs.Pipeline
+	slogger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *metricsOn {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		slow := obs.NewSlowLog(slogger, obs.Thresholds{
+			Batch:   *slowBatch,
+			Fsync:   *slowFsync,
+			Publish: *slowPublish,
+		})
+		pipe = obs.NewPipeline(reg, slow)
+		version, goVersion, revision := obs.Build()
+		log.Printf("observability: /metrics on, build %s %s %s", version, goVersion, revision)
+	}
+	hs := &server{pprof: *pprofOn, obs: pipe, statsTTL: *statsTTL}
+	if *accessLogOn {
+		hs.accessLog = slogger
+	}
+	cfg.Obs = pipe
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: hs.handler(),
@@ -132,10 +163,12 @@ func main() {
 			Objects:      cfg.Objects,
 			Network:      cfg.Network,
 			NetworkSites: cfg.NetworkSites,
+			Obs:          pipe,
 		}, wal.Options{
 			Dir:             *dataDir,
 			Sync:            policy,
 			CheckpointEvery: *ckptEach,
+			Obs:             pipe,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -4,16 +4,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	insq "repro"
 	"repro/internal/api"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -28,6 +31,20 @@ type server struct {
 	// mutex, block profiles of the live serving process). Off by default —
 	// profiles expose internals and cost cycles while sampling.
 	pprof bool
+
+	// obs enables /metrics, per-request trace IDs and decode-stage timing;
+	// nil turns all of it off. accessLog, when non-nil, logs one line per
+	// request (method, path, status, duration, trace).
+	obs       *obs.Pipeline
+	accessLog *slog.Logger
+
+	// statsTTL caches the merged /v1/stats snapshot: Engine.Stats fans a
+	// message to every shard worker, so a scraper polling at 1s must not
+	// perturb them per request. 0 disables caching.
+	statsTTL   time.Duration
+	statsMu    sync.Mutex
+	statsAt    time.Time
+	statsCache api.StatsResponse
 }
 
 // newServer returns a server already open for traffic — the in-process
@@ -51,13 +68,60 @@ func (s *server) setEngine(e *insq.Engine) {
 // of main so tests can mount it on httptest servers.
 func (s *server) handler() http.Handler {
 	mux := s.routes()
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() {
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, api.ErrorResponse{Error: "recovering: server not ready"})
 			return
 		}
 		mux.ServeHTTP(w, r)
+	}))
+}
+
+// statusWriter captures the response status for the access log while
+// staying transparent to SSE: it forwards Flush and unwraps for
+// http.NewResponseController's deadline control.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// instrument wraps the route table with per-request observability: a
+// trace ID (minted here, returned in X-Trace-Id, threaded through the
+// request context into the engine/store/WAL for slow-op attribution) and
+// the opt-in access log. With neither observability nor access logging
+// configured it returns next untouched — zero per-request cost.
+func (s *server) instrument(next http.Handler) http.Handler {
+	if s.obs == nil && s.accessLog == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		trace := obs.NewTraceID()
+		w.Header().Set("X-Trace-Id", trace)
+		r = r.WithContext(obs.WithTraceID(r.Context(), trace))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		if s.accessLog != nil {
+			s.accessLog.Info("access",
+				"method", r.Method, "path", r.URL.Path,
+				"status", sw.code,
+				"dur_ms", float64(time.Since(start).Nanoseconds())/1e6,
+				"trace", trace)
+		}
 	})
 }
 
@@ -77,6 +141,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	if s.obs != nil {
+		mux.HandleFunc("GET /metrics", s.metrics)
+	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -118,7 +185,12 @@ func writeBadRequest(w http.ResponseWriter, msg string) {
 // update batch) so one oversized POST cannot exhaust server memory.
 const maxRequestBody = 8 << 20
 
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	var start time.Time
+	if s.obs.Enabled() {
+		start = time.Now()
+		defer func() { s.obs.Observe(obs.StageDecode, time.Since(start)) }()
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
@@ -143,7 +215,7 @@ func pathID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
 
 func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 	var req api.CreateSessionRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.Rho == 0 {
@@ -181,10 +253,10 @@ func (s *server) closeSession(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) updateBatch(w http.ResponseWriter, r *http.Request) {
 	var req api.UpdateRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
-	results, err := s.e.UpdateBatch(api.NewLocationUpdates(req.Updates))
+	results, err := s.e.UpdateBatchCtx(r.Context(), api.NewLocationUpdates(req.Updates))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -194,10 +266,10 @@ func (s *server) updateBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) updateNetworkBatch(w http.ResponseWriter, r *http.Request) {
 	var req api.NetworkUpdateRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
-	results, err := s.e.UpdateNetworkBatch(api.NewNetworkLocationUpdates(req.Updates))
+	results, err := s.e.UpdateNetworkBatchCtx(r.Context(), api.NewNetworkLocationUpdates(req.Updates))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -207,10 +279,10 @@ func (s *server) updateNetworkBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) insertNetworkObject(w http.ResponseWriter, r *http.Request) {
 	var req api.NetworkObjectRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
-	id, err := s.e.InsertNetworkObject(req.Vertex)
+	id, err := s.e.InsertNetworkObjectCtx(r.Context(), req.Vertex)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -223,7 +295,7 @@ func (s *server) removeNetworkObject(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.e.RemoveNetworkObject(int(id)); err != nil {
+	if err := s.e.RemoveNetworkObjectCtx(r.Context(), int(id)); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -232,10 +304,10 @@ func (s *server) removeNetworkObject(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) insertObject(w http.ResponseWriter, r *http.Request) {
 	var req api.ObjectRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
-	id, err := s.e.InsertObject(insq.Pt(req.X, req.Y))
+	id, err := s.e.InsertObjectCtx(r.Context(), insq.Pt(req.X, req.Y))
 	switch {
 	case errors.Is(err, engine.ErrOutOfBounds):
 		writeBadRequest(w, err.Error())
@@ -252,20 +324,58 @@ func (s *server) removeObject(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.e.RemoveObject(int(id)); err != nil {
+	if err := s.e.RemoveObjectCtx(r.Context(), int(id)); err != nil {
 		writeError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// metrics serves the Prometheus exposition of the pipeline's registry.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.obs.Registry().WritePrometheus(w)
+}
+
+// statsResponse builds the wire stats, stamping the serving build.
+func statsResponse(st insq.EngineStats) api.StatsResponse {
+	resp := api.NewStatsResponse(st)
+	resp.Version, resp.GoVersion, resp.Revision = obs.Build()
+	return resp
+}
+
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	if s.statsTTL <= 0 {
+		st, err := s.e.Stats()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, statsResponse(st))
+		return
+	}
+	// TTL cache with single flight: Engine.Stats fans a mailbox message to
+	// every shard worker, so concurrent scrapers share one refresh and a
+	// 1s poller costs the shards one stats message per TTL, not per
+	// request.
+	s.statsMu.Lock()
+	if time.Since(s.statsAt) <= s.statsTTL {
+		resp := s.statsCache
+		s.statsMu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	st, err := s.e.Stats()
 	if err != nil {
+		s.statsMu.Unlock()
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.NewStatsResponse(st))
+	s.statsCache = statsResponse(st)
+	s.statsAt = time.Now()
+	resp := s.statsCache
+	s.statsMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ssePingInterval keeps idle /events connections alive through proxies

@@ -59,6 +59,7 @@ import (
 	insq "repro"
 	"repro/internal/api"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -389,6 +390,10 @@ func main() {
 	if st, err := tgt.stats(); err != nil {
 		log.Printf("stats: %v", err)
 	} else {
+		if st.Version != "" {
+			fmt.Printf("server version         %s (%s, rev %s, up %.0fs)\n",
+				st.Version, st.GoVersion, st.Revision, st.UptimeSec)
+		}
 		fmt.Printf("server updates/sec     %.0f\n", st.UpdatesPerSec)
 		fmt.Printf("server epoch           %d (%d live index snapshots)\n", st.Epoch, st.Snapshots)
 		fmt.Printf("server update latency  n=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus\n",
@@ -679,6 +684,7 @@ func (t inprocTarget) stats() (*api.StatsResponse, error) {
 		return nil, err
 	}
 	resp := api.NewStatsResponse(st)
+	resp.Version, resp.GoVersion, resp.Revision = obs.Build()
 	return &resp, nil
 }
 

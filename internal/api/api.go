@@ -309,13 +309,19 @@ type StatsResponse struct {
 	// pruning observable in serving, not just in bench.
 	NetLandmarks    int              `json:"net_landmarks,omitempty"`
 	NetProjRebuilds uint64           `json:"net_proj_rebuilds,omitempty"`
-	UptimeSec       float64          `json:"uptime_sec"`
+	UptimeSec       float64          `json:"uptime_seconds"`
 	UpdatesPerSec   float64          `json:"updates_per_sec"`
 	Latency         LatencyStats     `json:"latency"`
 	Counters        metrics.Counters `json:"counters"`
 	Stream          StreamStats      `json:"stream"`
 	// WAL is present only when the server runs with durability enabled.
 	WAL *WALStats `json:"wal,omitempty"`
+	// Version/GoVersion/Revision identify the serving build; filled by the
+	// server (obs.Build), not the engine, and omitted by in-process
+	// embedders that don't care.
+	Version   string `json:"version,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
 }
 
 // NewStatsResponse converts an engine snapshot to wire form.

@@ -28,6 +28,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/stream"
 	"repro/internal/wal"
@@ -109,6 +111,14 @@ type Config struct {
 	// BEFORE Engine.Close, so its final checkpoint can still pin a
 	// snapshot; the engine closes the store either way.
 	WAL *wal.Manager
+
+	// Obs, when non-nil, enables pipeline observability: per-stage timing
+	// (queue wait, apply, sweep, push), slow-op logging, and engine/stream
+	// gauges on the pipeline's registry. With a WAL, pass the same
+	// pipeline in the index.Config given to wal.Open so store and log
+	// stages land in the same registry. nil compiles the whole layer to a
+	// no-op.
+	Obs *obs.Pipeline
 }
 
 // SessionID identifies a live query session. The owning shard is encoded
@@ -209,7 +219,8 @@ type Engine struct {
 	shards   []*shard
 	start    time.Time
 	hasPlane bool
-	bounds   geom.Rect // plane data space (meaningful when hasPlane)
+	bounds   geom.Rect     // plane data space (meaningful when hasPlane)
+	obs      *obs.Pipeline // nil when observability is off
 
 	mu     sync.RWMutex // held (shared) across every mailbox round-trip; Close takes it exclusively
 	closed bool
@@ -254,6 +265,7 @@ func New(cfg Config) (*Engine, error) {
 			Objects:      cfg.Objects,
 			Network:      cfg.Network,
 			NetworkSites: cfg.NetworkSites,
+			Obs:          cfg.Obs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
@@ -262,11 +274,12 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		store:    st,
 		wal:      cfg.WAL,
-		events:   stream.NewBroker(cfg.StreamQueueDepth),
+		events:   stream.NewBrokerObs(cfg.StreamQueueDepth, cfg.Obs),
 		shards:   make([]*shard, cfg.Shards),
 		start:    time.Now(),
 		hasPlane: st.HasPlane(),
 		bounds:   st.Bounds(),
+		obs:      cfg.Obs,
 	}
 	for i := range e.shards {
 		e.shards[i] = &shard{
@@ -277,8 +290,10 @@ func New(cfg Config) (*Engine, error) {
 			notify:   st.Subscribe(),
 			done:     make(chan struct{}),
 			sessions: make(map[SessionID]*session),
+			obs:      cfg.Obs,
 		}
 	}
+	e.registerMetrics(cfg.Obs.Registry())
 	e.plans.New = func() any {
 		return &batchPlan{
 			perShard: make([][]batchEntry, cfg.Shards),
@@ -289,6 +304,88 @@ func New(cfg Config) (*Engine, error) {
 		go sh.run()
 	}
 	return e, nil
+}
+
+// registerMetrics exports the serving gauges on the pipeline's registry.
+// Every closure reads atomics or channel lengths the workers maintain
+// anyway — a scrape never enqueues a mailbox message and never blocks a
+// shard. The stream counters go through Broker.Stats, which takes the
+// broker read lock briefly.
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, sh := range e.shards {
+		sh := sh
+		shardLabel := obs.Label{Name: "shard", Value: fmt.Sprint(sh.id)}
+		reg.GaugeFunc("insq_shard_queue_depth",
+			"Messages waiting in the shard's mailbox.",
+			func() float64 { return float64(len(sh.mailbox)) }, shardLabel)
+		reg.GaugeFunc("insq_shard_sessions",
+			"Live sessions owned by the shard.",
+			func() float64 { return float64(sh.sessionsN.Load()) }, shardLabel)
+	}
+	reg.GaugeFunc("insq_sessions",
+		"Live sessions across all shards.",
+		func() float64 {
+			var n int64
+			for _, sh := range e.shards {
+				n += sh.sessionsN.Load()
+			}
+			return float64(n)
+		})
+	reg.CounterFunc("insq_updates_total",
+		"Processed location updates across all shards.",
+		func() float64 {
+			var n uint64
+			for _, sh := range e.shards {
+				n += sh.updates.Load()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("insq_epoch",
+		"Applied data updates (the current snapshot's version).",
+		func() float64 { return float64(e.store.Epoch()) })
+	reg.GaugeFunc("insq_snapshots_live",
+		"Snapshots still pinned, including the current one.",
+		func() float64 { return float64(e.store.LiveSnapshots()) })
+	reg.GaugeFunc("insq_snapshot_pins",
+		"Pins on the current snapshot (the store's own pin included).",
+		func() float64 { return float64(e.store.CurrentPins()) })
+	reg.GaugeFunc("insq_objects",
+		"Live plane data objects (0 without a plane index).",
+		func() float64 {
+			if plane := e.store.Current().Plane(); plane != nil {
+				return float64(plane.Len())
+			}
+			return 0
+		})
+	reg.GaugeFunc("insq_network_objects",
+		"Live network data objects (0 without a road network).",
+		func() float64 {
+			if net := e.store.Current().Network(); net != nil {
+				return float64(net.Len())
+			}
+			return 0
+		})
+	reg.GaugeFunc("insq_stream_subscribers",
+		"Live push-stream subscribers.",
+		func() float64 { return float64(e.events.Stats().Subscribers) })
+	reg.GaugeFunc("insq_stream_pending_events",
+		"Events queued across all push subscribers.",
+		func() float64 { return float64(e.events.PendingTotal()) })
+	reg.CounterFunc("insq_stream_published_total",
+		"Events published to the stream broker.",
+		func() float64 { return float64(e.events.Stats().Published) })
+	reg.CounterFunc("insq_stream_delivered_total",
+		"Events delivered to subscribers.",
+		func() float64 { return float64(e.events.Stats().Delivered) })
+	reg.CounterFunc("insq_stream_coalesced_total",
+		"Events merged into a pending one (latest-result-wins).",
+		func() float64 { return float64(e.events.Stats().Coalesced) })
+	reg.CounterFunc("insq_stream_dropped_total",
+		"Pending events evicted by subscriber queue overflow.",
+		func() float64 { return float64(e.events.Stats().Dropped) })
 }
 
 // shardOf returns the shard owning sid, or nil for ids the engine never
@@ -408,28 +505,39 @@ func (e *Engine) CloseSession(sid SessionID) error {
 // update, in input order. The returned error reflects engine-level
 // failure only; per-session errors ride in the results.
 func (e *Engine) UpdateBatch(updates []LocationUpdate) ([]UpdateResult, error) {
+	return e.UpdateBatchCtx(context.Background(), updates)
+}
+
+// UpdateBatchCtx is UpdateBatch with a request context carrying the trace
+// ID (obs.TraceID) for queue-wait timing and slow-batch attribution.
+func (e *Engine) UpdateBatchCtx(ctx context.Context, updates []LocationUpdate) ([]UpdateResult, error) {
 	plan := e.plans.Get().(*batchPlan)
 	plan.entries = plan.entries[:0]
 	for i, u := range updates {
 		plan.entries = append(plan.entries, batchEntry{idx: i, sid: u.Session, pos: u.Pos})
 	}
-	return e.runBatch(false, plan)
+	return e.runBatch(ctx, false, plan)
 }
 
 // UpdateNetworkBatch is UpdateBatch for road-network sessions.
 func (e *Engine) UpdateNetworkBatch(updates []NetworkLocationUpdate) ([]UpdateResult, error) {
+	return e.UpdateNetworkBatchCtx(context.Background(), updates)
+}
+
+// UpdateNetworkBatchCtx is UpdateNetworkBatch with a request context.
+func (e *Engine) UpdateNetworkBatchCtx(ctx context.Context, updates []NetworkLocationUpdate) ([]UpdateResult, error) {
 	plan := e.plans.Get().(*batchPlan)
 	plan.entries = plan.entries[:0]
 	for i, u := range updates {
 		plan.entries = append(plan.entries, batchEntry{idx: i, sid: u.Session, net: u.Pos})
 	}
-	return e.runBatch(true, plan)
+	return e.runBatch(ctx, true, plan)
 }
 
 // runBatch fans the plan's entries out to their shards, gathers the
 // replies and returns the plan to the pool (every shard is done with the
 // pooled memory once it has signalled).
-func (e *Engine) runBatch(network bool, plan *batchPlan) ([]UpdateResult, error) {
+func (e *Engine) runBatch(ctx context.Context, network bool, plan *batchPlan) ([]UpdateResult, error) {
 	defer e.plans.Put(plan)
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -449,12 +557,20 @@ func (e *Engine) runBatch(network bool, plan *batchPlan) ([]UpdateResult, error)
 		}
 		perShard[sh.id] = append(perShard[sh.id], en)
 	}
+	// One timestamp and trace per request, stamped at fan-out: each shard
+	// reports its own mailbox wait against it as the queue stage.
+	var enqueued time.Time
+	var trace string
+	if e.obs.Enabled() {
+		enqueued = time.Now()
+		trace = obs.TraceID(ctx)
+	}
 	sent := 0
 	for s, part := range perShard {
 		if len(part) == 0 {
 			continue
 		}
-		e.shards[s].mailbox <- batchMsg{network: network, entries: part, results: results, reply: plan.reply}
+		e.shards[s].mailbox <- batchMsg{network: network, entries: part, results: results, reply: plan.reply, trace: trace, enqueued: enqueued}
 		sent++
 	}
 	for i := 0; i < sent; i++ {
@@ -469,6 +585,12 @@ func (e *Engine) runBatch(network bool, plan *batchPlan) ([]UpdateResult, error)
 // invalidated when they re-pin and recompute at their next location
 // update. The cost is independent of the shard count.
 func (e *Engine) InsertObject(p geom.Point) (int, error) {
+	return e.InsertObjectCtx(context.Background(), p)
+}
+
+// InsertObjectCtx is InsertObject with a request context carrying the
+// trace ID for slow-op attribution in the publish and WAL stages.
+func (e *Engine) InsertObjectCtx(ctx context.Context, p geom.Point) (int, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -479,22 +601,27 @@ func (e *Engine) InsertObject(p geom.Point) (int, error) {
 	if e.hasPlane && !e.bounds.Contains(p) {
 		return -1, fmt.Errorf("%w: %v not in [%v, %v]", ErrOutOfBounds, p, e.bounds.Min, e.bounds.Max)
 	}
-	id, err := e.store.Insert(p)
+	ids, err := e.store.ApplyCtx(ctx, []index.Mutation{{Insert: true, P: p}})
 	if err != nil {
 		return -1, e.mapStoreErr(err)
 	}
-	return id, nil
+	return ids[0], nil
 }
 
 // RemoveObject deletes a plane data object; sessions using it in their
 // guard sets are invalidated when they re-pin.
 func (e *Engine) RemoveObject(id int) error {
+	return e.RemoveObjectCtx(context.Background(), id)
+}
+
+// RemoveObjectCtx is RemoveObject with a request context.
+func (e *Engine) RemoveObjectCtx(ctx context.Context, id int) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return ErrClosed
 	}
-	if err := e.store.Remove(id); err != nil {
+	if _, err := e.store.ApplyCtx(ctx, []index.Mutation{{ID: id}}); err != nil {
 		return e.mapStoreErr(err)
 	}
 	return nil
@@ -508,12 +635,17 @@ func (e *Engine) RemoveObject(id int) error {
 // network. The returned id is v: network objects are identified by the
 // vertex they sit on.
 func (e *Engine) InsertNetworkObject(v int) (int, error) {
+	return e.InsertNetworkObjectCtx(context.Background(), v)
+}
+
+// InsertNetworkObjectCtx is InsertNetworkObject with a request context.
+func (e *Engine) InsertNetworkObjectCtx(ctx context.Context, v int) (int, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return -1, ErrClosed
 	}
-	if err := e.store.InsertSite(v); err != nil {
+	if _, err := e.store.ApplyCtx(ctx, []index.Mutation{{Network: true, Insert: true, ID: v}}); err != nil {
 		return -1, e.mapStoreErr(err)
 	}
 	return v, nil
@@ -523,12 +655,17 @@ func (e *Engine) InsertNetworkObject(v int) (int, error) {
 // network sessions using it (or bordering its cell) are invalidated when
 // they re-pin.
 func (e *Engine) RemoveNetworkObject(v int) error {
+	return e.RemoveNetworkObjectCtx(context.Background(), v)
+}
+
+// RemoveNetworkObjectCtx is RemoveNetworkObject with a request context.
+func (e *Engine) RemoveNetworkObjectCtx(ctx context.Context, v int) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return ErrClosed
 	}
-	if err := e.store.RemoveSite(v); err != nil {
+	if _, err := e.store.ApplyCtx(ctx, []index.Mutation{{Network: true, ID: v}}); err != nil {
 		return e.mapStoreErr(err)
 	}
 	return nil

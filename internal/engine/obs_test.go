@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestEngineObservability drives a small instrumented engine end to end
+// and checks that every in-process pipeline stage fired, the gauges
+// export, and a threshold-zero slow log captures batches with the
+// request's trace ID. Run with -race: scrapes race against workers by
+// design.
+func TestEngineObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	slow := obs.NewSlowLog(slog.New(slog.NewTextHandler(&logBuf, nil)),
+		obs.Thresholds{Batch: time.Nanosecond})
+	pipe := obs.NewPipeline(reg, slow)
+	e, err := New(Config{
+		Shards:  2,
+		Bounds:  testBounds,
+		Objects: workload.Uniform(200, testBounds, 1),
+		Obs:     pipe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	sid, err := e.CreateSession(5, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := e.Stream().Subscribe(8, uint64(sid))
+	defer sub.Close()
+
+	trace := obs.NewTraceID()
+	ctx := obs.WithTraceID(context.Background(), trace)
+	if _, err := e.UpdateBatchCtx(ctx, []LocationUpdate{{Session: sid, Pos: geom.Pt(10, 10)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.InsertObjectCtx(ctx, geom.Pt(11, 11)); err != nil {
+		t.Fatal(err)
+	}
+	// Give the shards a moment to drain the epoch notification (sweep).
+	deadline := time.Now().Add(2 * time.Second)
+	for pipe.StageCount(obs.StageSweep) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := e.UpdateBatchCtx(ctx, []LocationUpdate{{Session: sid, Pos: geom.Pt(12, 12)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, st := range []obs.Stage{obs.StageQueue, obs.StageApply, obs.StagePublish, obs.StageSweep, obs.StagePush} {
+		if pipe.StageCount(st) == 0 {
+			t.Errorf("stage %v never observed", st)
+		}
+	}
+	if !strings.Contains(logBuf.String(), "trace="+trace) {
+		t.Errorf("slow-batch log missing trace %s:\n%s", trace, logBuf.String())
+	}
+
+	var expo strings.Builder
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	out := expo.String()
+	for _, want := range []string{
+		`insq_shard_queue_depth{shard="0"}`,
+		`insq_shard_sessions{shard="1"}`,
+		"insq_sessions 1",
+		"insq_epoch 1",
+		"insq_snapshot_pins",
+		"insq_objects 201",
+		"insq_stream_subscribers 1",
+		"insq_updates_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestEngineObsDisabled pins the noop invariant: a nil pipeline engine
+// serves normally and records nothing.
+func TestEngineObsDisabled(t *testing.T) {
+	e := newTestEngine(t, 100, 2)
+	sid, err := e.CreateSession(3, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.UpdateBatch([]LocationUpdate{{Session: sid, Pos: geom.Pt(5, 5)}}); err != nil {
+		t.Fatal(err)
+	}
+	var p *obs.Pipeline
+	if p.StageCount(obs.StageApply) != 0 || p.Enabled() {
+		t.Error("nil pipeline not inert")
+	}
+	if err := p.Registry().WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/netvor"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/stream"
 )
@@ -26,11 +28,17 @@ type shard struct {
 	mailbox chan message
 	notify  <-chan uint64 // coalesced epoch notifications from the store
 	done    chan struct{}
+	obs     *obs.Pipeline // nil when observability is off
 
 	// Worker-owned state; never accessed outside the worker goroutine.
 	sessions map[SessionID]*session
 	hist     metrics.Histogram
-	updates  uint64
+
+	// updates and sessionsN mirror worker-owned state as atomics so the
+	// metrics registry can read them at scrape time without a mailbox
+	// round-trip (only the worker writes them).
+	updates   atomic.Uint64
+	sessionsN atomic.Int64
 
 	// Reusable delta scratch: the pre-change baseline buffer and the
 	// membership maps diffIDs needs. Publishing an event still allocates
@@ -156,11 +164,16 @@ type batchEntry struct {
 
 // batchMsg processes a run of location updates. The worker writes into
 // results at the entries' disjoint indices and then signals reply once.
+// trace and enqueued are set only with observability on: the request's
+// trace ID and fan-out time, against which the worker reports its mailbox
+// wait (the queue stage).
 type batchMsg struct {
-	network bool
-	entries []batchEntry
-	results []UpdateResult
-	reply   chan struct{}
+	network  bool
+	entries  []batchEntry
+	results  []UpdateResult
+	reply    chan struct{}
+	trace    string
+	enqueued time.Time
 }
 
 // stateMsg reads one session's current result snapshot, sequenced against
@@ -228,6 +241,7 @@ func (sh *shard) handle(msg message) {
 		}
 		s.close()
 		delete(sh.sessions, m.sid)
+		sh.sessionsN.Store(int64(len(sh.sessions)))
 		m.reply <- nil
 	case batchMsg:
 		sh.runBatch(m)
@@ -245,6 +259,7 @@ func (sh *shard) shutdown() {
 		s.close()
 	}
 	sh.sessions = nil
+	sh.sessionsN.Store(0)
 }
 
 // sweep re-pins every session — plane and network alike — to the newest
@@ -256,6 +271,11 @@ func (sh *shard) shutdown() {
 // turns the engine's invalidation machinery into user-visible push
 // notifications.
 func (sh *shard) sweep() {
+	var start time.Time
+	if sh.obs.Enabled() {
+		start = time.Now()
+		defer func() { sh.obs.Observe(obs.StageSweep, time.Since(start)) }()
+	}
 	active := sh.events.Active()
 	for sid, s := range sh.sessions {
 		if !active || !sh.events.Watched(uint64(sid)) {
@@ -289,6 +309,7 @@ func (sh *shard) create(m createMsg) error {
 		}
 		q.UseScratch(sh.netScratch())
 		sh.sessions[m.sid] = &session{network: q}
+		sh.sessionsN.Store(int64(len(sh.sessions)))
 		return nil
 	}
 	q, err := core.NewPlaneQueryPinned(sh.store, m.k, m.rho)
@@ -296,10 +317,16 @@ func (sh *shard) create(m createMsg) error {
 		return err
 	}
 	sh.sessions[m.sid] = &session{plane: q}
+	sh.sessionsN.Store(int64(len(sh.sessions)))
 	return nil
 }
 
 func (sh *shard) runBatch(m batchMsg) {
+	var batchStart time.Time
+	if sh.obs.Enabled() {
+		batchStart = time.Now()
+		sh.obs.Observe(obs.StageQueue, batchStart.Sub(m.enqueued))
+	}
 	for _, e := range m.entries {
 		s, ok := sh.sessions[e.sid]
 		if !ok {
@@ -347,6 +374,9 @@ func (sh *shard) runBatch(m batchMsg) {
 			}
 			sh.publish(e.sid, s, stream.CauseMove, prev, knn, epoch)
 		}
+	}
+	if sh.obs.Enabled() {
+		sh.obs.SlowBatch(m.trace, sh.id, len(m.entries), time.Since(batchStart))
 	}
 }
 
@@ -415,7 +445,8 @@ func (sh *shard) diffIDs(old, new []int) (added, removed []int) {
 // observe accounts one processed location update.
 func (sh *shard) observe(d time.Duration) {
 	sh.hist.Record(d)
-	sh.updates++
+	sh.updates.Add(1)
+	sh.obs.Observe(obs.StageApply, d)
 }
 
 func batchKind(network bool) string {
@@ -428,7 +459,7 @@ func batchKind(network bool) string {
 func (sh *shard) stats() shardStats {
 	st := shardStats{
 		sessions: len(sh.sessions),
-		updates:  sh.updates,
+		updates:  sh.updates.Load(),
 		hist:     sh.hist,
 	}
 	for _, s := range sh.sessions {

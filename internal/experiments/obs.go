@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// ObsBenchResult is the observability benchmark record written to
+// BENCH_obs.json by `bench -exp OBS`. Like the WAL record it is
+// self-contained: the same process measures the serving rate with the
+// full pipeline instrumented (registry, stage histograms, slow-op
+// thresholds armed but never tripping) and with the noop nil pipeline,
+// so benchguard -kind obs gates the instrumentation overhead as a ratio
+// inside one record.
+type ObsBenchResult struct {
+	Sessions    int `json:"sessions"`
+	Objects     int `json:"objects"`
+	Steps       int `json:"steps"`
+	DataUpdates int `json:"data_updates"`
+
+	// BaseUpdatesSec is the serving rate with a nil pipeline (every
+	// instrumentation site one branch); UpdatesSec with metrics on.
+	BaseUpdatesSec float64 `json:"base_updates_per_sec"`
+	UpdatesSec     float64 `json:"updates_per_sec"`
+	OverheadPct    float64 `json:"overhead_pct"`
+
+	// StageSamples is how many apply-stage observations the run recorded
+	// (one per session update) — evidence the instrumented run actually
+	// instrumented. ScrapeUS/ExpositionBytes cost one full /metrics
+	// render of the loaded registry.
+	StageSamples    uint64  `json:"stage_samples"`
+	ScrapeUS        float64 `json:"scrape_us"`
+	ExpositionBytes int     `json:"exposition_bytes"`
+}
+
+// String renders the result as a short table for the harness output.
+func (r ObsBenchResult) String() string {
+	return fmt.Sprintf(
+		"OBS    sessions=%d objects=%d steps=%d churn=%d\n"+
+			"       rate=%.0f/s base=%.0f/s overhead=%.1f%%\n"+
+			"       stage samples=%d, scrape=%.0fus for %d bytes",
+		r.Sessions, r.Objects, r.Steps, r.DataUpdates,
+		r.UpdatesSec, r.BaseUpdatesSec, r.OverheadPct,
+		r.StageSamples, r.ScrapeUS, r.ExpositionBytes)
+}
+
+// ObsBench measures what full pipeline observability costs the serving
+// stack: EngineBench's closed-loop workload against a nil (noop)
+// pipeline and against a live registry with stage histograms, engine
+// gauges, runtime metrics and armed slow-op thresholds — the exact
+// insqd -metrics=true wiring. Interleaved best-of repetitions, like the
+// WAL bench: the expected overhead is a few atomic adds per update, far
+// below single-run noise. Scale divides sessions and steps.
+func ObsBench(cfg Config) (ObsBenchResult, error) {
+	const objects = 20000
+	sessions := 2000
+	steps := 120
+	if cfg.Scale > 1 {
+		sessions /= cfg.Scale
+		steps /= cfg.Scale
+	}
+	pts := workload.Uniform(objects, Bounds, cfg.seed(42))
+
+	var baseRate, rate float64
+	var churn int
+	var pipe *obs.Pipeline
+	var expo strings.Builder
+	var scrape time.Duration
+	for rep := 0; rep < 3; rep++ {
+		e, err := engine.New(engine.Config{Shards: 8, Bounds: Bounds, Objects: pts})
+		if err != nil {
+			return ObsBenchResult{}, err
+		}
+		r, _, err := servingRate(e, sessions, steps, cfg.seed(0))
+		e.Close()
+		if err != nil {
+			return ObsBenchResult{}, err
+		}
+		baseRate = maxf(baseRate, r)
+
+		// Production thresholds: armed (so the comparisons run) but far
+		// above any real batch, fsync or publish in this workload.
+		reg := obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		slow := obs.NewSlowLog(slog.New(slog.NewTextHandler(io.Discard, nil)),
+			obs.Thresholds{Batch: time.Second, Fsync: time.Second, Publish: time.Second})
+		pipe = obs.NewPipeline(reg, slow)
+		e, err = engine.New(engine.Config{Shards: 8, Bounds: Bounds, Objects: pts, Obs: pipe})
+		if err != nil {
+			return ObsBenchResult{}, err
+		}
+		r, c, err := servingRate(e, sessions, steps, cfg.seed(0))
+		if err != nil {
+			e.Close()
+			return ObsBenchResult{}, err
+		}
+		rate = maxf(rate, r)
+		churn = c
+		// One full exposition render while the engine is still live (the
+		// gauges read its shards and snapshot): the scrape cost a
+		// Prometheus poller pays against a busy server.
+		if rep == 2 {
+			expo.Reset()
+			start := time.Now()
+			if err := pipe.Registry().WritePrometheus(&expo); err != nil {
+				e.Close()
+				return ObsBenchResult{}, err
+			}
+			scrape = time.Since(start)
+		}
+		e.Close()
+	}
+
+	res := ObsBenchResult{
+		Sessions:        sessions,
+		Objects:         objects,
+		Steps:           steps,
+		DataUpdates:     churn,
+		BaseUpdatesSec:  baseRate,
+		UpdatesSec:      rate,
+		StageSamples:    pipe.StageCount(obs.StageApply),
+		ScrapeUS:        float64(scrape.Nanoseconds()) / 1e3,
+		ExpositionBytes: expo.Len(),
+	}
+	if baseRate > 0 {
+		res.OverheadPct = 100 * (1 - rate/baseRate)
+	}
+	return res, nil
+}

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netvor"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/vortree"
 )
@@ -73,6 +75,11 @@ type Config struct {
 	// The durability layer (internal/wal) fills it from the newest valid
 	// checkpoint, then replays the write-ahead log tail through Apply.
 	Restore *Restore
+
+	// Obs, when non-nil, times epoch publication (the publish stage) and
+	// reports slow publishes. nil keeps the store's hot path free of any
+	// instrumentation cost.
+	Obs *obs.Pipeline
 }
 
 // Restore is a recovered logical store state: everything a checkpoint
@@ -105,7 +112,10 @@ type Durability interface {
 	// AppendBatch persists one applied batch; firstEpoch is the epoch of
 	// the batch's first mutation (the batch covers firstEpoch ..
 	// firstEpoch+len(muts)-1). The implementation must not retain muts.
-	AppendBatch(firstEpoch uint64, muts []Mutation) error
+	// ctx carries the request trace ID (obs.TraceID) for slow-op
+	// attribution; it is not a cancellation signal — the batch has
+	// already mutated the branch and must be persisted or aborted whole.
+	AppendBatch(ctx context.Context, firstEpoch uint64, muts []Mutation) error
 }
 
 // Mutation is one object update in a batch. On the plane side (Network
@@ -169,6 +179,8 @@ type Store struct {
 
 	live atomic.Int64 // snapshots whose pin count is > 0
 
+	obs *obs.Pipeline // nil when observability is off
+
 	publishes atomic.Uint64 // epochs published by Apply
 	publishNS atomic.Int64  // cumulative wall time inside Apply
 
@@ -207,7 +219,7 @@ func NewStore(cfg Config) (*Store, error) {
 	if !hasPlane && cfg.Network == nil {
 		return nil, errors.New("index: config has neither plane objects nor a road network")
 	}
-	st := &Store{fanout: cfg.Fanout, bounds: cfg.Bounds, logDepth: cfg.LogDepth}
+	st := &Store{fanout: cfg.Fanout, bounds: cfg.Bounds, logDepth: cfg.LogDepth, obs: cfg.Obs}
 	var plane *vortree.Index
 	if hasPlane {
 		var ix *vortree.Index
@@ -375,6 +387,13 @@ func (st *Store) RemoveSite(v int) error {
 // snapshot (network branches share no writer state, so they are simply
 // discarded).
 func (st *Store) Apply(muts []Mutation) ([]int, error) {
+	return st.ApplyCtx(context.Background(), muts)
+}
+
+// ApplyCtx is Apply with a request context carrying the trace ID for
+// slow-op attribution (the context is not a cancellation signal: once
+// entered, a batch is applied or aborted whole).
+func (st *Store) ApplyCtx(ctx context.Context, muts []Mutation) ([]int, error) {
 	if len(muts) == 0 {
 		return nil, nil
 	}
@@ -446,14 +465,22 @@ func (st *Store) Apply(muts []Mutation) ([]int, error) {
 		ids[i] = m.ID
 		ops[i] = Op{Epoch: epoch, ID: m.ID}
 	}
+	var appendDur time.Duration
 	if st.dur != nil {
-		if err := st.dur.AppendBatch(cur.epoch+1, muts); err != nil {
+		var ta time.Time
+		if st.obs.Enabled() {
+			ta = time.Now()
+		}
+		if err := st.dur.AppendBatch(ctx, cur.epoch+1, muts); err != nil {
 			// The batch is durable only if the append succeeded; abort
 			// unpublished so no caller observes state the log misses. A
 			// touched plane branch leaves suspect shared writer state behind,
 			// exactly like a mid-batch abort.
 			st.poisoned = st.poisoned || nextPlane != nil
 			return nil, fmt.Errorf("index: durability append: %w", err)
+		}
+		if st.obs.Enabled() {
+			appendDur = time.Since(ta)
 		}
 	}
 	if nextPlane == nil {
@@ -469,9 +496,22 @@ func (st *Store) Apply(muts []Mutation) ([]int, error) {
 	}
 	st.publish(&Snapshot{store: st, epoch: epoch, plane: nextPlane, net: nextNet})
 	st.publishes.Add(1)
-	st.publishNS.Add(time.Since(start).Nanoseconds())
+	total := time.Since(start)
+	st.publishNS.Add(total.Nanoseconds())
+	if st.obs.Enabled() {
+		// The publish stage is the epoch's own cost (branch + mutations +
+		// swap); the durability append is measured as its own stages.
+		st.obs.Observe(obs.StagePublish, total-appendDur)
+		st.obs.SlowPublish(obs.TraceID(ctx), epoch, len(muts), total-appendDur)
+	}
 	st.notify(epoch)
 	return ids, nil
+}
+
+// CurrentPins returns the current snapshot's pin count (including the
+// store's own pin) — the sessions-still-reading-this-epoch gauge.
+func (st *Store) CurrentPins() int {
+	return int(st.cur.Load().pins.Load())
 }
 
 // applySite applies one network-site mutation to the branched diagram and

@@ -50,6 +50,28 @@ func bucketValue(idx int) uint64 {
 	return lo + 1<<exp/2
 }
 
+// HistogramBuckets is the bucket count of the shared log-scale layout.
+// internal/obs builds its lock-free (atomic-bucket) histograms on the same
+// bucketing, so engine-side and exporter-side quantiles agree exactly.
+const HistogramBuckets = histBuckets
+
+// BucketIndex is the exported bucketing function: it maps a nanosecond
+// value to its bucket index in the shared layout.
+func BucketIndex(ns uint64) int { return bucketIndex(ns) }
+
+// BucketUpperNS returns the inclusive upper bound (in nanoseconds) of
+// bucket idx — the Prometheus `le` edge of the bucket. Upper bounds are
+// strictly increasing in idx, which is what makes a cumulative bucket walk
+// over the layout monotone.
+func BucketUpperNS(idx int) uint64 {
+	if idx < 1<<histSubBits {
+		return uint64(idx)
+	}
+	exp := idx>>histSubBits - 1
+	lo := uint64(1<<histSubBits+idx&(1<<histSubBits-1)) << exp
+	return lo + 1<<exp - 1
+}
+
 // Record adds one observation. Negative durations are recorded as zero.
 func (h *Histogram) Record(d time.Duration) {
 	ns := uint64(0)

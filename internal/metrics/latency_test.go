@@ -91,6 +91,92 @@ func TestHistogramRecordNegative(t *testing.T) {
 	}
 }
 
+func TestHistogramZeroValueQuantiles(t *testing.T) {
+	// Observations of zero duration land in the exact-unit bucket 0 and
+	// every quantile of an all-zero histogram must be zero, not the first
+	// octave's midpoint.
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(0)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("all-zero histogram q%.2f = %v, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Max() != 0 {
+		t.Errorf("all-zero histogram mean=%v max=%v", h.Mean(), h.Max())
+	}
+}
+
+func TestHistogramSingleSampleMax(t *testing.T) {
+	// With one sample every quantile is that sample, clamped to the true
+	// max — the bucket midpoint must never overshoot it.
+	var h Histogram
+	h.Record(123456 * time.Nanosecond)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		got := h.Quantile(q)
+		if got > h.Max() {
+			t.Errorf("q%.2f = %v exceeds max %v", q, got, h.Max())
+		}
+		if got < h.Max()*8/10 {
+			t.Errorf("q%.2f = %v far below the single sample %v", q, got, h.Max())
+		}
+	}
+}
+
+func TestHistogramTopOctaveValues(t *testing.T) {
+	// Values near the top of the uint64 nanosecond range must stay inside
+	// the bucket table (no out-of-range index) and keep quantiles sane.
+	var h Histogram
+	huge := []uint64{1 << 62, 1<<63 - 1, 1 << 63, ^uint64(0) >> 1}
+	for _, ns := range huge {
+		if idx := BucketIndex(ns); idx < 0 || idx >= HistogramBuckets {
+			t.Fatalf("BucketIndex(%d) = %d out of [0, %d)", ns, idx, HistogramBuckets)
+		}
+		h.Record(time.Duration(ns))
+	}
+	if h.Count() != uint64(len(huge)) {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > h.Max() {
+		t.Errorf("top-octave q50 = %v (max %v)", q, h.Max())
+	}
+}
+
+func TestBucketUpperNS(t *testing.T) {
+	// Upper bounds must be strictly increasing over every reachable bucket
+	// (the last reachable index is BucketIndex of the largest value; the
+	// table's tail past it is padding) and every value must fall into a
+	// bucket whose upper bound is >= the value (le semantics).
+	top := BucketIndex(^uint64(0))
+	if top >= HistogramBuckets {
+		t.Fatalf("top bucket %d outside the table (%d)", top, HistogramBuckets)
+	}
+	var prev uint64
+	for idx := 1; idx <= top; idx++ {
+		up := BucketUpperNS(idx)
+		if up <= prev {
+			t.Fatalf("BucketUpperNS not strictly increasing at %d: %d then %d", idx, prev, up)
+		}
+		prev = up
+	}
+	if got := BucketUpperNS(top); got != ^uint64(0) {
+		t.Errorf("top bucket upper bound = %d, want the full range", got)
+	}
+	for _, ns := range []uint64{0, 1, 7, 8, 9, 100, 12345, 1e6, 1e9, 1 << 40} {
+		idx := BucketIndex(ns)
+		if up := BucketUpperNS(idx); up < ns {
+			t.Errorf("value %d maps to bucket %d with upper bound %d < value", ns, idx, up)
+		}
+		if idx > 0 {
+			if lo := BucketUpperNS(idx - 1); lo >= ns {
+				t.Errorf("value %d maps to bucket %d but previous upper bound %d >= value", ns, idx, lo)
+			}
+		}
+	}
+}
+
 func TestLatencySummaryString(t *testing.T) {
 	var h Histogram
 	h.Record(time.Millisecond)

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Histogram is the lock-free counterpart of metrics.Histogram: the same
+// log-scale bucket layout (shared via metrics.BucketIndex, so quantiles
+// agree with the engine's per-shard histograms), but every bucket is an
+// atomic — Observe is three uncontended atomic adds and is safe from any
+// goroutine. A nil *Histogram no-ops.
+type Histogram struct {
+	counts [metrics.HistogramBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Uint64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.counts[metrics.BucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Count returns the number of observations, zero on a nil histogram.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// write renders the series in exposition format: cumulative non-empty
+// buckets with `le` edges in seconds, a mandatory +Inf bucket, then _sum
+// and _count. Buckets the workload never touched are elided — with 512
+// layout buckets per stage that is the difference between a ~2KB and a
+// ~40KB scrape.
+func (h *Histogram) write(b *strings.Builder, name, suffix string) {
+	var cum uint64
+	for i := 0; i < metrics.HistogramBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		le := float64(metrics.BucketUpperNS(i)) / 1e9
+		b.WriteString(labelSuffixWith(suffix, "le", strconv.FormatFloat(le, 'g', -1, 64)))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	count := h.count.Load()
+	b.WriteString(name)
+	b.WriteString("_bucket")
+	b.WriteString(labelSuffixWith(suffix, "le", "+Inf"))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(count, 10))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(suffix)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(float64(h.sumNS.Load()) / 1e9))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	b.WriteString(suffix)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(count, 10))
+	b.WriteByte('\n')
+}

@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair attached to a metric sample.
+type Label struct {
+	Name, Value string
+}
+
+// kind is the Prometheus metric type of a family.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// sample is one registered series: a concrete atomic handle or a read
+// callback, plus its rendered label suffix.
+type sample struct {
+	labels    string // rendered {k="v",...} suffix, "" when unlabeled
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() float64
+	gaugeFn   func() float64
+}
+
+// family groups all samples sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	order   []string           // label suffixes in registration order
+	samples map[string]*sample // by label suffix
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Registration takes a mutex; reads and writes of the
+// registered handles are lock-free atomics, so the hot path never
+// contends with scrapes. Registering the same (name, labels) twice
+// returns the existing handle (or replaces the callback), which keeps
+// re-instantiating a subsystem in one process idempotent.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string // family names in registration order
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter is a monotonically increasing metric. A nil *Counter is a
+// no-op, so unregistered instrumentation sites cost one branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count, zero on a nil counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value, zero on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// lookup finds or creates the family and sample slot for one series.
+// Callers hold r.mu. Panics on a kind mismatch: two subsystems fighting
+// over one metric name with different types is a programming error that
+// must not surface as silently corrupt exposition.
+func (r *Registry) lookup(name, help string, k kind, labels []Label) *sample {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, samples: make(map[string]*sample)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, k))
+	}
+	suffix := renderLabels(labels)
+	s := f.samples[suffix]
+	if s == nil {
+		s = &sample{labels: suffix}
+		f.samples[suffix] = s
+		f.order = append(f.order, suffix)
+	}
+	return s
+}
+
+// Counter registers (or finds) a counter series. nil-receiver safe: a
+// nil registry returns a nil handle, and nil handles no-op.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindCounter, labels)
+	if s.counter == nil && s.counterFn == nil {
+		s.counter = new(Counter)
+	}
+	return s.counter
+}
+
+// CounterFunc registers a counter series read from fn at scrape time —
+// for subsystems that already keep their own atomic counters. fn must be
+// safe to call concurrently and must not call back into the registry.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindCounter, labels)
+	s.counter, s.counterFn = nil, fn
+}
+
+// Gauge registers (or finds) a settable gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindGauge, labels)
+	if s.gauge == nil && s.gaugeFn == nil {
+		s.gauge = new(Gauge)
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time. Same
+// contract as CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindGauge, labels)
+	s.gauge, s.gaugeFn = nil, fn
+}
+
+// Histogram registers (or finds) a lock-free histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindHistogram, labels)
+	if s.hist == nil {
+		s.hist = new(Histogram)
+	}
+	return s.hist
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), families in registration order, each preceded
+// by its # HELP and # TYPE lines. The registry lock is held for the whole
+// write; scrape callbacks therefore must not re-enter the registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, name := range r.order {
+		f := r.families[name]
+		b.Reset()
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		writeEscapedHelp(&b, f.help)
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind.String())
+		b.WriteByte('\n')
+		for _, suffix := range f.order {
+			s := f.samples[suffix]
+			switch f.kind {
+			case kindHistogram:
+				s.hist.write(&b, f.name, suffix)
+			default:
+				b.WriteString(f.name)
+				b.WriteString(suffix)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(s.value()))
+				b.WriteByte('\n')
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// value reads one scalar sample.
+func (s *sample) value() float64 {
+	switch {
+	case s.counterFn != nil:
+		return s.counterFn()
+	case s.gaugeFn != nil:
+		return s.gaugeFn()
+	case s.counter != nil:
+		return float64(s.counter.Value())
+	case s.gauge != nil:
+		return float64(s.gauge.Value())
+	}
+	return 0
+}
+
+// renderLabels renders a sorted {k="v",...} suffix with Prometheus label
+// value escaping. Empty labels render to "".
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		writeEscapedLabel(&b, l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelSuffixWith splices an extra label (histogram `le`) into a rendered
+// suffix, keeping the base labels' order.
+func labelSuffixWith(suffix, name, value string) string {
+	var b strings.Builder
+	if suffix == "" {
+		b.WriteByte('{')
+	} else {
+		b.WriteString(suffix[:len(suffix)-1])
+		b.WriteByte(',')
+	}
+	b.WriteString(name)
+	b.WriteString(`="`)
+	writeEscapedLabel(&b, value)
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// writeEscapedLabel escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func writeEscapedLabel(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+}
+
+// writeEscapedHelp escapes a help string: backslash and newline only.
+func writeEscapedHelp(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+}
+
+// formatFloat renders a sample value the short way ('g', shortest).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

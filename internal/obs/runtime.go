@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Build returns the server's build identity: the module version (or
+// "unknown" outside module builds), the Go toolchain version, and the
+// VCS revision when the binary was built from a checkout.
+func Build() (version, goVersion, revision string) {
+	version, goVersion = "unknown", runtime.Version()
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion, revision
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return version, goVersion, revision
+}
+
+// runtimeSampler memoizes runtime.ReadMemStats so one scrape of the
+// several Go runtime gauges does one stats read, not one per gauge.
+type runtimeSampler struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (rs *runtimeSampler) stats() *runtime.MemStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if now := time.Now(); now.Sub(rs.at) > 500*time.Millisecond {
+		runtime.ReadMemStats(&rs.ms)
+		rs.at = now
+	}
+	return &rs.ms
+}
+
+// RegisterRuntimeMetrics registers process-level gauges: uptime, build
+// info, goroutine count, heap bytes, and GC totals. Safe to call more
+// than once on the same registry (registration is idempotent).
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	start := time.Now()
+	reg.GaugeFunc("insq_uptime_seconds",
+		"Seconds since the process registered its metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+	version, goVersion, revision := Build()
+	reg.Gauge("insq_build_info",
+		"Build identity; the value is constant 1.",
+		Label{Name: "version", Value: version},
+		Label{Name: "goversion", Value: goVersion},
+		Label{Name: "revision", Value: revision}).Set(1)
+	reg.GaugeFunc("insq_go_goroutines",
+		"Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	rs := &runtimeSampler{}
+	reg.GaugeFunc("insq_go_heap_alloc_bytes",
+		"Heap bytes allocated and in use.",
+		func() float64 { return float64(rs.stats().HeapAlloc) })
+	reg.CounterFunc("insq_go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(rs.stats().PauseTotalNs) / 1e9 })
+	reg.CounterFunc("insq_go_gcs_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(rs.stats().NumGC) })
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+)
+
+// Trace IDs tie a slow-op log line back to the request that caused it:
+// insqd mints one per request, returns it in the X-Trace-Id header, and
+// threads it through context into the engine, store and WAL. An ID is a
+// random per-process prefix plus an atomic sequence number — unique,
+// grep-friendly, and allocation-cheap (no per-request entropy read).
+
+var (
+	tracePrefix string
+	traceSeq    atomic.Uint64
+)
+
+func init() {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		tracePrefix = hex.EncodeToString(b[:])
+	} else {
+		tracePrefix = "000000000000"
+	}
+}
+
+// NewTraceID returns a fresh trace ID, e.g. "3fa9c1d20b44-17".
+func NewTraceID() string {
+	return tracePrefix + "-" + strconv.FormatUint(traceSeq.Add(1), 10)
+}
+
+type traceKey struct{}
+
+// WithTraceID returns ctx carrying the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx, "" when absent.
+func TraceID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

@@ -33,6 +33,9 @@ package stream
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Cause classifies why an event was emitted.
@@ -109,6 +112,7 @@ type Stats struct {
 type Broker struct {
 	defaultDepth int
 	nsubs        atomic.Int64
+	obs          *obs.Pipeline // nil when observability is off
 
 	published atomic.Uint64
 	delivered atomic.Uint64
@@ -125,11 +129,18 @@ type Broker struct {
 // NewBroker builds a broker whose subscribers default to the given queue
 // depth (DefaultQueueDepth when <= 0).
 func NewBroker(depth int) *Broker {
+	return NewBrokerObs(depth, nil)
+}
+
+// NewBrokerObs is NewBroker with an observability pipeline: fan-out
+// timing (the push stage) and overflow logging. p may be nil.
+func NewBrokerObs(depth int, p *obs.Pipeline) *Broker {
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
 	return &Broker{
 		defaultDepth: depth,
+		obs:          p,
 		subs:         make(map[*Subscriber]struct{}),
 		wild:         make(map[*Subscriber]struct{}),
 		bySession:    make(map[uint64]map[*Subscriber]struct{}),
@@ -203,9 +214,13 @@ func (b *Broker) Publish(ev Event) {
 	if b.nsubs.Load() == 0 {
 		return
 	}
+	var start time.Time
+	if b.obs.Enabled() {
+		start = time.Now()
+	}
 	b.mu.RLock()
-	defer b.mu.RUnlock()
 	if b.closed {
+		b.mu.RUnlock()
 		return
 	}
 	b.published.Add(1)
@@ -215,6 +230,23 @@ func (b *Broker) Publish(ev Event) {
 	for s := range b.bySession[ev.Session] {
 		s.offer(ev)
 	}
+	b.mu.RUnlock()
+	if b.obs.Enabled() {
+		b.obs.Observe(obs.StagePush, time.Since(start))
+	}
+}
+
+// PendingTotal returns the number of events queued across every live
+// subscriber — the stream-occupancy gauge. It takes the broker read lock
+// and each subscriber's lock briefly; scrape-rate use only.
+func (b *Broker) PendingTotal() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	total := 0
+	for s := range b.subs {
+		total += s.Pending()
+	}
+	return total
 }
 
 // Stats returns an aggregated snapshot of the broker state.
@@ -370,6 +402,8 @@ func (s *Subscriber) shut() {
 // offer enqueues an event, coalescing and overflowing per the package
 // policy, then wakes the consumer without blocking.
 func (s *Subscriber) offer(ev Event) {
+	var overflowed uint64
+	dropped := false
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -385,11 +419,16 @@ func (s *Subscriber) offer(ev Event) {
 			delete(s.pending, victim)
 			s.broker.dropped.Add(1)
 			s.dropped.Add(1)
+			overflowed = victim
+			dropped = true
 		}
 		s.pending[ev.Session] = ev
 		s.queue = append(s.queue, ev.Session)
 	}
 	s.mu.Unlock()
+	if dropped {
+		s.broker.obs.StreamOverflow(overflowed, s.depth)
+	}
 	select {
 	case s.wake <- struct{}{}:
 	default:

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 )
 
 // On-disk layout. A segment file starts with an 8-byte magic, then a
@@ -56,6 +57,7 @@ type segLog struct {
 	dir      string
 	policy   SyncPolicy
 	segBytes int64
+	obs      *obs.Pipeline // nil when observability is off
 
 	mu       sync.Mutex
 	syncWork *sync.Cond // wakes the always-policy syncer
@@ -81,11 +83,12 @@ type segLog struct {
 // openSegLog opens the log for appending after recovery: it reopens the
 // last surviving segment at its validated length, or creates a fresh one
 // named by nextEpoch when the directory holds none.
-func openSegLog(dir string, segs []segInfo, nextEpoch uint64, policy SyncPolicy, syncEvery time.Duration, segBytes int64) (*segLog, error) {
+func openSegLog(dir string, segs []segInfo, nextEpoch uint64, policy SyncPolicy, syncEvery time.Duration, segBytes int64, o *obs.Pipeline) (*segLog, error) {
 	l := &segLog{
 		dir:      dir,
 		policy:   policy,
 		segBytes: segBytes,
+		obs:      o,
 		segs:     segs,
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
@@ -220,11 +223,28 @@ func (l *segLog) syncFileLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	d := time.Since(start)
 	l.fsyncs++
-	l.fsyncNS += time.Since(start).Nanoseconds()
+	l.fsyncNS += d.Nanoseconds()
+	if l.obs.Enabled() {
+		l.obs.Observe(obs.StageFsync, d)
+		if l.policy != SyncAlways {
+			// Background fsyncs have no request; slow ones log without a
+			// trace. Under the always policy the appender's commit wait
+			// logs instead, with the trace (see Manager.AppendBatch).
+			l.obs.SlowFsync("", d)
+		}
+	}
 	l.syncedGen = target
 	l.syncDone.Broadcast()
 	return nil
+}
+
+// sizeBytes returns the open segment's size including buffered bytes.
+func (l *segLog) sizeBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
 }
 
 // failLocked records the log's first I/O error and wakes every waiter;

@@ -25,6 +25,7 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 )
 
 // SyncPolicy selects when appended records are fsynced.
@@ -88,6 +90,10 @@ type Options struct {
 	// DefaultKeepCheckpoints); WAL segments are pruned only past the
 	// oldest retained one.
 	KeepCheckpoints int
+	// Obs, when non-nil, times appends and fsyncs (wal_append / fsync
+	// stages), reports slow fsyncs, and registers WAL gauges (segment
+	// bytes, checkpoint age) on its registry.
+	Obs *obs.Pipeline
 }
 
 func (o Options) withDefaults() Options {
@@ -262,7 +268,7 @@ func Open(cfg index.Config, opts Options) (*Manager, error) {
 		return nil, err
 	}
 	m.truncBytes = res.truncatedBytes
-	lg, err := openSegLog(opts.Dir, res.segs, st.Epoch()+1, opts.Sync, opts.SyncEvery, opts.SegmentBytes)
+	lg, err := openSegLog(opts.Dir, res.segs, st.Epoch()+1, opts.Sync, opts.SyncEvery, opts.SegmentBytes, opts.Obs)
 	if err != nil {
 		st.Close()
 		return nil, err
@@ -280,10 +286,48 @@ func Open(cfg index.Config, opts Options) (*Manager, error) {
 		}
 	}
 	st.SetDurability(m)
+	m.registerMetrics(opts.Obs.Registry())
 	m.wg.Add(1)
 	go m.checkpointLoop()
 	m.recovery = time.Since(start)
 	return m, nil
+}
+
+// registerMetrics exports the durability gauges the next PRs (scale-out,
+// backpressure) watch: log size, checkpoint age, append and fsync
+// volume. All read existing atomics; a scrape never touches the log lock
+// except for the segment size, which takes it briefly.
+func (m *Manager) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("insq_wal_segments",
+		"Live WAL segment files.",
+		func() float64 { _, _, segments, _ := m.log.statsSnapshot(); return float64(segments) })
+	reg.GaugeFunc("insq_wal_segment_bytes",
+		"Bytes in the open WAL segment (rotates at the segment cap).",
+		func() float64 { return float64(m.log.sizeBytes()) })
+	reg.GaugeFunc("insq_wal_checkpoint_age_epochs",
+		"Epochs appended since the newest checkpoint.",
+		func() float64 {
+			last, ck := m.lastEpoch.Load(), m.ckptEpoch.Load()
+			if last <= ck {
+				return 0
+			}
+			return float64(last - ck)
+		})
+	reg.CounterFunc("insq_wal_appended_batches_total",
+		"Batches appended to the WAL.",
+		func() float64 { return float64(m.appendedBatches.Load()) })
+	reg.CounterFunc("insq_wal_appended_bytes_total",
+		"Bytes appended to the WAL (frame headers included).",
+		func() float64 { return float64(m.appendedBytes.Load()) })
+	reg.CounterFunc("insq_wal_fsyncs_total",
+		"Fsyncs of WAL segment files.",
+		func() float64 { fsyncs, _, _, _ := m.log.statsSnapshot(); return float64(fsyncs) })
+	reg.CounterFunc("insq_wal_checkpoints_total",
+		"Checkpoints written since open.",
+		func() float64 { return float64(m.ckpts.Load()) })
 }
 
 // Store returns the recovered (or freshly initialized) store the manager
@@ -292,10 +336,25 @@ func (m *Manager) Store() *index.Store { return m.store }
 
 // AppendBatch implements index.Durability: it runs inside Store.Apply,
 // after the batch mutated the branch and before the snapshot publishes.
-func (m *Manager) AppendBatch(firstEpoch uint64, muts []index.Mutation) error {
+func (m *Manager) AppendBatch(ctx context.Context, firstEpoch uint64, muts []index.Mutation) error {
+	o := m.opts.Obs
+	var start time.Time
+	if o.Enabled() {
+		start = time.Now()
+	}
 	m.buf = appendBatchRecord(m.buf[:0], firstEpoch, muts)
 	if err := m.log.Append(firstEpoch, m.buf); err != nil {
 		return err
+	}
+	if o.Enabled() {
+		d := time.Since(start)
+		o.Observe(obs.StageWALAppend, d)
+		if m.opts.Sync == SyncAlways {
+			// Under the always policy the append wait IS the group-commit
+			// fsync, and it is the only fsync that can carry the request's
+			// trace — the background loop's own timing has no request.
+			o.SlowFsync(obs.TraceID(ctx), d)
+		}
 	}
 	m.appendedBatches.Add(1)
 	m.appendedMuts.Add(uint64(len(muts)))
