@@ -10,13 +10,14 @@
 // cannot drift from the code. It covers the paper tables (E1–E12), the
 // ablations (A1–A3) and the serving records ENGINE (online plane
 // serving), STREAM (continuous-query push), NETWORK (road-network
-// serving), WAL (durability overhead and crash recovery) and OBS
-// (observability overhead: metrics-on vs noop serving rate). With
-// -benchout and a single record experiment the result is written as the
-// JSON record CI archives and benchguard gates (BENCH_engine.json /
+// serving), WAL (durability overhead and crash recovery), OBS
+// (observability overhead: metrics-on vs noop serving rate) and CHAOS
+// (fault injection: degrade/heal, shed, deadline drops, crash recovery).
+// With -benchout and a single record experiment the result is written as
+// the JSON record CI archives and benchguard gates (BENCH_engine.json /
 // BENCH_stream.json / BENCH_network.json / BENCH_wal.json /
-// BENCH_obs.json). -seed offsets every workload seed for
-// seed-sensitivity reruns.
+// BENCH_obs.json / BENCH_chaos.json). -seed offsets every workload seed
+// for seed-sensitivity reruns.
 package main
 
 import (
@@ -66,6 +67,8 @@ var runners = []runner{
 		record: func(cfg experiments.Config) (any, error) { return experiments.DurabilityBench(cfg) }},
 	{id: "OBS", doc: "observability benchmark (metrics-on vs noop serving rate, scrape cost)",
 		record: func(cfg experiments.Config) (any, error) { return experiments.ObsBench(cfg) }},
+	{id: "CHAOS", doc: "fault-injection experiment (degrade/heal round trips, shed, deadline drops, crash recovery)",
+		record: func(cfg experiments.Config) (any, error) { return experiments.ChaosBench(cfg) }},
 }
 
 // ids returns the registry's experiment ids in order.

@@ -23,6 +23,12 @@
 //	obs     (BENCH_obs.json):     self-contained like wal: instrumented
 //	                              vs noop serving rate overhead >
 //	                              -max-obs-overhead
+//	chaos   (BENCH_chaos.json):   self-contained invariants of the fresh
+//	                              record only: recovered must be true,
+//	                              degraded reads must be error-free, heal
+//	                              must beat -max-recover-ms, admission
+//	                              control must actually shed, and some
+//	                              writes must succeed post-heal
 //
 //	go run ./cmd/bench -exp ENGINE -scale 4 -benchout BENCH_engine.fresh.json
 //	go run ./cmd/benchguard -kind engine -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
@@ -56,6 +62,14 @@ type record struct {
 	// overhead gate is machine-consistent by construction.
 	BaseUpdatesPerSec float64 `json:"base_updates_per_sec"`
 	RecoveryMS        float64 `json:"recovery_ms"`
+	// chaos records carry the fault-injection invariants; like wal they
+	// are self-contained, gated on the fresh record alone.
+	Rounds                   int     `json:"rounds"`
+	TimeToRecoverMaxMS       float64 `json:"time_to_recover_max_ms"`
+	ReadErrorsDuringDegraded int     `json:"read_errors_during_degraded"`
+	ShedRate                 float64 `json:"shed_rate"`
+	WritesOK                 int     `json:"writes_ok"`
+	Recovered                bool    `json:"recovered"`
 }
 
 func load(path string) (record, error) {
@@ -84,6 +98,7 @@ type thresholds struct {
 	maxWALOverhead float64 // wal
 	maxRecoveryMS  float64 // wal
 	maxObsOverhead float64 // obs
+	maxRecoverMS   float64 // chaos: worst heal round trip, absolute
 }
 
 // check returns the regression verdicts for one record kind; factored out
@@ -156,6 +171,32 @@ func check(kind string, base, fresh record, th thresholds) []string {
 					100*overhead, fresh.UpdatesPerSec, fresh.BaseUpdatesPerSec, 100*th.maxObsOverhead))
 			}
 		}
+	case "chaos":
+		// Self-contained: every gate is an invariant of the fresh record.
+		// A failed invariant means the degradation ladder itself broke,
+		// not that a number drifted.
+		if fresh.Rounds < 1 {
+			fails = append(fails, fmt.Sprintf("rounds = %d: no degrade/heal round trips ran", fresh.Rounds))
+		}
+		if !fresh.Recovered {
+			fails = append(fails, "recovered = false: post-crash store does not match the pre-crash probe")
+		}
+		if fresh.ReadErrorsDuringDegraded > 0 {
+			fails = append(fails, fmt.Sprintf(
+				"read_errors_during_degraded = %d: reads must keep serving while the WAL is degraded",
+				fresh.ReadErrorsDuringDegraded))
+		}
+		if fresh.TimeToRecoverMaxMS > th.maxRecoverMS {
+			fails = append(fails, fmt.Sprintf(
+				"time_to_recover_max_ms = %.1f (limit %.0f): the heal probe is too slow",
+				fresh.TimeToRecoverMaxMS, th.maxRecoverMS))
+		}
+		if fresh.ShedRate <= 0 {
+			fails = append(fails, "shed_rate = 0: admission control never shed under overload")
+		}
+		if fresh.WritesOK == 0 {
+			fails = append(fails, "writes_ok = 0: no write ever succeeded after healing")
+		}
 	case "stream":
 		if base.PushP95US > 0 {
 			growth := fresh.PushP95US / base.PushP95US
@@ -171,7 +212,7 @@ func check(kind string, base, fresh record, th thresholds) []string {
 				fresh.Dropped, th.maxDropped))
 		}
 	default:
-		fails = append(fails, fmt.Sprintf("unknown record kind %q (engine, network, stream, wal, obs)", kind))
+		fails = append(fails, fmt.Sprintf("unknown record kind %q (engine, network, stream, wal, obs, chaos)", kind))
 	}
 	return fails
 }
@@ -192,6 +233,10 @@ func summary(kind string, base, fresh record) string {
 		return fmt.Sprintf("ok: push p95 %.1fus (baseline %.1fus), dropped %d",
 			fresh.PushP95US, base.PushP95US, fresh.Dropped)
 	}
+	if kind == "chaos" {
+		return fmt.Sprintf("ok: %d degrade/heal rounds, recover <= %.1fms, shed rate %.2f, recovered=%v",
+			fresh.Rounds, fresh.TimeToRecoverMaxMS, fresh.ShedRate, fresh.Recovered)
+	}
 	return fmt.Sprintf("ok: rate %.0f/s (baseline %.0f/s), allocs/update %.1f (baseline %.1f)",
 		fresh.UpdatesPerSec, base.UpdatesPerSec, fresh.AllocsPerUpdate, base.AllocsPerUpdate)
 }
@@ -207,7 +252,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchguard: ")
 	var (
-		kind           = flag.String("kind", "engine", "record kind: engine, network, stream, wal or obs")
+		kind           = flag.String("kind", "engine", "record kind: engine, network, stream, wal, obs or chaos")
 		baseline       = flag.String("baseline", "BENCH_engine.json", "committed baseline record")
 		fresh          = flag.String("fresh", "BENCH_engine.fresh.json", "freshly measured record")
 		maxRateDrop    = flag.Float64("max-rate-drop", 0.25, "engine/network: fail when updates_per_sec drops by more than this fraction")
@@ -220,6 +265,7 @@ func main() {
 		maxWALOverhead = flag.Float64("max-wal-overhead", 0.10, "wal: fail when the fresh record's updates_per_sec falls more than this fraction below its own base_updates_per_sec")
 		maxRecoveryMS  = flag.Float64("max-recovery-ms", 2000, "wal: fail when the fresh record's crash recovery exceeds this many milliseconds")
 		maxObsOverhead = flag.Float64("max-obs-overhead", 0.03, "obs: fail when the fresh record's updates_per_sec falls more than this fraction below its own base_updates_per_sec")
+		maxRecoverMS   = flag.Float64("max-recover-ms", 2000, "chaos: fail when the fresh record's worst disarm-to-write-success round trip exceeds this many milliseconds")
 	)
 	flag.Parse()
 
@@ -242,6 +288,7 @@ func main() {
 		maxWALOverhead: *maxWALOverhead,
 		maxRecoveryMS:  *maxRecoveryMS,
 		maxObsOverhead: *maxObsOverhead,
+		maxRecoverMS:   *maxRecoverMS,
 	})
 	for _, f := range fails {
 		log.Printf("FAIL [%s]: %s", *kind, f)

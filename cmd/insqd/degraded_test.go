@@ -1,0 +1,128 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	insq "repro"
+	"repro/internal/api"
+	"repro/internal/fault"
+	"repro/internal/index"
+	"repro/internal/wal"
+)
+
+// TestDegradedModeHTTP exercises the degradation ladder over the wire:
+// with a persistent injected fsync failure the server answers object
+// writes with 503 + Retry-After while location updates and /v1/stats
+// keep serving, /readyz flips to 503 (liveness /healthz stays 200), and
+// once the fault is disarmed the WAL's heal probe restores writes and
+// readiness without a restart.
+func TestDegradedModeHTTP(t *testing.T) {
+	defer fault.DisarmAll()
+	cfg := recoveryConfig(t)
+	mgr, err := wal.Open(index.Config{
+		Bounds:       cfg.Bounds,
+		Objects:      cfg.Objects,
+		Network:      cfg.Network,
+		NetworkSites: cfg.NetworkSites,
+	}, wal.Options{
+		Dir:          t.TempDir(),
+		Sync:         wal.SyncAlways,
+		DegradeAfter: 2,
+		ProbeEvery:   5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WAL = mgr
+	e, err := insq.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { mgr.Close(); e.Close(); mgr.Store().Close() }()
+	ts := httptest.NewServer(newServer(e, false).handler())
+	defer ts.Close()
+
+	var sresp api.CreateSessionResponse
+	if code := postJSON(t, ts.URL+"/v1/sessions", api.CreateSessionRequest{K: 3}, &sresp); code != http.StatusOK {
+		t.Fatalf("create session: status %d", code)
+	}
+	var oresp api.ObjectResponse
+	if code := postJSON(t, ts.URL+"/v1/objects", api.ObjectRequest{X: 500, Y: 500}, &oresp); code != http.StatusOK {
+		t.Fatalf("healthy insert: status %d", code)
+	}
+
+	// Break the disk and push writes until the engine degrades.
+	fault.WALFsyncErr.Arm(fault.Spec{})
+	for i := 0; i < 3 && !e.Degraded(); i++ {
+		var r api.ErrorResponse
+		postJSON(t, ts.URL+"/v1/objects", api.ObjectRequest{X: 600, Y: 600}, &r)
+	}
+	if !e.Degraded() {
+		t.Fatal("engine not degraded after repeated write failures")
+	}
+
+	// Degraded contract over HTTP: writes 503 + Retry-After, reads 200.
+	resp, err := http.Post(ts.URL+"/v1/objects", "application/json",
+		strings.NewReader(`{"x":601,"y":601}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded insert: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded insert: no Retry-After header")
+	}
+
+	var uresp api.UpdateResponse
+	upd := api.UpdateRequest{Updates: []api.UpdateEntry{{Session: sresp.Session, X: 400, Y: 400}}}
+	if code := postJSON(t, ts.URL+"/v1/update", upd, &uresp); code != http.StatusOK {
+		t.Fatalf("location update while degraded: status %d, want 200", code)
+	}
+	if uresp.Results[0].Error != "" {
+		t.Fatalf("location update while degraded errored: %s", uresp.Results[0].Error)
+	}
+
+	var stats api.StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats while degraded: status %d", code)
+	}
+	if !stats.Degraded || stats.WAL == nil || !stats.WAL.Degraded {
+		t.Fatalf("stats while degraded: degraded=%v wal=%+v", stats.Degraded, stats.WAL)
+	}
+
+	if r, _ := http.Get(ts.URL + "/readyz"); r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while degraded: status %d, want 503", r.StatusCode)
+	} else {
+		r.Body.Close()
+	}
+	if r, _ := http.Get(ts.URL + "/healthz"); r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while degraded: status %d, want 200 (liveness)", r.StatusCode)
+	} else {
+		r.Body.Close()
+	}
+
+	// Heal: disarm and poll writes back to 200.
+	fault.WALFsyncErr.Disarm()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var r api.ObjectResponse
+		if code := postJSON(t, ts.URL+"/v1/objects", api.ObjectRequest{X: 700, Y: 700}, &r); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writes never recovered over HTTP after the fault was disarmed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r, _ := http.Get(ts.URL + "/readyz"); r.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after heal: status %d, want 200", r.StatusCode)
+	} else {
+		r.Body.Close()
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	insq "repro"
+	"repro/internal/fault"
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/wal"
@@ -77,10 +78,22 @@ func main() {
 		slowFsync   = flag.Duration("slow-fsync", 20*time.Millisecond, "slow-op log threshold for one WAL fsync (0 = off)")
 		slowPublish = flag.Duration("slow-publish", 20*time.Millisecond, "slow-op log threshold for one epoch publication (0 = off)")
 		statsTTL    = flag.Duration("stats-ttl", 500*time.Millisecond, "cache the merged /v1/stats snapshot this long so scrapers don't perturb shard workers (0 = no cache)")
+		reqTimeout  = flag.Duration("request-timeout", 5*time.Second, "per-request deadline for update/object mutations; expired batches are dropped at the shard (0 = no deadline)")
+		faultSpec   = flag.String("fault", "", "chaos testing: arm failpoints, e.g. 'wal.fsync.err=err,count:10;store.publish.delay=delay:5ms' (also via INSQ_FAULT; empty = all disarmed)")
 	)
 	flag.Parse()
 	if *objects < 1 || *shards < 1 || *space <= 0 {
 		log.Fatal("objects and shards must be >= 1 and space > 0")
+	}
+	if *faultSpec == "" {
+		*faultSpec = os.Getenv("INSQ_FAULT")
+	}
+	if *faultSpec != "" {
+		armed, err := fault.ParseAndArm(*faultSpec)
+		if err != nil {
+			log.Fatalf("-fault: %v (known points: %v)", err, fault.Names())
+		}
+		log.Printf("FAULT INJECTION ARMED (testing only): %v", armed)
 	}
 
 	bounds := insq.NewRect(insq.Pt(0, 0), insq.Pt(*space, *space))
@@ -127,7 +140,7 @@ func main() {
 		version, goVersion, revision := obs.Build()
 		log.Printf("observability: /metrics on, build %s %s %s", version, goVersion, revision)
 	}
-	hs := &server{pprof: *pprofOn, obs: pipe, statsTTL: *statsTTL}
+	hs := &server{pprof: *pprofOn, obs: pipe, statsTTL: *statsTTL, reqTimeout: *reqTimeout}
 	if *accessLogOn {
 		hs.accessLog = slogger
 	}
@@ -169,6 +182,7 @@ func main() {
 			Sync:            policy,
 			CheckpointEvery: *ckptEach,
 			Obs:             pipe,
+			Logger:          slogger,
 		})
 		if err != nil {
 			log.Fatal(err)

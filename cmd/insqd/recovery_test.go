@@ -204,14 +204,15 @@ func TestServerCrashRestartEquivalence(t *testing.T) {
 }
 
 // TestServerNotReadyDuringRecovery asserts the boot-time readiness gate:
-// before the engine is published every route answers 503 with a
-// Retry-After hint, and traffic flows once setEngine runs.
+// before the engine is published every route except the liveness probe
+// answers 503 with a Retry-After hint (liveness /healthz answers 200 the
+// whole time — the process is up), and traffic flows once setEngine runs.
 func TestServerNotReadyDuringRecovery(t *testing.T) {
 	hs := &server{}
 	ts := httptest.NewServer(hs.handler())
 	defer ts.Close()
 
-	for _, path := range []string{"/v1/stats", "/healthz", "/v1/sessions"} {
+	for _, path := range []string{"/v1/stats", "/readyz", "/v1/sessions"} {
 		r, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -223,6 +224,14 @@ func TestServerNotReadyDuringRecovery(t *testing.T) {
 			t.Fatalf("GET %s before ready: no Retry-After header", path)
 		}
 		r.Body.Close()
+	}
+	r0, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0.Body.Close()
+	if r0.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz before ready: status %d, want 200 (liveness is not gated)", r0.StatusCode)
 	}
 
 	cfg := recoveryConfig(t)

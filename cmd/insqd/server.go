@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,6 +39,11 @@ type server struct {
 	obs       *obs.Pipeline
 	accessLog *slog.Logger
 
+	// reqTimeout bounds each update/object mutation request: the handler
+	// derives a deadline from it so batches abandoned by their client are
+	// dropped at the shard instead of executed into the void. 0 disables.
+	reqTimeout time.Duration
+
 	// statsTTL caches the merged /v1/stats snapshot: Engine.Stats fans a
 	// message to every shard worker, so a scraper polling at 1s must not
 	// perturb them per request. 0 disables caching.
@@ -65,10 +71,16 @@ func (s *server) setEngine(e *insq.Engine) {
 }
 
 // handler builds the route table behind the readiness gate; factored out
-// of main so tests can mount it on httptest servers.
+// of main so tests can mount it on httptest servers. /healthz answers
+// before the gate: it is pure liveness (the process is up and serving
+// HTTP), while /readyz and everything else reflect readiness.
 func (s *server) handler() http.Handler {
 	mux := s.routes()
 	return s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte("ok\n"))
+			return
+		}
 		if !s.ready.Load() {
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, api.ErrorResponse{Error: "recovering: server not ready"})
@@ -139,8 +151,11 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("DELETE /v1/network/objects/{id}", s.removeNetworkObject)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Normally answered before the ready gate in handler(); kept here
+		// for completeness (tests that mount routes() directly).
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /readyz", s.readyz)
 	if s.obs != nil {
 		mux.HandleFunc("GET /metrics", s.metrics)
 	}
@@ -160,7 +175,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps engine errors onto HTTP statuses.
+// writeError maps engine errors onto HTTP statuses. Degraded mode (the
+// durability layer is down, reads still serve) and admission-control shed
+// both carry Retry-After: the condition is expected to clear — degraded
+// via the WAL's heal probe, shed as the queue drains.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -171,10 +189,38 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, engine.ErrNoNetwork), errors.Is(err, engine.ErrNoPlaneIndex),
 		errors.Is(err, engine.ErrOutOfBounds):
 		status = http.StatusBadRequest
+	case errors.Is(err, engine.ErrDegraded):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, engine.ErrOverloaded):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, engine.ErrClosed):
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, api.ErrorResponse{Error: err.Error()})
+}
+
+// readyz is the readiness probe: 503 while recovering is handled by the
+// gate in handler() before this runs, so here readiness means "not
+// degraded" — a degraded server keeps serving reads but load balancers
+// should prefer healthy replicas for write traffic.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	if s.e.Degraded() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, api.ErrorResponse{Error: "degraded: durability unavailable, writes rejected"})
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
+// reqCtx derives the handler context for one mutation request, applying
+// the server's request timeout when configured.
+func (s *server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.reqTimeout)
 }
 
 func writeBadRequest(w http.ResponseWriter, msg string) {
@@ -256,7 +302,9 @@ func (s *server) updateBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	results, err := s.e.UpdateBatchCtx(r.Context(), api.NewLocationUpdates(req.Updates))
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	results, err := s.e.UpdateBatchCtx(ctx, api.NewLocationUpdates(req.Updates))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -269,7 +317,9 @@ func (s *server) updateNetworkBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	results, err := s.e.UpdateNetworkBatchCtx(r.Context(), api.NewNetworkLocationUpdates(req.Updates))
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	results, err := s.e.UpdateNetworkBatchCtx(ctx, api.NewNetworkLocationUpdates(req.Updates))
 	if err != nil {
 		writeError(w, err)
 		return

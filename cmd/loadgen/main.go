@@ -690,10 +690,11 @@ func (t inprocTarget) stats() (*api.StatsResponse, error) {
 
 func (t inprocTarget) close() { t.e.Close() }
 
-// errStats tallies per-endpoint HTTP failures and 503 retries so
-// recovery-window unavailability (insqd replaying its WAL answers 503 +
-// Retry-After until the engine publishes) is visible in the -report-errors
-// table instead of vanishing into generic error counts.
+// errStats tallies per-endpoint HTTP failures and transient-status
+// retries so recovery-window unavailability (503 while insqd replays its
+// WAL or runs degraded without durability) and admission-control shed
+// (429 at the shard queue high watermark) are visible in the
+// -report-errors table instead of vanishing into generic error counts.
 type errStats struct {
 	mu      sync.Mutex
 	counts  map[string]map[int]uint64 // endpoint -> status -> responses
@@ -771,6 +772,20 @@ func (s *errStats) report() string {
 		}
 		b.WriteByte('\n')
 	}
+	// Aggregate rows for the two transient backpressure signals, so a run
+	// that rode through shed or degraded windows shows the totals at a
+	// glance without summing per-endpoint counts.
+	var shed, degraded uint64
+	for _, m := range s.counts {
+		shed += m[http.StatusTooManyRequests]
+		degraded += m[http.StatusServiceUnavailable]
+	}
+	if shed > 0 {
+		fmt.Fprintf(&b, "  %-28s %d responses\n", "shed (429)", shed)
+	}
+	if degraded > 0 {
+		fmt.Fprintf(&b, "  %-28s %d responses\n", "degraded/unavailable (503)", degraded)
+	}
 	return b.String()
 }
 
@@ -787,9 +802,43 @@ func newHTTPTarget(base string, workers int) *httpTarget {
 	return &httpTarget{base: base, c: &http.Client{Transport: tr, Timeout: 30 * time.Second}, errs: newErrStats()}
 }
 
-// doRetry issues fn, retrying up to three 503s (the server's recovery
-// window) after its Retry-After hint, recording every non-2xx response,
-// retry and transport failure per endpoint.
+// retryBase and retryCap bound the exponential backoff in doRetry.
+const (
+	retryBase     = 100 * time.Millisecond
+	retryCap      = 5 * time.Second
+	retryAttempts = 6
+)
+
+// backoffWait computes the sleep before retry attempt (0-based): full
+// jitter over the top half of an exponentially growing window — random in
+// [b/2, b] for b = base<<attempt capped at retryCap — so a fleet of
+// workers bounced by the same degraded window doesn't retry in lockstep
+// and re-stampede the server. A Retry-After hint acts as a floor: the
+// server knows when it expects to recover, and retrying sooner is wasted.
+func backoffWait(attempt int, retryAfter string) time.Duration {
+	b := retryCap
+	if shift := uint(attempt); shift < 12 && retryBase<<shift < retryCap {
+		b = retryBase << shift
+	}
+	wait := b/2 + time.Duration(rand.Int63n(int64(b/2)+1))
+	if ra, err := strconv.Atoi(retryAfter); err == nil && ra >= 0 {
+		if floor := time.Duration(ra) * time.Second; wait < floor {
+			wait = min(floor, retryCap)
+		}
+	}
+	return wait
+}
+
+// retryable reports whether a status is worth retrying: 503 (recovery
+// window or degraded durability) and 429 (admission-control shed) are
+// both transient by design — the server attaches Retry-After to each.
+func retryable(status int) bool {
+	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+}
+
+// doRetry issues fn, retrying transient 503/429 responses under jittered
+// exponential backoff (Retry-After honored as a floor), recording every
+// non-2xx response, retry and transport failure per endpoint.
 func (t *httpTarget) doRetry(endpoint string, fn func() (*http.Response, error)) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
 		r, err := fn()
@@ -800,13 +849,10 @@ func (t *httpTarget) doRetry(endpoint string, fn func() (*http.Response, error))
 		if r.StatusCode >= 300 {
 			t.errs.record(endpoint, r.StatusCode)
 		}
-		if r.StatusCode != http.StatusServiceUnavailable || attempt >= 3 {
+		if !retryable(r.StatusCode) || attempt >= retryAttempts {
 			return r, nil
 		}
-		wait := time.Second
-		if ra, err := strconv.Atoi(r.Header.Get("Retry-After")); err == nil && ra >= 0 {
-			wait = min(time.Duration(ra)*time.Second, 5*time.Second)
-		}
+		wait := backoffWait(attempt, r.Header.Get("Retry-After"))
 		io.Copy(io.Discard, r.Body)
 		r.Body.Close()
 		t.errs.retry(endpoint)

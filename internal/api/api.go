@@ -14,7 +14,8 @@
 //	POST   /v1/network/objects          NetworkObjectRequest  -> ObjectResponse
 //	DELETE /v1/network/objects/{vertex}                       -> 204
 //	GET    /v1/stats                                          -> StatsResponse
-//	GET    /healthz                                           -> 200 "ok"
+//	GET    /healthz                                           -> 200 "ok" (liveness; answers even before ready)
+//	GET    /readyz                                            -> 200 "ready" | 503 ErrorResponse (readiness incl. degraded mode)
 //
 // Sessions come in two flavors: plane sessions (the default) move in the
 // 2D Euclidean space and are fed through /v1/update; network sessions
@@ -262,6 +263,12 @@ type WALStats struct {
 	TruncatedBytes    int64   `json:"truncated_bytes"`
 	RecoveredEpoch    uint64  `json:"recovered_epoch"`
 	RecoveryMS        float64 `json:"recovery_ms"`
+	// Degraded is true while the WAL is in read-only degraded mode (appends
+	// rejected, probe goroutine trying to heal); DegradeEvents/HealEvents
+	// count the round trips.
+	Degraded      bool   `json:"degraded"`
+	DegradeEvents uint64 `json:"degrade_events"`
+	HealEvents    uint64 `json:"heal_events"`
 }
 
 // NewWALStats converts a durability snapshot to wire form.
@@ -283,6 +290,9 @@ func NewWALStats(s wal.Stats) WALStats {
 		TruncatedBytes:    s.TruncatedBytes,
 		RecoveredEpoch:    s.RecoveredEpoch,
 		RecoveryMS:        float64(s.Recovery.Nanoseconds()) / 1e6,
+		Degraded:          s.Degraded,
+		DegradeEvents:     s.DegradeEvents,
+		HealEvents:        s.HealEvents,
 	}
 }
 
@@ -307,13 +317,20 @@ type StatsResponse struct {
 	// road network); NetProjRebuilds counts lazy site-projection rebuilds
 	// — together with Counters.EdgeRelaxations they make the shortest-path
 	// pruning observable in serving, not just in bench.
-	NetLandmarks    int              `json:"net_landmarks,omitempty"`
-	NetProjRebuilds uint64           `json:"net_proj_rebuilds,omitempty"`
-	UptimeSec       float64          `json:"uptime_seconds"`
-	UpdatesPerSec   float64          `json:"updates_per_sec"`
-	Latency         LatencyStats     `json:"latency"`
-	Counters        metrics.Counters `json:"counters"`
-	Stream          StreamStats      `json:"stream"`
+	NetLandmarks    int     `json:"net_landmarks,omitempty"`
+	NetProjRebuilds uint64  `json:"net_proj_rebuilds,omitempty"`
+	UptimeSec       float64 `json:"uptime_seconds"`
+	UpdatesPerSec   float64 `json:"updates_per_sec"`
+	// Degraded mirrors the durability layer's read-only mode (writes get
+	// 503 while it is set); Shed counts update entries rejected by
+	// admission control (429); Expired counts entries dropped because
+	// their request deadline passed before apply.
+	Degraded bool             `json:"degraded"`
+	Shed     uint64           `json:"shed"`
+	Expired  uint64           `json:"expired"`
+	Latency  LatencyStats     `json:"latency"`
+	Counters metrics.Counters `json:"counters"`
+	Stream   StreamStats      `json:"stream"`
 	// WAL is present only when the server runs with durability enabled.
 	WAL *WALStats `json:"wal,omitempty"`
 	// Version/GoVersion/Revision identify the serving build; filled by the
@@ -341,6 +358,9 @@ func NewStatsResponse(st engine.Stats) StatsResponse {
 		NetProjRebuilds:  st.NetProjRebuilds,
 		UptimeSec:        st.Uptime.Seconds(),
 		UpdatesPerSec:    st.UpdatesPerSec,
+		Degraded:         st.Degraded,
+		Shed:             st.Shed,
+		Expired:          st.Expired,
 		Latency:          NewLatencyStats(st.Latency),
 		Counters:         st.Counters,
 		Stream:           NewStreamStats(st.Stream),

@@ -32,8 +32,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/metrics"
@@ -70,6 +72,21 @@ var (
 	// ErrLastSite is returned when removing the only remaining network
 	// data object.
 	ErrLastSite = errors.New("engine: cannot remove the last network site")
+	// ErrDegraded is returned for data-object mutations while the
+	// durability layer is in degraded mode: the WAL cannot accept
+	// appends, so writes are rejected (HTTP 503 + Retry-After) while
+	// reads — location updates, queries, SSE — keep serving. The WAL's
+	// heal probe clears the condition when the disk recovers.
+	ErrDegraded = errors.New("engine: degraded: durability unavailable, writes temporarily rejected")
+	// ErrOverloaded is returned when admission control sheds a batched
+	// update because a target shard's mailbox sits at its high watermark
+	// (HTTP 429 + Retry-After): shedding early with a retryable status
+	// beats queueing unboundedly and serving everyone late.
+	ErrOverloaded = errors.New("engine: overloaded: shard queue at high watermark")
+	// ErrExpired marks per-entry results whose request deadline passed
+	// before the owning shard could apply them; the shard drops the work
+	// instead of executing it late.
+	ErrExpired = errors.New("engine: request deadline expired before apply")
 )
 
 // Config parameterizes New. Objects/Bounds configure the 2D Euclidean
@@ -85,6 +102,13 @@ type Config struct {
 	// MailboxDepth is the per-shard request queue length (default 128);
 	// senders block when a mailbox is full, providing backpressure.
 	MailboxDepth int
+	// ShedDepth is the admission-control high watermark: a batched update
+	// is shed with ErrOverloaded when any target shard's mailbox already
+	// holds at least this many messages, instead of blocking the sender
+	// against a queue that keeps growing. Default MailboxDepth (shed
+	// exactly when a send would block); negative disables shedding and
+	// restores pure blocking backpressure.
+	ShedDepth int
 	// LogDepth bounds the store's mutation log (default
 	// index.DefaultLogDepth): how many data updates a dormant session may
 	// lag and still re-pin without a conservative recomputation.
@@ -185,6 +209,14 @@ type Stats struct {
 	NetProjRebuilds uint64
 	// Updates counts processed location updates.
 	Updates uint64
+	// Shed counts update entries rejected by admission control
+	// (ErrOverloaded); Expired counts entries dropped because their
+	// request deadline passed before apply (ErrExpired).
+	Shed    uint64
+	Expired uint64
+	// Degraded reports the durability layer's read-only mode: writes are
+	// being rejected until the heal probe restores the WAL.
+	Degraded bool
 	// Uptime is the time since New.
 	Uptime time.Duration
 	// UpdatesPerSec is Updates averaged over Uptime.
@@ -213,14 +245,21 @@ func (s Stats) String() string {
 // Engine is the concurrent MkNN serving engine. All methods are safe for
 // concurrent use.
 type Engine struct {
-	store    *index.Store
-	wal      *wal.Manager // nil without durability
-	events   *stream.Broker
-	shards   []*shard
-	start    time.Time
-	hasPlane bool
-	bounds   geom.Rect     // plane data space (meaningful when hasPlane)
-	obs      *obs.Pipeline // nil when observability is off
+	store     *index.Store
+	wal       *wal.Manager // nil without durability
+	events    *stream.Broker
+	shards    []*shard
+	start     time.Time
+	hasPlane  bool
+	bounds    geom.Rect     // plane data space (meaningful when hasPlane)
+	obs       *obs.Pipeline // nil when observability is off
+	shedDepth int           // admission-control watermark; 0 disables
+
+	// shed counts entries rejected by admission control; expired counts
+	// entries whose deadline passed while blocked at the mailbox door
+	// (shard-side expiries are counted per shard).
+	shed    atomic.Uint64
+	expired atomic.Uint64
 
 	mu     sync.RWMutex // held (shared) across every mailbox round-trip; Close takes it exclusively
 	closed bool
@@ -253,6 +292,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = 128
 	}
+	if cfg.ShedDepth == 0 {
+		cfg.ShedDepth = cfg.MailboxDepth
+	}
+	if cfg.ShedDepth < 0 {
+		cfg.ShedDepth = 0 // explicit opt-out: block instead of shedding
+	}
 	var st *index.Store
 	if cfg.WAL != nil {
 		st = cfg.WAL.Store()
@@ -272,14 +317,15 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e := &Engine{
-		store:    st,
-		wal:      cfg.WAL,
-		events:   stream.NewBrokerObs(cfg.StreamQueueDepth, cfg.Obs),
-		shards:   make([]*shard, cfg.Shards),
-		start:    time.Now(),
-		hasPlane: st.HasPlane(),
-		bounds:   st.Bounds(),
-		obs:      cfg.Obs,
+		store:     st,
+		wal:       cfg.WAL,
+		events:    stream.NewBrokerObs(cfg.StreamQueueDepth, cfg.Obs),
+		shards:    make([]*shard, cfg.Shards),
+		start:     time.Now(),
+		hasPlane:  st.HasPlane(),
+		bounds:    st.Bounds(),
+		obs:       cfg.Obs,
+		shedDepth: cfg.ShedDepth,
 	}
 	for i := range e.shards {
 		e.shards[i] = &shard{
@@ -386,6 +432,33 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 	reg.CounterFunc("insq_stream_dropped_total",
 		"Pending events evicted by subscriber queue overflow.",
 		func() float64 { return float64(e.events.Stats().Dropped) })
+	reg.GaugeFunc("insq_degraded",
+		"1 while the durability layer is in degraded read-only mode (writes rejected, reads serving).",
+		func() float64 {
+			if e.degraded() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("insq_shed_total",
+		"Update entries rejected by admission control (shard queue at its high watermark).",
+		func() float64 { return float64(e.shed.Load()) })
+	reg.CounterFunc("insq_expired_total",
+		"Update entries dropped because their request deadline passed before apply.",
+		func() float64 {
+			n := e.expired.Load()
+			for _, sh := range e.shards {
+				n += sh.expired.Load()
+			}
+			return float64(n)
+		})
+	for _, fp := range fault.Points() {
+		fp := fp
+		reg.CounterFunc("insq_fault_fires_total",
+			"Failpoint fires (fault injection; all zero in production).",
+			func() float64 { return float64(fp.Fires()) },
+			obs.Label{Name: "point", Value: fp.Name()})
+	}
 }
 
 // shardOf returns the shard owning sid, or nil for ids the engine never
@@ -557,6 +630,22 @@ func (e *Engine) runBatch(ctx context.Context, network bool, plan *batchPlan) ([
 		}
 		perShard[sh.id] = append(perShard[sh.id], en)
 	}
+	// Admission control: shed the whole batch before anything is
+	// enqueued when a target shard's mailbox already sits at the high
+	// watermark. A 429 the client retries with backoff is cheaper for
+	// everyone than a sender blocked against a queue that keeps growing.
+	if e.shedDepth > 0 {
+		for s, part := range perShard {
+			if len(part) > 0 && len(e.shards[s].mailbox) >= e.shedDepth {
+				depth := len(e.shards[s].mailbox)
+				e.shed.Add(uint64(len(plan.entries)))
+				if e.obs.Enabled() {
+					e.obs.Shed(obs.TraceID(ctx), s, len(plan.entries), depth)
+				}
+				return nil, fmt.Errorf("%w: shard %d queue depth %d", ErrOverloaded, s, depth)
+			}
+		}
+	}
 	// One timestamp and trace per request, stamped at fan-out: each shard
 	// reports its own mailbox wait against it as the queue stage.
 	var enqueued time.Time
@@ -570,8 +659,23 @@ func (e *Engine) runBatch(ctx context.Context, network bool, plan *batchPlan) ([
 		if len(part) == 0 {
 			continue
 		}
-		e.shards[s].mailbox <- batchMsg{network: network, entries: part, results: results, reply: plan.reply, trace: trace, enqueued: enqueued}
-		sent++
+		msg := batchMsg{ctx: ctx, network: network, entries: part, results: results, reply: plan.reply, trace: trace, enqueued: enqueued}
+		select {
+		case e.shards[s].mailbox <- msg:
+			sent++
+		case <-ctx.Done():
+			// The request deadline passed while blocked at the mailbox
+			// door: fail this shard's entries without enqueueing them (the
+			// shard drops already-queued parts itself, via msg.ctx).
+			cerr := ctx.Err()
+			for _, en := range part {
+				results[en.idx] = UpdateResult{Session: en.sid, Err: fmt.Errorf("%w: %v", ErrExpired, cerr)}
+			}
+			e.expired.Add(uint64(len(part)))
+			if e.obs.Enabled() {
+				e.obs.Expired(trace, s, len(part), time.Since(enqueued))
+			}
+		}
 	}
 	for i := 0; i < sent; i++ {
 		<-plan.reply
@@ -595,6 +699,9 @@ func (e *Engine) InsertObjectCtx(ctx context.Context, p geom.Point) (int, error)
 	defer e.mu.RUnlock()
 	if e.closed {
 		return -1, ErrClosed
+	}
+	if e.degraded() {
+		return -1, ErrDegraded
 	}
 	// Reject bad input before it reaches the store (and after the closed
 	// check, so a closed engine always reports ErrClosed).
@@ -621,6 +728,9 @@ func (e *Engine) RemoveObjectCtx(ctx context.Context, id int) error {
 	if e.closed {
 		return ErrClosed
 	}
+	if e.degraded() {
+		return ErrDegraded
+	}
 	if _, err := e.store.ApplyCtx(ctx, []index.Mutation{{ID: id}}); err != nil {
 		return e.mapStoreErr(err)
 	}
@@ -645,6 +755,9 @@ func (e *Engine) InsertNetworkObjectCtx(ctx context.Context, v int) (int, error)
 	if e.closed {
 		return -1, ErrClosed
 	}
+	if e.degraded() {
+		return -1, ErrDegraded
+	}
 	if _, err := e.store.ApplyCtx(ctx, []index.Mutation{{Network: true, Insert: true, ID: v}}); err != nil {
 		return -1, e.mapStoreErr(err)
 	}
@@ -665,16 +778,33 @@ func (e *Engine) RemoveNetworkObjectCtx(ctx context.Context, v int) error {
 	if e.closed {
 		return ErrClosed
 	}
+	if e.degraded() {
+		return ErrDegraded
+	}
 	if _, err := e.store.ApplyCtx(ctx, []index.Mutation{{Network: true, ID: v}}); err != nil {
 		return e.mapStoreErr(err)
 	}
 	return nil
 }
 
+// degraded reports whether the durability layer currently rejects
+// appends; an engine without a WAL is never degraded.
+func (e *Engine) degraded() bool { return e.wal != nil && e.wal.Degraded() }
+
+// Degraded reports whether the engine is in degraded read-only mode:
+// the WAL cannot accept appends, data-object mutations are rejected
+// with ErrDegraded, and reads keep serving. Always false without a WAL.
+func (e *Engine) Degraded() bool { return e.degraded() }
+
 // mapStoreErr translates index.Store errors into the engine's error
 // vocabulary (kept stable for HTTP status mapping and errors.Is callers).
 func (e *Engine) mapStoreErr(err error) error {
 	switch {
+	case errors.Is(err, index.ErrDurability):
+		// Any durability-append failure is a retryable unavailability: the
+		// batch was aborted unpublished, the client should back off and
+		// retry (persistent failures flip Degraded() and fail fast here).
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
 	case errors.Is(err, index.ErrNoPlane):
 		return ErrNoPlaneIndex
 	case errors.Is(err, index.ErrNoNetwork):
@@ -711,6 +841,12 @@ func (e *Engine) Stats() (Stats, error) {
 		Epoch:     e.store.Epoch(),
 		Snapshots: e.store.LiveSnapshots(),
 		Stream:    e.events.Stats(),
+		Shed:      e.shed.Load(),
+		Expired:   e.expired.Load(),
+		Degraded:  e.degraded(),
+	}
+	for _, sh := range e.shards {
+		st.Expired += sh.expired.Load()
 	}
 	if e.wal != nil {
 		ws := e.wal.Stats()

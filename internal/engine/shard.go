@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/metrics"
@@ -39,6 +41,11 @@ type shard struct {
 	// round-trip (only the worker writes them).
 	updates   atomic.Uint64
 	sessionsN atomic.Int64
+
+	// expired counts batch entries dropped because their request deadline
+	// passed while the batch sat in the mailbox. Written by the worker,
+	// read at scrape time.
+	expired atomic.Uint64
 
 	// Reusable delta scratch: the pre-change baseline buffer and the
 	// membership maps diffIDs needs. Publishing an event still allocates
@@ -164,10 +171,13 @@ type batchEntry struct {
 
 // batchMsg processes a run of location updates. The worker writes into
 // results at the entries' disjoint indices and then signals reply once.
-// trace and enqueued are set only with observability on: the request's
-// trace ID and fan-out time, against which the worker reports its mailbox
-// wait (the queue stage).
+// ctx is the originating request's context; a batch whose deadline passed
+// while it waited in the mailbox is dropped without executing. trace is
+// set only with observability on (the request's trace ID); enqueued is
+// the fan-out time, against which the worker reports its mailbox wait
+// (the queue stage) and deadline drops.
 type batchMsg struct {
+	ctx      context.Context
 	network  bool
 	entries  []batchEntry
 	results  []UpdateResult
@@ -322,6 +332,23 @@ func (sh *shard) create(m createMsg) error {
 }
 
 func (sh *shard) runBatch(m batchMsg) {
+	// A batch whose request deadline already passed is dropped whole: the
+	// client stopped waiting, so applying it would only add queue delay for
+	// live requests behind it. The entries report ErrExpired rather than
+	// silently vanishing.
+	if m.ctx != nil {
+		if cerr := m.ctx.Err(); cerr != nil {
+			for _, e := range m.entries {
+				m.results[e.idx] = UpdateResult{Session: e.sid, Err: fmt.Errorf("%w: %v", ErrExpired, cerr)}
+			}
+			sh.expired.Add(uint64(len(m.entries)))
+			if sh.obs.Enabled() {
+				sh.obs.Expired(m.trace, sh.id, len(m.entries), time.Since(m.enqueued))
+			}
+			return
+		}
+	}
+	fault.ShardApplyDelay.Fire()
 	var batchStart time.Time
 	if sh.obs.Enabled() {
 		batchStart = time.Now()

@@ -1,0 +1,371 @@
+// Package fault is a stdlib-only failpoint framework: named points
+// compiled into the serving pipeline that tests (and, behind an opt-in
+// flag, the daemon) arm to inject errors and latency at exact places —
+// a failing fsync, a full disk, a stalled subscriber — so the system's
+// degradation and recovery behavior is provable instead of assumed.
+//
+// The contract that lets failpoints live on hot paths permanently: a
+// disarmed point costs one atomic pointer load and a predictable
+// branch. All configuration (probability, remaining count, delay, key
+// filter) hangs off the armed state object, so Fire touches nothing
+// else until a point is armed.
+//
+// Points are package-level singletons (see the catalog below). Tests
+// arm them directly:
+//
+//	fault.WALFsyncErr.Arm(fault.Spec{})          // always fail
+//	defer fault.WALFsyncErr.Disarm()
+//
+// and the daemon arms them from a spec string (flag -fault or env
+// INSQ_FAULT):
+//
+//	wal.fsync.err=err;wal.disk.full=err,count:12,p:0.5
+//
+// Fires are counted per point; RegisterMetrics exports the counters as
+// insq_fault_fires_total{point="..."} through an obs registry.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Spec configures an armed point. The zero value fires the point's
+// default error on every evaluation.
+type Spec struct {
+	// Err is returned by Fire when the point fires. Nil with Delay == 0
+	// means the point's default injected error; nil with Delay > 0 means
+	// a pure stall (sleep, then return nil).
+	Err error
+	// Delay is slept on every fire, before Err is returned.
+	Delay time.Duration
+	// Prob is the per-evaluation fire probability; <= 0 means 1 (always).
+	Prob float64
+	// Count bounds the total number of fires; when it is exhausted the
+	// point disarms itself. 0 = unlimited.
+	Count int64
+	// Skip suppresses the first Skip matching evaluations before the
+	// point starts firing.
+	Skip int64
+	// Key restricts a keyed point: only FireKey(Key) fires (and plain
+	// Fire never does). Meaningful only with HasKey.
+	Key    uint64
+	HasKey bool
+}
+
+// armed is the immutable-configuration + mutable-counter state a point
+// carries while armed. Swapped atomically as a unit so Fire sees a
+// consistent spec.
+type armed struct {
+	err     error
+	delay   time.Duration
+	prob    float64
+	key     uint64
+	keyed   bool
+	hasSkip bool
+	skip    atomic.Int64
+	left    atomic.Int64 // remaining fires; MaxInt64 when unlimited
+}
+
+// Point is one named failpoint. The zero of the hot path: when the
+// armed pointer is nil, Fire is a single atomic load and a branch.
+type Point struct {
+	name  string
+	deflt error
+	state atomic.Pointer[armed]
+	fires atomic.Uint64
+}
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*Point{}
+	ordered    []*Point
+)
+
+// New registers a named point. Points are process-wide singletons
+// created at package init; duplicate names are a programming error.
+func New(name string) *Point {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("fault: duplicate point " + name)
+	}
+	p := &Point{name: name, deflt: errors.New("fault: injected " + name)}
+	registry[name] = p
+	ordered = append(ordered, p)
+	return p
+}
+
+// The failpoint catalog. Each constant documents where in the pipeline
+// the point fires; the injection sites live next to the real I/O they
+// shadow.
+var (
+	// WALAppendErr fails the durability append before anything reaches
+	// the log — the batch aborts unpublished, the log stays healthy.
+	WALAppendErr = New("wal.append.err")
+	// WALFsyncErr fails the segment fsync through the normal error path,
+	// so the log goes sticky-dead exactly like a real fsync error.
+	WALFsyncErr = New("wal.fsync.err")
+	// WALFsyncDelay stalls inside the segment fsync while the log lock is
+	// held — a hung disk, not a failed one.
+	WALFsyncDelay = New("wal.fsync.delay")
+	// WALDiskFull fails the WAL append before any bytes are buffered; the
+	// log stays usable (a transient ENOSPC, not a dead device).
+	WALDiskFull = New("wal.disk.full")
+	// StorePublishDelay stalls epoch publication inside Apply, after the
+	// durable append, while the store lock is held.
+	StorePublishDelay = New("store.publish.delay")
+	// StreamWriteStall stalls a subscriber's event consumption (the SSE
+	// write path) after an event is popped; keyed by session id so one
+	// slow subscriber can be targeted while others stay healthy.
+	StreamWriteStall = New("stream.write.stall")
+	// ShardApplyDelay stalls a shard worker at the head of batch apply —
+	// the deterministic way to back a mailbox up for admission-control
+	// and deadline tests.
+	ShardApplyDelay = New("shard.apply.delay")
+)
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Fires returns how many times the point has fired since process start.
+func (p *Point) Fires() uint64 { return p.fires.Load() }
+
+// Armed reports whether the point is currently armed.
+func (p *Point) Armed() bool { return p.state.Load() != nil }
+
+// Arm installs a spec on the point, replacing any previous one.
+func (p *Point) Arm(s Spec) {
+	a := &armed{
+		err:     s.Err,
+		delay:   s.Delay,
+		prob:    s.Prob,
+		key:     s.Key,
+		keyed:   s.HasKey,
+		hasSkip: s.Skip > 0,
+	}
+	if a.err == nil && a.delay == 0 {
+		a.err = p.deflt
+	}
+	if a.prob <= 0 {
+		a.prob = 1
+	}
+	a.skip.Store(s.Skip)
+	if s.Count > 0 {
+		a.left.Store(s.Count)
+	} else {
+		a.left.Store(math.MaxInt64)
+	}
+	p.state.Store(a)
+}
+
+// Disarm removes any armed spec; Fire returns to the one-load fast path.
+func (p *Point) Disarm() { p.state.Store(nil) }
+
+// Fire evaluates the point. Disarmed (the permanent production state) it
+// returns nil after one atomic load. Armed, it applies skip, probability
+// and count, sleeps the configured delay, and returns the configured
+// error (nil for pure-delay specs). Keyed specs never fire through Fire.
+func (p *Point) Fire() error {
+	a := p.state.Load()
+	if a == nil {
+		return nil
+	}
+	return p.fire(a, 0, false)
+}
+
+// FireKey is Fire for keyed call sites: a spec with a key fires only
+// when the keys match; a spec without one ignores the key.
+func (p *Point) FireKey(key uint64) error {
+	a := p.state.Load()
+	if a == nil {
+		return nil
+	}
+	return p.fire(a, key, true)
+}
+
+func (p *Point) fire(a *armed, key uint64, haveKey bool) error {
+	if a.keyed && (!haveKey || key != a.key) {
+		return nil
+	}
+	if a.hasSkip && a.skip.Add(-1) >= 0 {
+		return nil
+	}
+	if a.prob < 1 && rand.Float64() >= a.prob {
+		return nil
+	}
+	if a.left.Add(-1) < 0 {
+		// Count exhausted: self-disarm (only if this spec is still the
+		// installed one) and fall back to the healthy path.
+		p.state.CompareAndSwap(a, nil)
+		return nil
+	}
+	p.fires.Add(1)
+	if a.delay > 0 {
+		time.Sleep(a.delay)
+	}
+	return a.err
+}
+
+// Arm arms a point by name.
+func Arm(name string, s Spec) error {
+	p := lookup(name)
+	if p == nil {
+		return fmt.Errorf("fault: unknown point %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	p.Arm(s)
+	return nil
+}
+
+// Disarm disarms a point by name.
+func Disarm(name string) error {
+	p := lookup(name)
+	if p == nil {
+		return fmt.Errorf("fault: unknown point %q", name)
+	}
+	p.Disarm()
+	return nil
+}
+
+// DisarmAll disarms every registered point. Tests defer this to keep the
+// process-global registry clean between cases.
+func DisarmAll() {
+	registryMu.Lock()
+	pts := append([]*Point(nil), ordered...)
+	registryMu.Unlock()
+	for _, p := range pts {
+		p.Disarm()
+	}
+}
+
+func lookup(name string) *Point {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	return registry[name]
+}
+
+// Points returns every registered point in a stable (sorted) order, for
+// metrics export and spec error messages.
+func Points() []*Point {
+	registryMu.Lock()
+	pts := append([]*Point(nil), ordered...)
+	registryMu.Unlock()
+	sort.Slice(pts, func(i, j int) bool { return pts[i].name < pts[j].name })
+	return pts
+}
+
+// Names returns the registered point names, sorted.
+func Names() []string {
+	pts := Points()
+	names := make([]string, len(pts))
+	for i, p := range pts {
+		names[i] = p.name
+	}
+	return names
+}
+
+// ParseAndArm parses a fault spec string and arms each named point. The
+// grammar (the -fault flag / INSQ_FAULT env format):
+//
+//	spec  := point *(";" point)
+//	point := name "=" opt *("," opt)
+//	opt   := "err"          fire the point's default injected error
+//	       | "delay:" dur   sleep this long per fire (time.ParseDuration)
+//	       | "p:" float     per-evaluation fire probability (default 1)
+//	       | "count:" n     total fires before self-disarm (default unlimited)
+//	       | "skip:" n      matching evaluations to skip first
+//	       | "key:" n       keyed points: fire only for this key
+//
+// A point with a delay and no "err" is a pure stall. It returns the
+// names armed, in input order.
+func ParseAndArm(spec string) ([]string, error) {
+	var armedNames []string
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, opts, ok := strings.Cut(part, "=")
+		if !ok {
+			return armedNames, fmt.Errorf("fault: bad spec %q: want name=opt[,opt...]", part)
+		}
+		name = strings.TrimSpace(name)
+		s, wantErr, err := parseOpts(opts)
+		if err != nil {
+			return armedNames, fmt.Errorf("fault: point %s: %w", name, err)
+		}
+		p := lookup(name)
+		if p == nil {
+			return armedNames, fmt.Errorf("fault: unknown point %q (known: %s)", name, strings.Join(Names(), ", "))
+		}
+		if wantErr {
+			// Explicit "err": fire the point's default injected error even
+			// alongside a delay (a delay-only spec is a pure stall).
+			s.Err = p.deflt
+		}
+		p.Arm(s)
+		armedNames = append(armedNames, name)
+	}
+	return armedNames, nil
+}
+
+func parseOpts(opts string) (s Spec, wantErr bool, _ error) {
+	for _, o := range strings.Split(opts, ",") {
+		o = strings.TrimSpace(o)
+		if o == "" {
+			continue
+		}
+		if o == "err" {
+			wantErr = true
+			continue
+		}
+		k, v, ok := strings.Cut(o, ":")
+		if !ok {
+			return s, wantErr, fmt.Errorf("bad option %q (want err, delay:DUR, p:F, count:N, skip:N or key:N)", o)
+		}
+		switch k {
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return s, wantErr, fmt.Errorf("delay: %w", err)
+			}
+			s.Delay = d
+		case "p":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return s, wantErr, fmt.Errorf("p: %w", err)
+			}
+			s.Prob = f
+		case "count":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return s, wantErr, fmt.Errorf("count: %w", err)
+			}
+			s.Count = n
+		case "skip":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return s, wantErr, fmt.Errorf("skip: %w", err)
+			}
+			s.Skip = n
+		case "key":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return s, wantErr, fmt.Errorf("key: %w", err)
+			}
+			s.Key = n
+			s.HasKey = true
+		default:
+			return s, wantErr, fmt.Errorf("unknown option %q", k)
+		}
+	}
+	return s, wantErr, nil
+}

@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFiresNothing(t *testing.T) {
+	defer DisarmAll()
+	if err := WALAppendErr.Fire(); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if WALAppendErr.Armed() {
+		t.Fatal("point reports armed while disarmed")
+	}
+}
+
+func TestArmDefaultError(t *testing.T) {
+	defer DisarmAll()
+	WALAppendErr.Arm(Spec{})
+	err := WALAppendErr.Fire()
+	if err == nil {
+		t.Fatal("armed point did not fire")
+	}
+	if want := "fault: injected wal.append.err"; err.Error() != want {
+		t.Fatalf("default error = %q, want %q", err, want)
+	}
+	WALAppendErr.Disarm()
+	if err := WALAppendErr.Fire(); err != nil {
+		t.Fatalf("fired after disarm: %v", err)
+	}
+}
+
+func TestCountExhaustionSelfDisarms(t *testing.T) {
+	defer DisarmAll()
+	WALDiskFull.Arm(Spec{Count: 3})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if WALDiskFull.Fire() != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+	if WALDiskFull.Armed() {
+		t.Fatal("point still armed after count exhaustion")
+	}
+}
+
+func TestSkip(t *testing.T) {
+	defer DisarmAll()
+	WALFsyncErr.Arm(Spec{Skip: 2, Count: 1})
+	var results []bool
+	for i := 0; i < 4; i++ {
+		results = append(results, WALFsyncErr.Fire() != nil)
+	}
+	want := []bool{false, false, true, false}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Fatalf("fire pattern %v, want %v", results, want)
+		}
+	}
+}
+
+func TestKeyedFiresOnlyOnMatch(t *testing.T) {
+	defer DisarmAll()
+	custom := errors.New("stall")
+	StreamWriteStall.Arm(Spec{Err: custom, Key: 7, HasKey: true})
+	if err := StreamWriteStall.Fire(); err != nil {
+		t.Fatalf("keyed spec fired on plain Fire: %v", err)
+	}
+	if err := StreamWriteStall.FireKey(8); err != nil {
+		t.Fatalf("keyed spec fired on wrong key: %v", err)
+	}
+	if err := StreamWriteStall.FireKey(7); !errors.Is(err, custom) {
+		t.Fatalf("matching key fired %v, want %v", err, custom)
+	}
+}
+
+func TestPureDelaySpec(t *testing.T) {
+	defer DisarmAll()
+	StorePublishDelay.Arm(Spec{Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := StorePublishDelay.Fire(); err != nil {
+		t.Fatalf("pure-delay spec returned error: %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("fire slept %v, want >= 5ms", d)
+	}
+}
+
+func TestProbabilityRoughlyHolds(t *testing.T) {
+	defer DisarmAll()
+	WALAppendErr.Arm(Spec{Prob: 0.5})
+	fired := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if WALAppendErr.Fire() != nil {
+			fired++
+		}
+	}
+	if fired < n/4 || fired > 3*n/4 {
+		t.Fatalf("p=0.5 fired %d/%d times", fired, n)
+	}
+}
+
+func TestFiresCounter(t *testing.T) {
+	defer DisarmAll()
+	before := ShardApplyDelay.Fires()
+	ShardApplyDelay.Arm(Spec{Err: errors.New("x"), Count: 5})
+	for i := 0; i < 20; i++ {
+		ShardApplyDelay.Fire()
+	}
+	if got := ShardApplyDelay.Fires() - before; got != 5 {
+		t.Fatalf("fires counter advanced %d, want 5", got)
+	}
+}
+
+func TestParseAndArm(t *testing.T) {
+	defer DisarmAll()
+	names, err := ParseAndArm("wal.fsync.err=err; wal.fsync.delay=delay:1ms,count:2 ;stream.write.stall=err,key:9,p:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("armed %v, want 3 points", names)
+	}
+	if err := WALFsyncErr.Fire(); err == nil {
+		t.Fatal("wal.fsync.err not armed")
+	}
+	// delay-only spec: sleeps, returns nil, self-disarms after 2.
+	for i := 0; i < 2; i++ {
+		if err := WALFsyncDelay.Fire(); err != nil {
+			t.Fatalf("pure-delay spec errored: %v", err)
+		}
+	}
+	WALFsyncDelay.Fire()
+	if WALFsyncDelay.Armed() {
+		t.Fatal("count:2 spec still armed after exhaustion")
+	}
+	if err := StreamWriteStall.FireKey(9); err == nil {
+		t.Fatal("keyed err spec did not fire on its key")
+	}
+	if err := StreamWriteStall.FireKey(1); err != nil {
+		t.Fatalf("keyed spec fired on wrong key: %v", err)
+	}
+}
+
+func TestParseAndArmRejectsGarbage(t *testing.T) {
+	defer DisarmAll()
+	for _, spec := range []string{
+		"nonsense.point=err",
+		"wal.fsync.err",
+		"wal.fsync.err=delay:notaduration",
+		"wal.fsync.err=frob:1",
+	} {
+		if _, err := ParseAndArm(spec); err == nil {
+			t.Fatalf("spec %q parsed, want error", spec)
+		}
+	}
+}
+
+func TestConcurrentFireAndArm(t *testing.T) {
+	defer DisarmAll()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					WALDiskFull.Fire()
+					WALDiskFull.FireKey(3)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		WALDiskFull.Arm(Spec{Count: 2})
+		WALDiskFull.Disarm()
+	}
+	close(stop)
+	wg.Wait()
+}

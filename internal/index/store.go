@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/netvor"
 	"repro/internal/obs"
@@ -42,6 +43,11 @@ var (
 	// a plane point outside the bounds or a network vertex id outside the
 	// graph — rejected before the copy-on-write branch is created.
 	ErrOutOfBounds = errors.New("index: point outside the data space")
+	// ErrDurability wraps every durability-append failure (the underlying
+	// cause chains behind it), so callers can map "the WAL rejected this
+	// batch" to a retryable unavailability without knowing the WAL's
+	// error vocabulary.
+	ErrDurability = errors.New("index: durability append failed")
 )
 
 // DefaultLogDepth is the default mutation-log capacity: how far back a
@@ -477,12 +483,16 @@ func (st *Store) ApplyCtx(ctx context.Context, muts []Mutation) ([]int, error) {
 			// touched plane branch leaves suspect shared writer state behind,
 			// exactly like a mid-batch abort.
 			st.poisoned = st.poisoned || nextPlane != nil
-			return nil, fmt.Errorf("index: durability append: %w", err)
+			return nil, fmt.Errorf("%w: %w", ErrDurability, err)
 		}
 		if st.obs.Enabled() {
 			appendDur = time.Since(ta)
 		}
 	}
+	// store.publish.delay: a stalled publication — the batch is durable
+	// but the epoch swap hasn't happened; readers keep serving the
+	// previous snapshot while the store lock is held.
+	fault.StorePublishDelay.Fire()
 	if nextPlane == nil {
 		nextPlane = cur.plane // untouched side carries over, shared
 	}

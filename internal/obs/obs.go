@@ -167,3 +167,21 @@ func (p *Pipeline) StreamOverflow(session uint64, depth int) {
 	}
 	p.slow.StreamOverflow(session, depth)
 }
+
+// Shed logs a batch rejected by admission control (a target shard
+// mailbox at its high watermark).
+func (p *Pipeline) Shed(trace string, shard, entries, depth int) {
+	if p == nil {
+		return
+	}
+	p.slow.Shed(trace, shard, entries, depth)
+}
+
+// Expired logs a deadline-expired batch a shard dropped without
+// executing it.
+func (p *Pipeline) Expired(trace string, shard, entries int, waited time.Duration) {
+	if p == nil {
+		return
+	}
+	p.slow.Expired(trace, shard, entries, waited)
+}

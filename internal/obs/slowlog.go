@@ -19,10 +19,12 @@ const (
 	slowFsync
 	slowPublish
 	slowStreamOverflow
+	slowShed
+	slowExpired
 	numSlowOps
 )
 
-var slowOpNames = [numSlowOps]string{"batch", "fsync", "publish", "stream_overflow"}
+var slowOpNames = [numSlowOps]string{"batch", "fsync", "publish", "stream_overflow", "shed", "expired"}
 
 // SlowLog emits structured warnings (via log/slog) for operations that
 // exceed their thresholds, carrying the request trace ID when the slow
@@ -91,4 +93,28 @@ func (s *SlowLog) StreamOverflow(session uint64, depth int) {
 	s.n[slowStreamOverflow].Inc()
 	s.lg.Warn("slow_op", "op", "stream_overflow",
 		"session", session, "depth", depth)
+}
+
+// Shed logs a batch rejected by admission control because a target shard
+// mailbox sat at its high watermark. Unconditional, like StreamOverflow:
+// shed load is always worth a line.
+func (s *SlowLog) Shed(trace string, shard, entries, depth int) {
+	if s == nil {
+		return
+	}
+	s.n[slowShed].Inc()
+	s.lg.Warn("slow_op", "op", "shed", "trace", trace,
+		"shard", shard, "entries", entries, "queue_depth", depth)
+}
+
+// Expired logs a batch whose request deadline passed while it sat in a
+// shard mailbox; the shard dropped it instead of executing it late.
+// Unconditional.
+func (s *SlowLog) Expired(trace string, shard, entries int, waited time.Duration) {
+	if s == nil {
+		return
+	}
+	s.n[slowExpired].Inc()
+	s.lg.Warn("slow_op", "op", "expired", "trace", trace,
+		"shard", shard, "entries", entries, "waited", waited)
 }

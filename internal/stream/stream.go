@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -351,10 +352,10 @@ func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
 // empty.
 func (s *Subscriber) Next() (ev Event, ok bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.head >= len(s.queue) {
 		s.queue = s.queue[:0]
 		s.head = 0
+		s.mu.Unlock()
 		return Event{}, false
 	}
 	sid := s.popLocked()
@@ -362,6 +363,12 @@ func (s *Subscriber) Next() (ev Event, ok bool) {
 	delete(s.pending, sid)
 	s.broker.delivered.Add(1)
 	s.delivered.Add(1)
+	s.mu.Unlock()
+	// The stall failpoint models a slow consumer (stuck SSE client) and
+	// fires outside s.mu so publishers keep offering — backpressure lands
+	// on this subscriber's own queue (coalesce/drop-oldest), never on the
+	// fan-out path.
+	fault.StreamWriteStall.FireKey(sid)
 	return ev, true
 }
 

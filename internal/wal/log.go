@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/index"
 	"repro/internal/obs"
 )
@@ -166,6 +167,12 @@ func (l *segLog) Append(firstEpoch uint64, payload []byte) error {
 	if l.err != nil {
 		return l.err
 	}
+	// wal.disk.full: a transient ENOSPC before any byte is buffered — the
+	// append fails but the log stays healthy (unlike a write/fsync error,
+	// which is sticky).
+	if err := fault.WALDiskFull.Fire(); err != nil {
+		return err
+	}
 	need := int64(frameHdrLen + len(payload))
 	if l.size+need > l.segBytes && l.size > int64(len(segMagic)) {
 		if err := l.rotateLocked(firstEpoch); err != nil {
@@ -217,7 +224,15 @@ func (l *segLog) rotateLocked(nextFirst uint64) error {
 func (l *segLog) syncFileLocked() error {
 	target := l.appendGen
 	start := time.Now()
+	// wal.fsync.delay: a hung disk — the stall happens holding l.mu, just
+	// like a real fsync that never returns.
+	fault.WALFsyncDelay.Fire()
 	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	// wal.fsync.err: surfaced through the normal error return, so callers
+	// failLocked it and the log goes sticky-dead like a real fsync error.
+	if err := fault.WALFsyncErr.Fire(); err != nil {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
@@ -261,21 +276,22 @@ func (l *segLog) failLocked(err error) error {
 
 // alwaysLoop is the group-commit syncer of the `always` policy: it fsyncs
 // whole generations, so N appenders blocked behind one slow fsync are
-// covered together by the next.
+// covered together by the next. The loop outlives a sticky log error —
+// it idles until reset clears the error — so a healed log keeps its
+// syncer without respawning goroutines.
 func (l *segLog) alwaysLoop() {
 	defer close(l.loopDone)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
-		for !l.closed && l.err == nil && l.syncedGen == l.appendGen {
+		for !l.closed && (l.err != nil || l.syncedGen == l.appendGen) {
 			l.syncWork.Wait()
 		}
-		if l.closed || l.err != nil {
+		if l.closed {
 			return
 		}
 		if err := l.syncFileLocked(); err != nil {
 			l.failLocked(err)
-			return
 		}
 	}
 }
@@ -294,10 +310,11 @@ func (l *segLog) intervalLoop(every time.Duration) {
 		case <-t.C:
 			l.mu.Lock()
 			if !l.closed && l.err == nil && l.syncedGen != l.appendGen {
+				// A failed tick marks the log dead but keeps the ticker
+				// alive: a later reset clears the error and the cadence
+				// resumes without respawning the loop.
 				if err := l.syncFileLocked(); err != nil {
 					l.failLocked(err)
-					l.mu.Unlock()
-					return
 				}
 			}
 			l.mu.Unlock()
@@ -332,29 +349,86 @@ func (l *segLog) statsSnapshot() (fsyncs uint64, fsyncNS int64, segments int, pr
 // Close makes everything appended so far durable (under every policy,
 // including `off`) and closes the segment. Appends after Close fail with
 // ErrClosed.
+//
+// Ordering matters: the background syncer is stopped and joined *before*
+// the final flush, so Close can never fsync concurrently with an
+// in-flight interval tick (or re-sync a generation the tick just
+// covered). An in-flight tick holds l.mu through its fsync, so by the
+// time Close acquires the lock below, the tick has fully completed and
+// its generation is recorded in syncedGen.
 func (l *segLog) Close() error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return nil
 	}
+	l.closed = true
+	close(l.stop)
+	l.syncWork.Broadcast()
+	l.syncDone.Broadcast()
+	l.mu.Unlock()
+	<-l.loopDone
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var err error
 	if l.err == nil && l.syncedGen != l.appendGen {
 		err = l.syncFileLocked()
 	}
-	l.closed = true
-	close(l.stop)
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
 	if l.err != nil && err == nil {
 		err = l.err
 	}
-	l.syncWork.Broadcast()
-	l.syncDone.Broadcast()
-	l.mu.Unlock()
-	<-l.loopDone
 	return err
+}
+
+// dead reports whether the log has taken a sticky I/O error.
+func (l *segLog) dead() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err != nil
+}
+
+// reset discards the log and starts over on a fresh segment whose first
+// record will carry epoch nextFirst. It is the heal half of degraded
+// mode and is only safe when the caller guarantees no appends are in
+// flight and everything the old segments held is covered by a checkpoint
+// at nextFirst-1: the old file (dead handle or not) is closed, every
+// segment is deleted, the sticky error is cleared, and a fresh segment
+// is created and fsynced — the fsync both proves the disk accepts writes
+// again and makes the new segment's magic durable. Any failure re-marks
+// the log dead and is returned.
+func (l *segLog) reset(nextFirst uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.err = nil
+	if l.f != nil {
+		l.f.Close() // best-effort: often a dead handle
+	}
+	for _, sg := range l.segs {
+		if err := os.Remove(sg.path); err != nil {
+			l.err = fmt.Errorf("wal: reset: %w", err)
+			return l.err
+		}
+	}
+	l.segs = l.segs[:0]
+	if err := l.createSegmentLocked(nextFirst); err != nil {
+		l.err = err
+		return err
+	}
+	// The fsync also realigns the generations (syncedGen = appendGen):
+	// every append the old log buffered was either fsynced (and is now
+	// covered by the caller's checkpoint) or failed back to its appender.
+	if err := l.syncFileLocked(); err != nil {
+		l.err = err
+		return err
+	}
+	return nil
 }
 
 // scanSegments lists the directory's segment files ascending by first

@@ -28,12 +28,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/index"
 	"repro/internal/obs"
 )
@@ -70,7 +72,15 @@ const (
 	DefaultSegmentBytes    = 64 << 20
 	DefaultCheckpointEvery = 4096
 	DefaultKeepCheckpoints = 2
+	DefaultDegradeAfter    = 3
+	DefaultProbeEvery      = 250 * time.Millisecond
 )
+
+// ErrDegraded fail-fasts appends while the manager is in degraded mode:
+// the log is unavailable, writes are rejected until the heal probe
+// restores durability. Reads are unaffected — degraded mode exists so
+// the serving side can keep answering queries while the disk is sick.
+var ErrDegraded = errors.New("wal: degraded: durability unavailable")
 
 // Options parameterizes Open.
 type Options struct {
@@ -94,6 +104,18 @@ type Options struct {
 	// stages), reports slow fsyncs, and registers WAL gauges (segment
 	// bytes, checkpoint age) on its registry.
 	Obs *obs.Pipeline
+	// DegradeAfter flips the manager into degraded read-only mode after
+	// this many consecutive append failures (default DefaultDegradeAfter).
+	// A sticky log error (a failed fsync kills the log) degrades
+	// immediately regardless of the count.
+	DegradeAfter int
+	// ProbeEvery is the degraded-mode heal cadence (default
+	// DefaultProbeEvery): each tick the probe checkpoints the current
+	// snapshot and rebuilds the log on a fresh segment; if both succeed —
+	// the disk accepts writes again — degraded mode ends.
+	ProbeEvery time.Duration
+	// Logger receives degrade/heal transitions (default slog.Default()).
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +133,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.KeepCheckpoints <= 0 {
 		o.KeepCheckpoints = DefaultKeepCheckpoints
+	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = DefaultDegradeAfter
+	}
+	if o.ProbeEvery <= 0 {
+		o.ProbeEvery = DefaultProbeEvery
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
 	}
 	return o
 }
@@ -150,6 +181,11 @@ type Stats struct {
 	TruncatedBytes    int64
 	RecoveredEpoch    uint64
 	Recovery          time.Duration
+	// Degraded reports whether the manager is currently in degraded
+	// read-only mode; DegradeEvents / HealEvents count the round trips.
+	Degraded      bool
+	DegradeEvents uint64
+	HealEvents    uint64
 }
 
 // Manager owns the durability pipeline of one store: it is the store's
@@ -179,6 +215,15 @@ type Manager struct {
 	truncBytes     int64
 	recoveredEpoch uint64
 	recovery       time.Duration
+
+	// Degraded mode. degraded is only set from AppendBatch's error path
+	// (serialized under the store's mutation lock) and only cleared by the
+	// heal probe; while it is set both the engine and AppendBatch itself
+	// fail-fast writes, so no append can interleave with a heal.
+	degraded      atomic.Bool
+	consecFails   atomic.Int64
+	degradeEvents atomic.Uint64
+	healEvents    atomic.Uint64
 
 	ckptMu    sync.Mutex // serializes checkpointNow
 	ckptCh    chan struct{}
@@ -287,8 +332,9 @@ func Open(cfg index.Config, opts Options) (*Manager, error) {
 	}
 	st.SetDurability(m)
 	m.registerMetrics(opts.Obs.Registry())
-	m.wg.Add(1)
+	m.wg.Add(2)
 	go m.checkpointLoop()
+	go m.probeLoop()
 	m.recovery = time.Since(start)
 	return m, nil
 }
@@ -328,6 +374,12 @@ func (m *Manager) registerMetrics(reg *obs.Registry) {
 	reg.CounterFunc("insq_wal_checkpoints_total",
 		"Checkpoints written since open.",
 		func() float64 { return float64(m.ckpts.Load()) })
+	reg.CounterFunc("insq_wal_degrade_events_total",
+		"Times the durability layer entered degraded read-only mode.",
+		func() float64 { return float64(m.degradeEvents.Load()) })
+	reg.CounterFunc("insq_wal_heal_events_total",
+		"Times the heal probe restored durability after degraded mode.",
+		func() float64 { return float64(m.healEvents.Load()) })
 }
 
 // Store returns the recovered (or freshly initialized) store the manager
@@ -336,16 +388,29 @@ func (m *Manager) Store() *index.Store { return m.store }
 
 // AppendBatch implements index.Durability: it runs inside Store.Apply,
 // after the batch mutated the branch and before the snapshot publishes.
+// While the manager is degraded it fail-fasts with ErrDegraded; append
+// failures count toward the degrade threshold (a sticky log error
+// degrades immediately).
 func (m *Manager) AppendBatch(ctx context.Context, firstEpoch uint64, muts []index.Mutation) error {
+	if m.degraded.Load() {
+		return ErrDegraded
+	}
 	o := m.opts.Obs
 	var start time.Time
 	if o.Enabled() {
 		start = time.Now()
 	}
-	m.buf = appendBatchRecord(m.buf[:0], firstEpoch, muts)
-	if err := m.log.Append(firstEpoch, m.buf); err != nil {
+	// wal.append.err: the append fails before anything reaches the log.
+	if err := fault.WALAppendErr.Fire(); err != nil {
+		m.noteAppendError()
 		return err
 	}
+	m.buf = appendBatchRecord(m.buf[:0], firstEpoch, muts)
+	if err := m.log.Append(firstEpoch, m.buf); err != nil {
+		m.noteAppendError()
+		return err
+	}
+	m.consecFails.Store(0)
 	if o.Enabled() {
 		d := time.Since(start)
 		o.Observe(obs.StageWALAppend, d)
@@ -368,6 +433,75 @@ func (m *Manager) AppendBatch(ctx context.Context, firstEpoch uint64, muts []ind
 		}
 	}
 	return nil
+}
+
+// noteAppendError counts a durability-append failure and enters degraded
+// mode when the failures are persistent: either the log took a sticky
+// I/O error (it cannot accept another byte) or DegradeAfter consecutive
+// appends failed (transient errors like ENOSPC that keep happening).
+func (m *Manager) noteAppendError() {
+	n := m.consecFails.Add(1)
+	if m.log.dead() || n >= int64(m.opts.DegradeAfter) {
+		if m.degraded.CompareAndSwap(false, true) {
+			m.degradeEvents.Add(1)
+			m.opts.Logger.Warn("wal: entering degraded mode: writes rejected until the disk heals",
+				"consecutive_failures", n, "log_dead", m.log.dead())
+		}
+	}
+}
+
+// Degraded reports whether the manager is in degraded read-only mode.
+func (m *Manager) Degraded() bool { return m.degraded.Load() }
+
+// probeLoop drives the degraded-mode heal: every ProbeEvery tick while
+// degraded, try to restore durability and clear the flag.
+func (m *Manager) probeLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.opts.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-t.C:
+			if m.degraded.Load() {
+				m.tryHeal()
+			}
+		}
+	}
+}
+
+// tryHeal attempts to restore durability. Checkpoint first: writing a
+// checkpoint at the current published epoch both proves the disk accepts
+// writes again and makes everything the old log held (including any torn
+// tail the failure left behind) redundant, so the log can then be rebuilt
+// from scratch on a fresh segment. Only when both steps succeed does
+// degraded mode end; any failure leaves it set for the next tick.
+//
+// Safety: while degraded, AppendBatch fail-fasts (and the engine rejects
+// mutations before Apply), so no append touches the log during the
+// rebuild and the published epoch cannot move under the checkpoint.
+func (m *Manager) tryHeal() {
+	s := m.store.Acquire()
+	if s == nil {
+		return // store closed; shutdown is racing us
+	}
+	epoch := s.Epoch()
+	s.Release()
+	if err := m.checkpointNow(); err != nil {
+		m.ckptFails.Add(1)
+		m.opts.Logger.Warn("wal: heal probe: checkpoint failed", "err", err)
+		return
+	}
+	if err := m.log.reset(epoch + 1); err != nil {
+		m.opts.Logger.Warn("wal: heal probe: log rebuild failed", "err", err)
+		return
+	}
+	m.consecFails.Store(0)
+	m.degraded.Store(false)
+	m.healEvents.Add(1)
+	m.opts.Logger.Info("wal: healed: durability restored, writes re-enabled",
+		"epoch", epoch)
 }
 
 // checkpointLoop runs checkpoints off the hot path; AppendBatch nudges it
@@ -454,6 +588,9 @@ func (m *Manager) Stats() Stats {
 		TruncatedBytes:     m.truncBytes,
 		RecoveredEpoch:     m.recoveredEpoch,
 		Recovery:           m.recovery,
+		Degraded:           m.degraded.Load(),
+		DegradeEvents:      m.degradeEvents.Load(),
+		HealEvents:         m.healEvents.Load(),
 	}
 }
 
