@@ -11,13 +11,15 @@
 // ablations (A1–A3) and the serving records ENGINE (online plane
 // serving), STREAM (continuous-query push), NETWORK (road-network
 // serving), WAL (durability overhead and crash recovery), OBS
-// (observability overhead: metrics-on vs noop serving rate) and CHAOS
-// (fault injection: degrade/heal, shed, deadline drops, crash recovery).
-// With -benchout and a single record experiment the result is written as
-// the JSON record CI archives and benchguard gates (BENCH_engine.json /
-// BENCH_stream.json / BENCH_network.json / BENCH_wal.json /
-// BENCH_obs.json / BENCH_chaos.json). -seed offsets every workload seed
-// for seed-sensitivity reruns.
+// (observability overhead: metrics-on vs noop serving rate), CHAOS
+// (fault injection: degrade/heal, shed, deadline drops, crash recovery)
+// and SERVE (wire-protocol A/B: JSON-per-request vs binary streaming
+// ingest against an in-process serving stack). With -benchout and a
+// single record experiment the result is written as the JSON record CI
+// archives and benchguard gates (BENCH_engine.json / BENCH_stream.json /
+// BENCH_network.json / BENCH_wal.json / BENCH_obs.json /
+// BENCH_chaos.json / BENCH_serve.json). -seed offsets every workload
+// seed for seed-sensitivity reruns.
 package main
 
 import (
@@ -69,6 +71,8 @@ var runners = []runner{
 		record: func(cfg experiments.Config) (any, error) { return experiments.ObsBench(cfg) }},
 	{id: "CHAOS", doc: "fault-injection experiment (degrade/heal round trips, shed, deadline drops, crash recovery)",
 		record: func(cfg experiments.Config) (any, error) { return experiments.ChaosBench(cfg) }},
+	{id: "SERVE", doc: "wire-protocol A/B benchmark (JSON-per-request vs binary streaming ingest)",
+		record: func(cfg experiments.Config) (any, error) { return experiments.ServeBench(cfg) }},
 }
 
 // ids returns the registry's experiment ids in order.
@@ -87,7 +91,7 @@ func main() {
 		"experiment id ("+strings.Join(ids(), ",")+") or 'all'")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (>=1)")
 	seed := flag.Int64("seed", 0, "offset every workload seed (datasets, trajectories, churn RNGs) to probe seed sensitivity; 0 = the canonical published tables (E1/E2 fixtures are seed-independent)")
-	benchout := flag.String("benchout", "", "with a single record experiment (ENGINE, STREAM, NETWORK, WAL, OBS): write the result as JSON to this file (e.g. BENCH_engine.json)")
+	benchout := flag.String("benchout", "", "with a single record experiment (ENGINE, STREAM, NETWORK, WAL, OBS, CHAOS, SERVE): write the result as JSON to this file (e.g. BENCH_engine.json)")
 	vertices := flag.Int("vertices", 0, "NETWORK: override the road-network vertex count (street grid is ceil(sqrt(vertices)) on a side, site density held fixed); 0 = the canonical 4096-vertex grid")
 	flag.Parse()
 	if *scale < 1 {

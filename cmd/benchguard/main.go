@@ -1,7 +1,7 @@
 // Command benchguard is the CI bench regression gate: it compares a
 // freshly measured serving record against the committed baseline and
 // exits non-zero when the serving path regressed beyond the per-record
-// thresholds. Five record kinds are gated, matching the serving
+// thresholds. Seven record kinds are gated, matching the serving
 // benchmarks bench emits:
 //
 //	engine  (BENCH_engine.json):  updates_per_sec drop > -max-rate-drop,
@@ -29,6 +29,12 @@
 //	                              must beat -max-recover-ms, admission
 //	                              control must actually shed, and some
 //	                              writes must succeed post-heal
+//	serve   (BENCH_serve.json):   self-contained like wal: the binary
+//	                              streaming ingest path must beat the
+//	                              JSON-per-request path by at least
+//	                              -min-serve-speedup on the same process,
+//	                              and neither path may shed on the
+//	                              healthy workload
 //
 //	go run ./cmd/bench -exp ENGINE -scale 4 -benchout BENCH_engine.fresh.json
 //	go run ./cmd/benchguard -kind engine -baseline BENCH_engine.json -fresh BENCH_engine.fresh.json
@@ -70,6 +76,14 @@ type record struct {
 	ShedRate                 float64 `json:"shed_rate"`
 	WritesOK                 int     `json:"writes_ok"`
 	Recovered                bool    `json:"recovered"`
+	// serve records are self-contained A/Bs: both rates and the shed
+	// counters come from the same process, so the gate reads the fresh
+	// record alone.
+	JSONUpdatesPerSec   float64 `json:"json_updates_per_sec"`
+	BinaryUpdatesPerSec float64 `json:"binary_updates_per_sec"`
+	Speedup             float64 `json:"speedup"`
+	ShedJSON            uint64  `json:"shed_json"`
+	ShedBinary          uint64  `json:"shed_binary"`
 }
 
 func load(path string) (record, error) {
@@ -88,17 +102,18 @@ func load(path string) (record, error) {
 // zero value of the optional gates (relax, p95, absolute allocs) means
 // "off", so existing invocations keep their behavior.
 type thresholds struct {
-	maxRateDrop    float64 // engine, network
-	maxAllocGrowth float64 // engine, network
-	maxRelaxGrowth float64 // engine, network: relaxations_per_update factor, 0 = off
-	maxP95Growth   float64 // engine, network: p95_update_us factor, 0 = off
-	maxAllocs      float64 // engine, network: absolute allocs_per_update cap, 0 = off
-	maxPushGrowth  float64 // stream
-	maxDropped     uint64  // stream
-	maxWALOverhead float64 // wal
-	maxRecoveryMS  float64 // wal
-	maxObsOverhead float64 // obs
-	maxRecoverMS   float64 // chaos: worst heal round trip, absolute
+	maxRateDrop     float64 // engine, network
+	maxAllocGrowth  float64 // engine, network
+	maxRelaxGrowth  float64 // engine, network: relaxations_per_update factor, 0 = off
+	maxP95Growth    float64 // engine, network: p95_update_us factor, 0 = off
+	maxAllocs       float64 // engine, network: absolute allocs_per_update cap, 0 = off
+	maxPushGrowth   float64 // stream
+	maxDropped      uint64  // stream
+	maxWALOverhead  float64 // wal
+	maxRecoveryMS   float64 // wal
+	maxObsOverhead  float64 // obs
+	maxRecoverMS    float64 // chaos: worst heal round trip, absolute
+	minServeSpeedup float64 // serve: binary-over-JSON throughput floor
 }
 
 // check returns the regression verdicts for one record kind; factored out
@@ -197,6 +212,24 @@ func check(kind string, base, fresh record, th thresholds) []string {
 		if fresh.WritesOK == 0 {
 			fails = append(fails, "writes_ok = 0: no write ever succeeded after healing")
 		}
+	case "serve":
+		// Self-contained: both paths ran in one process against one
+		// engine, so the speedup is machine-consistent and the gate reads
+		// the fresh record alone. A speedup below the floor means the
+		// binary protocol stopped paying for itself; a healthy-path shed
+		// means admission control fired on a workload that should sail.
+		if fresh.JSONUpdatesPerSec <= 0 || fresh.BinaryUpdatesPerSec <= 0 {
+			fails = append(fails, "serve record is empty: one of the A/B phases measured zero throughput")
+		}
+		if fresh.Speedup < th.minServeSpeedup {
+			fails = append(fails, fmt.Sprintf(
+				"binary ingest speedup %.2fx over JSON (%.0f/s vs %.0f/s; floor %.1fx)",
+				fresh.Speedup, fresh.BinaryUpdatesPerSec, fresh.JSONUpdatesPerSec, th.minServeSpeedup))
+		}
+		if fresh.ShedJSON > 0 || fresh.ShedBinary > 0 {
+			fails = append(fails, fmt.Sprintf(
+				"healthy-path sheds: json=%d binary=%d (must be 0)", fresh.ShedJSON, fresh.ShedBinary))
+		}
 	case "stream":
 		if base.PushP95US > 0 {
 			growth := fresh.PushP95US / base.PushP95US
@@ -212,7 +245,7 @@ func check(kind string, base, fresh record, th thresholds) []string {
 				fresh.Dropped, th.maxDropped))
 		}
 	default:
-		fails = append(fails, fmt.Sprintf("unknown record kind %q (engine, network, stream, wal, obs, chaos)", kind))
+		fails = append(fails, fmt.Sprintf("unknown record kind %q (engine, network, stream, wal, obs, chaos, serve)", kind))
 	}
 	return fails
 }
@@ -237,6 +270,10 @@ func summary(kind string, base, fresh record) string {
 		return fmt.Sprintf("ok: %d degrade/heal rounds, recover <= %.1fms, shed rate %.2f, recovered=%v",
 			fresh.Rounds, fresh.TimeToRecoverMaxMS, fresh.ShedRate, fresh.Recovered)
 	}
+	if kind == "serve" {
+		return fmt.Sprintf("ok: binary ingest %.2fx over JSON (%.0f/s vs %.0f/s), sheds json=%d binary=%d",
+			fresh.Speedup, fresh.BinaryUpdatesPerSec, fresh.JSONUpdatesPerSec, fresh.ShedJSON, fresh.ShedBinary)
+	}
 	return fmt.Sprintf("ok: rate %.0f/s (baseline %.0f/s), allocs/update %.1f (baseline %.1f)",
 		fresh.UpdatesPerSec, base.UpdatesPerSec, fresh.AllocsPerUpdate, base.AllocsPerUpdate)
 }
@@ -252,20 +289,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchguard: ")
 	var (
-		kind           = flag.String("kind", "engine", "record kind: engine, network, stream, wal, obs or chaos")
-		baseline       = flag.String("baseline", "BENCH_engine.json", "committed baseline record")
-		fresh          = flag.String("fresh", "BENCH_engine.fresh.json", "freshly measured record")
-		maxRateDrop    = flag.Float64("max-rate-drop", 0.25, "engine/network: fail when updates_per_sec drops by more than this fraction")
-		maxAllocGrowth = flag.Float64("max-alloc-growth", 2.0, "engine/network: fail when allocs_per_update grows by more than this factor")
-		maxRelaxGrowth = flag.Float64("max-relax-growth", 0, "engine/network: fail when relaxations_per_update grows by more than this factor (0 = off)")
-		maxP95Growth   = flag.Float64("max-p95-growth", 0, "engine/network: fail when p95_update_us grows by more than this factor (0 = off)")
-		maxAllocs      = flag.Float64("max-allocs", 0, "engine/network: fail when the fresh allocs_per_update exceeds this absolute cap (0 = off)")
-		maxPushGrowth  = flag.Float64("max-push-growth", 4.0, "stream: fail when push_p95_us grows by more than this factor")
-		maxDropped     = flag.Uint64("max-dropped", 0, "stream: fail when the healthy subscriber's dropped counter exceeds this")
-		maxWALOverhead = flag.Float64("max-wal-overhead", 0.10, "wal: fail when the fresh record's updates_per_sec falls more than this fraction below its own base_updates_per_sec")
-		maxRecoveryMS  = flag.Float64("max-recovery-ms", 2000, "wal: fail when the fresh record's crash recovery exceeds this many milliseconds")
-		maxObsOverhead = flag.Float64("max-obs-overhead", 0.03, "obs: fail when the fresh record's updates_per_sec falls more than this fraction below its own base_updates_per_sec")
-		maxRecoverMS   = flag.Float64("max-recover-ms", 2000, "chaos: fail when the fresh record's worst disarm-to-write-success round trip exceeds this many milliseconds")
+		kind            = flag.String("kind", "engine", "record kind: engine, network, stream, wal, obs, chaos or serve")
+		baseline        = flag.String("baseline", "BENCH_engine.json", "committed baseline record")
+		fresh           = flag.String("fresh", "BENCH_engine.fresh.json", "freshly measured record")
+		maxRateDrop     = flag.Float64("max-rate-drop", 0.25, "engine/network: fail when updates_per_sec drops by more than this fraction")
+		maxAllocGrowth  = flag.Float64("max-alloc-growth", 2.0, "engine/network: fail when allocs_per_update grows by more than this factor")
+		maxRelaxGrowth  = flag.Float64("max-relax-growth", 0, "engine/network: fail when relaxations_per_update grows by more than this factor (0 = off)")
+		maxP95Growth    = flag.Float64("max-p95-growth", 0, "engine/network: fail when p95_update_us grows by more than this factor (0 = off)")
+		maxAllocs       = flag.Float64("max-allocs", 0, "engine/network: fail when the fresh allocs_per_update exceeds this absolute cap (0 = off)")
+		maxPushGrowth   = flag.Float64("max-push-growth", 4.0, "stream: fail when push_p95_us grows by more than this factor")
+		maxDropped      = flag.Uint64("max-dropped", 0, "stream: fail when the healthy subscriber's dropped counter exceeds this")
+		maxWALOverhead  = flag.Float64("max-wal-overhead", 0.10, "wal: fail when the fresh record's updates_per_sec falls more than this fraction below its own base_updates_per_sec")
+		maxRecoveryMS   = flag.Float64("max-recovery-ms", 2000, "wal: fail when the fresh record's crash recovery exceeds this many milliseconds")
+		maxObsOverhead  = flag.Float64("max-obs-overhead", 0.03, "obs: fail when the fresh record's updates_per_sec falls more than this fraction below its own base_updates_per_sec")
+		maxRecoverMS    = flag.Float64("max-recover-ms", 2000, "chaos: fail when the fresh record's worst disarm-to-write-success round trip exceeds this many milliseconds")
+		minServeSpeedup = flag.Float64("min-serve-speedup", 3.0, "serve: fail when the binary streaming ingest path beats the JSON-per-request path by less than this factor")
 	)
 	flag.Parse()
 
@@ -278,17 +316,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fails := check(*kind, base, cur, thresholds{
-		maxRateDrop:    *maxRateDrop,
-		maxAllocGrowth: *maxAllocGrowth,
-		maxRelaxGrowth: *maxRelaxGrowth,
-		maxP95Growth:   *maxP95Growth,
-		maxAllocs:      *maxAllocs,
-		maxPushGrowth:  *maxPushGrowth,
-		maxDropped:     *maxDropped,
-		maxWALOverhead: *maxWALOverhead,
-		maxRecoveryMS:  *maxRecoveryMS,
-		maxObsOverhead: *maxObsOverhead,
-		maxRecoverMS:   *maxRecoverMS,
+		maxRateDrop:     *maxRateDrop,
+		maxAllocGrowth:  *maxAllocGrowth,
+		maxRelaxGrowth:  *maxRelaxGrowth,
+		maxP95Growth:    *maxP95Growth,
+		maxAllocs:       *maxAllocs,
+		maxPushGrowth:   *maxPushGrowth,
+		maxDropped:      *maxDropped,
+		maxWALOverhead:  *maxWALOverhead,
+		maxRecoveryMS:   *maxRecoveryMS,
+		maxObsOverhead:  *maxObsOverhead,
+		maxRecoverMS:    *maxRecoverMS,
+		minServeSpeedup: *minServeSpeedup,
 	})
 	for _, f := range fails {
 		log.Printf("FAIL [%s]: %s", *kind, f)

@@ -3,7 +3,7 @@ package main
 import "testing"
 
 var testTh = thresholds{maxRateDrop: 0.25, maxAllocGrowth: 2.0, maxPushGrowth: 4.0, maxDropped: 0,
-	maxWALOverhead: 0.10, maxRecoveryMS: 2000, maxObsOverhead: 0.03}
+	maxWALOverhead: 0.10, maxRecoveryMS: 2000, maxObsOverhead: 0.03, minServeSpeedup: 3.0}
 
 func TestCheckEngineThresholds(t *testing.T) {
 	base := record{UpdatesPerSec: 100000, AllocsPerUpdate: 10}
@@ -147,6 +147,36 @@ func TestCheckObsThresholds(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			// Like wal, the obs gate reads the fresh record only.
 			got := check("obs", record{}, c.fresh, testTh)
+			if len(got) != c.fails {
+				t.Fatalf("check = %v, want %d failures", got, c.fails)
+			}
+		})
+	}
+}
+
+func TestCheckServeThresholds(t *testing.T) {
+	healthy := func() record {
+		return record{JSONUpdatesPerSec: 40000, BinaryUpdatesPerSec: 160000, Speedup: 4.0}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*record)
+		fails  int
+	}{
+		{"healthy", func(*record) {}, 0},
+		{"at the floor", func(r *record) { r.BinaryUpdatesPerSec = 120000; r.Speedup = 3.0 }, 0},
+		{"below the floor", func(r *record) { r.BinaryUpdatesPerSec = 80000; r.Speedup = 2.0 }, 1},
+		{"json sheds", func(r *record) { r.ShedJSON = 3 }, 1},
+		{"binary sheds", func(r *record) { r.ShedBinary = 1 }, 1},
+		{"empty json phase", func(r *record) { r.JSONUpdatesPerSec = 0; r.Speedup = 0 }, 2},
+		{"empty binary phase", func(r *record) { r.BinaryUpdatesPerSec = 0; r.Speedup = 0 }, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fresh := healthy()
+			c.mutate(&fresh)
+			// Like wal and obs, the serve gate reads the fresh record only.
+			got := check("serve", record{}, fresh, testTh)
 			if len(got) != c.fails {
 				t.Fatalf("check = %v, want %d failures", got, c.fails)
 			}

@@ -43,7 +43,7 @@ func TestDegradedModeHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { mgr.Close(); e.Close(); mgr.Store().Close() }()
-	ts := httptest.NewServer(newServer(e, false).handler())
+	ts := httptest.NewServer(newServer(e, false).Handler())
 	defer ts.Close()
 
 	var sresp api.CreateSessionResponse

@@ -1,0 +1,12 @@
+package main
+
+import (
+	insq "repro"
+	"repro/internal/server"
+)
+
+// newServer adapts the historical test construction shape to the
+// extracted internal/server package.
+func newServer(e *insq.Engine, pprofOn bool) *server.Server {
+	return server.New(e, server.Options{Pprof: pprofOn})
+}

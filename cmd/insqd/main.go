@@ -29,11 +29,20 @@
 //	curl -X POST localhost:8080/v1/network/objects -d '{"vertex":17}'
 //	curl -X DELETE localhost:8080/v1/network/objects/17
 //
+// High-rate feeds should use the binary streaming ingest path instead of
+// JSON requests: POST /v1/ingest upgrades the connection to a
+// length-prefixed CRC32C frame stream (see internal/api), and
+// -ingest-addr additionally opens a raw TCP listener speaking the same
+// protocol without the HTTP layer. Frames arriving within
+// -coalesce-window merge into single engine batches. internal/client
+// provides the Go client for both paths.
+//
 // See internal/api for the wire types and cmd/loadgen for a closed-loop
-// driver (-subscribe measures insert-to-push latency). SIGINT/SIGTERM
-// shut the server down gracefully: the stream broker closes first so
-// every SSE subscriber receives a final "bye" event, in-flight requests
-// drain, then the engine stops and prints its final stats.
+// driver (-subscribe measures insert-to-push latency, -ingest drives the
+// binary path). SIGINT/SIGTERM shut the server down gracefully: the
+// stream broker closes first so every SSE subscriber receives a final
+// "bye" event, in-flight requests drain, then the engine stops and
+// prints its final stats.
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"flag"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,6 +62,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/index"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -80,6 +91,8 @@ func main() {
 		statsTTL    = flag.Duration("stats-ttl", 500*time.Millisecond, "cache the merged /v1/stats snapshot this long so scrapers don't perturb shard workers (0 = no cache)")
 		reqTimeout  = flag.Duration("request-timeout", 5*time.Second, "per-request deadline for update/object mutations; expired batches are dropped at the shard (0 = no deadline)")
 		faultSpec   = flag.String("fault", "", "chaos testing: arm failpoints, e.g. 'wal.fsync.err=err,count:10;store.publish.delay=delay:5ms' (also via INSQ_FAULT; empty = all disarmed)")
+		ingestAddr  = flag.String("ingest-addr", "", "additionally serve the binary ingest protocol on this raw TCP address, bypassing HTTP (empty = HTTP /v1/ingest only)")
+		coalesce    = flag.Duration("coalesce-window", time.Millisecond, "merge ingest frames arriving within this window into one engine batch (0 = apply frames individually)")
 	)
 	flag.Parse()
 	if *objects < 1 || *shards < 1 || *space <= 0 {
@@ -140,14 +153,21 @@ func main() {
 		version, goVersion, revision := obs.Build()
 		log.Printf("observability: /metrics on, build %s %s %s", version, goVersion, revision)
 	}
-	hs := &server{pprof: *pprofOn, obs: pipe, statsTTL: *statsTTL, reqTimeout: *reqTimeout}
-	if *accessLogOn {
-		hs.accessLog = slogger
+	opts := server.Options{
+		Pprof:          *pprofOn,
+		Obs:            pipe,
+		RequestTimeout: *reqTimeout,
+		StatsTTL:       *statsTTL,
+		CoalesceWindow: *coalesce,
 	}
+	if *accessLogOn {
+		opts.AccessLog = slogger
+	}
+	hs := server.NewPending(opts)
 	cfg.Obs = pipe
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: hs.handler(),
+		Handler: hs.Handler(),
 		// Bound slow clients so stuck connections can't pin goroutines (or
 		// eat the whole shutdown budget); bodies are size-capped per
 		// handler.
@@ -162,6 +182,20 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+	var ingestLn net.Listener
+	if *ingestAddr != "" {
+		var err error
+		ingestLn, err = net.Listen("tcp", *ingestAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("binary ingest on %s (coalesce window %v)", *ingestAddr, *coalesce)
+		go func() {
+			if err := hs.ServeIngest(ingestLn); !errors.Is(err, net.ErrClosed) {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	var mgr *wal.Manager
 	if *dataDir != "" {
@@ -198,7 +232,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs.setEngine(e)
+	hs.SetEngine(e)
 	log.Printf("engine up in %v", time.Since(start).Round(time.Millisecond))
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -210,6 +244,9 @@ func main() {
 	// hostage by long-lived /events connections (they would otherwise
 	// outlive any drain timeout by design).
 	e.Stream().Close()
+	if ingestLn != nil {
+		ingestLn.Close()
+	}
 	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer shutdownCancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -52,7 +52,7 @@ func newNetworkTestServer(t *testing.T) (*httptest.Server, *insq.Engine, *insq.R
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(e, false).handler())
+	ts := httptest.NewServer(newServer(e, false).Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		e.Close()

@@ -15,6 +15,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/index"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/wal"
 )
 
@@ -39,8 +40,9 @@ func (s *syncBuffer) String() string {
 
 // newObsServer boots an instrumented in-memory engine behind the full
 // HTTP stack: registry + runtime metrics + slow-op log with the given
-// thresholds, exactly as main wires them.
-func newObsServer(t *testing.T, th obs.Thresholds, logw io.Writer) (*httptest.Server, *server) {
+// thresholds, exactly as main wires them. Extra option functions tweak
+// the server configuration before construction.
+func newObsServer(t *testing.T, th obs.Thresholds, logw io.Writer, optFns ...func(*server.Options)) *httptest.Server {
 	t.Helper()
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg)
@@ -55,21 +57,23 @@ func newObsServer(t *testing.T, th obs.Thresholds, logw io.Writer) (*httptest.Se
 	if err != nil {
 		t.Fatal(err)
 	}
-	hs := newServer(e, false)
-	hs.obs = pipe
-	ts := httptest.NewServer(hs.handler())
+	opts := server.Options{Obs: pipe}
+	for _, fn := range optFns {
+		fn(&opts)
+	}
+	ts := httptest.NewServer(server.New(e, opts).Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		e.Close()
 	})
-	return ts, hs
+	return ts
 }
 
 // TestMetricsEndpoint scrapes /metrics on a live instrumented server and
 // checks the exposition: stage histograms fed by real traffic, engine
 // gauges, build info and runtime metrics, all in Prometheus text format.
 func TestMetricsEndpoint(t *testing.T) {
-	ts, _ := newObsServer(t, obs.Thresholds{}, io.Discard)
+	ts := newObsServer(t, obs.Thresholds{}, io.Discard)
 
 	var created api.CreateSessionResponse
 	if code := postJSON(t, ts.URL+"/v1/sessions", api.CreateSessionRequest{K: 3}, &created); code != http.StatusOK {
@@ -143,8 +147,9 @@ func TestMetricsDisabled(t *testing.T) {
 // per request whose trace field matches the X-Trace-Id response header.
 func TestAccessLogTraces(t *testing.T) {
 	var logBuf syncBuffer
-	ts, hs := newObsServer(t, obs.Thresholds{}, io.Discard)
-	hs.accessLog = slog.New(slog.NewTextHandler(&logBuf, nil))
+	ts := newObsServer(t, obs.Thresholds{}, io.Discard, func(o *server.Options) {
+		o.AccessLog = slog.New(slog.NewTextHandler(&logBuf, nil))
+	})
 
 	r, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -167,8 +172,9 @@ func TestAccessLogTraces(t *testing.T) {
 // second scrape is served verbatim from the cache (byte-identical JSON,
 // including uptime), so pollers don't fan messages to the shard workers.
 func TestStatsTTLCache(t *testing.T) {
-	ts, hs := newObsServer(t, obs.Thresholds{}, io.Discard)
-	hs.statsTTL = time.Hour
+	ts := newObsServer(t, obs.Thresholds{}, io.Discard, func(o *server.Options) {
+		o.StatsTTL = time.Hour
+	})
 
 	get := func() string {
 		t.Helper()
@@ -235,9 +241,7 @@ func TestSlowOpTraces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hs := newServer(e, false)
-	hs.obs = pipe
-	ts := httptest.NewServer(hs.handler())
+	ts := httptest.NewServer(server.New(e, server.Options{Obs: pipe}).Handler())
 	defer func() {
 		ts.Close()
 		if err := mgr.Close(); err != nil {

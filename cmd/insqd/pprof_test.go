@@ -22,7 +22,7 @@ func TestPprofOptIn(t *testing.T) {
 	}
 	defer e.Close()
 
-	off := httptest.NewServer(newServer(e, false).handler())
+	off := httptest.NewServer(newServer(e, false).Handler())
 	defer off.Close()
 	resp, err := http.Get(off.URL + "/debug/pprof/")
 	if err != nil {
@@ -33,7 +33,7 @@ func TestPprofOptIn(t *testing.T) {
 		t.Fatalf("pprof without flag: status %d, want 404", resp.StatusCode)
 	}
 
-	on := httptest.NewServer(newServer(e, true).handler())
+	on := httptest.NewServer(newServer(e, true).Handler())
 	defer on.Close()
 	resp, err = http.Get(on.URL + "/debug/pprof/")
 	if err != nil {

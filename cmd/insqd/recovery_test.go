@@ -10,6 +10,7 @@ import (
 	insq "repro"
 	"repro/internal/api"
 	"repro/internal/index"
+	"repro/internal/server"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -55,7 +56,7 @@ func startDurable(t *testing.T, cfg insq.EngineConfig, dir string) (*httptest.Se
 	if err != nil {
 		t.Fatal(err)
 	}
-	return httptest.NewServer(newServer(e, false).handler()), e, mgr
+	return httptest.NewServer(newServer(e, false).Handler()), e, mgr
 }
 
 // driveMutations sends the same object churn to both servers over HTTP
@@ -136,7 +137,7 @@ func TestServerCrashRestartEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refServer := httptest.NewServer(newServer(refEngine, false).handler())
+	refServer := httptest.NewServer(newServer(refEngine, false).Handler())
 	t.Cleanup(func() { refServer.Close(); refEngine.Close() })
 
 	ts1, e1, _ := startDurable(t, cfg, dir)
@@ -208,8 +209,8 @@ func TestServerCrashRestartEquivalence(t *testing.T) {
 // answers 503 with a Retry-After hint (liveness /healthz answers 200 the
 // whole time — the process is up), and traffic flows once setEngine runs.
 func TestServerNotReadyDuringRecovery(t *testing.T) {
-	hs := &server{}
-	ts := httptest.NewServer(hs.handler())
+	hs := server.NewPending(server.Options{})
+	ts := httptest.NewServer(hs.Handler())
 	defer ts.Close()
 
 	for _, path := range []string{"/v1/stats", "/readyz", "/v1/sessions"} {
@@ -240,7 +241,7 @@ func TestServerNotReadyDuringRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	hs.setEngine(e)
+	hs.SetEngine(e)
 	r, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)

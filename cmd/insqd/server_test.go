@@ -25,7 +25,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *insq.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(e, false).handler())
+	ts := httptest.NewServer(newServer(e, false).Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		e.Close()

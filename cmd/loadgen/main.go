@@ -37,20 +37,15 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"math"
 	"math/rand"
 	"net/http"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -58,6 +53,7 @@ import (
 
 	insq "repro"
 	"repro/internal/api"
+	insqclient "repro/internal/client"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -149,24 +145,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
 	var (
-		addr     = flag.String("addr", "", "insqd base URL (e.g. http://localhost:8080); empty runs an in-process engine")
-		sessions = flag.Int("sessions", 2000, "concurrent query sessions")
-		k        = flag.Int("k", 5, "nearest neighbors per session")
-		rho      = flag.Float64("rho", 1.6, "prefetch ratio")
-		duration = flag.Duration("duration", 5*time.Second, "load duration")
-		batch    = flag.Int("batch", 64, "location updates per request")
-		workers  = flag.Int("workers", 8, "concurrent client workers")
-		stepLen  = flag.Float64("step", 5, "client movement per update")
-		churn    = flag.Float64("churn", 0, "data updates per second (alternating insert/delete), 0 = off")
-		network  = flag.Bool("network", false, "drive road-network sessions instead of plane sessions (server must run with a matching -network-grid)")
-		netGrid  = flag.Int("network-grid", 64, "network mode: GxG street grid (must match the server)")
-		netSites = flag.Int("network-sites", 1000, "network mode, in-process: initial network data objects")
-		subCount = flag.Int("subscribe", 0, "watch the first N sessions on the push stream and measure insert-to-push latency (0 = off)")
-		space    = flag.Float64("space", 10000, "side length of the data space (must match the server)")
-		seed     = flag.Int64("seed", 42, "trajectory seed")
-		objects  = flag.Int("objects", 50000, "in-process mode: synthetic data objects")
-		shards   = flag.Int("shards", 8, "in-process mode: engine shards")
-		repErrs  = flag.Bool("report-errors", false, "HTTP mode: print per-endpoint error statuses, 503 retries and transport failures after the run")
+		addr      = flag.String("addr", "", "insqd base URL (e.g. http://localhost:8080); empty runs an in-process engine")
+		sessions  = flag.Int("sessions", 2000, "concurrent query sessions")
+		k         = flag.Int("k", 5, "nearest neighbors per session")
+		rho       = flag.Float64("rho", 1.6, "prefetch ratio")
+		duration  = flag.Duration("duration", 5*time.Second, "load duration")
+		batch     = flag.Int("batch", 64, "location updates per request")
+		workers   = flag.Int("workers", 8, "concurrent client workers")
+		stepLen   = flag.Float64("step", 5, "client movement per update")
+		churn     = flag.Float64("churn", 0, "data updates per second (alternating insert/delete), 0 = off")
+		network   = flag.Bool("network", false, "drive road-network sessions instead of plane sessions (server must run with a matching -network-grid)")
+		netGrid   = flag.Int("network-grid", 64, "network mode: GxG street grid (must match the server)")
+		netSites  = flag.Int("network-sites", 1000, "network mode, in-process: initial network data objects")
+		subCount  = flag.Int("subscribe", 0, "watch the first N sessions on the push stream and measure insert-to-push latency (0 = off)")
+		space     = flag.Float64("space", 10000, "side length of the data space (must match the server)")
+		seed      = flag.Int64("seed", 42, "trajectory seed")
+		objects   = flag.Int("objects", 50000, "in-process mode: synthetic data objects")
+		shards    = flag.Int("shards", 8, "in-process mode: engine shards")
+		repErrs   = flag.Bool("report-errors", false, "HTTP mode: print per-endpoint error statuses, 503 retries and transport failures after the run")
+		ingest    = flag.Bool("ingest", false, "HTTP mode: send location updates over the binary streaming ingest protocol (POST /v1/ingest) instead of JSON requests; churn stays on the JSON endpoints")
+		ingestTCP = flag.String("ingest-tcp", "", "with -ingest: dial this raw TCP ingest address (insqd -ingest-addr) instead of streaming over HTTP")
 	)
 	flag.Parse()
 	if *sessions < 1 || *batch < 1 || *workers < 1 {
@@ -192,9 +190,24 @@ func main() {
 		log.Printf("road network: %d vertices, %d sites", g.NumVertices(), len(roadSites))
 	}
 	var tgt target
+	var ht *httpTarget // non-nil in HTTP mode, for the error-table report
 	if *addr != "" {
-		tgt = newHTTPTarget(*addr, *workers)
-		log.Printf("target: %s", *addr)
+		ht = newHTTPTarget(*addr, *workers)
+		tgt = ht
+		if *ingest || *ingestTCP != "" {
+			it, err := newIngestTarget(ht, *workers, *ingestTCP)
+			if err != nil {
+				log.Fatalf("ingest dial: %v", err)
+			}
+			tgt = it
+			if *ingestTCP != "" {
+				log.Printf("target: %s, updates via binary ingest on tcp %s (%d streams)", *addr, *ingestTCP, *workers)
+			} else {
+				log.Printf("target: %s, updates via binary ingest over HTTP (%d streams)", *addr, *workers)
+			}
+		} else {
+			log.Printf("target: %s", *addr)
+		}
 	} else {
 		log.Printf("target: in-process engine (%d objects, %d shards)", *objects, *shards)
 		e, err := insq.NewEngine(insq.EngineConfig{
@@ -410,9 +423,13 @@ func main() {
 			fmt.Printf("server stream          published=%d delivered=%d coalesced=%d dropped=%d\n",
 				s.Published, s.Delivered, s.Coalesced, s.Dropped)
 		}
+		if ig := st.Ingest; ig != nil {
+			fmt.Printf("server ingest          conns=%d frames=%d batches=%d coalesce=%.2fx bytes_in=%d bytes_out=%d\n",
+				ig.Connections, ig.FramesTotal, ig.Batches, ig.CoalesceFactor, ig.BytesIn, ig.BytesOut)
+		}
 	}
 	if *repErrs {
-		if ht, ok := tgt.(*httpTarget); ok {
+		if ht != nil {
 			if tbl := ht.errs.report(); tbl != "" {
 				fmt.Printf("http errors by endpoint\n%s", tbl)
 			} else {
@@ -721,6 +738,19 @@ func (s *errStats) record(endpoint string, status int) {
 	m[status]++
 }
 
+// recordCode folds a binary-ingest frame status into the same table as
+// the HTTP statuses, so shed/degraded aggregates cover both protocols.
+func (s *errStats) recordCode(endpoint string, code api.ErrorCode) {
+	status := http.StatusInternalServerError
+	switch code {
+	case api.CodeOverloaded:
+		status = http.StatusTooManyRequests
+	case api.CodeDegraded, api.CodeUnavailable:
+		status = http.StatusServiceUnavailable
+	}
+	s.record(endpoint, status)
+}
+
 func (s *errStats) retry(endpoint string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -789,265 +819,131 @@ func (s *errStats) report() string {
 	return b.String()
 }
 
-// httpTarget talks to a running insqd.
+// httpTarget talks to a running insqd through the shared client
+// package, with the per-endpoint error table wired into its hooks.
 type httpTarget struct {
-	base string
-	c    *http.Client
+	c    *insqclient.Client
 	errs *errStats
 }
 
 func newHTTPTarget(base string, workers int) *httpTarget {
 	tr := http.DefaultTransport.(*http.Transport).Clone()
 	tr.MaxIdleConnsPerHost = workers + 2
-	return &httpTarget{base: base, c: &http.Client{Transport: tr, Timeout: 30 * time.Second}, errs: newErrStats()}
-}
-
-// retryBase and retryCap bound the exponential backoff in doRetry.
-const (
-	retryBase     = 100 * time.Millisecond
-	retryCap      = 5 * time.Second
-	retryAttempts = 6
-)
-
-// backoffWait computes the sleep before retry attempt (0-based): full
-// jitter over the top half of an exponentially growing window — random in
-// [b/2, b] for b = base<<attempt capped at retryCap — so a fleet of
-// workers bounced by the same degraded window doesn't retry in lockstep
-// and re-stampede the server. A Retry-After hint acts as a floor: the
-// server knows when it expects to recover, and retrying sooner is wasted.
-func backoffWait(attempt int, retryAfter string) time.Duration {
-	b := retryCap
-	if shift := uint(attempt); shift < 12 && retryBase<<shift < retryCap {
-		b = retryBase << shift
-	}
-	wait := b/2 + time.Duration(rand.Int63n(int64(b/2)+1))
-	if ra, err := strconv.Atoi(retryAfter); err == nil && ra >= 0 {
-		if floor := time.Duration(ra) * time.Second; wait < floor {
-			wait = min(floor, retryCap)
-		}
-	}
-	return wait
-}
-
-// retryable reports whether a status is worth retrying: 503 (recovery
-// window or degraded durability) and 429 (admission-control shed) are
-// both transient by design — the server attaches Retry-After to each.
-func retryable(status int) bool {
-	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
-}
-
-// doRetry issues fn, retrying transient 503/429 responses under jittered
-// exponential backoff (Retry-After honored as a floor), recording every
-// non-2xx response, retry and transport failure per endpoint.
-func (t *httpTarget) doRetry(endpoint string, fn func() (*http.Response, error)) (*http.Response, error) {
-	for attempt := 0; ; attempt++ {
-		r, err := fn()
-		if err != nil {
-			t.errs.netErr(endpoint)
-			return nil, err
-		}
-		if r.StatusCode >= 300 {
-			t.errs.record(endpoint, r.StatusCode)
-		}
-		if !retryable(r.StatusCode) || attempt >= retryAttempts {
-			return r, nil
-		}
-		wait := backoffWait(attempt, r.Header.Get("Retry-After"))
-		io.Copy(io.Discard, r.Body)
-		r.Body.Close()
-		t.errs.retry(endpoint)
-		time.Sleep(wait)
-	}
-}
-
-func (t *httpTarget) post(path string, req, resp any) error {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return err
-	}
-	r, err := t.doRetry("POST "+path, func() (*http.Response, error) {
-		return t.c.Post(t.base+path, "application/json", bytes.NewReader(body))
+	errs := newErrStats()
+	c := insqclient.New(base, insqclient.Options{
+		HTTPClient: &http.Client{Transport: tr, Timeout: 30 * time.Second},
+		OnStatus:   errs.record,
+		OnRetry:    errs.retry,
+		OnNetErr:   errs.netErr,
 	})
-	if err != nil {
-		return err
-	}
-	defer r.Body.Close()
-	if r.StatusCode >= 300 {
-		var e api.ErrorResponse
-		json.NewDecoder(r.Body).Decode(&e)
-		return fmt.Errorf("%s: status %d: %s", path, r.StatusCode, e.Error)
-	}
-	if resp != nil {
-		return json.NewDecoder(r.Body).Decode(resp)
-	}
-	return nil
+	return &httpTarget{c: c, errs: errs}
 }
 
 func (t *httpTarget) createSession(k int, rho float64, network bool) (uint64, error) {
-	var resp api.CreateSessionResponse
-	err := t.post("/v1/sessions", api.CreateSessionRequest{K: k, Rho: rho, Network: network}, &resp)
-	return resp.Session, err
+	return t.c.CreateSession(k, rho, network)
 }
 
-func (t *httpTarget) closeSession(sid uint64) error {
-	r, err := t.doRetry("DELETE /v1/sessions", func() (*http.Response, error) {
-		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%d", t.base, sid), nil)
-		if err != nil {
-			return nil, err
-		}
-		return t.c.Do(req)
-	})
-	if err != nil {
-		return err
-	}
-	defer r.Body.Close()
-	if r.StatusCode >= 300 {
-		return fmt.Errorf("close session %d: status %d", sid, r.StatusCode)
-	}
-	return nil
-}
+func (t *httpTarget) closeSession(sid uint64) error { return t.c.CloseSession(sid) }
 
 func (t *httpTarget) update(entries []api.UpdateEntry) (*api.UpdateResponse, error) {
-	var resp api.UpdateResponse
-	if err := t.post("/v1/update", api.UpdateRequest{Updates: entries}, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+	return t.c.Update(entries)
 }
 
 func (t *httpTarget) networkUpdate(entries []api.NetworkUpdateEntry) (*api.UpdateResponse, error) {
-	var resp api.UpdateResponse
-	if err := t.post("/v1/network/update", api.NetworkUpdateRequest{Updates: entries}, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+	return t.c.NetworkUpdate(entries)
 }
 
-func (t *httpTarget) insertObject(x, y float64) (int, error) {
-	var resp api.ObjectResponse
-	err := t.post("/v1/objects", api.ObjectRequest{X: x, Y: y}, &resp)
-	return resp.ID, err
-}
+func (t *httpTarget) insertObject(x, y float64) (int, error) { return t.c.AddObject(x, y) }
+
+func (t *httpTarget) removeObject(id int) error { return t.c.RemoveObject(id) }
 
 func (t *httpTarget) insertNetworkObject(vertex int) (int, error) {
-	var resp api.ObjectResponse
-	err := t.post("/v1/network/objects", api.NetworkObjectRequest{Vertex: vertex}, &resp)
-	return resp.ID, err
+	return t.c.AddNetworkObject(vertex)
 }
 
 func (t *httpTarget) removeNetworkObject(vertex int) error {
-	r, err := t.doRetry("DELETE /v1/network/objects", func() (*http.Response, error) {
-		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/network/objects/%d", t.base, vertex), nil)
-		if err != nil {
-			return nil, err
-		}
-		return t.c.Do(req)
-	})
-	if err != nil {
-		return err
-	}
-	defer r.Body.Close()
-	if r.StatusCode >= 300 {
-		return fmt.Errorf("delete network object %d: status %d", vertex, r.StatusCode)
-	}
-	return nil
+	return t.c.RemoveNetworkObject(vertex)
 }
 
-func (t *httpTarget) removeObject(id int) error {
-	r, err := t.doRetry("DELETE /v1/objects", func() (*http.Response, error) {
-		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/objects/%d", t.base, id), nil)
-		if err != nil {
-			return nil, err
-		}
-		return t.c.Do(req)
-	})
-	if err != nil {
-		return err
-	}
-	defer r.Body.Close()
-	if r.StatusCode >= 300 {
-		return fmt.Errorf("delete object %d: status %d", id, r.StatusCode)
-	}
-	return nil
-}
-
-// subscribe opens one multi-session SSE stream against insqd and parses
-// it on a dedicated goroutine. The streaming request uses its own client:
-// the target's request/response client enforces an overall timeout that
-// would sever a long-lived stream.
 func (t *httpTarget) subscribe(sids []uint64, onEvent func(api.SessionEvent)) (func(), error) {
-	parts := make([]string, len(sids))
-	for i, sid := range sids {
-		parts[i] = strconv.FormatUint(sid, 10)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		t.base+"/v1/events?sessions="+strings.Join(parts, ","), nil)
-	if err != nil {
-		cancel()
-		return nil, err
-	}
-	resp, err := http.DefaultTransport.RoundTrip(req)
-	if err != nil {
-		cancel()
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		resp.Body.Close()
-		cancel()
-		return nil, fmt.Errorf("/v1/events: status %d", resp.StatusCode)
-	}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		defer resp.Body.Close()
-		readSSE(resp.Body, onEvent)
-	}()
-	return func() {
-		cancel()
-		<-done
-	}, nil
+	return t.c.Subscribe(sids, onEvent)
 }
 
-// readSSE parses a text/event-stream body, invoking onEvent per data
-// frame, until the stream ends.
-func readSSE(body io.Reader, onEvent func(api.SessionEvent)) {
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	var data []byte
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case line == "":
-			if len(data) > 0 {
-				var ev api.SessionEvent
-				if err := json.Unmarshal(data, &ev); err == nil {
-					onEvent(ev)
-				}
-				data = data[:0]
-			}
-		case strings.HasPrefix(line, "data: "):
-			data = append(data, strings.TrimPrefix(line, "data: ")...)
-		}
-	}
-}
-
-func (t *httpTarget) stats() (*api.StatsResponse, error) {
-	r, err := t.c.Get(t.base + "/v1/stats")
-	if err != nil {
-		return nil, err
-	}
-	defer r.Body.Close()
-	if r.StatusCode >= 300 {
-		var e api.ErrorResponse
-		json.NewDecoder(r.Body).Decode(&e)
-		return nil, fmt.Errorf("/v1/stats: status %d: %s", r.StatusCode, e.Error)
-	}
-	var resp api.StatsResponse
-	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
-}
+func (t *httpTarget) stats() (*api.StatsResponse, error) { return t.c.Stats() }
 
 func (t *httpTarget) close() {}
+
+// ingestTarget routes location updates over binary streaming ingest
+// connections (one per worker, checked out of a pool) while mutations,
+// sessions and stats stay on the JSON endpoints. Each update batch is a
+// synchronous Call — the per-request shape with the HTTP/JSON overhead
+// replaced by one frame and one ack.
+type ingestTarget struct {
+	*httpTarget
+	streams chan *insqclient.Ingest
+}
+
+func newIngestTarget(ht *httpTarget, workers int, tcpAddr string) (*ingestTarget, error) {
+	t := &ingestTarget{httpTarget: ht, streams: make(chan *insqclient.Ingest, workers)}
+	for i := 0; i < workers; i++ {
+		var ing *insqclient.Ingest
+		var err error
+		if tcpAddr != "" {
+			ing, err = insqclient.DialIngestTCP(context.Background(), tcpAddr, 8)
+		} else {
+			ing, err = ht.c.DialIngest(context.Background(), 8)
+		}
+		if err != nil {
+			t.close()
+			return nil, err
+		}
+		t.streams <- ing
+	}
+	return t, nil
+}
+
+// callIngest runs one batch through a pooled stream and adapts the ack
+// to the JSON response shape the load loop consumes.
+func (t *ingestTarget) callIngest(endpoint string, b api.IngestBatch) (*api.UpdateResponse, error) {
+	b.WantResults = true
+	ing := <-t.streams
+	ack, err := ing.Call(b)
+	t.streams <- ing
+	if err != nil {
+		t.errs.netErr(endpoint)
+		return nil, err
+	}
+	if ack.Code != api.CodeOK {
+		t.errs.recordCode(endpoint, ack.Code)
+		return nil, fmt.Errorf("%s: %s: %s", endpoint, ack.Code, ack.Message)
+	}
+	resp := &api.UpdateResponse{Results: make([]api.UpdateResultEntry, len(ack.Results))}
+	for i, r := range ack.Results {
+		entry := api.UpdateResultEntry{Session: r.Session, KNN: r.KNN}
+		if r.Code != api.CodeOK {
+			entry.Code = r.Code
+			entry.Error = string(r.Code)
+		}
+		resp.Results[i] = entry
+	}
+	return resp, nil
+}
+
+func (t *ingestTarget) update(entries []api.UpdateEntry) (*api.UpdateResponse, error) {
+	return t.callIngest("INGEST update", api.IngestBatch{Updates: entries})
+}
+
+func (t *ingestTarget) networkUpdate(entries []api.NetworkUpdateEntry) (*api.UpdateResponse, error) {
+	return t.callIngest("INGEST network/update", api.IngestBatch{NetworkUpdates: entries})
+}
+
+func (t *ingestTarget) close() {
+	for {
+		select {
+		case ing := <-t.streams:
+			ing.Close()
+		default:
+			return
+		}
+	}
+}

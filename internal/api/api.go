@@ -1,5 +1,7 @@
-// Package api defines the JSON wire types of the insqd HTTP interface,
-// shared by the server (cmd/insqd) and its clients (cmd/loadgen).
+// Package api defines the wire surface of the insqd server — the JSON
+// types of the HTTP interface, the binary ingest frame codec, and the
+// shared error table both speak — used by the server (internal/server,
+// cmd/insqd) and its clients (internal/client, cmd/loadgen).
 //
 // Endpoints:
 //
@@ -13,6 +15,7 @@
 //	DELETE /v1/objects/{id}                                   -> 204
 //	POST   /v1/network/objects          NetworkObjectRequest  -> ObjectResponse
 //	DELETE /v1/network/objects/{vertex}                       -> 204
+//	POST   /v1/ingest                   binary frame stream   -> binary ack stream (see ingest.go)
 //	GET    /v1/stats                                          -> StatsResponse
 //	GET    /healthz                                           -> 200 "ok" (liveness; answers even before ready)
 //	GET    /readyz                                            -> 200 "ready" | 503 ErrorResponse (readiness incl. degraded mode)
@@ -31,7 +34,24 @@
 // result deltas pushed by the engine; "bye" is the final frame of a
 // graceful server shutdown.
 //
-// Errors are ErrorResponse bodies with the matching HTTP status.
+// /v1/ingest is the streaming fast path: the request body is an open-
+// ended sequence of length-prefixed CRC32C batch frames (chunked upload
+// over a persistent connection), the response streams back one ack frame
+// per batch. The same protocol runs over a raw TCP connection when the
+// server enables -ingest-addr. See ingest.go for the frame layout and
+// codec.
+//
+// Errors are ErrorResponse bodies with the matching HTTP status and a
+// machine-readable code from the shared error table (errors.go); ingest
+// acks carry the same codes as status bytes. The codes:
+//
+//	bad_request too_large unknown_session unknown_object site_exists
+//	last_site no_network no_plane_index out_of_bounds degraded
+//	overloaded expired unavailable internal bad_frame
+//
+// degraded, overloaded and unavailable are transient (JSON responses
+// attach Retry-After; ingest clients back off and resend); the rest are
+// request errors that retrying cannot fix.
 package api
 
 import (
@@ -74,11 +94,13 @@ type UpdateRequest struct {
 }
 
 // UpdateResultEntry is the outcome for one update: the current kNN object
-// ids, or the per-session error.
+// ids, or the per-session error (with its machine-readable code from the
+// shared error table).
 type UpdateResultEntry struct {
-	Session uint64 `json:"session"`
-	KNN     []int  `json:"knn,omitempty"`
-	Error   string `json:"error,omitempty"`
+	Session uint64    `json:"session"`
+	KNN     []int     `json:"knn,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	Code    ErrorCode `json:"code,omitempty"`
 }
 
 // UpdateResponse parallels UpdateRequest.Updates.
@@ -136,6 +158,7 @@ func NewUpdateResponse(results []engine.UpdateResult) UpdateResponse {
 		entry := UpdateResultEntry{Session: uint64(r.Session), KNN: r.KNN}
 		if r.Err != nil {
 			entry.Error = r.Err.Error()
+			entry.Code = Classify(r.Err).Code
 			entry.KNN = nil
 		}
 		resp.Results[i] = entry
@@ -333,6 +356,9 @@ type StatsResponse struct {
 	Stream   StreamStats      `json:"stream"`
 	// WAL is present only when the server runs with durability enabled.
 	WAL *WALStats `json:"wal,omitempty"`
+	// Ingest is present only when the server has handled binary ingest
+	// streams; filled by the server (like Version), not the engine.
+	Ingest *IngestStats `json:"ingest,omitempty"`
 	// Version/GoVersion/Revision identify the serving build; filled by the
 	// server (obs.Build), not the engine, and omitted by in-process
 	// embedders that don't care.
@@ -372,7 +398,25 @@ func NewStatsResponse(st engine.Stats) StatsResponse {
 	return resp
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// IngestStats is the binary ingest path's counter snapshot: frames and
+// bytes over all streams, how well the coalescing pump merged pipelined
+// frames into engine batches (Batches <= Frames; CoalesceFactor =
+// Frames/Batches), and the live connection gauge.
+type IngestStats struct {
+	Connections      int     `json:"connections"`
+	FramesTotal      uint64  `json:"frames_total"`
+	Batches          uint64  `json:"batches"`
+	CoalescedBatches uint64  `json:"coalesced_batches"`
+	CoalesceFactor   float64 `json:"coalesce_factor"`
+	BytesIn          uint64  `json:"bytes_in"`
+	BytesOut         uint64  `json:"bytes_out"`
+	Updates          uint64  `json:"updates"`
+	Mutations        uint64  `json:"mutations"`
+}
+
+// ErrorResponse is the body of every non-2xx response: the human-readable
+// error plus its machine-readable code from the shared error table.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error string    `json:"error"`
+	Code  ErrorCode `json:"code,omitempty"`
 }

@@ -1,0 +1,369 @@
+// Package insqclient is the Go client for insqd. It wraps the JSON API
+// (internal/api) in typed calls with transient-aware retry — 503
+// (recovery/degraded) and 429 (admission-control shed) back off under
+// full jitter with the server's Retry-After as a floor — plus SSE result
+// subscription and the binary streaming ingest path (DialIngest /
+// DialIngestTCP; see ingest.go).
+//
+// Server-side errors surface as *APIError carrying the HTTP status and
+// the machine-readable code from the shared error table, so callers
+// branch on api.ErrorCode instead of matching message strings:
+//
+//	c := insqclient.New("http://localhost:8080", insqclient.Options{})
+//	sid, err := c.CreateSession(5, 1.6, false)
+//	var ae *insqclient.APIError
+//	if errors.As(err, &ae) && ae.Code == api.CodeUnavailable { ... }
+//
+// cmd/loadgen and the insqd end-to-end tests are both built on this
+// package; it is the reference consumer of the wire protocol.
+package insqclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Options tunes a Client. The zero value is ready to use.
+type Options struct {
+	// HTTPClient overrides the request/response client (tests inject
+	// httptest clients). Streaming endpoints (Subscribe, DialIngest) use
+	// its Transport but never its Timeout — a deadline would sever the
+	// long-lived stream.
+	HTTPClient *http.Client
+	// Retries caps transient (503/429) retries per request: 0 means the
+	// default (6), negative disables retrying — tests asserting raw
+	// statuses want the first answer, not the eventual one.
+	Retries int
+	// OnStatus, OnRetry and OnNetErr observe every non-2xx response,
+	// every retry taken and every transport failure per endpoint —
+	// loadgen's error table hangs off these.
+	OnStatus func(endpoint string, status int)
+	OnRetry  func(endpoint string)
+	OnNetErr func(endpoint string)
+}
+
+// retryBase and retryCap bound the exponential backoff between retries.
+const (
+	retryBase      = 100 * time.Millisecond
+	retryCap       = 5 * time.Second
+	defaultRetries = 6
+)
+
+// Client talks to one insqd base URL. Safe for concurrent use.
+type Client struct {
+	base string
+	c    *http.Client
+	opts Options
+}
+
+// New returns a client for the given base URL (e.g. "http://host:8080",
+// no trailing slash).
+func New(base string, opts Options) *Client {
+	c := opts.HTTPClient
+	if c == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 64
+		c = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimSuffix(base, "/"), c: c, opts: opts}
+}
+
+// APIError is a non-2xx server response: the HTTP status plus the
+// machine-readable code and message from api.ErrorResponse. Reach it
+// with errors.As.
+type APIError struct {
+	Endpoint string
+	Status   int
+	Code     api.ErrorCode
+	Message  string
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("%s: status %d (%s)", e.Endpoint, e.Status, e.Code)
+	}
+	return fmt.Sprintf("%s: status %d (%s): %s", e.Endpoint, e.Status, e.Code, e.Message)
+}
+
+// Transient reports whether the error is a transient server condition
+// (shed, degraded, recovering) that a retry may outwait.
+func (e *APIError) Transient() bool { return api.Transient(e.Code) }
+
+func (o Options) maxRetries() int {
+	switch {
+	case o.Retries < 0:
+		return 0
+	case o.Retries == 0:
+		return defaultRetries
+	default:
+		return o.Retries
+	}
+}
+
+// backoffWait computes the sleep before retry attempt (0-based): full
+// jitter over the top half of an exponentially growing window — random
+// in [b/2, b] for b = base<<attempt capped at retryCap — so a fleet of
+// workers bounced by the same degraded window doesn't retry in lockstep
+// and re-stampede the server. A Retry-After hint acts as a floor: the
+// server knows when it expects to recover, and retrying sooner is
+// wasted.
+func backoffWait(attempt int, retryAfter string) time.Duration {
+	b := retryCap
+	if shift := uint(attempt); shift < 12 && retryBase<<shift < retryCap {
+		b = retryBase << shift
+	}
+	wait := b/2 + time.Duration(rand.Int63n(int64(b/2)+1))
+	if ra, err := strconv.Atoi(retryAfter); err == nil && ra >= 0 {
+		if floor := time.Duration(ra) * time.Second; wait < floor {
+			wait = min(floor, retryCap)
+		}
+	}
+	return wait
+}
+
+// retryable reports whether a status is worth retrying: 503 (recovery
+// window or degraded durability) and 429 (admission-control shed) are
+// both transient by design — the server attaches Retry-After to each.
+func retryable(status int) bool {
+	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+}
+
+// do issues fn under the retry policy, recording every non-2xx
+// response, retry and transport failure through the Options hooks.
+func (c *Client) do(endpoint string, fn func() (*http.Response, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		r, err := fn()
+		if err != nil {
+			if c.opts.OnNetErr != nil {
+				c.opts.OnNetErr(endpoint)
+			}
+			return nil, err
+		}
+		if r.StatusCode >= 300 && c.opts.OnStatus != nil {
+			c.opts.OnStatus(endpoint, r.StatusCode)
+		}
+		if !retryable(r.StatusCode) || attempt >= c.opts.maxRetries() {
+			return r, nil
+		}
+		wait := backoffWait(attempt, r.Header.Get("Retry-After"))
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if c.opts.OnRetry != nil {
+			c.opts.OnRetry(endpoint)
+		}
+		time.Sleep(wait)
+	}
+}
+
+// apiError drains a non-2xx body into an *APIError.
+func apiError(endpoint string, r *http.Response) error {
+	var e api.ErrorResponse
+	json.NewDecoder(r.Body).Decode(&e)
+	code := e.Code
+	if code == "" {
+		code = api.CodeInternal
+	}
+	return &APIError{Endpoint: endpoint, Status: r.StatusCode, Code: code, Message: e.Error}
+}
+
+// PostJSON posts req to path and decodes the response into resp (may be
+// nil). The typed endpoint methods below are wrappers over this.
+func (c *Client) PostJSON(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.do("POST "+path, func() (*http.Response, error) {
+		return c.c.Post(c.base+path, "application/json", bytes.NewReader(body))
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		return apiError(path, r)
+	}
+	if resp != nil {
+		return json.NewDecoder(r.Body).Decode(resp)
+	}
+	return nil
+}
+
+// delete issues DELETE path under the retry policy.
+func (c *Client) delete(endpoint, path string) error {
+	r, err := c.do(endpoint, func() (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodDelete, c.base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return c.c.Do(req)
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		return apiError(path, r)
+	}
+	return nil
+}
+
+// CreateSession opens a live MkNN query session (network selects the
+// road-network side) and returns its id.
+func (c *Client) CreateSession(k int, rho float64, network bool) (uint64, error) {
+	var resp api.CreateSessionResponse
+	err := c.PostJSON("/v1/sessions", api.CreateSessionRequest{K: k, Rho: rho, Network: network}, &resp)
+	return resp.Session, err
+}
+
+// CloseSession ends a session.
+func (c *Client) CloseSession(sid uint64) error {
+	return c.delete("DELETE /v1/sessions", fmt.Sprintf("/v1/sessions/%d", sid))
+}
+
+// Update posts one batch of plane location updates.
+func (c *Client) Update(entries []api.UpdateEntry) (*api.UpdateResponse, error) {
+	var resp api.UpdateResponse
+	if err := c.PostJSON("/v1/update", api.UpdateRequest{Updates: entries}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// NetworkUpdate posts one batch of road-network location updates.
+func (c *Client) NetworkUpdate(entries []api.NetworkUpdateEntry) (*api.UpdateResponse, error) {
+	var resp api.UpdateResponse
+	if err := c.PostJSON("/v1/network/update", api.NetworkUpdateRequest{Updates: entries}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// AddObject inserts a plane data object and returns its assigned id.
+func (c *Client) AddObject(x, y float64) (int, error) {
+	var resp api.ObjectResponse
+	err := c.PostJSON("/v1/objects", api.ObjectRequest{X: x, Y: y}, &resp)
+	return resp.ID, err
+}
+
+// RemoveObject deletes a plane data object by id.
+func (c *Client) RemoveObject(id int) error {
+	return c.delete("DELETE /v1/objects", fmt.Sprintf("/v1/objects/%d", id))
+}
+
+// AddNetworkObject inserts a network data object at a vertex.
+func (c *Client) AddNetworkObject(vertex int) (int, error) {
+	var resp api.ObjectResponse
+	err := c.PostJSON("/v1/network/objects", api.NetworkObjectRequest{Vertex: vertex}, &resp)
+	return resp.ID, err
+}
+
+// RemoveNetworkObject deletes the network data object at a vertex.
+func (c *Client) RemoveNetworkObject(vertex int) error {
+	return c.delete("DELETE /v1/network/objects", fmt.Sprintf("/v1/network/objects/%d", vertex))
+}
+
+// Stats fetches the merged serving snapshot. No retry: scrapers want
+// the current answer or the current failure.
+func (c *Client) Stats() (*api.StatsResponse, error) {
+	r, err := c.c.Get(c.base + "/v1/stats")
+	if err != nil {
+		if c.opts.OnNetErr != nil {
+			c.opts.OnNetErr("GET /v1/stats")
+		}
+		return nil, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		if c.opts.OnStatus != nil {
+			c.opts.OnStatus("GET /v1/stats", r.StatusCode)
+		}
+		return nil, apiError("/v1/stats", r)
+	}
+	var resp api.StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Subscribe opens one multi-session SSE stream and parses it on a
+// dedicated goroutine, invoking onEvent per push. The returned stop
+// function severs the stream and waits for the goroutine to exit. The
+// stream bypasses the client Timeout (it is long-lived by design).
+func (c *Client) Subscribe(sids []uint64, onEvent func(api.SessionEvent)) (func(), error) {
+	parts := make([]string, len(sids))
+	for i, sid := range sids {
+		parts[i] = strconv.FormatUint(sid, 10)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/events?sessions="+strings.Join(parts, ","), nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := c.transport().RoundTrip(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		defer cancel()
+		return nil, apiError("/v1/events", resp)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer resp.Body.Close()
+		ReadSSE(resp.Body, onEvent)
+	}()
+	return func() {
+		cancel()
+		<-done
+	}, nil
+}
+
+// transport is the raw RoundTripper for streaming endpoints.
+func (c *Client) transport() http.RoundTripper {
+	if c.c.Transport != nil {
+		return c.c.Transport
+	}
+	return http.DefaultTransport
+}
+
+// ReadSSE parses a text/event-stream body, invoking onEvent per data
+// frame, until the stream ends. Exported for tests that consume raw
+// event streams.
+func ReadSSE(body io.Reader, onEvent func(api.SessionEvent)) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if len(data) > 0 {
+				var ev api.SessionEvent
+				if err := json.Unmarshal(data, &ev); err == nil {
+					onEvent(ev)
+				}
+				data = data[:0]
+			}
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, strings.TrimPrefix(line, "data: ")...)
+		}
+	}
+}

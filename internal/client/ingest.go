@@ -1,0 +1,284 @@
+package insqclient
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/api"
+)
+
+// Ingest is one binary streaming ingest connection: batches go out as
+// length-prefixed CRC32C frames, one ack comes back per batch (in
+// order). Two usage styles:
+//
+//   - Pipelined: Send batches back to back and drain Acks() on another
+//     goroutine. A window of w bounds frames in flight — Send blocks
+//     when the window is full, which is the client half of the
+//     protocol's backpressure (the server half is its bounded queue +
+//     TCP flow control).
+//   - Synchronous: Call sends one batch and waits for its ack — the
+//     per-request shape, minus JSON and connection churn.
+//
+// Send/Call are safe for concurrent use. Close half-closes the write
+// side, drains remaining acks, then tears the connection down.
+type Ingest struct {
+	mu  sync.Mutex // serializes frame writes and seq assignment
+	w   io.Writer
+	seq uint64
+
+	window chan struct{} // in-flight slots; nil = unbounded
+
+	wmu     sync.Mutex
+	waiters map[uint64]chan api.IngestAck
+
+	acks chan api.IngestAck
+	done chan struct{}
+
+	errMu sync.Mutex
+	err   error
+
+	closeWrite func() error // half-close: signals EOF to the server
+	closeAll   func() error
+	closeOnce  sync.Once
+}
+
+// DialIngest opens a streaming ingest connection over HTTP: one POST
+// /v1/ingest whose request body is the outgoing frame stream and whose
+// response body is the ack stream. window bounds frames in flight
+// (<= 0 = unbounded; unbounded senders must drain Acks themselves).
+// Canceling ctx severs the stream.
+func (c *Client) DialIngest(ctx context.Context, window int) (*Ingest, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/ingest", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-insq-frames")
+	// Expect: 100-continue holds the frame stream back until the server
+	// actually reads it. Without this a rejecting server (503 recovery
+	// gate) could never deliver its response: it would sit draining an
+	// endless chunked body the client has no reason to finish.
+	req.Header.Set("Expect", "100-continue")
+	// The transport only reads the body after it has sent the headers, so
+	// the magic must be written concurrently with RoundTrip: the server
+	// reads it before answering with its own headers + magic.
+	go pw.Write([]byte(api.ClientMagic))
+	resp, err := c.transport().RoundTrip(req)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		defer pw.Close()
+		return nil, apiError("/v1/ingest", resp)
+	}
+	br := bufio.NewReader(resp.Body)
+	if err := expectMagic(br, api.ServerMagic); err != nil {
+		resp.Body.Close()
+		pw.Close()
+		return nil, err
+	}
+	return newIngest(pw, br, window,
+		func() error { return pw.Close() },
+		func() error { pw.Close(); return resp.Body.Close() }), nil
+}
+
+// DialIngestTCP opens a streaming ingest connection to an insqd
+// -ingest-addr raw TCP listener: the same protocol without HTTP.
+func DialIngestTCP(ctx context.Context, addr string, window int) (*Ingest, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write([]byte(api.ClientMagic)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	if err := expectMagic(br, api.ServerMagic); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	closeWrite := conn.Close
+	if tc, ok := conn.(*net.TCPConn); ok {
+		closeWrite = tc.CloseWrite
+	}
+	return newIngest(conn, br, window, closeWrite, conn.Close), nil
+}
+
+func expectMagic(br *bufio.Reader, want string) error {
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return fmt.Errorf("ingest: reading magic: %w", err)
+	}
+	if string(got) != want {
+		return fmt.Errorf("ingest: bad magic %q (protocol mismatch)", got)
+	}
+	return nil
+}
+
+func newIngest(w io.Writer, br *bufio.Reader, window int, closeWrite, closeAll func() error) *Ingest {
+	in := &Ingest{
+		w:          w,
+		waiters:    make(map[uint64]chan api.IngestAck),
+		acks:       make(chan api.IngestAck, max(window, 64)),
+		done:       make(chan struct{}),
+		closeWrite: closeWrite,
+		closeAll:   closeAll,
+	}
+	if window > 0 {
+		in.window = make(chan struct{}, window)
+	}
+	go in.readLoop(br)
+	return in
+}
+
+// readLoop decodes acks, releases window slots and dispatches each ack
+// to its Call waiter or the Acks channel. It owns closing acks/done.
+func (in *Ingest) readLoop(br *bufio.Reader) {
+	defer close(in.acks)
+	defer close(in.done)
+	for {
+		payload, err := api.ReadFrame(br)
+		if err != nil {
+			if err != io.EOF { // EOF at a frame boundary is a clean close
+				in.setErr(err)
+			}
+			return
+		}
+		ack, err := api.DecodeAck(payload)
+		if err != nil {
+			in.setErr(err)
+			return
+		}
+		if in.window != nil {
+			select {
+			case <-in.window:
+			default: // bad-frame acks carry seq 0 and occupy no slot
+			}
+		}
+		in.wmu.Lock()
+		ch, ok := in.waiters[ack.Seq]
+		if ok {
+			delete(in.waiters, ack.Seq)
+		}
+		in.wmu.Unlock()
+		if ok {
+			ch <- ack // cap 1, never blocks
+			continue
+		}
+		select {
+		case in.acks <- ack:
+		case <-in.done:
+			return
+		}
+	}
+}
+
+func (in *Ingest) setErr(err error) {
+	in.errMu.Lock()
+	if in.err == nil {
+		in.err = err
+	}
+	in.errMu.Unlock()
+}
+
+// Err returns the terminal stream error, nil while the stream is live
+// or after a clean close.
+func (in *Ingest) Err() error {
+	in.errMu.Lock()
+	defer in.errMu.Unlock()
+	return in.err
+}
+
+// ErrIngestClosed reports a Send/Call against a dead or closed stream.
+var ErrIngestClosed = errors.New("insqclient: ingest stream closed")
+
+// Acks is the stream of acks not claimed by Call, in frame order.
+// Pipelined senders must drain it. The channel closes when the stream
+// ends (check Err for why).
+func (in *Ingest) Acks() <-chan api.IngestAck { return in.acks }
+
+// Send writes one batch frame, assigning and returning its sequence
+// number. It blocks while the pipeline window is full. The ack arrives
+// on Acks().
+func (in *Ingest) Send(b api.IngestBatch) (uint64, error) {
+	return in.send(b, nil)
+}
+
+// Call sends one batch and waits for its ack — the synchronous shape.
+func (in *Ingest) Call(b api.IngestBatch) (api.IngestAck, error) {
+	ch := make(chan api.IngestAck, 1)
+	seq, err := in.send(b, ch)
+	if err != nil {
+		return api.IngestAck{}, err
+	}
+	select {
+	case ack := <-ch:
+		return ack, nil
+	case <-in.done:
+		// The reader may have dispatched the ack just before dying.
+		select {
+		case ack := <-ch:
+			return ack, nil
+		default:
+		}
+		in.wmu.Lock()
+		delete(in.waiters, seq)
+		in.wmu.Unlock()
+		if err := in.Err(); err != nil {
+			return api.IngestAck{}, err
+		}
+		return api.IngestAck{}, ErrIngestClosed
+	}
+}
+
+func (in *Ingest) send(b api.IngestBatch, waiter chan api.IngestAck) (uint64, error) {
+	if in.window != nil {
+		select {
+		case in.window <- struct{}{}:
+		case <-in.done:
+			if err := in.Err(); err != nil {
+				return 0, err
+			}
+			return 0, ErrIngestClosed
+		}
+	}
+	in.mu.Lock()
+	in.seq++
+	b.Seq = in.seq
+	if waiter != nil {
+		in.wmu.Lock()
+		in.waiters[b.Seq] = waiter
+		in.wmu.Unlock()
+	}
+	frame := api.AppendFrame(nil, api.AppendBatch(nil, b))
+	_, err := in.w.Write(frame)
+	in.mu.Unlock()
+	if err != nil {
+		in.setErr(err)
+		return b.Seq, err
+	}
+	return b.Seq, nil
+}
+
+// Close half-closes the write side, waits for the server to ack what is
+// in flight and close its end, then releases the connection. Returns
+// the terminal stream error, nil for a clean shutdown.
+func (in *Ingest) Close() error {
+	in.closeOnce.Do(func() {
+		in.closeWrite()
+		<-in.done
+		in.closeAll()
+	})
+	return in.Err()
+}

@@ -787,6 +787,39 @@ func (e *Engine) RemoveNetworkObjectCtx(ctx context.Context, v int) error {
 	return nil
 }
 
+// ApplyMutations applies a pre-decoded object-mutation batch — the batch
+// entry point for the binary ingest path, where mutations arrive already
+// in index vocabulary and the per-object wrappers above would cost one
+// copy-on-write epoch publication each. The whole batch is validated up
+// front, logged as one WAL record and published as one snapshot swap;
+// it is applied or rejected whole. The returned ids parallel muts: the
+// assigned id for plane inserts, the echoed id/vertex otherwise.
+func (e *Engine) ApplyMutations(ctx context.Context, muts []index.Mutation) ([]int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if len(muts) == 0 {
+		return nil, nil
+	}
+	if e.degraded() {
+		return nil, ErrDegraded
+	}
+	// Reject bad input before it reaches the store, matching the
+	// per-object entry points.
+	for _, m := range muts {
+		if !m.Network && m.Insert && e.hasPlane && !e.bounds.Contains(m.P) {
+			return nil, fmt.Errorf("%w: %v not in [%v, %v]", ErrOutOfBounds, m.P, e.bounds.Min, e.bounds.Max)
+		}
+	}
+	ids, err := e.store.ApplyCtx(ctx, muts)
+	if err != nil {
+		return nil, e.mapStoreErr(err)
+	}
+	return ids, nil
+}
+
 // degraded reports whether the durability layer currently rejects
 // appends; an engine without a WAL is never degraded.
 func (e *Engine) degraded() bool { return e.wal != nil && e.wal.Degraded() }

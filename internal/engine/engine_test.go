@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/index"
 	"repro/internal/netvor"
 	"repro/internal/roadnet"
 	"repro/internal/trajectory"
@@ -447,4 +449,61 @@ func equalInts(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// TestApplyMutations covers the pre-decoded batch entry point the binary
+// ingest path uses: one call publishes the whole batch, ids parallel the
+// mutations, and the state matches the per-object wrappers.
+func TestApplyMutations(t *testing.T) {
+	e := newTestEngine(t, 50, 2)
+	st0, err := e.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := e.ApplyMutations(context.Background(), []index.Mutation{
+		{Insert: true, P: geom.Pt(10, 20)},
+		{Insert: true, P: geom.Pt(30, 40)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] < 0 || ids[1] < 0 || ids[0] == ids[1] {
+		t.Fatalf("bad insert ids %v", ids)
+	}
+	// Remove one of them in a mixed batch with another insert.
+	ids2, err := e.ApplyMutations(context.Background(), []index.Mutation{
+		{ID: ids[0]},
+		{Insert: true, P: geom.Pt(50, 60)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids2[0] != ids[0] {
+		t.Fatalf("remove must echo the id: got %d want %d", ids2[0], ids[0])
+	}
+	st, err := e.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != st0.Objects+2 {
+		t.Fatalf("objects = %d, want %d", st.Objects, st0.Objects+2)
+	}
+	// One epoch per mutation, published batch-wise.
+	if st.Epoch != st0.Epoch+4 {
+		t.Fatalf("epoch = %d, want %d", st.Epoch, st0.Epoch+4)
+	}
+
+	// Validation: out-of-bounds inserts are rejected whole-batch before
+	// the store sees them; empty batches are free.
+	if _, err := e.ApplyMutations(context.Background(), []index.Mutation{
+		{Insert: true, P: geom.Pt(-5000, 0)},
+	}); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("want ErrOutOfBounds, got %v", err)
+	}
+	if _, err := e.ApplyMutations(context.Background(), nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if _, err := e.ApplyMutations(context.Background(), []index.Mutation{{ID: 1 << 30}}); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("want ErrUnknownObject, got %v", err)
+	}
 }

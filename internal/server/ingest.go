@@ -1,0 +1,452 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+// The binary ingest fast path: a persistent stream of length-prefixed
+// CRC32C batch frames (see internal/api/ingest.go for the codec),
+// answered by one ack frame per batch. Two transports share all of the
+// code below: POST /v1/ingest (chunked upload + streamed response over
+// the regular HTTP listener) and a raw TCP listener (insqd -ingest-addr,
+// served by ServeIngest) for clients that want the HTTP layer out of the
+// loop entirely.
+//
+// Per connection, a reader goroutine decodes frames into a bounded
+// queue and the pump drains it: the first frame opens a merge group,
+// frames arriving within CoalesceWindow join it (up to maxCoalesceFrames),
+// and the group is applied as single engine batches — one location-update
+// batch (the engine fans it out per shard) plus one pre-decoded mutation
+// batch per frame that carries mutations (mutations keep per-frame
+// failure isolation; location updates already fail per entry). Acks are
+// written back in frame order after the group applies.
+//
+// Backpressure is the bounded queue: when the pump falls behind, the
+// reader blocks on the queue, stops reading the socket, and TCP flow
+// control pushes back on the client, whose send window (client-side) is
+// bounded too. Admission control stays with the engine — a shed batch
+// surfaces as an overloaded ack (the 429 equivalent), an expired
+// deadline as expired — so the frame layer applies exactly the JSON
+// path's policy.
+
+const (
+	// ingestIdleTimeout is the per-frame read deadline: an ingest stream
+	// may idle between bursts, but a dead peer must not pin the goroutine
+	// (and its queue) forever.
+	ingestIdleTimeout = 2 * time.Minute
+	// ingestWriteTimeout bounds one ack-group write.
+	ingestWriteTimeout = 30 * time.Second
+	// maxCoalesceFrames caps one merge group so a firehose client cannot
+	// grow an engine batch (and its ack latency) without bound.
+	maxCoalesceFrames = 64
+	// ingestQueueDepth is the decoded-frame buffer between reader and
+	// pump — the server-side half of the per-connection window.
+	ingestQueueDepth = 64
+)
+
+// ingestStats is the counter set shared by all ingest streams.
+type ingestStats struct {
+	conns     atomic.Int64
+	frames    atomic.Uint64
+	batches   atomic.Uint64
+	coalesced atomic.Uint64
+	bytesIn   atomic.Uint64
+	bytesOut  atomic.Uint64
+	updates   atomic.Uint64
+	mutations atomic.Uint64
+}
+
+func (st *ingestStats) snapshot() api.IngestStats {
+	out := api.IngestStats{
+		Connections:      int(st.conns.Load()),
+		FramesTotal:      st.frames.Load(),
+		Batches:          st.batches.Load(),
+		CoalescedBatches: st.coalesced.Load(),
+		BytesIn:          st.bytesIn.Load(),
+		BytesOut:         st.bytesOut.Load(),
+		Updates:          st.updates.Load(),
+		Mutations:        st.mutations.Load(),
+	}
+	if out.Batches > 0 {
+		out.CoalesceFactor = float64(out.FramesTotal) / float64(out.Batches)
+	}
+	return out
+}
+
+// ingestIO abstracts the two transports behind the pump: a buffered
+// frame reader, an ack writer with flush, and deadline control.
+type ingestIO struct {
+	br       *bufio.Reader
+	w        io.Writer
+	flush    func() error
+	setRead  func(time.Time) error
+	setWrite func(time.Time) error
+}
+
+// decodedFrame is one client frame after decode; err marks a framing or
+// codec failure (terminal for the stream, acked as bad_frame).
+type decodedFrame struct {
+	batch api.IngestBatch
+	err   error
+}
+
+// ingestHTTP serves POST /v1/ingest: the request body is the client's
+// frame stream (chunked, open-ended), the response body the ack stream.
+// The handler holds the connection until the client closes its side.
+func (s *Server) ingestHTTP(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError,
+			api.ErrorResponse{Error: "streaming unsupported by this connection", Code: api.CodeInternal})
+		return
+	}
+	rc := http.NewResponseController(w)
+	// Full duplex: without this the HTTP/1 server stops serving body reads
+	// once the handler writes the response — and this handler streams both
+	// directions for the connection's whole life.
+	if err := rc.EnableFullDuplex(); err != nil {
+		writeJSON(w, http.StatusInternalServerError,
+			api.ErrorResponse{Error: "full-duplex streaming unsupported: " + err.Error(), Code: api.CodeInternal})
+		return
+	}
+	br := bufio.NewReader(r.Body)
+	rc.SetReadDeadline(time.Now().Add(ingestIdleTimeout))
+	if err := expectMagic(br, api.ClientMagic); err != nil {
+		// Poison further body reads so the post-handler drain can't sit on
+		// the open-ended stream and withhold the error response.
+		rc.SetReadDeadline(time.Now())
+		writeBadRequest(w, err.Error())
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/x-insq-frames")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc.SetWriteDeadline(time.Now().Add(ingestWriteTimeout))
+	if _, err := io.WriteString(w, api.ServerMagic); err != nil {
+		return
+	}
+	fl.Flush()
+	s.serveIngestStream(r.Context(), ingestIO{
+		br: br,
+		w:  w,
+		flush: func() error {
+			fl.Flush()
+			return nil
+		},
+		setRead:  rc.SetReadDeadline,
+		setWrite: rc.SetWriteDeadline,
+	})
+}
+
+// ServeIngest accepts raw-TCP ingest connections until the listener
+// closes — the -ingest-addr side door, same protocol minus HTTP.
+func (s *Server) ServeIngest(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveIngestConn(conn)
+	}
+}
+
+func (s *Server) serveIngestConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	conn.SetReadDeadline(time.Now().Add(ingestIdleTimeout))
+	if err := expectMagic(br, api.ClientMagic); err != nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(ingestWriteTimeout))
+	if _, err := bw.WriteString(api.ServerMagic); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	s.serveIngestStream(context.Background(), ingestIO{
+		br:       br,
+		w:        bw,
+		flush:    bw.Flush,
+		setRead:  conn.SetReadDeadline,
+		setWrite: conn.SetWriteDeadline,
+	})
+}
+
+func expectMagic(br *bufio.Reader, want string) error {
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return fmt.Errorf("ingest: reading magic: %w", err)
+	}
+	if string(got) != want {
+		return fmt.Errorf("ingest: bad magic %q (protocol mismatch)", got)
+	}
+	return nil
+}
+
+// serveIngestStream runs one connection: reader goroutine + pump.
+func (s *Server) serveIngestStream(ctx context.Context, conn ingestIO) {
+	s.ingest.conns.Add(1)
+	defer s.ingest.conns.Add(-1)
+	if s.opts.Obs != nil {
+		ctx = obs.WithTraceID(ctx, obs.NewTraceID())
+	}
+
+	frames := make(chan decodedFrame, ingestQueueDepth)
+	readerDone := make(chan struct{})
+	defer func() {
+		// Unblock the reader (it may be parked on a full queue) and wait it
+		// out so its deadline calls can't race the transport teardown.
+		go func() {
+			for range frames {
+			}
+		}()
+		<-readerDone
+	}()
+	go func() {
+		defer close(readerDone)
+		defer close(frames)
+		for {
+			conn.setRead(time.Now().Add(ingestIdleTimeout))
+			payload, err := api.ReadFrame(conn.br)
+			if err != nil {
+				if err != io.EOF {
+					frames <- decodedFrame{err: err}
+				}
+				return
+			}
+			s.ingest.bytesIn.Add(uint64(len(payload)) + 8)
+			var start time.Time
+			if s.opts.Obs.Enabled() {
+				start = time.Now()
+			}
+			batch, err := api.DecodeBatch(payload)
+			if s.opts.Obs.Enabled() {
+				s.opts.Obs.Observe(obs.StageDecode, time.Since(start))
+			}
+			if err != nil {
+				frames <- decodedFrame{err: err}
+				return
+			}
+			s.ingest.frames.Add(1)
+			frames <- decodedFrame{batch: batch}
+		}
+	}()
+
+	window := s.opts.CoalesceWindow
+	for {
+		first, ok := <-frames
+		if !ok {
+			return // clean client close
+		}
+		group := []decodedFrame{first}
+		if first.err == nil {
+			group = s.collectGroup(frames, group, window)
+		}
+		terminal := group[len(group)-1].err != nil
+		if err := s.applyGroup(ctx, conn, group); err != nil {
+			return // peer gone; nothing left to ack
+		}
+		if terminal {
+			return // framing lost after a bad frame: drop the connection
+		}
+	}
+}
+
+// collectGroup merges the frames already queued behind the first one
+// into a single group. The pump never idle-waits: a dry queue ships the
+// group immediately, so a lone synchronous client pays pure round-trip
+// latency and a pipelining client never stalls behind a timer. Under
+// load the coalescing arises naturally — while one group applies, the
+// next frames queue behind it and the following drain merges them. The
+// coalesce window caps how long a group may keep accumulating when
+// frames arrive in a sustained stream (bounding the first frame's ack
+// delay), alongside the maxCoalesceFrames size cap. A decode error
+// always ends the group (it must be acked last, then the stream dies).
+func (s *Server) collectGroup(frames <-chan decodedFrame, group []decodedFrame, window time.Duration) []decodedFrame {
+	var cutoff time.Time
+	for len(group) < maxCoalesceFrames {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				return group
+			}
+			group = append(group, f)
+			if f.err != nil {
+				return group
+			}
+		default:
+			return group // queue dry: ship now rather than wait
+		}
+		if window > 0 {
+			if cutoff.IsZero() {
+				cutoff = time.Now().Add(window)
+			} else if time.Now().After(cutoff) {
+				return group
+			}
+		}
+	}
+	return group
+}
+
+// applyGroup applies one merge group as engine batches and writes the
+// per-frame acks in order. Location updates from all frames coalesce
+// into one engine batch per flavor (the engine fans them out per shard);
+// mutations apply as one pre-decoded batch per frame so one frame's bad
+// mutation cannot fail a neighbor. Returns a non-nil error only when the
+// ack write fails (the stream is dead).
+func (s *Server) applyGroup(ctx context.Context, w ingestIO, group []decodedFrame) error {
+	ctx, cancel := s.reqCtx(ctx)
+	defer cancel()
+	s.ingest.batches.Add(1)
+	s.ingest.coalesced.Add(uint64(len(group) - 1))
+
+	ready := s.ready.Load()
+
+	// Per-frame mutation batches, in frame order (before location updates:
+	// an ingest frame that inserts an object and moves a session sees its
+	// own insert, matching the JSON call sequence it replaces).
+	mutIDs := make([][]int, len(group))
+	mutErrs := make([]error, len(group))
+	for i, f := range group {
+		if f.err != nil || len(f.batch.Mutations) == 0 {
+			continue
+		}
+		if !ready {
+			mutErrs[i] = errNotReady
+			continue
+		}
+		mutIDs[i], mutErrs[i] = s.e.ApplyMutations(ctx, f.batch.Mutations)
+		s.ingest.mutations.Add(uint64(len(f.batch.Mutations)))
+	}
+
+	// Coalesced location updates: one engine batch per flavor.
+	var plane []api.UpdateEntry
+	var network []api.NetworkUpdateEntry
+	for _, f := range group {
+		plane = append(plane, f.batch.Updates...)
+		network = append(network, f.batch.NetworkUpdates...)
+	}
+	var planeRes, netRes []api.UpdateResultEntry
+	var planeErr, netErr error
+	if len(plane) > 0 {
+		if ready {
+			results, err := s.e.UpdateBatchCtx(ctx, api.NewLocationUpdates(plane))
+			planeErr = err
+			if err == nil {
+				planeRes = api.NewUpdateResponse(results).Results
+			}
+			s.ingest.updates.Add(uint64(len(plane)))
+		} else {
+			planeErr = errNotReady
+		}
+	}
+	if len(network) > 0 {
+		if ready {
+			results, err := s.e.UpdateNetworkBatchCtx(ctx, api.NewNetworkLocationUpdates(network))
+			netErr = err
+			if err == nil {
+				netRes = api.NewUpdateResponse(results).Results
+			}
+			s.ingest.updates.Add(uint64(len(network)))
+		} else {
+			netErr = errNotReady
+		}
+	}
+
+	// Slice the merged results back per frame and ack in order.
+	var buf []byte
+	po, no := 0, 0
+	for i, f := range group {
+		ack := s.buildAck(f, mutIDs[i], mutErrs[i], planeErr, netErr,
+			sliceResults(planeRes, &po, len(f.batch.Updates)),
+			sliceResults(netRes, &no, len(f.batch.NetworkUpdates)))
+		buf = api.AppendFrame(buf, api.AppendAck(nil, ack))
+	}
+	w.setWrite(time.Now().Add(ingestWriteTimeout))
+	if _, err := w.w.Write(buf); err != nil {
+		return err
+	}
+	s.ingest.bytesOut.Add(uint64(len(buf)))
+	return w.flush()
+}
+
+// errNotReady surfaces frames that raced the recovery window on the raw
+// TCP listener (the HTTP path 503s before the handler).
+var errNotReady = errors.New("recovering: server not ready")
+
+// sliceResults advances the cursor over a merged result slice; nil when
+// the batch-level call failed (no per-entry results exist).
+func sliceResults(res []api.UpdateResultEntry, cursor *int, n int) []api.UpdateResultEntry {
+	if res == nil || n == 0 {
+		return nil
+	}
+	out := res[*cursor : *cursor+n]
+	*cursor += n
+	return out
+}
+
+// buildAck renders one frame's outcome through the shared error table.
+func (s *Server) buildAck(f decodedFrame, mutIDs []int, mutErr, planeErr, netErr error,
+	planeRes, netRes []api.UpdateResultEntry) api.IngestAck {
+	if f.err != nil {
+		return api.IngestAck{Code: api.CodeBadFrame, Message: f.err.Error()}
+	}
+	ack := api.IngestAck{Seq: f.batch.Seq, Code: api.CodeOK}
+	firstErr := func(err error) {
+		if err == nil || ack.Code != api.CodeOK {
+			return
+		}
+		if errors.Is(err, errNotReady) {
+			ack.Code = api.CodeUnavailable
+		} else {
+			ack.Code = api.Classify(err).Code
+		}
+		ack.Message = err.Error()
+	}
+	firstErr(mutErr)
+	if len(f.batch.Updates) > 0 {
+		firstErr(planeErr)
+	}
+	if len(f.batch.NetworkUpdates) > 0 {
+		firstErr(netErr)
+	}
+	count := func(res []api.UpdateResultEntry) {
+		for _, r := range res {
+			if r.Error == "" {
+				ack.Applied++
+			}
+		}
+	}
+	count(planeRes)
+	count(netRes)
+	if !f.batch.WantResults {
+		return ack
+	}
+	ack.MutationIDs = mutIDs
+	if n := len(planeRes) + len(netRes); n > 0 {
+		ack.Results = make([]api.IngestEntryResult, 0, n)
+		for _, r := range append(planeRes[:len(planeRes):len(planeRes)], netRes...) {
+			entry := api.IngestEntryResult{Session: r.Session, Code: api.CodeOK, KNN: r.KNN}
+			if r.Error != "" {
+				entry.Code = r.Code
+				entry.KNN = nil
+			}
+			ack.Results = append(ack.Results, entry)
+		}
+	}
+	return ack
+}

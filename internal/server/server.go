@@ -1,4 +1,9 @@
-package main
+// Package server implements the insqd serving frontend over one engine:
+// the JSON HTTP API, the SSE push streams and the binary ingest fast
+// path (ingest.go), shared by cmd/insqd and in-process embedders (the
+// SERVE benchmark boots a real instance). The wire types and the error
+// table both surfaces speak live in internal/api.
+package server
 
 import (
 	"context"
@@ -21,60 +26,104 @@ import (
 	"repro/internal/stream"
 )
 
-// server routes the insqd HTTP API onto one serving engine. The engine is
+// Options configures a Server; the zero value is a plain JSON server
+// with no observability, caching or timeouts.
+type Options struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/ (CPU, heap, mutex,
+	// block profiles of the live serving process). Off by default —
+	// profiles expose internals and cost cycles while sampling.
+	Pprof bool
+	// Obs enables /metrics, per-request trace IDs and decode-stage timing;
+	// nil turns all of it off.
+	Obs *obs.Pipeline
+	// AccessLog, when non-nil, logs one line per request (method, path,
+	// status, duration, trace).
+	AccessLog *slog.Logger
+	// RequestTimeout bounds each update/object mutation request (and each
+	// coalesced ingest batch): the handler derives a deadline from it so
+	// batches abandoned by their client are dropped at the shard instead
+	// of executed into the void. 0 disables.
+	RequestTimeout time.Duration
+	// StatsTTL caches the merged /v1/stats snapshot: Engine.Stats fans a
+	// message to every shard worker, so a scraper polling at 1s must not
+	// perturb them per request. 0 disables caching.
+	StatsTTL time.Duration
+	// CoalesceWindow is how long the ingest pump waits for further frames
+	// after one arrives before applying the merged engine batch; 0 merges
+	// only frames already queued (no added latency). See ingest.go.
+	CoalesceWindow time.Duration
+}
+
+// Server routes the insqd API onto one serving engine. The engine is
 // safe for concurrent use, so handlers need no additional locking.
-type server struct {
-	// e is nil until setEngine; handlers only run after ready flips, whose
+type Server struct {
+	// e is nil until SetEngine; handlers only run after ready flips, whose
 	// atomic store/load orders the engine write before any handler read.
 	e     *insq.Engine
 	ready atomic.Bool
-	// pprof opt-in: mounts net/http/pprof under /debug/pprof/ (CPU, heap,
-	// mutex, block profiles of the live serving process). Off by default —
-	// profiles expose internals and cost cycles while sampling.
-	pprof bool
+	opts  Options
 
-	// obs enables /metrics, per-request trace IDs and decode-stage timing;
-	// nil turns all of it off. accessLog, when non-nil, logs one line per
-	// request (method, path, status, duration, trace).
-	obs       *obs.Pipeline
-	accessLog *slog.Logger
-
-	// reqTimeout bounds each update/object mutation request: the handler
-	// derives a deadline from it so batches abandoned by their client are
-	// dropped at the shard instead of executed into the void. 0 disables.
-	reqTimeout time.Duration
-
-	// statsTTL caches the merged /v1/stats snapshot: Engine.Stats fans a
-	// message to every shard worker, so a scraper polling at 1s must not
-	// perturb them per request. 0 disables caching.
-	statsTTL   time.Duration
 	statsMu    sync.Mutex
 	statsAt    time.Time
 	statsCache api.StatsResponse
+
+	// ingest is the binary ingest path's counter set, shared by every
+	// stream (HTTP and raw TCP) and surfaced in /v1/stats and /metrics.
+	ingest ingestStats
 }
 
-// newServer returns a server already open for traffic — the in-process
-// boot path (and tests), where the engine exists before the listener.
-func newServer(e *insq.Engine, pprofOn bool) *server {
-	s := &server{pprof: pprofOn}
-	s.setEngine(e)
+// New returns a server already open for traffic — the in-process boot
+// path (and tests), where the engine exists before the listener.
+func New(e *insq.Engine, opts Options) *Server {
+	s := NewPending(opts)
+	s.SetEngine(e)
 	return s
 }
 
-// setEngine publishes the engine and opens the server for traffic. The
-// listener starts before crash recovery finishes, so clients get a clean
-// 503 + Retry-After instead of a connection refused while the WAL
-// replays.
-func (s *server) setEngine(e *insq.Engine) {
+// NewPending returns a server that answers every request (except
+// /healthz) with 503 + Retry-After until SetEngine runs — the insqd boot
+// path, where the listener starts before WAL recovery finishes.
+func NewPending(opts Options) *Server {
+	s := &Server{opts: opts}
+	if opts.Obs != nil {
+		s.registerMetrics(opts.Obs.Registry())
+	}
+	return s
+}
+
+// SetEngine publishes the engine and opens the server for traffic.
+func (s *Server) SetEngine(e *insq.Engine) {
 	s.e = e
 	s.ready.Store(true)
 }
 
-// handler builds the route table behind the readiness gate; factored out
-// of main so tests can mount it on httptest servers. /healthz answers
-// before the gate: it is pure liveness (the process is up and serving
-// HTTP), while /readyz and everything else reflect readiness.
-func (s *server) handler() http.Handler {
+// registerMetrics exposes the ingest counters on the shared registry.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("insq_ingest_connections",
+		"Open binary ingest streams (HTTP and raw TCP).",
+		func() float64 { return float64(s.ingest.conns.Load()) })
+	reg.CounterFunc("insq_ingest_frames_total",
+		"Batch frames received on ingest streams.",
+		func() float64 { return float64(s.ingest.frames.Load()) })
+	reg.CounterFunc("insq_ingest_batches_total",
+		"Engine batches the ingest pump applied (frames/batches = coalesce factor).",
+		func() float64 { return float64(s.ingest.batches.Load()) })
+	reg.CounterFunc("insq_ingest_coalesced_batches_total",
+		"Frames merged into an already-pending engine batch by the coalescing pump.",
+		func() float64 { return float64(s.ingest.coalesced.Load()) })
+	reg.CounterFunc("insq_ingest_bytes_in_total",
+		"Bytes received on ingest streams (frame headers + payloads).",
+		func() float64 { return float64(s.ingest.bytesIn.Load()) })
+	reg.CounterFunc("insq_ingest_bytes_out_total",
+		"Ack bytes written on ingest streams.",
+		func() float64 { return float64(s.ingest.bytesOut.Load()) })
+}
+
+// Handler builds the route table behind the readiness gate; tests mount
+// it on httptest servers. /healthz answers before the gate: it is pure
+// liveness (the process is up and serving HTTP), while /readyz and
+// everything else reflect readiness.
+func (s *Server) Handler() http.Handler {
 	mux := s.routes()
 	return s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/healthz" {
@@ -83,7 +132,8 @@ func (s *server) handler() http.Handler {
 		}
 		if !s.ready.Load() {
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, api.ErrorResponse{Error: "recovering: server not ready"})
+			writeJSON(w, http.StatusServiceUnavailable,
+				api.ErrorResponse{Error: "recovering: server not ready", Code: api.CodeUnavailable})
 			return
 		}
 		mux.ServeHTTP(w, r)
@@ -91,8 +141,8 @@ func (s *server) handler() http.Handler {
 }
 
 // statusWriter captures the response status for the access log while
-// staying transparent to SSE: it forwards Flush and unwraps for
-// http.NewResponseController's deadline control.
+// staying transparent to SSE and ingest streaming: it forwards Flush and
+// unwraps for http.NewResponseController's deadline control.
 type statusWriter struct {
 	http.ResponseWriter
 	code int
@@ -116,8 +166,8 @@ func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter 
 // request context into the engine/store/WAL for slow-op attribution) and
 // the opt-in access log. With neither observability nor access logging
 // configured it returns next untouched — zero per-request cost.
-func (s *server) instrument(next http.Handler) http.Handler {
-	if s.obs == nil && s.accessLog == nil {
+func (s *Server) instrument(next http.Handler) http.Handler {
+	if s.opts.Obs == nil && s.opts.AccessLog == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -127,8 +177,8 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		r = r.WithContext(obs.WithTraceID(r.Context(), trace))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(sw, r)
-		if s.accessLog != nil {
-			s.accessLog.Info("access",
+		if s.opts.AccessLog != nil {
+			s.opts.AccessLog.Info("access",
 				"method", r.Method, "path", r.URL.Path,
 				"status", sw.code,
 				"dur_ms", float64(time.Since(start).Nanoseconds())/1e6,
@@ -137,7 +187,7 @@ func (s *server) instrument(next http.Handler) http.Handler {
 	})
 }
 
-func (s *server) routes() http.Handler {
+func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.createSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.closeSession)
@@ -149,17 +199,18 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("DELETE /v1/objects/{id}", s.removeObject)
 	mux.HandleFunc("POST /v1/network/objects", s.insertNetworkObject)
 	mux.HandleFunc("DELETE /v1/network/objects/{id}", s.removeNetworkObject)
+	mux.HandleFunc("POST /v1/ingest", s.ingestHTTP)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		// Normally answered before the ready gate in handler(); kept here
+		// Normally answered before the ready gate in Handler(); kept here
 		// for completeness (tests that mount routes() directly).
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /readyz", s.readyz)
-	if s.obs != nil {
+	if s.opts.Obs != nil {
 		mux.HandleFunc("GET /metrics", s.metrics)
 	}
-	if s.pprof {
+	if s.opts.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -175,40 +226,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps engine errors onto HTTP statuses. Degraded mode (the
-// durability layer is down, reads still serve) and admission-control shed
-// both carry Retry-After: the condition is expected to clear — degraded
-// via the WAL's heal probe, shed as the queue drains.
+// writeError renders an engine error through the shared table in
+// internal/api — the same classification the binary ingest acks use, so
+// the two surfaces report errors identically. Transient conditions
+// (degraded durability, admission-control shed) carry Retry-After: the
+// condition is expected to clear — degraded via the WAL's heal probe,
+// shed as the queue drains.
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, engine.ErrUnknownSession), errors.Is(err, engine.ErrUnknownObject):
-		status = http.StatusNotFound
-	case errors.Is(err, engine.ErrSiteExists), errors.Is(err, engine.ErrLastSite):
-		status = http.StatusConflict
-	case errors.Is(err, engine.ErrNoNetwork), errors.Is(err, engine.ErrNoPlaneIndex),
-		errors.Is(err, engine.ErrOutOfBounds):
-		status = http.StatusBadRequest
-	case errors.Is(err, engine.ErrDegraded):
-		status = http.StatusServiceUnavailable
+	info := api.Classify(err)
+	if info.RetryAfter {
 		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, engine.ErrOverloaded):
-		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, engine.ErrClosed):
-		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, api.ErrorResponse{Error: err.Error()})
+	writeJSON(w, info.Status, api.ErrorResponse{Error: err.Error(), Code: info.Code})
 }
 
 // readyz is the readiness probe: 503 while recovering is handled by the
-// gate in handler() before this runs, so here readiness means "not
+// gate in Handler() before this runs, so here readiness means "not
 // degraded" — a degraded server keeps serving reads but load balancers
 // should prefer healthy replicas for write traffic.
-func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	if s.e.Degraded() {
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, api.ErrorResponse{Error: "degraded: durability unavailable, writes rejected"})
+		writeJSON(w, http.StatusServiceUnavailable,
+			api.ErrorResponse{Error: "degraded: durability unavailable, writes rejected", Code: api.CodeDegraded})
 		return
 	}
 	w.Write([]byte("ready\n"))
@@ -216,32 +256,33 @@ func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
 
 // reqCtx derives the handler context for one mutation request, applying
 // the server's request timeout when configured.
-func (s *server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.reqTimeout <= 0 {
-		return r.Context(), func() {}
+func (s *Server) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout <= 0 {
+		return ctx, func() {}
 	}
-	return context.WithTimeout(r.Context(), s.reqTimeout)
+	return context.WithTimeout(ctx, s.opts.RequestTimeout)
 }
 
 func writeBadRequest(w http.ResponseWriter, msg string) {
-	writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: msg})
+	writeJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: msg, Code: api.CodeBadRequest})
 }
 
 // maxRequestBody bounds request bodies (comfortably above a 100k-entry
 // update batch) so one oversized POST cannot exhaust server memory.
 const maxRequestBody = 8 << 20
 
-func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	var start time.Time
-	if s.obs.Enabled() {
+	if s.opts.Obs.Enabled() {
 		start = time.Now()
-		defer func() { s.obs.Observe(obs.StageDecode, time.Since(start)) }()
+		defer func() { s.opts.Obs.Observe(obs.StageDecode, time.Since(start)) }()
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, api.ErrorResponse{Error: err.Error()})
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				api.ErrorResponse{Error: err.Error(), Code: api.CodeTooLarge})
 			return false
 		}
 		writeBadRequest(w, "bad request body: "+err.Error())
@@ -259,7 +300,7 @@ func pathID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
 	return id, true
 }
 
-func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
+func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 	var req api.CreateSessionRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -285,7 +326,7 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.CreateSessionResponse{Session: uint64(sid)})
 }
 
-func (s *server) closeSession(w http.ResponseWriter, r *http.Request) {
+func (s *Server) closeSession(w http.ResponseWriter, r *http.Request) {
 	id, ok := pathID(w, r)
 	if !ok {
 		return
@@ -297,12 +338,12 @@ func (s *server) closeSession(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *server) updateBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) updateBatch(w http.ResponseWriter, r *http.Request) {
 	var req api.UpdateRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	ctx, cancel := s.reqCtx(r)
+	ctx, cancel := s.reqCtx(r.Context())
 	defer cancel()
 	results, err := s.e.UpdateBatchCtx(ctx, api.NewLocationUpdates(req.Updates))
 	if err != nil {
@@ -312,12 +353,12 @@ func (s *server) updateBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.NewUpdateResponse(results))
 }
 
-func (s *server) updateNetworkBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) updateNetworkBatch(w http.ResponseWriter, r *http.Request) {
 	var req api.NetworkUpdateRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	ctx, cancel := s.reqCtx(r)
+	ctx, cancel := s.reqCtx(r.Context())
 	defer cancel()
 	results, err := s.e.UpdateNetworkBatchCtx(ctx, api.NewNetworkLocationUpdates(req.Updates))
 	if err != nil {
@@ -327,7 +368,7 @@ func (s *server) updateNetworkBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.NewUpdateResponse(results))
 }
 
-func (s *server) insertNetworkObject(w http.ResponseWriter, r *http.Request) {
+func (s *Server) insertNetworkObject(w http.ResponseWriter, r *http.Request) {
 	var req api.NetworkObjectRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -340,7 +381,7 @@ func (s *server) insertNetworkObject(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.ObjectResponse{ID: id})
 }
 
-func (s *server) removeNetworkObject(w http.ResponseWriter, r *http.Request) {
+func (s *Server) removeNetworkObject(w http.ResponseWriter, r *http.Request) {
 	id, ok := pathID(w, r)
 	if !ok {
 		return
@@ -352,24 +393,20 @@ func (s *server) removeNetworkObject(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *server) insertObject(w http.ResponseWriter, r *http.Request) {
+func (s *Server) insertObject(w http.ResponseWriter, r *http.Request) {
 	var req api.ObjectRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
 	id, err := s.e.InsertObjectCtx(r.Context(), insq.Pt(req.X, req.Y))
-	switch {
-	case errors.Is(err, engine.ErrOutOfBounds):
-		writeBadRequest(w, err.Error())
-		return
-	case err != nil: // ErrClosed -> 503, internal failures -> 500
+	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, api.ObjectResponse{ID: id})
 }
 
-func (s *server) removeObject(w http.ResponseWriter, r *http.Request) {
+func (s *Server) removeObject(w http.ResponseWriter, r *http.Request) {
 	id, ok := pathID(w, r)
 	if !ok {
 		return
@@ -382,26 +419,30 @@ func (s *server) removeObject(w http.ResponseWriter, r *http.Request) {
 }
 
 // metrics serves the Prometheus exposition of the pipeline's registry.
-func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.obs.Registry().WritePrometheus(w)
+	s.opts.Obs.Registry().WritePrometheus(w)
 }
 
-// statsResponse builds the wire stats, stamping the serving build.
-func statsResponse(st insq.EngineStats) api.StatsResponse {
+// statsResponse builds the wire stats, stamping the serving build and
+// the ingest path's counters.
+func (s *Server) statsResponse(st insq.EngineStats) api.StatsResponse {
 	resp := api.NewStatsResponse(st)
 	resp.Version, resp.GoVersion, resp.Revision = obs.Build()
+	if is := s.ingest.snapshot(); is.FramesTotal > 0 || is.Connections > 0 {
+		resp.Ingest = &is
+	}
 	return resp
 }
 
-func (s *server) stats(w http.ResponseWriter, r *http.Request) {
-	if s.statsTTL <= 0 {
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	if s.opts.StatsTTL <= 0 {
 		st, err := s.e.Stats()
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, statsResponse(st))
+		writeJSON(w, http.StatusOK, s.statsResponse(st))
 		return
 	}
 	// TTL cache with single flight: Engine.Stats fans a mailbox message to
@@ -409,7 +450,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	// 1s poller costs the shards one stats message per TTL, not per
 	// request.
 	s.statsMu.Lock()
-	if time.Since(s.statsAt) <= s.statsTTL {
+	if time.Since(s.statsAt) <= s.opts.StatsTTL {
 		resp := s.statsCache
 		s.statsMu.Unlock()
 		writeJSON(w, http.StatusOK, resp)
@@ -421,7 +462,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	s.statsCache = statsResponse(st)
+	s.statsCache = s.statsResponse(st)
 	s.statsAt = time.Now()
 	resp := s.statsCache
 	s.statsMu.Unlock()
@@ -437,7 +478,7 @@ const ssePingInterval = 15 * time.Second
 // current kNN), then pushes deltas until the client disconnects, the
 // session closes (a final close event) or the server shuts down (a final
 // bye event).
-func (s *server) sessionEvents(w http.ResponseWriter, r *http.Request) {
+func (s *Server) sessionEvents(w http.ResponseWriter, r *http.Request) {
 	id, ok := pathID(w, r)
 	if !ok {
 		return
@@ -449,7 +490,7 @@ func (s *server) sessionEvents(w http.ResponseWriter, r *http.Request) {
 // every session when the parameter is omitted. Snapshots open the stream
 // for explicitly named sessions; a firehose subscription starts empty and
 // carries deltas only.
-func (s *server) events(w http.ResponseWriter, r *http.Request) {
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	var ids []uint64
 	if raw := r.URL.Query().Get("sessions"); raw != "" {
 		for _, part := range strings.Split(raw, ",") {
@@ -469,10 +510,11 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 // dedups the overlap by Seq. The subscriber's queue is bounded with
 // coalescing/drop-oldest (see internal/stream), so a stalled connection
 // never backpressures the engine.
-func (s *server) serveEvents(w http.ResponseWriter, r *http.Request, ids []uint64, single bool) {
+func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, ids []uint64, single bool) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeJSON(w, http.StatusInternalServerError, api.ErrorResponse{Error: "streaming unsupported by this connection"})
+		writeJSON(w, http.StatusInternalServerError,
+			api.ErrorResponse{Error: "streaming unsupported by this connection", Code: api.CodeInternal})
 		return
 	}
 	sub := s.e.Stream().Subscribe(0, ids...)
